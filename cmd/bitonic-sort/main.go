@@ -1,0 +1,110 @@
+// Command bitonic-sort sorts a synthetic workload on the simulated
+// machine with a chosen algorithm and prints the modelled execution
+// statistics — a quick way to poke at the library from the shell.
+//
+// Usage:
+//
+//	bitonic-sort [-p procs] [-n keys-per-proc] [-alg name] [-dist name]
+//	             [-short] [-simulate] [-fused] [-seed S] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parbitonic"
+	"parbitonic/internal/workload"
+)
+
+var algorithms = map[string]parbitonic.Algorithm{
+	"smart":          parbitonic.SmartBitonic,
+	"cyclic-blocked": parbitonic.CyclicBlockedBitonic,
+	"blocked-merge":  parbitonic.BlockedMergeBitonic,
+	"sample":         parbitonic.SampleSort,
+	"radix":          parbitonic.RadixSort,
+}
+
+var dists = map[string]workload.Dist{
+	"uniform":     workload.Uniform31,
+	"fullrange":   workload.FullRange,
+	"sorted":      workload.Sorted,
+	"reverse":     workload.Reverse,
+	"fewdistinct": workload.FewDistinct,
+	"gaussian":    workload.Gaussian,
+	"allequal":    workload.AllEqual,
+}
+
+func main() {
+	p := flag.Int("p", 16, "number of simulated processors (power of two)")
+	n := flag.Int("n", 1<<16, "keys per processor (power of two)")
+	algName := flag.String("alg", "smart", "algorithm: smart, cyclic-blocked, blocked-merge, sample, radix")
+	distName := flag.String("dist", "uniform", "distribution: uniform, fullrange, sorted, reverse, fewdistinct, gaussian, allequal")
+	short := flag.Bool("short", false, "use short (elementwise) messages")
+	simulate := flag.Bool("simulate", false, "simulate every network step instead of optimized local sorts")
+	fused := flag.Bool("fused", false, "fuse pack/unpack into local computation (§4.3)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	verbose := flag.Bool("v", false, "print the first and last few output keys")
+	showTrace := flag.Bool("trace", false, "print a per-processor virtual-time timeline")
+	flag.Parse()
+
+	alg, ok := algorithms[*algName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+	dist, ok := dists[*distName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *distName)
+		os.Exit(2)
+	}
+
+	keys := workload.Keys(dist, *p**n, *seed)
+	var rec *parbitonic.TraceRecorder
+	if *showTrace {
+		rec = new(parbitonic.TraceRecorder)
+	}
+	res, err := parbitonic.Sort(keys, parbitonic.Config{
+		Processors:     *p,
+		Algorithm:      alg,
+		ShortMessages:  *short,
+		SimulateSteps:  *simulate,
+		FusePackUnpack: *fused,
+		Trace:          rec,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			fmt.Fprintf(os.Stderr, "OUTPUT NOT SORTED at %d\n", i)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("algorithm        %s (%s keys, %s messages)\n", res.Algorithm, *distName, msgMode(*short))
+	fmt.Printf("keys             %d total = %d procs x %d\n", res.Keys, *p, *n)
+	fmt.Printf("model time       %.1f us  (%.4f us/key)\n", res.Time, res.TimePerKey())
+	fmt.Printf("per-processor    remaps=%d  volume=%d keys  messages=%d\n", res.Remaps, res.VolumeSent, res.MessagesSent)
+	fmt.Printf("phase breakdown  compute=%.1f  pack=%.1f  transfer=%.1f  unpack=%.1f (us)\n",
+		res.ComputeTime, res.PackTime, res.TransferTime, res.UnpackTime)
+	if *showTrace {
+		fmt.Print(rec.Timeline(100))
+		fmt.Printf("barrier-wait share: %.1f%%\n", rec.WaitShare()*100)
+	}
+	if *verbose {
+		k := 5
+		if len(keys) < 2*k {
+			k = len(keys) / 2
+		}
+		fmt.Printf("head %v ... tail %v\n", keys[:k], keys[len(keys)-k:])
+	}
+}
+
+func msgMode(short bool) string {
+	if short {
+		return "short"
+	}
+	return "long"
+}

@@ -1,0 +1,96 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation on the simulated machine and prints them as
+// markdown, side by side with the paper's Meiko CS-2 measurements.
+//
+// Usage:
+//
+//	experiments [-scale N] [-seed S] [-only id-substring]
+//
+// -scale divides the paper's key counts by 2^N (default 6; 0 runs the
+// paper's full sizes, up to 32M keys, which takes a few minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"parbitonic/internal/experiments"
+)
+
+// slug turns an experiment ID into a file name.
+func slug(id string) string {
+	var sb strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			sb.WriteRune(r + 32)
+		case r == ' ' || r == '.' || r == '/':
+			sb.WriteByte('-')
+		}
+	}
+	return strings.Trim(strings.ReplaceAll(sb.String(), "---", "-"), "-")
+}
+
+func main() {
+	scale := flag.Int("scale", 6, "divide the paper's key counts by 2^scale")
+	seed := flag.Uint64("seed", 1996, "workload seed")
+	only := flag.String("only", "", "run only experiments whose ID contains this substring")
+	charts := flag.Bool("charts", true, "render figures as ASCII charts below their tables")
+	svgDir := flag.String("svg", "", "also write each figure as an SVG file into this directory")
+	flag.Parse()
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	fmt.Printf("# Reproduction run (scale 1/2^%d of paper sizes, seed %d)\n\n", *scale, *seed)
+	start := time.Now()
+	runners := []func(experiments.Config) *experiments.Table{
+		experiments.Table51, experiments.Table52, experiments.Fig53, experiments.Fig54,
+		experiments.Table53, experiments.Table54, experiments.Fig57, experiments.Fig58,
+		experiments.AnalysisRVM, experiments.AblationShift, experiments.AblationCompute,
+		experiments.FutureWorkOverlap,
+	}
+	ran := 0
+	for _, run := range runners {
+		tab := run(cfg)
+		if *only != "" && !strings.Contains(tab.ID, *only) {
+			continue
+		}
+		tab.Render(os.Stdout)
+		if *charts {
+			if c := tab.Chart(); c != nil {
+				fmt.Println("```")
+				fmt.Print(c.Render())
+				fmt.Println("```")
+				fmt.Println()
+			}
+		}
+		if *svgDir != "" {
+			if c := tab.SVG(); c != nil {
+				name := filepath.Join(*svgDir, slug(tab.ID)+".svg")
+				if err := os.WriteFile(name, []byte(c.Render()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("_figure written to %s_\n\n", name)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -only=%q\n", *only)
+		os.Exit(1)
+	}
+	fmt.Printf("_%d experiments in %.1fs wall time._\n", ran, time.Since(start).Seconds())
+}

@@ -1,0 +1,50 @@
+// Command layout-viz prints the smart remap schedule and the
+// absolute-address bit patterns of its layouts — a textual rendering of
+// Figures 3.3 and 3.4 of the paper for any (N, P).
+//
+// Usage:
+//
+//	layout-viz [-lgn total-lg-keys] [-lgp lg-procs]
+//
+// The default reproduces the paper's running example: N=256 keys on
+// P=16 processors (7 remaps, changed-bit sequence 1 2 3 3 4 4 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parbitonic"
+	"parbitonic/internal/logp"
+)
+
+func main() {
+	lgN := flag.Int("lgn", 8, "lg of the total number of keys")
+	lgP := flag.Int("lgp", 4, "lg of the number of processors")
+	flag.Parse()
+	if *lgP < 1 || *lgN <= *lgP {
+		fmt.Fprintln(os.Stderr, "need lgn > lgp >= 1")
+		os.Exit(2)
+	}
+
+	n := 1 << uint(*lgN-*lgP)
+	fmt.Printf("Smart remap schedule for N=%d keys on P=%d processors (n=%d per processor)\n\n",
+		1<<uint(*lgN), 1<<uint(*lgP), n)
+	fmt.Printf("%-3s  %-6s %-5s %-9s %-6s %-5s  %s\n",
+		"#", "stage", "step", "kind", "steps", "bits", "absolute-address pattern (msb..lsb, P=proc, L=local)")
+	infos := parbitonic.SmartSchedule(*lgN, *lgP)
+	totalBits := 0
+	for i, r := range infos {
+		fmt.Printf("%-3d  %-6d %-5d %-9s %-6d %-5d  %s\n",
+			i, r.Stage, r.Step, r.Kind, r.StepsAfter, r.BitsChanged, r.BitPattern)
+		totalBits += r.BitsChanged
+	}
+
+	sm := logp.Smart(*lgN, *lgP)
+	cb := logp.CyclicBlocked(*lgP, n)
+	fmt.Printf("\nremaps: smart %d vs cyclic-blocked %d\n", sm.R, cb.R)
+	fmt.Printf("volume per processor: smart %d vs cyclic-blocked %d keys (ratio %.2f, paper predicts ~2(1-1/P)=%.2f)\n",
+		sm.V, cb.V, float64(cb.V)/float64(sm.V), 2*(1-1/float64(int(1)<<uint(*lgP))))
+	fmt.Printf("messages per processor: smart %d vs cyclic-blocked %d\n", sm.M, cb.M)
+}

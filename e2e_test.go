@@ -1,0 +1,81 @@
+package parbitonic_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runGo executes `go run <pkg> <args...>` and returns combined output.
+func runGo(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", pkg}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s %v: %v\n%s", pkg, args, err, out)
+	}
+	return string(out)
+}
+
+func wantAll(t *testing.T, out string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q\n----\n%s", w, out)
+		}
+	}
+}
+
+// End-to-end: every command and example must build, run, and produce
+// its headline output. Skipped under -short (each invocation compiles
+// a binary).
+func TestE2ECommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e compiles and runs the binaries")
+	}
+	t.Run("bitonic-sort", func(t *testing.T) {
+		out := runGo(t, "./cmd/bitonic-sort", "-p", "8", "-n", "1024", "-alg", "smart", "-trace")
+		wantAll(t, out, "algorithm        smart-bitonic", "model time", "remaps=", "virtual-time timeline", "barrier-wait share")
+	})
+	t.Run("bitonic-sort-all-algorithms", func(t *testing.T) {
+		for _, alg := range []string{"cyclic-blocked", "blocked-merge", "sample", "radix"} {
+			out := runGo(t, "./cmd/bitonic-sort", "-p", "4", "-n", "512", "-alg", alg)
+			wantAll(t, out, "model time")
+		}
+	})
+	t.Run("layout-viz", func(t *testing.T) {
+		out := runGo(t, "./cmd/layout-viz")
+		wantAll(t, out, "Smart remap schedule", "PPPLLLLP", "smart 7 vs cyclic-blocked 8")
+	})
+	t.Run("experiments", func(t *testing.T) {
+		out := runGo(t, "./cmd/experiments", "-scale", "10", "-only", "Lemma 5", "-charts=false")
+		wantAll(t, out, "Lemma 5", "| head | tail |")
+	})
+	t.Run("experiments-svg", func(t *testing.T) {
+		dir := t.TempDir()
+		out := runGo(t, "./cmd/experiments", "-scale", "10", "-only", "5.3", "-svg", dir)
+		wantAll(t, out, "figure written to")
+	})
+}
+
+func TestE2EExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e compiles and runs the binaries")
+	}
+	t.Run("quickstart", func(t *testing.T) {
+		wantAll(t, runGo(t, "./examples/quickstart"), "sorted 1048576 keys", "smallest key")
+	})
+	t.Run("layouts", func(t *testing.T) {
+		wantAll(t, runGo(t, "./examples/layouts"), "1 2 3 3 4 4 2", "Lemma 1 lower bound")
+	})
+	t.Run("modelstudy", func(t *testing.T) {
+		wantAll(t, runGo(t, "./examples/modelstudy"), "winner", "small-P exception")
+	})
+	t.Run("sortrace", func(t *testing.T) {
+		wantAll(t, runGo(t, "./examples/sortrace"), "fastest", "oblivious")
+	})
+	t.Run("fftremap", func(t *testing.T) {
+		wantAll(t, runGo(t, "./examples/fftremap"), "forward+inverse = identity", "volume ratio")
+	})
+}

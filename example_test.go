@@ -1,0 +1,66 @@
+package parbitonic_test
+
+import (
+	"fmt"
+
+	"parbitonic"
+)
+
+// Sorting with the paper's smart bitonic sort on a simulated 8-processor
+// machine.
+func ExampleSort() {
+	keys := []uint32{7, 3, 1, 4, 0, 6, 5, 2, 15, 11, 9, 12, 8, 14, 13, 10}
+	res, err := parbitonic.Sort(keys, parbitonic.Config{Processors: 8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(keys)
+	fmt.Println("remaps per processor:", res.Remaps)
+	// Output:
+	// [0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15]
+	// remaps per processor: 9
+}
+
+// The smart remap schedule for the paper's running example: N=256 keys
+// on P=16 processors (Figures 3.3 and 3.4). Note the changed-bit
+// sequence 1 2 3 3 4 4 2.
+func ExampleSmartSchedule() {
+	for _, r := range parbitonic.SmartSchedule(8, 4) {
+		fmt.Printf("stage %d step %d: %-8s bits=%d %s\n", r.Stage, r.Step, r.Kind, r.BitsChanged, r.BitPattern)
+	}
+	// Output:
+	// stage 5 step 5: inside   bits=1 PPPLLLLP
+	// stage 5 step 1: crossing bits=2 PPLLLPPL
+	// stage 6 step 3: crossing bits=3 PLPPPLLL
+	// stage 7 step 6: inside   bits=3 PPLLLLPP
+	// stage 7 step 2: crossing bits=4 LLPPPPLL
+	// stage 8 step 6: inside   bits=4 PPLLLLPP
+	// stage 8 step 2: last     bits=2 PPPPLLLL
+}
+
+// The §3.4 analysis: communication metrics of the three remapping
+// strategies for 1M keys on 16 processors.
+func ExamplePredict() {
+	for _, p := range parbitonic.Predict(20, 4, false, nil) {
+		fmt.Printf("%-14s R=%-2d V=%d\n", p.Strategy, p.Remaps, p.Volume)
+	}
+	// Output:
+	// blocked        R=10 V=655360
+	// cyclic-blocked R=8  V=491520
+	// smart          R=5  V=262144
+}
+
+// Sorting a bitonic sequence in linear time (Lemma 9), after locating
+// its minimum in logarithmic time (Algorithm 2).
+func ExampleSortBitonicSequence() {
+	bitonic := []uint32{4, 7, 9, 12, 10, 5, 2, 1}
+	fmt.Println("bitonic:", parbitonic.IsBitonic(bitonic))
+	fmt.Println("min at index:", parbitonic.MinIndexBitonic(bitonic))
+	sorted := make([]uint32, len(bitonic))
+	parbitonic.SortBitonicSequence(sorted, bitonic, true)
+	fmt.Println(sorted)
+	// Output:
+	// bitonic: true
+	// min at index: 7
+	// [1 2 4 5 7 9 10 12]
+}

@@ -1,0 +1,72 @@
+// Fftremap demonstrates the thesis's closing "future work" claim: the
+// smart-remap technique applies beyond sorting to any butterfly
+// computation, FFT included. Here a distributed number-theoretic
+// transform (an exact FFT over Z_p) runs with the same layout/remap
+// machinery as the sort: lg n butterfly steps execute locally between
+// remaps, needing only ceil(lgP / lg n) + 1 remaps instead of lg P
+// pairwise exchange steps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parbitonic/internal/machine"
+	"parbitonic/internal/ntt"
+	"parbitonic/internal/workload"
+)
+
+func main() {
+	const (
+		p   = 16
+		lgn = 12
+		n   = 1 << lgn
+	)
+	rng := workload.NewRNG(2024)
+	points := make([]uint32, p*n)
+	for i := range points {
+		points[i] = rng.Uint32() % ntt.Modulus
+	}
+
+	// Distributed forward transform + inverse = identity.
+	deal := func() [][]uint32 {
+		data := make([][]uint32, p)
+		for i := range data {
+			data[i] = append([]uint32(nil), points[i*n:(i+1)*n]...)
+		}
+		return data
+	}
+	m := machine.New(machine.DefaultConfig(p))
+	fwd, err := ntt.ParallelForward(m, deal())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ntt.ParallelInverse(m, m.Data()); err != nil {
+		log.Fatal(err)
+	}
+	back := m.Data()
+	for i := 0; i < p; i++ {
+		for j := 0; j < n; j++ {
+			if back[i][j] != points[i*n+j] {
+				log.Fatalf("roundtrip mismatch at proc %d index %d", i, j)
+			}
+		}
+	}
+	fmt.Printf("%d-point distributed NTT on %d processors: forward+inverse = identity\n", p*n, p)
+
+	fmt.Println("\nLayout chain for the forward butterfly (each covers lg n steps):")
+	for i, l := range ntt.LayoutChain(lgn+4, 4) {
+		fmt.Printf("  chunk %d: %s\n", i, l)
+	}
+
+	blocked, err := ntt.BlockedForward(machine.New(machine.DefaultConfig(p)), deal())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncommunication, remapped vs fixed-blocked butterfly (per processor):\n")
+	fmt.Printf("  remapped: %d remaps, %d points moved\n", fwd.Mean.Remaps, fwd.Mean.VolumeSent)
+	fmt.Printf("  blocked:  %d exchange steps, %d points moved\n", blocked.Mean.MessagesSent, blocked.Mean.VolumeSent)
+	fmt.Printf("  volume ratio %.2fx in favour of remapping — the same effect the\n",
+		float64(blocked.Mean.VolumeSent)/float64(fwd.Mean.VolumeSent))
+	fmt.Println("  thesis exploits for bitonic sort, transplanted to the FFT.")
+}

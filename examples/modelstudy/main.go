@@ -1,0 +1,64 @@
+// Modelstudy performs the §3.4.3 what-if analysis: given LogGP machine
+// parameters, which remapping strategy has the lowest communication
+// time? It sweeps the message mode, the machine size and the data size
+// and prints the winner for each regime — including the paper's
+// observation that for P=2 with long messages the plain blocked
+// strategy can win outright.
+package main
+
+import (
+	"fmt"
+
+	"parbitonic"
+)
+
+func main() {
+	fmt.Println("Predicted communication time by strategy (Meiko-like LogGP parameters)")
+	fmt.Println()
+
+	for _, mode := range []struct {
+		name string
+		long bool
+	}{{"short messages (LogP)", false}, {"long messages (LogGP)", true}} {
+		fmt.Printf("== %s ==\n", mode.name)
+		fmt.Printf("%-6s %-6s   %-42s %s\n", "lgP", "lgN", "R / V / M per strategy", "winner")
+		for _, dims := range [][2]int{{1, 21}, {2, 22}, {4, 24}, {5, 25}, {6, 26}} {
+			lgP, lgN := dims[0], dims[1]
+			preds := parbitonic.Predict(lgN, lgP, mode.long, nil)
+			best := preds[0]
+			summary := ""
+			for _, p := range preds {
+				if p.CommTime < best.CommTime {
+					best = p
+				}
+				summary += fmt.Sprintf("%s R=%d ", abbrev(p.Strategy), p.Remaps)
+			}
+			fmt.Printf("%-6d %-6d   %-42s %s (%.0f us)\n", lgP, lgN, summary, best.Strategy, best.CommTime)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Detail for P=2 with long messages — the paper's small-P exception:")
+	for _, p := range parbitonic.Predict(21, 1, true, nil) {
+		fmt.Printf("  %-16s R=%-3d V=%-8d M=%-6d comm=%.0f us\n", p.Strategy, p.Remaps, p.Volume, p.Msg, p.CommTime)
+	}
+	fmt.Println()
+
+	fmt.Println("Same machine but with a 10x faster long-message bandwidth:")
+	fast := &parbitonic.ModelParams{L: 7.5, O: 1.7, Gap: 13.2, GKey: 0.064, ShortKey: 52.8}
+	for _, p := range parbitonic.Predict(24, 4, true, fast) {
+		fmt.Printf("  %-16s comm=%.0f us\n", p.Strategy, p.CommTime)
+	}
+}
+
+func abbrev(s string) string {
+	switch s {
+	case "blocked":
+		return "blk"
+	case "cyclic-blocked":
+		return "cyc"
+	case "smart":
+		return "smt"
+	}
+	return s
+}

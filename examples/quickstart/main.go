@@ -1,0 +1,35 @@
+// Quickstart: sort one million keys on a simulated 16-processor machine
+// with the paper's smart bitonic sort, using only the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parbitonic"
+)
+
+func main() {
+	// Any deterministic keys will do; here a multiplicative scramble.
+	const total = 1 << 20
+	keys := make([]uint32, total)
+	for i := range keys {
+		keys[i] = uint32(i) * 2654435761 & 0x7fffffff
+	}
+
+	res, err := parbitonic.Sort(keys, parbitonic.Config{Processors: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			log.Fatalf("not sorted at %d", i)
+		}
+	}
+
+	fmt.Printf("sorted %d keys with %s\n", res.Keys, res.Algorithm)
+	fmt.Printf("model time: %.1f us (%.4f us/key)\n", res.Time, res.TimePerKey())
+	fmt.Printf("per processor: %d remaps, %d keys moved, %d messages\n",
+		res.Remaps, res.VolumeSent, res.MessagesSent)
+	fmt.Printf("smallest key %d, largest key %d\n", keys[0], keys[len(keys)-1])
+}

@@ -1,0 +1,74 @@
+package parbitonic_test
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+
+	"parbitonic"
+)
+
+// decodeKeys turns fuzz bytes into a key slice.
+func decodeKeys(data []byte) []uint32 {
+	keys := make([]uint32, len(data)/4)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint32(data[i*4:])
+	}
+	return keys
+}
+
+// FuzzSortPadded feeds arbitrary byte strings through the public
+// padded-sort entry point with varying machine sizes and verifies the
+// output is the sorted multiset of the input.
+func FuzzSortPadded(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0}, uint8(1))
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0}, uint8(2))
+	f.Add(make([]byte, 64), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, lgP uint8) {
+		keys := decodeKeys(data)
+		if len(keys) == 0 || len(keys) > 1<<12 {
+			t.Skip()
+		}
+		p := 1 << (lgP % 4)
+		want := append([]uint32(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if _, err := parbitonic.SortPadded(keys, parbitonic.Config{Processors: p}); err != nil {
+			t.Fatalf("SortPadded: %v", err)
+		}
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("p=%d: wrong key at %d: got %d want %d", p, i, keys[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzMinIndexBitonic builds a bitonic sequence from arbitrary values
+// and checks Algorithm 2 returns a true minimum.
+func FuzzMinIndexBitonic(f *testing.F) {
+	f.Add([]byte{5, 1, 9, 2}, uint8(1), uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 7}, uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, up, rot uint8) {
+		vals := decodeKeys(data)
+		if len(vals) == 0 || len(vals) > 4096 {
+			t.Skip()
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		u := 1 + int(up)%len(vals)
+		seq := make([]uint32, 0, len(vals))
+		seq = append(seq, vals[len(vals)-u:]...)
+		for i := len(vals) - u - 1; i >= 0; i-- {
+			seq = append(seq, vals[i])
+		}
+		// Rotate.
+		r := int(rot) % len(seq)
+		seq = append(seq[r:], seq[:r]...)
+		if !parbitonic.IsBitonic(seq) {
+			t.Fatalf("generator produced non-bitonic input %v", seq)
+		}
+		got := seq[parbitonic.MinIndexBitonic(seq)]
+		if got != vals[0] {
+			t.Fatalf("MinIndexBitonic found %d, true min %d in %v", got, vals[0], seq)
+		}
+	})
+}

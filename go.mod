@@ -1,0 +1,3 @@
+module parbitonic
+
+go 1.22

@@ -1,0 +1,286 @@
+// Package addr implements the absolute/relative address machinery of
+// Chapter 3 of the paper.
+//
+// Every node of the bitonic sorting network has an absolute address of
+// lg N bits (the row it was initially mapped to, Definition 6). A data
+// layout maps each absolute address to a relative address: a processor
+// number of lg P bits plus a local address of lg n bits (n = N/P). All
+// layouts used by the paper — blocked (Definition 4), cyclic
+// (Definition 5) and the smart layouts (Definition 7) — are pure bit
+// permutations: each bit of the relative address is one particular bit
+// of the absolute address. This package represents layouts that way and
+// derives from them everything Chapter 3 needs: address conversion,
+// changed-bit counts (Lemma 3), communication groups (Lemma 4) and pack
+// plans for long-message remaps (§3.3.1).
+//
+// Bit indexing convention: bits are 0-indexed from the least-significant
+// bit. The paper counts steps from 1, so its "step s" compares nodes
+// whose absolute addresses differ in bit s-1 here, and its "stage
+// lg n + k" consists of compare-exchange phases on bits
+// lgn+k-1, lgn+k-2, ..., 0 with the merge direction of row r given by
+// bit lgn+k of r (ascending when 0).
+package addr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Layout is a bit-permutation data layout: relative-address bit i of the
+// processor number is absolute-address bit ProcBits[i], and local-address
+// bit i is absolute-address bit LocalBits[i] (both 0-indexed, LSB first).
+// Together ProcBits and LocalBits must partition 0..LgN-1.
+type Layout struct {
+	LgN       int   // lg of the total number of keys
+	LgP       int   // lg of the number of processors
+	ProcBits  []int // len LgP; ProcBits[i] = abs bit giving proc bit i
+	LocalBits []int // len LgN-LgP; LocalBits[i] = abs bit giving local bit i
+	Name      string
+}
+
+// LgLocal returns lg n, the number of local-address bits.
+func (l *Layout) LgLocal() int { return l.LgN - l.LgP }
+
+// N returns the total number of keys 2^LgN.
+func (l *Layout) N() int { return 1 << l.LgN }
+
+// P returns the number of processors 2^LgP.
+func (l *Layout) P() int { return 1 << l.LgP }
+
+// LocalN returns the keys per processor n = N/P.
+func (l *Layout) LocalN() int { return 1 << l.LgLocal() }
+
+// Proc returns the processor number holding absolute address abs.
+func (l *Layout) Proc(abs int) int {
+	p := 0
+	for i, b := range l.ProcBits {
+		p |= (abs >> uint(b) & 1) << uint(i)
+	}
+	return p
+}
+
+// Local returns the local address of absolute address abs on its
+// processor.
+func (l *Layout) Local(abs int) int {
+	v := 0
+	for i, b := range l.LocalBits {
+		v |= (abs >> uint(b) & 1) << uint(i)
+	}
+	return v
+}
+
+// Rel returns both halves of the relative address of abs.
+func (l *Layout) Rel(abs int) (proc, local int) {
+	return l.Proc(abs), l.Local(abs)
+}
+
+// Abs reconstructs the absolute address from a relative address.
+func (l *Layout) Abs(proc, local int) int {
+	abs := 0
+	for i, b := range l.ProcBits {
+		abs |= (proc >> uint(i) & 1) << uint(b)
+	}
+	for i, b := range l.LocalBits {
+		abs |= (local >> uint(i) & 1) << uint(b)
+	}
+	return abs
+}
+
+// Validate checks that the layout is a bijection: ProcBits and LocalBits
+// must together use every absolute-address bit exactly once.
+func (l *Layout) Validate() error {
+	if len(l.ProcBits) != l.LgP {
+		return fmt.Errorf("addr: layout %q has %d proc bits, want %d", l.Name, len(l.ProcBits), l.LgP)
+	}
+	if len(l.LocalBits) != l.LgN-l.LgP {
+		return fmt.Errorf("addr: layout %q has %d local bits, want %d", l.Name, len(l.LocalBits), l.LgN-l.LgP)
+	}
+	seen := make([]bool, l.LgN)
+	for _, b := range append(append([]int{}, l.ProcBits...), l.LocalBits...) {
+		if b < 0 || b >= l.LgN {
+			return fmt.Errorf("addr: layout %q references bit %d outside 0..%d", l.Name, b, l.LgN-1)
+		}
+		if seen[b] {
+			return fmt.Errorf("addr: layout %q uses bit %d twice", l.Name, b)
+		}
+		seen[b] = true
+	}
+	return nil
+}
+
+// Equal reports whether two layouts map addresses identically.
+func (l *Layout) Equal(o *Layout) bool {
+	if l.LgN != o.LgN || l.LgP != o.LgP {
+		return false
+	}
+	for i := range l.ProcBits {
+		if l.ProcBits[i] != o.ProcBits[i] {
+			return false
+		}
+	}
+	for i := range l.LocalBits {
+		if l.LocalBits[i] != o.LocalBits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsLocalBit reports whether absolute-address bit b is part of the local
+// address under l (so a compare-exchange on bit b executes locally).
+func (l *Layout) IsLocalBit(b int) bool {
+	for _, lb := range l.LocalBits {
+		if lb == b {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the absolute-address bit pattern MSB-first in the style
+// of Figure 3.4: 'P' marks bits that select the processor, 'L' bits that
+// form the local address. The trailing digit strings give the field
+// orders.
+func (l *Layout) String() string {
+	var sb strings.Builder
+	if l.Name != "" {
+		fmt.Fprintf(&sb, "%s: ", l.Name)
+	}
+	for b := l.LgN - 1; b >= 0; b-- {
+		if l.IsLocalBit(b) {
+			sb.WriteByte('L')
+		} else {
+			sb.WriteByte('P')
+		}
+	}
+	return sb.String()
+}
+
+// Blocked returns the blocked layout of Definition 4: key i lives on
+// processor floor(i/n), so the top lg P absolute bits select the
+// processor and the bottom lg n bits are the local address.
+func Blocked(lgN, lgP int) *Layout {
+	checkDims(lgN, lgP)
+	lgn := lgN - lgP
+	l := &Layout{LgN: lgN, LgP: lgP, Name: "blocked"}
+	for i := 0; i < lgP; i++ {
+		l.ProcBits = append(l.ProcBits, lgn+i)
+	}
+	for i := 0; i < lgn; i++ {
+		l.LocalBits = append(l.LocalBits, i)
+	}
+	return l
+}
+
+// Cyclic returns the cyclic layout of Definition 5: key i lives on
+// processor i mod P, so the bottom lg P absolute bits select the
+// processor and the top lg n bits are the local address.
+func Cyclic(lgN, lgP int) *Layout {
+	checkDims(lgN, lgP)
+	lgn := lgN - lgP
+	l := &Layout{LgN: lgN, LgP: lgP, Name: "cyclic"}
+	for i := 0; i < lgP; i++ {
+		l.ProcBits = append(l.ProcBits, i)
+	}
+	for i := 0; i < lgn; i++ {
+		l.LocalBits = append(l.LocalBits, lgP+i)
+	}
+	return l
+}
+
+// Smart returns the smart layout of Definition 7 for a remap performed
+// at step s (1-indexed, as in the paper) of stage lgn+k, where
+// 0 < k <= lgP and 0 < s <= lgn+k. The returned layout lets the next
+// lg n steps of the bitonic sorting network execute locally (Lemma 2).
+//
+// For an inside remap (s >= lgn) the local field is the single run of
+// bits B = s-1 .. s-lgn (Figure 3.7); for a crossing remap (s < lgn) it
+// is the two runs B = lgn+k .. t and D = s-1 .. 0 with t = s+k+1
+// (Figure 3.8, all 0-indexed here). The processor number is formed from
+// the remaining fields A|C with A most significant; the local address is
+// B|D with B most significant, matching the figures.
+//
+// The special last-remap case (k = lgP, s <= lgn) degenerates to the
+// blocked layout, exactly as Definition 7 prescribes (a = lgn, b = 0,
+// t = lgn).
+func Smart(lgN, lgP, k, s int) *Layout {
+	checkDims(lgN, lgP)
+	lgn := lgN - lgP
+	if k <= 0 || k > lgP {
+		panic(fmt.Sprintf("addr: Smart stage parameter k=%d outside 1..%d", k, lgP))
+	}
+	if s <= 0 || s > lgn+k {
+		panic(fmt.Sprintf("addr: Smart step s=%d outside 1..%d", s, lgn+k))
+	}
+	if k == lgP && s <= lgn {
+		b := Blocked(lgN, lgP)
+		b.Name = fmt.Sprintf("smart(k=%d,s=%d,last)", k, s)
+		return b
+	}
+	l := &Layout{LgN: lgN, LgP: lgP, Name: fmt.Sprintf("smart(k=%d,s=%d)", k, s)}
+	if s >= lgn {
+		// Inside remap: local bits are s-1 .. s-lgn; t low bits (C) and
+		// the high bits (A) form the processor number as A|C.
+		t := s - lgn
+		for i := 0; i < t; i++ { // C field, low part of proc number
+			l.ProcBits = append(l.ProcBits, i)
+		}
+		for b := s; b < lgN; b++ { // A field, high part
+			l.ProcBits = append(l.ProcBits, b)
+		}
+		for i := 0; i < lgn; i++ { // B field, the whole local address
+			l.LocalBits = append(l.LocalBits, t+i)
+		}
+		return l
+	}
+	// Crossing remap: a = s steps finish stage lgn+k (bits a-1..0, the D
+	// field) and b = lgn-a steps start stage lgn+k+1 (bits t+b-1..t, the
+	// B field), with t = s+k+1.
+	a := s
+	b := lgn - a
+	t := s + k + 1
+	for i := a; i < t; i++ { // C field (k+1 bits), low part of proc number
+		l.ProcBits = append(l.ProcBits, i)
+	}
+	for i := t + b; i < lgN; i++ { // A field, high part
+		l.ProcBits = append(l.ProcBits, i)
+	}
+	for i := 0; i < a; i++ { // D field, low part of local address
+		l.LocalBits = append(l.LocalBits, i)
+	}
+	for i := 0; i < b; i++ { // B field, high part of local address
+		l.LocalBits = append(l.LocalBits, t+i)
+	}
+	return l
+}
+
+// SwapLocalFields returns a copy of l whose local address interprets the
+// same bits with the low a bits and the remaining high bits interchanged:
+// local' = D<<b | B where local = B<<a | D. Theorem 3 uses this for the
+// second phase of a crossing remap ("we change the local remap by
+// interchanging the first b bits of the local address with the last a
+// bits"). The processor mapping is unchanged, so no communication is
+// implied — it is a purely local re-indexing.
+func (l *Layout) SwapLocalFields(a int) *Layout {
+	lgn := l.LgLocal()
+	if a < 0 || a > lgn {
+		panic(fmt.Sprintf("addr: SwapLocalFields a=%d outside 0..%d", a, lgn))
+	}
+	out := &Layout{LgN: l.LgN, LgP: l.LgP, Name: l.Name + "+swapped"}
+	out.ProcBits = append([]int{}, l.ProcBits...)
+	b := lgn - a
+	// old local bit order: [D (a bits) | B (b bits)] reading LSB first.
+	// new order: [B | D].
+	out.LocalBits = append(out.LocalBits, l.LocalBits[a:]...) // B becomes low
+	out.LocalBits = append(out.LocalBits, l.LocalBits[:a]...) // D becomes high
+	if len(out.LocalBits) != a+b {
+		panic("addr: SwapLocalFields internal error")
+	}
+	return out
+}
+
+func checkDims(lgN, lgP int) {
+	if lgP < 0 || lgN < lgP {
+		panic(fmt.Sprintf("addr: invalid dimensions lgN=%d lgP=%d", lgN, lgP))
+	}
+}

@@ -1,0 +1,282 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allDims() [][2]int {
+	var dims [][2]int
+	for lgN := 1; lgN <= 12; lgN++ {
+		for lgP := 0; lgP <= lgN; lgP++ {
+			dims = append(dims, [2]int{lgN, lgP})
+		}
+	}
+	return dims
+}
+
+func TestBlockedMatchesDefinition4(t *testing.T) {
+	for _, d := range allDims() {
+		lgN, lgP := d[0], d[1]
+		l := Blocked(lgN, lgP)
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		n := l.LocalN()
+		for i := 0; i < l.N(); i++ {
+			if got, want := l.Proc(i), i/n; got != want {
+				t.Fatalf("blocked(%d,%d): key %d on proc %d, Definition 4 wants %d", lgN, lgP, i, got, want)
+			}
+			if got, want := l.Local(i), i%n; got != want {
+				t.Fatalf("blocked(%d,%d): key %d at local %d, want %d", lgN, lgP, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCyclicMatchesDefinition5(t *testing.T) {
+	for _, d := range allDims() {
+		lgN, lgP := d[0], d[1]
+		l := Cyclic(lgN, lgP)
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		P := l.P()
+		for i := 0; i < l.N(); i++ {
+			if got, want := l.Proc(i), i%P; got != want {
+				t.Fatalf("cyclic(%d,%d): key %d on proc %d, want %d", lgN, lgP, i, got, want)
+			}
+			if got, want := l.Local(i), i/P; got != want {
+				t.Fatalf("cyclic(%d,%d): key %d at local %d, want %d", lgN, lgP, i, got, want)
+			}
+		}
+	}
+}
+
+func TestAbsRelRoundTrip(t *testing.T) {
+	layouts := []*Layout{
+		Blocked(10, 3), Cyclic(10, 3),
+		Smart(10, 3, 1, 8), Smart(10, 3, 2, 4), Smart(10, 3, 3, 10),
+	}
+	for _, l := range layouts {
+		for abs := 0; abs < l.N(); abs++ {
+			p, loc := l.Rel(abs)
+			if p < 0 || p >= l.P() || loc < 0 || loc >= l.LocalN() {
+				t.Fatalf("%s: abs %d maps out of range (%d,%d)", l.Name, abs, p, loc)
+			}
+			if back := l.Abs(p, loc); back != abs {
+				t.Fatalf("%s: roundtrip %d -> (%d,%d) -> %d", l.Name, abs, p, loc, back)
+			}
+		}
+	}
+}
+
+// Every layout must be a bijection between absolute and relative
+// addresses.
+func TestLayoutBijective(t *testing.T) {
+	check := func(l *Layout) {
+		seen := make([]bool, l.N())
+		for p := 0; p < l.P(); p++ {
+			for loc := 0; loc < l.LocalN(); loc++ {
+				abs := l.Abs(p, loc)
+				if abs < 0 || abs >= l.N() || seen[abs] {
+					t.Fatalf("%s: (%d,%d) -> abs %d duplicated or out of range", l.Name, p, loc, abs)
+				}
+				seen[abs] = true
+			}
+		}
+	}
+	for _, d := range [][2]int{{8, 2}, {8, 4}, {10, 5}, {6, 6}, {9, 0}} {
+		check(Blocked(d[0], d[1]))
+		check(Cyclic(d[0], d[1]))
+	}
+	lgN, lgP := 9, 3
+	lgn := lgN - lgP
+	for k := 1; k <= lgP; k++ {
+		for s := 1; s <= lgn+k; s++ {
+			check(Smart(lgN, lgP, k, s))
+		}
+	}
+}
+
+// Lemma 2 precondition: after a smart remap at (k, s), the lg n network
+// steps that follow all operate on bits that are local.
+func TestSmartLayoutMakesNextStepsLocal(t *testing.T) {
+	for _, d := range [][2]int{{8, 2}, {10, 4}, {12, 5}, {6, 4}} {
+		lgN, lgP := d[0], d[1]
+		lgn := lgN - lgP
+		for k := 1; k <= lgP; k++ {
+			for s := 1; s <= lgn+k; s++ {
+				l := Smart(lgN, lgP, k, s)
+				if err := l.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				var stepBits []int
+				if k == lgP && s <= lgn {
+					// Last remap: only the remaining s steps of the final
+					// stage follow; they are bits s-1..0.
+					for b := 0; b < s; b++ {
+						stepBits = append(stepBits, b)
+					}
+				} else if s >= lgn {
+					for b := s - lgn; b < s; b++ {
+						stepBits = append(stepBits, b)
+					}
+				} else {
+					for b := 0; b < s; b++ {
+						stepBits = append(stepBits, b)
+					}
+					for b := 0; b < lgn-s; b++ {
+						stepBits = append(stepBits, lgN-lgP+k-b)
+					}
+				}
+				for _, b := range stepBits {
+					if !l.IsLocalBit(b) {
+						t.Fatalf("smart(lgN=%d,lgP=%d,k=%d,s=%d): step bit %d is not local (%s)",
+							lgN, lgP, k, s, b, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSmartLastRemapIsBlocked(t *testing.T) {
+	lgN, lgP := 10, 3
+	lgn := lgN - lgP
+	blocked := Blocked(lgN, lgP)
+	for s := 1; s <= lgn; s++ {
+		l := Smart(lgN, lgP, lgP, s)
+		if !l.Equal(blocked) {
+			t.Fatalf("last remap (s=%d) should be the blocked layout, got %s", s, l)
+		}
+	}
+}
+
+func TestSmartPanicsOnBadParams(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {4, 1}, {1, 0}, {1, 12}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Smart(k=%d,s=%d) should panic", bad[0], bad[1])
+				}
+			}()
+			Smart(10, 3, bad[0], bad[1])
+		}()
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	l := Blocked(6, 2)
+	l.ProcBits[0] = l.LocalBits[0] // duplicate use of a bit
+	if l.Validate() == nil {
+		t.Error("Validate should reject duplicated bit")
+	}
+	l2 := Blocked(6, 2)
+	l2.ProcBits[1] = 99
+	if l2.Validate() == nil {
+		t.Error("Validate should reject out-of-range bit")
+	}
+	l3 := Blocked(6, 2)
+	l3.ProcBits = l3.ProcBits[:1]
+	if l3.Validate() == nil {
+		t.Error("Validate should reject wrong proc-bit count")
+	}
+	l4 := Blocked(6, 2)
+	l4.LocalBits = append(l4.LocalBits, 5)
+	if l4.Validate() == nil {
+		t.Error("Validate should reject wrong local-bit count")
+	}
+}
+
+func TestStringPattern(t *testing.T) {
+	// Blocked N=32, P=4: PPLLL (MSB first).
+	l := Blocked(5, 2)
+	l.Name = ""
+	if got := l.String(); got != "PPLLL" {
+		t.Errorf("blocked pattern = %q, want PPLLL", got)
+	}
+	c := Cyclic(5, 2)
+	c.Name = ""
+	if got := c.String(); got != "LLLPP" {
+		t.Errorf("cyclic pattern = %q, want LLLPP", got)
+	}
+}
+
+func TestSwapLocalFields(t *testing.T) {
+	lgN, lgP := 10, 3
+	lgn := lgN - lgP
+	for k := 1; k < lgP; k++ {
+		for s := 1; s < lgn; s++ { // crossing remaps
+			l := Smart(lgN, lgP, k, s)
+			sw := l.SwapLocalFields(s)
+			if err := sw.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for abs := 0; abs < l.N(); abs++ {
+				if l.Proc(abs) != sw.Proc(abs) {
+					t.Fatalf("SwapLocalFields changed processor assignment at abs %d", abs)
+				}
+			}
+			// Swapping twice with the complementary split restores the
+			// original local order.
+			b := lgn - s
+			back := sw.SwapLocalFields(b)
+			for abs := 0; abs < l.N(); abs++ {
+				if l.Local(abs) != back.Local(abs) {
+					t.Fatalf("double swap did not restore local order at abs %d", abs)
+				}
+			}
+		}
+	}
+}
+
+func TestSwapLocalFieldsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SwapLocalFields should panic on out-of-range a")
+		}
+	}()
+	Blocked(6, 2).SwapLocalFields(7)
+}
+
+func TestEqual(t *testing.T) {
+	a := Blocked(8, 3)
+	b := Blocked(8, 3)
+	if !a.Equal(b) {
+		t.Error("identical blocked layouts should be Equal")
+	}
+	if a.Equal(Cyclic(8, 3)) {
+		t.Error("blocked and cyclic should differ")
+	}
+	if a.Equal(Blocked(8, 2)) {
+		t.Error("different dims should differ")
+	}
+}
+
+// Property: Proc/Local of random layouts built from random bit
+// permutations roundtrip through Abs.
+func TestQuickRandomPermutationLayouts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lgN := 2 + rng.Intn(10)
+		lgP := rng.Intn(lgN + 1)
+		perm := rng.Perm(lgN)
+		l := &Layout{LgN: lgN, LgP: lgP, ProcBits: perm[:lgP], LocalBits: perm[lgP:], Name: "random"}
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		for trial := 0; trial < 32; trial++ {
+			abs := rng.Intn(l.N())
+			p, loc := l.Rel(abs)
+			if l.Abs(p, loc) != abs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

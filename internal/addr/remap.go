@@ -1,0 +1,260 @@
+package addr
+
+import (
+	"fmt"
+	"sync"
+)
+
+// bitMove describes moving bit `from` of a source word to bit `to` of a
+// destination word.
+type bitMove struct{ from, to int }
+
+func gather(word int, moves []bitMove) int {
+	out := 0
+	for _, m := range moves {
+		out |= (word >> uint(m.from) & 1) << uint(m.to)
+	}
+	return out
+}
+
+// RemapPlan precomputes everything needed to remap data from layout Old
+// to layout New with long messages: destination processors, pack offsets
+// (the "pack mask" of Figure 3.18) and unpack positions (the "unpack
+// mask" of Figure 3.19). Because all layouts are bit permutations the
+// plan is a set of bit-routing tables independent of the data.
+type RemapPlan struct {
+	Old, New *Layout
+
+	// Changed is N_BitsChanged of Lemma 3: the number of absolute-address
+	// bits that are local under Old but select the processor under New.
+	Changed int
+
+	// MsgLen is the number of elements each processor sends to (and
+	// receives from) every other member of its communication group:
+	// n / 2^Changed (Lemma 4).
+	MsgLen int
+
+	destFromP []bitMove // dest proc bits sourced from the sender's proc number
+	destFromL []bitMove // dest proc bits sourced from the sender's local address
+	offFromL  []bitMove // message offset bits sourced from the sender's local address
+	nlFromM   []bitMove // new local bits sourced from the message offset
+	nlFromP   []bitMove // new local bits sourced from the sender's proc number
+
+	// Lazily built lookup tables: the l-dependent parts of Dest and
+	// PackOffset, and the m-dependent part of UnpackLocal, are
+	// processor-independent, so one table per plan serves every
+	// processor. Built on first use; safe for concurrent readers.
+	lutOnce sync.Once
+	destLut []int32 // [n] destination bits contributed by l
+	offLut  []int32 // [n] pack offset of l
+	nlLut   []int32 // [MsgLen] new-local bits contributed by m
+	hasLuts bool
+}
+
+// lutMaxEntries bounds LUT memory: plans over more local keys than this
+// fall back to per-call bit gathering.
+const lutMaxEntries = 1 << 22
+
+func (p *RemapPlan) luts() bool {
+	p.lutOnce.Do(func() {
+		n := p.Old.LocalN()
+		if n > lutMaxEntries {
+			return
+		}
+		p.destLut = make([]int32, n)
+		p.offLut = make([]int32, n)
+		for l := 0; l < n; l++ {
+			p.destLut[l] = int32(gather(l, p.destFromL))
+			p.offLut[l] = int32(gather(l, p.offFromL))
+		}
+		p.nlLut = make([]int32, p.MsgLen)
+		for m := 0; m < p.MsgLen; m++ {
+			p.nlLut[m] = int32(gather(m, p.nlFromM))
+		}
+		p.hasLuts = true
+	})
+	return p.hasLuts
+}
+
+// Route fills dest[l] and off[l] for every local address of processor
+// proc in one pass — the hot path used by the machine's remap exchange.
+func (p *RemapPlan) Route(proc int, dest, off []int32) {
+	n := p.Old.LocalN()
+	if len(dest) != n || len(off) != n {
+		panic("addr: Route buffer length mismatch")
+	}
+	fixed := int32(gather(proc, p.destFromP))
+	if p.luts() {
+		for l := 0; l < n; l++ {
+			dest[l] = fixed | p.destLut[l]
+			off[l] = p.offLut[l]
+		}
+		return
+	}
+	for l := 0; l < n; l++ {
+		dest[l] = fixed | int32(gather(l, p.destFromL))
+		off[l] = int32(gather(l, p.offFromL))
+	}
+}
+
+// UnpackTable fills nl[m] with the new local address for each message
+// position of a message arriving from srcProc.
+func (p *RemapPlan) UnpackTable(srcProc int, nl []int32) {
+	if len(nl) != p.MsgLen {
+		panic("addr: UnpackTable buffer length mismatch")
+	}
+	fixed := int32(gather(srcProc, p.nlFromP))
+	if p.luts() {
+		for m := range nl {
+			nl[m] = fixed | p.nlLut[m]
+		}
+		return
+	}
+	for m := range nl {
+		nl[m] = fixed | int32(gather(m, p.nlFromM))
+	}
+}
+
+// NewRemapPlan builds the plan for remapping from old to new. The two
+// layouts must have identical dimensions.
+func NewRemapPlan(old, new *Layout) *RemapPlan {
+	if old.LgN != new.LgN || old.LgP != new.LgP {
+		panic(fmt.Sprintf("addr: remap between incompatible layouts (%d/%d vs %d/%d)",
+			old.LgN, old.LgP, new.LgN, new.LgP))
+	}
+	p := &RemapPlan{Old: old, New: new}
+
+	// Where does each absolute bit live under the old layout?
+	type src struct {
+		inProc bool
+		pos    int
+	}
+	oldSrc := make([]src, old.LgN)
+	for i, b := range old.ProcBits {
+		oldSrc[b] = src{true, i}
+	}
+	for i, b := range old.LocalBits {
+		oldSrc[b] = src{false, i}
+	}
+
+	for i, b := range new.ProcBits {
+		s := oldSrc[b]
+		if s.inProc {
+			p.destFromP = append(p.destFromP, bitMove{s.pos, i})
+		} else {
+			p.destFromL = append(p.destFromL, bitMove{s.pos, i})
+			p.Changed++
+		}
+	}
+	// New local bits: those sourced from the sender's local address form
+	// the message offset (in new-local significance order); those sourced
+	// from the sender's processor number are fixed per sender and are
+	// reconstructed by the receiver during unpacking.
+	off := 0
+	for i, b := range new.LocalBits {
+		s := oldSrc[b]
+		if s.inProc {
+			p.nlFromP = append(p.nlFromP, bitMove{s.pos, i})
+		} else {
+			p.offFromL = append(p.offFromL, bitMove{s.pos, off})
+			p.nlFromM = append(p.nlFromM, bitMove{off, i})
+			off++
+		}
+	}
+	p.MsgLen = 1 << uint(off)
+	if p.MsgLen != old.LocalN()>>uint(p.Changed) {
+		panic("addr: remap plan internal inconsistency")
+	}
+	return p
+}
+
+// Dest returns the destination processor for the element held at local
+// address l on processor proc under the old layout.
+func (p *RemapPlan) Dest(proc, l int) int {
+	return gather(proc, p.destFromP) | gather(l, p.destFromL)
+}
+
+// PackOffset returns the element's position inside the long message to
+// its destination processor. Elements with the same destination receive
+// distinct offsets in 0..MsgLen-1, ordered by their new local address —
+// exactly the pack-mask ordering of Figure 3.20.
+func (p *RemapPlan) PackOffset(l int) int {
+	return gather(l, p.offFromL)
+}
+
+// UnpackLocal returns, on the receiving processor, the local address
+// under the new layout for the element at position m of the message
+// received from srcProc (the unpack mask of Figure 3.21).
+func (p *RemapPlan) UnpackLocal(srcProc, m int) int {
+	return gather(m, p.nlFromM) | gather(srcProc, p.nlFromP)
+}
+
+// GroupSize returns the number of processors in each communication
+// group: 2^Changed (Lemma 4).
+func (p *RemapPlan) GroupSize() int { return 1 << uint(p.Changed) }
+
+// Dests returns every destination processor for data held by proc,
+// including proc itself if it keeps data, in ascending offset order of
+// the varying destination bits.
+func (p *RemapPlan) Dests(proc int) []int {
+	fixed := gather(proc, p.destFromP)
+	out := make([]int, 0, p.GroupSize())
+	for g := 0; g < p.GroupSize(); g++ {
+		d := fixed
+		for i, m := range p.destFromL {
+			d |= (g >> uint(i) & 1) << uint(m.to)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// KeepCount returns how many of its n elements a processor keeps across
+// the remap: n / 2^Changed (Lemma 4). Note a processor keeps exactly
+// MsgLen elements only if it is a member of its own destination group,
+// which holds for every remap used by the algorithms in this module.
+func (p *RemapPlan) KeepCount() int { return p.MsgLen }
+
+// SendVolume returns the number of elements a processor sends to other
+// processors during the remap: n - n / 2^Changed.
+func (p *RemapPlan) SendVolume() int {
+	return p.Old.LocalN() - p.MsgLen
+}
+
+// ChangedBits computes N_BitsChanged of Lemma 3 for a remap from old to
+// new without building a full plan: the number of absolute-address bits
+// that are local under old and select the processor under new.
+func ChangedBits(old, new *Layout) int {
+	n := 0
+	for _, b := range new.ProcBits {
+		if old.IsLocalBit(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply routes every element of the distributed array from layout old to
+// layout new entirely sequentially: data[p] is the local slice of
+// processor p. It is the reference implementation used to validate both
+// the plan-driven machine remap and the analytic formulas. The returned
+// slices are freshly allocated.
+func Apply(old, new *Layout, data [][]uint32) [][]uint32 {
+	P := old.P()
+	n := old.LocalN()
+	out := make([][]uint32, P)
+	for p := range out {
+		out[p] = make([]uint32, n)
+	}
+	for p := 0; p < P; p++ {
+		if len(data[p]) != n {
+			panic(fmt.Sprintf("addr: Apply processor %d holds %d elements, want %d", p, len(data[p]), n))
+		}
+		for l := 0; l < n; l++ {
+			abs := old.Abs(p, l)
+			q, nl := new.Rel(abs)
+			out[q][nl] = data[p][l]
+		}
+	}
+	return out
+}

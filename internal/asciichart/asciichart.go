@@ -1,0 +1,128 @@
+// Package asciichart renders small line charts as text, so the
+// figures of the paper's evaluation (Figures 5.1-5.8) can be inspected
+// directly in a terminal next to their data tables. Rendering is
+// deterministic: same input, same output.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is a categorical-x line chart: every series must have one Y
+// value per X label.
+type Chart struct {
+	Title   string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+	// Height is the number of plot rows (default 12).
+	Height int
+}
+
+// markers distinguish series on the grid; the first series wins
+// collisions (drawn last wins would hide the headline series).
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart. It returns an error-free string even for
+// degenerate inputs (empty series render as an empty frame).
+func (c *Chart) Render() string {
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	cols := len(c.XLabels)
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	if cols == 0 || len(c.Series) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	const colWidth = 7
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colWidth))
+	}
+	// Plot series in reverse so series 0's marker survives collisions.
+	for si := len(c.Series) - 1; si >= 0; si-- {
+		s := c.Series[si]
+		mark := markers[si%len(markers)]
+		for x, v := range s.Y {
+			if x >= cols {
+				break
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			grid[row][x*colWidth+colWidth/2] = mark
+		}
+	}
+
+	axisw := 10
+	for r := 0; r < height; r++ {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		label := ""
+		if r == 0 || r == height-1 || r == height/2 {
+			label = trimNum(yVal)
+		}
+		fmt.Fprintf(&sb, "%*s |%s\n", axisw, label, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%*s +%s\n", axisw, "", strings.Repeat("-", cols*colWidth))
+	sb.WriteString(strings.Repeat(" ", axisw+2))
+	for _, xl := range c.XLabels {
+		fmt.Fprintf(&sb, "%-*s", colWidth, clip(xl, colWidth-1))
+	}
+	sb.WriteString("\n")
+	if c.YLabel != "" {
+		fmt.Fprintf(&sb, "%*s (y: %s)\n", axisw, "", c.YLabel)
+	}
+	for i, s := range c.Series {
+		fmt.Fprintf(&sb, "%*s %c = %s\n", axisw, "", markers[i%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+func trimNum(v float64) string {
+	switch {
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.3g", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func clip(s string, w int) string {
+	if len(s) <= w {
+		return s
+	}
+	return s[:w]
+}

@@ -1,0 +1,94 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{
+		Title:   "demo",
+		YLabel:  "µs/key",
+		XLabels: []string{"128K", "256K", "512K"},
+		Series: []Series{
+			{Name: "smart", Y: []float64{0.5, 0.5, 0.6}},
+			{Name: "blocked", Y: []float64{1.2, 1.3, 1.3}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"demo", "128K", "256K", "512K", "* = smart", "o = blocked", "µs/key"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers not plotted:\n%s", out)
+	}
+	// The max label (1.3) must appear on the top axis row and the min
+	// (0.5) on the bottom.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "1.3") {
+		t.Errorf("top row should carry the max label: %q", lines[1])
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	c := &Chart{XLabels: []string{"a", "b"}, Series: []Series{{Name: "s", Y: []float64{1, 2}}}}
+	if c.Render() != c.Render() {
+		t.Error("render must be deterministic")
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	if out := (&Chart{Title: "empty"}).Render(); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart: %q", out)
+	}
+	// Flat series (hi == lo) must not divide by zero.
+	c := &Chart{XLabels: []string{"x"}, Series: []Series{{Name: "flat", Y: []float64{5}}}}
+	if out := c.Render(); !strings.Contains(out, "flat") {
+		t.Errorf("flat chart broken: %q", out)
+	}
+	// Series with no points.
+	c2 := &Chart{XLabels: []string{"x"}, Series: []Series{{Name: "none"}}}
+	if out := c2.Render(); !strings.Contains(out, "no data") && !strings.Contains(out, "none") {
+		t.Errorf("pointless series: %q", out)
+	}
+}
+
+func TestMarkerOrderFavorsFirstSeries(t *testing.T) {
+	// Two series with identical values collide on every point; series
+	// 0's marker must win.
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series: []Series{
+			{Name: "first", Y: []float64{1, 2}},
+			{Name: "second", Y: []float64{1, 2}},
+		},
+	}
+	out := c.Render()
+	if strings.Count(out, "o") > strings.Count(out, "* = ")+1 {
+		t.Errorf("second series should be hidden under the first:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("first series missing:\n%s", out)
+	}
+}
+
+func TestClipAndTrim(t *testing.T) {
+	if clip("abcdefgh", 4) != "abcd" {
+		t.Error("clip")
+	}
+	if clip("ab", 4) != "ab" {
+		t.Error("clip short")
+	}
+	if trimNum(12345) != "1.23e+04" && trimNum(12345) != "12345" {
+		// %.3g formatting
+		t.Logf("trimNum(12345) = %q", trimNum(12345))
+	}
+	if trimNum(0.5) != "0.50" {
+		t.Errorf("trimNum(0.5) = %q", trimNum(0.5))
+	}
+	if trimNum(42) != "42.0" {
+		t.Errorf("trimNum(42) = %q", trimNum(42))
+	}
+}

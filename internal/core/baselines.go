@@ -1,0 +1,129 @@
+package core
+
+import (
+	"parbitonic/internal/addr"
+	"parbitonic/internal/localsort"
+	"parbitonic/internal/machine"
+	"parbitonic/internal/schedule"
+)
+
+// cyclicBlockedSort is the [CDMS94] baseline of §2.3: for each of the
+// last lg P stages, remap blocked->cyclic, execute the first k steps
+// locally (bitonic-split sweeps), remap back to blocked, and finish the
+// stage with a local sort. Requires n >= P.
+func cyclicBlockedSort(pr *machine.Proc, toCyclic, toBlocked *addr.RemapPlan, opts Options) {
+	n := len(pr.Data)
+	lgn, lgP := log2(n), log2(pr.P())
+	lgN := lgn + lgP
+
+	localsort.Sort(pr.Data, pr.ID%2 == 0)
+	pr.ChargeRadixSort(n)
+	if lgP == 0 {
+		return
+	}
+
+	blocked := toBlocked.New
+	cyclic := toCyclic.New
+
+	scratch := make([]uint32, 2*(1<<uint(lgP)))
+	for k := 1; k <= lgP; k++ {
+		stage := lgn + k
+		pr.RemapExchange(toCyclic, false)
+		// First k steps of the stage execute locally under cyclic. They
+		// form, for every group of 2^k keys whose absolute addresses
+		// differ only in bits lgn..lgn+k-1, a complete butterfly: the
+		// group is bitonic (Lemma 7) and comes out sorted. [CDMS94]
+		// exploits exactly this, computing the cyclic phase with bitonic
+		// merges — one linear pass instead of k compare-exchange sweeps.
+		if opts.Compute == Optimized {
+			// Under cyclic, absolute bit lgn+i is local bit lgn-lgP+i:
+			// groups are strided with stride 2^(lgn-lgP) and count 2^k;
+			// the direction bit (absolute lgn+k) is local bit lgn-lgP+k.
+			stride := 1 << uint(lgn-lgP)
+			mask := (1<<uint(k) - 1) * stride // the varied local bits
+			dirBit := stride << uint(k)
+			for base := 0; base < n; base++ {
+				if base&mask != 0 {
+					continue
+				}
+				asc := stage == lgN || base&dirBit == 0
+				localsort.SortBitonicStrided(pr.Data, base, stride, 1<<uint(k), asc, scratch)
+			}
+			pr.ChargeMerge(n)
+		} else {
+			for j := 0; j < k; j++ {
+				simulateStep(pr, cyclic, schedule.Step{Bit: stage - 1 - j, Stage: stage})
+			}
+		}
+		pr.RemapExchange(toBlocked, false)
+		// Remaining lg n steps under blocked: each processor holds one
+		// bitonic sequence (Lemma 7 at column lg n); [CDMS94] finishes
+		// with a local radix sort in the stage's direction.
+		if opts.Compute == Optimized {
+			localsort.Sort(pr.Data, ascFor(blocked, pr.ID, stage))
+			pr.ChargeRadixSort(n)
+		} else {
+			for j := lgn; j >= 1; j-- {
+				simulateStep(pr, blocked, schedule.Step{Bit: j - 1, Stage: stage})
+			}
+		}
+	}
+}
+
+// blockedMergeSort is the [BLM+91] baseline of §5.3: a fixed blocked
+// layout. For stage lg n + k the first k steps pair processors that
+// exchange their full n keys and keep the element-wise minima or maxima
+// (a remote compare-split); the remaining lg n steps are a local sort.
+func blockedMergeSort(pr *machine.Proc) {
+	n := len(pr.Data)
+	lgn, lgP := log2(n), log2(pr.P())
+	lgN := lgn + lgP
+
+	localsort.Sort(pr.Data, pr.ID%2 == 0)
+	pr.ChargeRadixSort(n)
+	if lgP == 0 {
+		return
+	}
+	blocked := addr.Blocked(lgN, lgP)
+
+	for k := 1; k <= lgP; k++ {
+		stage := lgn + k
+		asc := ascFor(blocked, pr.ID, stage)
+		for j := 0; j < k; j++ {
+			bit := stage - 1 - j // always >= lg n: a remote step
+			procBit := bit - lgn
+			partner := pr.ID ^ 1<<uint(procBit)
+			theirs := pr.PairExchange(partner, pr.Data)
+			// My rows have absolute bit `bit` equal to my processor bit;
+			// the row with the bit clear receives the minimum iff the
+			// merge is ascending (Definition 3).
+			iAmLow := pr.ID>>uint(procBit)&1 == 0
+			keepMin := iAmLow == asc
+			out := make([]uint32, n)
+			if keepMin {
+				for i, mine := range pr.Data {
+					if other := theirs[i]; other < mine {
+						out[i] = other
+					} else {
+						out[i] = mine
+					}
+				}
+			} else {
+				for i, mine := range pr.Data {
+					if other := theirs[i]; other > mine {
+						out[i] = other
+					} else {
+						out[i] = mine
+					}
+				}
+			}
+			pr.Data = out
+			// The [BLM+91] step "simulates a merge step" over both the
+			// local and the received keys: 2n elements of linear work.
+			pr.ChargeMerge(2 * n)
+		}
+		// Remaining lg n steps are local; [BLM+91] uses a radix sort.
+		localsort.Sort(pr.Data, asc)
+		pr.ChargeRadixSort(n)
+	}
+}

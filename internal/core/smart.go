@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"parbitonic/internal/bitseq"
+	"parbitonic/internal/localsort"
+	"parbitonic/internal/machine"
+	"parbitonic/internal/schedule"
+)
+
+// smartSort is Algorithm 1: local sort for the first lg n stages, then
+// the smart-remap schedule with either the Chapter 4 optimized
+// computation or the compare-exchange simulation between remaps.
+//
+// The schedule (with its remap plans) is precomputed once by Sort and
+// shared read-only by all processors.
+func smartSort(pr *machine.Proc, sched []schedule.Remap, opts Options) {
+	n := len(pr.Data)
+	lgn, lgP := log2(n), log2(pr.P())
+	lgN := lgn + lgP
+
+	// Stages 1..lg n: entirely local under the blocked layout. Their net
+	// effect is one sorted run per processor, alternating direction
+	// (Lemma 6 at the input of stage lg n + 1).
+	localsort.Sort(pr.Data, pr.ID%2 == 0)
+	pr.ChargeRadixSort(n)
+	if lgP == 0 {
+		return
+	}
+
+	if opts.Compute == FullSort {
+		fullSortRun(pr, sched, lgn, lgP)
+		return
+	}
+	for _, r := range sched {
+		pr.RemapExchange(r.Plan, opts.Fused)
+		if opts.Compute == Simulated {
+			for _, st := range schedule.StepsFrom(lgN, lgP, r.K, r.S, r.StepsAfter) {
+				simulateStep(pr, r.Layout, st)
+			}
+			continue
+		}
+		smartPhase(pr, r, lgn, lgP)
+	}
+}
+
+// fullSortRun is the FullSort (fully fused) execution: in the usual
+// regime the schedule is [inside, crossing..., last] and after every
+// remap each processor's keys are a permutation of the canonical
+// network state at the granularity the next remap routes at, so the
+// entire local phase is one merge of the incoming runs:
+//
+//   - every incoming long message is a sorted run (the sender was fully
+//     sorted and the pack mask preserves local order within a message);
+//   - merging all runs in the processor's merge-region direction yields
+//     the canonical per-processor multiset fully sorted, which is what
+//     the next remap needs (§4.1, Figures 4.3-4.5);
+//   - packing for the next remap is the merge's emission pass, so no
+//     separate pack or unpack pass is charged (§4.3, Figure 4.8).
+func fullSortRun(pr *machine.Proc, sched []schedule.Remap, lgn, lgP int) {
+	// dirAfter gives the direction processor q's keys are sorted in
+	// once remap i's local phase completed: the merge direction of the
+	// stage the phase ends in, which is processor-determined.
+	dirAfter := func(i, q int) bool {
+		r := sched[i]
+		switch r.Kind {
+		case schedule.Inside:
+			return ascFor(r.Layout, q, lgn+r.K)
+		case schedule.Crossing:
+			return ascFor(r.Layout, q, lgn+r.K+1)
+		default: // last: the final stage is ascending everywhere
+			return true
+		}
+	}
+	// The first exchange packs the initial radix-sorted keys; afterwards
+	// every phase is ONE pass: a p-way merge of the received runs whose
+	// emission writes straight into the next remap's message buffers
+	// (merge = unpack + sort + pack in a single local computation step,
+	// the thesis's first Chapter 7 refinement). Only the final phase
+	// materializes a local array.
+	n := len(pr.Data)
+	in := pr.RemapExchangeRuns(sched[0].Plan, true)
+	for i, r := range sched {
+		// The usual-regime shape Validate guaranteed: an inside remap,
+		// then crossings, then the last remap.
+		switch {
+		case i == 0 && r.Kind != schedule.Inside,
+			i > 0 && i < len(sched)-1 && r.Kind != schedule.Crossing,
+			i == len(sched)-1 && i > 0 && r.Kind != schedule.Last:
+			panic("core: unexpected schedule shape for FullSort")
+		}
+		runs := make([]localsort.Run, 0, len(in))
+		total := 0
+		for src, msg := range in {
+			if len(msg) == 0 {
+				continue
+			}
+			srcAsc := src%2 == 0 // after the initial local sorts
+			if i > 0 {
+				srcAsc = dirAfter(i-1, src)
+			}
+			runs = append(runs, localsort.Run{Keys: msg, Desc: !srcAsc})
+			total += len(msg)
+		}
+		if total != n {
+			panic("core: FullSort lost keys across a remap")
+		}
+
+		if i == len(sched)-1 {
+			// Final phase: the last remap's steps sort ascending; the
+			// merge materializes the finished local array.
+			merged := make([]uint32, total)
+			localsort.MergeRuns(merged, runs)
+			pr.Data = merged
+			pr.ChargeMerge(total)
+			return
+		}
+
+		// Merge-with-pack: element of ascending rank e sits at local
+		// index e (ascending region) or n-1-e (descending region), and
+		// goes to the next plan's destination slot for that index.
+		next := sched[i+1].Plan
+		out := make([][]uint32, pr.P())
+		for _, q := range next.Dests(pr.ID) {
+			out[q] = make([]uint32, next.MsgLen)
+		}
+		dest := make([]int32, n)
+		off := make([]int32, n)
+		next.Route(pr.ID, dest, off)
+		if dirAfter(i, pr.ID) {
+			localsort.MergeRunsEmit(runs, total, func(rank int, v uint32) {
+				out[dest[rank]][off[rank]] = v
+			})
+		} else {
+			localsort.MergeRunsEmit(runs, total, func(rank int, v uint32) {
+				l := n - 1 - rank
+				out[dest[l]][off[l]] = v
+			})
+		}
+		pr.ChargeMerge(total)
+		in = pr.RemapExchangePrepacked(next, out)
+	}
+}
+
+// smartPhase runs the optimized local computation for the lg n (or, for
+// the last remap, S) steps following remap r, per Theorems 2 and 3.
+func smartPhase(pr *machine.Proc, r schedule.Remap, lgn, lgP int) {
+	n := len(pr.Data)
+	switch r.Kind {
+	case schedule.Inside:
+		// Theorem 2: the local keys form one bitonic sequence; the lg n
+		// steps sort it in the direction of stage lgn+K, which is
+		// processor-determined for an inside remap.
+		asc := ascFor(r.Layout, pr.ID, lgn+r.K)
+		out := make([]uint32, n)
+		bitseq.SortBitonic(out, pr.Data, asc)
+		pr.Data = out
+		pr.ChargeMerge(n)
+
+	case schedule.Crossing:
+		// Theorem 3, phase one: 2^B contiguous blocks of 2^A keys, each
+		// bitonic, sorted by the A steps that finish stage lgn+K. The
+		// direction bit (absolute bit lgn+K) is the top local bit, i.e.
+		// the top bit of the block index.
+		blockLen := 1 << uint(r.A)
+		topMask := 1 << uint(r.B-1)
+		scratch := make([]uint32, 2*max(blockLen, 1<<uint(r.B)))
+		localsort.SortBitonicBlocks(pr.Data, blockLen, func(blk int) bool {
+			return blk&topMask == 0
+		}, scratch)
+		pr.ChargeMerge(n)
+
+		// Theorem 3, phase two: reinterpreting the local address with
+		// its low A and high B bit fields interchanged, 2^A interleaved
+		// sequences of 2^B keys, each bitonic, sorted by the B steps
+		// that open stage lgn+K+1. That stage's direction bit is the
+		// lowest bit of the A field — processor-determined.
+		asc := ascFor(r.Layout, pr.ID, lgn+r.K+1)
+		for d := 0; d < blockLen; d++ {
+			localsort.SortBitonicStrided(pr.Data, d, blockLen, 1<<uint(r.B), asc, scratch)
+		}
+		pr.ChargeMerge(n)
+
+	case schedule.Last:
+		// Blocked layout again; S steps of the final stage remain. They
+		// sort each contiguous run of 2^S keys (bitonic by Lemma 7)
+		// ascending — the final stage is ascending everywhere.
+		if r.StepsAfter != r.S {
+			panic(fmt.Sprintf("core: last remap executes %d steps, expected %d", r.StepsAfter, r.S))
+		}
+		localsort.SortBitonicBlocks(pr.Data, 1<<uint(r.S), func(int) bool { return true }, nil)
+		pr.ChargeMerge(n)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,259 @@
+// Package localsort provides the fast local computation routines of
+// Chapter 4: LSD radix sort (the paper's choice for the first lg n
+// stages, §4.4), linear two-way and p-way merges (§4.3's unpack fusion),
+// and block/strided bitonic-merge sorting built on bitseq.SortBitonic
+// (Theorems 2 and 3). All routines are O(n) or O(n · passes) and avoid
+// comparisons beyond what the input format requires, which is exactly
+// why the paper replaces the compare-exchange simulation with them.
+package localsort
+
+import (
+	"parbitonic/internal/bitseq"
+)
+
+const (
+	radixBits = 11
+	radixSize = 1 << radixBits
+	radixMask = radixSize - 1
+)
+
+// RadixPasses is the number of counting passes RadixSort performs on
+// 32-bit keys; exported so cost models can charge it faithfully.
+const RadixPasses = 3
+
+// RadixSort sorts keys in place, ascending, using least-significant-
+// digit radix sort with 11-bit digits (3 passes over 32-bit keys).
+func RadixSort(keys []uint32) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	scratch := make([]uint32, n)
+	src, dst := keys, scratch
+	for pass := 0; pass < RadixPasses; pass++ {
+		shift := uint(pass * radixBits)
+		var count [radixSize]int
+		for _, k := range src {
+			count[(k>>shift)&radixMask]++
+		}
+		sum := 0
+		for d := 0; d < radixSize; d++ {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for _, k := range src {
+			d := (k >> shift) & radixMask
+			dst[count[d]] = k
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if RadixPasses%2 == 1 {
+		copy(keys, src)
+	}
+}
+
+// Sort sorts keys in place in the direction given by asc, using radix
+// sort (a descending sort is an ascending sort followed by a linear
+// reversal).
+func Sort(keys []uint32, asc bool) {
+	RadixSort(keys)
+	if !asc {
+		Reverse(keys)
+	}
+}
+
+// Reverse reverses keys in place.
+func Reverse(keys []uint32) {
+	for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+}
+
+// MergeTwo merges the ascending-sorted slices a and b into dst (whose
+// length must be len(a)+len(b)) in the direction given by asc.
+func MergeTwo(dst, a, b []uint32, asc bool) {
+	if len(dst) != len(a)+len(b) {
+		panic("localsort: MergeTwo length mismatch")
+	}
+	i, j := 0, 0
+	put := func(pos int, v uint32) {
+		if asc {
+			dst[pos] = v
+		} else {
+			dst[len(dst)-1-pos] = v
+		}
+	}
+	for k := 0; k < len(dst); k++ {
+		switch {
+		case i == len(a):
+			put(k, b[j])
+			j++
+		case j == len(b):
+			put(k, a[i])
+			i++
+		case a[i] <= b[j]:
+			put(k, a[i])
+			i++
+		default:
+			put(k, b[j])
+			j++
+		}
+	}
+}
+
+// Run is one sorted input run for MergeRuns. Desc marks runs stored in
+// descending order (they are consumed from the tail), which is how the
+// long messages from the second half of a communication group arrive in
+// §4.3's unpack-fused merge.
+type Run struct {
+	Keys []uint32
+	Desc bool
+}
+
+func (r Run) len() int { return len(r.Keys) }
+
+func (r Run) at(i int) uint32 {
+	if r.Desc {
+		return r.Keys[len(r.Keys)-1-i]
+	}
+	return r.Keys[i]
+}
+
+// MergeRuns merges the sorted runs into dst ascending using a
+// tournament (loser) tree: O(total · log p) comparisons for p runs.
+// This is the p-way merge the paper fuses with unpacking so the
+// separate unpack pass disappears (§4.3).
+func MergeRuns(dst []uint32, runs []Run) {
+	total := 0
+	for _, r := range runs {
+		total += r.len()
+	}
+	if len(dst) != total {
+		panic("localsort: MergeRuns length mismatch")
+	}
+	MergeRunsEmit(runs, total, func(rank int, v uint32) { dst[rank] = v })
+}
+
+// MergeRunsEmit is MergeRuns with a caller-supplied sink: emit is
+// called once per element in ascending order with its rank. This lets
+// the packing for the next remap be the merge's own emission pass —
+// the thesis's "single local computation step" future work (Ch. 7).
+// total must equal the summed run lengths.
+func MergeRunsEmit(runs []Run, total int, emit func(rank int, v uint32)) {
+	check := 0
+	for _, r := range runs {
+		check += r.len()
+	}
+	if check != total {
+		panic("localsort: MergeRunsEmit length mismatch")
+	}
+	switch len(runs) {
+	case 0:
+		return
+	case 1:
+		for i := 0; i < runs[0].len(); i++ {
+			emit(i, runs[0].at(i))
+		}
+		return
+	}
+
+	// Tournament tree over run heads. size = next power of two >= p.
+	p := len(runs)
+	size := 1
+	for size < p {
+		size *= 2
+	}
+	const exhausted = ^uint32(0)
+	pos := make([]int, p) // cursor into each run
+	head := func(r int) (uint32, bool) {
+		if r >= p || pos[r] >= runs[r].len() {
+			return exhausted, false
+		}
+		return runs[r].at(pos[r]), true
+	}
+	// tree[i] holds the run index winning subtree i; leaves are
+	// tree[size-1+j] for run j.
+	tree := make([]int, 2*size-1)
+	var build func(node int) int
+	build = func(node int) int {
+		if node >= size-1 {
+			r := node - (size - 1)
+			tree[node] = r
+			return r
+		}
+		l := build(2*node + 1)
+		r := build(2*node + 2)
+		lv, lok := head(l)
+		rv, rok := head(r)
+		win := l
+		if !lok || (rok && rv < lv) {
+			win = r
+		}
+		tree[node] = win
+		return win
+	}
+	build(0)
+
+	for k := 0; k < total; k++ {
+		r := tree[0]
+		v, ok := head(r)
+		if !ok {
+			panic("localsort: MergeRuns internal error (empty winner)")
+		}
+		emit(k, v)
+		pos[r]++
+		// Replay the path from r's leaf to the root.
+		node := size - 1 + r
+		for node > 0 {
+			parent := (node - 1) / 2
+			l, rr := tree[2*parent+1], tree[2*parent+2]
+			lv, lok := head(l)
+			rv, rok := head(rr)
+			win := l
+			if !lok || (rok && rv < lv) {
+				win = rr
+			}
+			tree[parent] = win
+			node = parent
+		}
+	}
+}
+
+// SortBitonicBlocks sorts each contiguous block of blockLen keys, every
+// block being a bitonic sequence, in the direction dir(block) returns.
+// scratch must be at least blockLen long (it is allocated when nil).
+// This is the Theorem 2/3 phase-one primitive.
+func SortBitonicBlocks(keys []uint32, blockLen int, dir func(block int) bool, scratch []uint32) {
+	if blockLen <= 0 || len(keys)%blockLen != 0 {
+		panic("localsort: SortBitonicBlocks bad block length")
+	}
+	if len(scratch) < blockLen {
+		scratch = make([]uint32, blockLen)
+	}
+	for b := 0; b*blockLen < len(keys); b++ {
+		blk := keys[b*blockLen : (b+1)*blockLen]
+		bitseq.SortBitonic(scratch[:blockLen], blk, dir(b))
+		copy(blk, scratch[:blockLen])
+	}
+}
+
+// SortBitonicStrided sorts the strided subsequence
+// keys[start], keys[start+stride], ... (count elements), which must be
+// bitonic, in the direction given by asc. Used for the second phase of
+// a crossing remap (Theorem 3), where the blocks to sort are
+// interleaved in local memory. scratch needs 2*count capacity.
+func SortBitonicStrided(keys []uint32, start, stride, count int, asc bool, scratch []uint32) {
+	if len(scratch) < 2*count {
+		scratch = make([]uint32, 2*count)
+	}
+	in, out := scratch[:count], scratch[count:2*count]
+	for i := 0; i < count; i++ {
+		in[i] = keys[start+i*stride]
+	}
+	bitseq.SortBitonic(out, in, asc)
+	for i := 0; i < count; i++ {
+		keys[start+i*stride] = out[i]
+	}
+}

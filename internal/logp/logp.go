@@ -1,0 +1,185 @@
+// Package logp implements the LogP and LogGP models of parallel
+// computation used by §3.4 of the paper to analyze remap-based bitonic
+// sort, together with the paper's closed-form communication metrics
+// (number of remaps R, volume per processor V, messages per processor M)
+// for the three remapping strategies: Blocked, Cyclic-Blocked, and Smart.
+//
+// Under LogP (Culler et al.) a machine is characterized by the latency
+// L, the per-message send/receive overhead o, the per-message gap g and
+// the processor count P. LogGP (Alexandrov et al.) adds G, the gap per
+// byte of a long message. Following the paper's formulas we express G in
+// time-per-key units (the paper's keys are 4-byte integers).
+package logp
+
+import (
+	"fmt"
+	"math"
+
+	"parbitonic/internal/schedule"
+)
+
+// Params holds the LogGP machine parameters, in microseconds (per key
+// for GKey and ShortKey).
+type Params struct {
+	L    float64 // latency of one message
+	O    float64 // send/receive overhead ("o" in the model)
+	Gap  float64 // gap between successive (long) messages ("g")
+	GKey float64 // gap per key within a long message ("G" scaled by key size)
+	// ShortKey is the effective end-to-end cost per key of the
+	// short-message remap path. The LogP model uses g for this; on the
+	// real machine each elementwise Split-C put pays round-trip costs
+	// well beyond the raw inter-message gap, so we carry the two values
+	// separately and use ShortKey in the short-message formulas.
+	ShortKey float64
+	P        int // number of processors
+}
+
+// MeikoCS2 returns Meiko-CS-2-like parameters. L, o and g follow the
+// published LogGP measurements of the machine. GKey = 0.64 µs/key
+// reproduces Table 5.4's long-message transfer time of 0.16 µs per key
+// exactly (0.64·lgP/P at P=16). ShortKey = 52.8 µs/key is back-solved
+// from Table 5.3's measured 13.2 µs/key short-message time (time/N with
+// V = lgP·n keys per processor at P=16): the elementwise put path is
+// round-trip-limited, far costlier than the raw gap. Absolute times are
+// "model microseconds"; shapes are what the reproduction matches
+// (DESIGN.md §2).
+func MeikoCS2(p int) Params {
+	return Params{L: 7.5, O: 1.7, Gap: 13.2, GKey: 0.64, ShortKey: 52.8, P: p}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.L < 0 || p.O < 0 || p.Gap <= 0 || p.GKey <= 0 || p.ShortKey <= 0 || p.P <= 0 {
+		return fmt.Errorf("logp: invalid parameters %+v", p)
+	}
+	if p.GKey > p.Gap {
+		return fmt.Errorf("logp: G (%v) should not exceed g (%v)", p.GKey, p.Gap)
+	}
+	if p.Gap > p.ShortKey {
+		return fmt.Errorf("logp: g (%v) should not exceed the short-message per-key cost (%v)", p.Gap, p.ShortKey)
+	}
+	return nil
+}
+
+// ShortRemapTime is the LogP time a processor spends communicating in
+// one remap that transfers volume keys as individual short messages
+// (§3.4.2): L + 2o + g(V-1). A remap with zero volume costs nothing.
+func (p Params) ShortRemapTime(volume int) float64 {
+	if volume <= 0 {
+		return 0
+	}
+	return p.L + 2*p.O + p.ShortKey*float64(volume-1)
+}
+
+// LongRemapTime is the LogGP time for one remap that transfers volume
+// keys grouped into msgs long messages (§3.4.3):
+// L + 2o + G(V-M) + g(M-1).
+func (p Params) LongRemapTime(volume, msgs int) float64 {
+	if volume <= 0 || msgs <= 0 {
+		return 0
+	}
+	return p.L + 2*p.O + p.GKey*float64(volume-msgs) + p.Gap*float64(msgs-1)
+}
+
+// TotalShort is the LogP total communication time for R remaps moving V
+// keys in total: (L+2o)R + g(V-R) (§3.4.2).
+func (p Params) TotalShort(r, v int) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return (p.L+2*p.O)*float64(r) + p.ShortKey*float64(v-r)
+}
+
+// TotalLong is the LogGP total communication time for R remaps moving V
+// keys in M long messages: (L+2o-g)R + GV + (g-G)M (§3.4.3).
+func (p Params) TotalLong(r, v, m int) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return (p.L+2*p.O-p.Gap)*float64(r) + p.GKey*float64(v) + (p.Gap-p.GKey)*float64(m)
+}
+
+// Metrics are the three communication metrics of §3.4 for one strategy,
+// all per processor: R remaps (communication steps), V keys transferred,
+// M messages sent.
+type Metrics struct {
+	Name string
+	R    int
+	V    int
+	M    int
+}
+
+// ShortTime evaluates the LogP (short message) communication time for
+// these metrics; under short messages M == V.
+func (m Metrics) ShortTime(p Params) float64 { return p.TotalShort(m.R, m.V) }
+
+// LongTime evaluates the LogGP (long message) communication time.
+func (m Metrics) LongTime(p Params) float64 { return p.TotalLong(m.R, m.V, m.M) }
+
+// Blocked returns the §3.4.2/§3.4.3 metrics for the fixed blocked layout
+// of [BLM+91]: every one of the lgP(lgP+1)/2 remote steps pairs
+// processors which exchange their full n keys in one message.
+func Blocked(lgP, n int) Metrics {
+	steps := lgP * (lgP + 1) / 2
+	return Metrics{Name: "blocked", R: steps, V: n * steps, M: steps}
+}
+
+// CyclicBlocked returns the metrics for the cyclic-blocked strategy of
+// [CDMS94]: 2 lgP remaps, each an all-to-all in which every processor
+// sends n/P keys to each of the other P-1 processors.
+func CyclicBlocked(lgP, n int) Metrics {
+	p := 1 << uint(lgP)
+	return Metrics{
+		Name: "cyclic-blocked",
+		R:    2 * lgP,
+		V:    2 * lgP * (n - n/p),
+		M:    2 * lgP * (p - 1),
+	}
+}
+
+// Smart returns the exact metrics of the paper's smart strategy,
+// computed from the actual remap schedule (Head strategy). lgN must
+// satisfy lgN > lgP.
+func Smart(lgN, lgP int) Metrics {
+	n := 1 << uint(lgN-lgP)
+	sched := schedule.New(lgN, lgP, schedule.Head)
+	return Metrics{
+		Name: "smart",
+		R:    len(sched),
+		V:    schedule.Volume(sched, n),
+		M:    schedule.Messages(sched),
+	}
+}
+
+// SmartUsualCase returns the paper's closed forms for the usual regime
+// lgP(lgP+1)/2 <= lg n: R = lgP+1, V = n·lgP, and the message lower
+// bound M >= 3(P-1) - lgP (§3.4.3).
+func SmartUsualCase(lgN, lgP int) Metrics {
+	lgn := lgN - lgP
+	if lgP*(lgP+1)/2 > lgn {
+		panic("logp: SmartUsualCase outside the usual regime")
+	}
+	n := 1 << uint(lgn)
+	p := 1 << uint(lgP)
+	return Metrics{Name: "smart(closed-form)", R: lgP + 1, V: n * lgP, M: 3*(p-1) - lgP}
+}
+
+// Best returns the strategy with the smallest communication time under
+// the given model and message mode — the §3.4.3 decision procedure
+// ("given the model parameters we can decide which algorithm is the
+// best communication-wise for a given data size").
+func Best(p Params, long bool, candidates []Metrics) (Metrics, float64) {
+	bestT := math.Inf(1)
+	var best Metrics
+	for _, m := range candidates {
+		t := m.ShortTime(p)
+		if long {
+			t = m.LongTime(p)
+		}
+		if t < bestT {
+			bestT = t
+			best = m
+		}
+	}
+	return best, bestT
+}

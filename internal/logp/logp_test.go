@@ -1,0 +1,181 @@
+package logp
+
+import (
+	"math"
+	"testing"
+
+	"parbitonic/internal/schedule"
+)
+
+func TestMeikoParamsValid(t *testing.T) {
+	p := MeikoCS2(32)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.P != 32 {
+		t.Errorf("P = %d", p.P)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Params{
+		{L: -1, O: 1, Gap: 1, GKey: 0.5, P: 4},
+		{L: 1, O: 1, Gap: 0, GKey: 0.5, P: 4},
+		{L: 1, O: 1, Gap: 1, GKey: 2, P: 4}, // G > g
+		{L: 1, O: 1, Gap: 1, GKey: 0.5, P: 0},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("params %d should be invalid: %+v", i, p)
+		}
+	}
+}
+
+// The per-remap and total formulas must be consistent: summing
+// per-remap times over a schedule with uniform volumes equals the total
+// formula.
+func TestShortTotalsConsistent(t *testing.T) {
+	p := MeikoCS2(16)
+	r, perRemap := 6, 100
+	sum := 0.0
+	for i := 0; i < r; i++ {
+		sum += p.ShortRemapTime(perRemap)
+	}
+	total := p.TotalShort(r, r*perRemap)
+	if math.Abs(sum-total) > 1e-9 {
+		t.Errorf("sum of per-remap times %v != total %v", sum, total)
+	}
+}
+
+func TestLongTotalsConsistent(t *testing.T) {
+	p := MeikoCS2(16)
+	r, vol, msgs := 5, 120, 7
+	sum := 0.0
+	for i := 0; i < r; i++ {
+		sum += p.LongRemapTime(vol, msgs)
+	}
+	total := p.TotalLong(r, r*vol, r*msgs)
+	if math.Abs(sum-total) > 1e-9 {
+		t.Errorf("sum %v != total %v", sum, total)
+	}
+}
+
+func TestZeroVolumeCostsNothing(t *testing.T) {
+	p := MeikoCS2(4)
+	if p.ShortRemapTime(0) != 0 || p.LongRemapTime(0, 0) != 0 || p.TotalShort(0, 0) != 0 || p.TotalLong(0, 0, 0) != 0 {
+		t.Error("empty communication should be free")
+	}
+}
+
+// §3.4.2: the three strategies' metric tables. Smart must win all three
+// short-message metrics in the usual regime.
+func TestSmartOptimalUnderLogP(t *testing.T) {
+	for _, d := range [][2]int{{20, 4}, {19, 4}, {24, 5}} {
+		lgN, lgP := d[0], d[1]
+		n := 1 << uint(lgN-lgP)
+		b := Blocked(lgP, n)
+		cb := CyclicBlocked(lgP, n)
+		sm := Smart(lgN, lgP)
+		if !(sm.R < cb.R && sm.R < b.R) {
+			t.Errorf("lgN=%d lgP=%d: smart R=%d not minimal (cb=%d, blocked=%d)", lgN, lgP, sm.R, cb.R, b.R)
+		}
+		if !(sm.V < cb.V && sm.V < b.V) {
+			t.Errorf("lgN=%d lgP=%d: smart V=%d not minimal (cb=%d, blocked=%d)", lgN, lgP, sm.V, cb.V, b.V)
+		}
+		// Under short messages M == V, so smart also minimizes M.
+		p := MeikoCS2(1 << uint(lgP))
+		if st := sm.ShortTime(p); st >= cb.ShortTime(p) || st >= b.ShortTime(p) {
+			t.Errorf("lgN=%d lgP=%d: smart not fastest under LogP", lgN, lgP)
+		}
+	}
+}
+
+// §3.4.3: under LogGP with long messages the blocked strategy sends the
+// fewest messages, and for very small P it can win outright.
+func TestBlockedFewestMessages(t *testing.T) {
+	lgN, lgP := 20, 4
+	n := 1 << uint(lgN-lgP)
+	b := Blocked(lgP, n)
+	cb := CyclicBlocked(lgP, n)
+	sm := Smart(lgN, lgP)
+	if !(b.M < sm.M && b.M < cb.M) {
+		t.Errorf("blocked M=%d should be minimal (smart=%d, cb=%d)", b.M, sm.M, cb.M)
+	}
+}
+
+func TestSmartUsualCaseClosedForm(t *testing.T) {
+	lgN, lgP := 20, 4
+	exact := Smart(lgN, lgP)
+	cf := SmartUsualCase(lgN, lgP)
+	if exact.R != cf.R {
+		t.Errorf("R: exact %d, closed form %d", exact.R, cf.R)
+	}
+	if exact.V != cf.V {
+		t.Errorf("V: exact %d, closed form %d", exact.V, cf.V)
+	}
+	if exact.M < cf.M {
+		t.Errorf("M: exact %d below the paper's lower bound %d", exact.M, cf.M)
+	}
+}
+
+func TestSmartUsualCasePanicsOutsideRegime(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("should panic outside the usual regime")
+		}
+	}()
+	SmartUsualCase(10, 6)
+}
+
+// The paper: V_CyclicBlocked / V_Smart ~= 2(1 - 1/P) in the usual
+// regime.
+func TestVolumeRatioApproximation(t *testing.T) {
+	for _, d := range [][2]int{{20, 4}, {24, 5}, {22, 3}} {
+		lgN, lgP := d[0], d[1]
+		P := float64(int(1) << uint(lgP))
+		n := 1 << uint(lgN-lgP)
+		ratio := float64(CyclicBlocked(lgP, n).V) / float64(Smart(lgN, lgP).V)
+		want := 2 * (1 - 1/P)
+		if math.Abs(ratio-want) > 1e-9 {
+			t.Errorf("lgN=%d lgP=%d: ratio %v, want %v", lgN, lgP, ratio, want)
+		}
+	}
+}
+
+func TestBest(t *testing.T) {
+	lgN, lgP := 20, 1 // P = 2: blocked should win with long messages
+	n := 1 << uint(lgN-lgP)
+	p := MeikoCS2(2)
+	cands := []Metrics{Blocked(lgP, n), CyclicBlocked(lgP, n), Smart(lgN, lgP)}
+	best, tBest := Best(p, true, cands)
+	if best.Name != "blocked" {
+		t.Errorf("for P=2 with long messages blocked should win, got %s", best.Name)
+	}
+	if tBest <= 0 {
+		t.Errorf("best time %v", tBest)
+	}
+	// Under short messages with a larger P, smart must win (it then
+	// strictly minimizes both R and V). At P=2 the strategies tie on V
+	// and blocked/cyclic-blocked can edge ahead on the fixed costs — the
+	// paper makes the same observation for small P in §3.4.3.
+	lgP = 4
+	n = 1 << uint(lgN-lgP)
+	cands = []Metrics{Blocked(lgP, n), CyclicBlocked(lgP, n), Smart(lgN, lgP)}
+	bestS, _ := Best(MeikoCS2(16), false, cands)
+	if bestS.Name != "smart" {
+		t.Errorf("under LogP smart should win, got %s", bestS.Name)
+	}
+}
+
+// Cross-check Metrics.V for smart against the schedule volume helper.
+func TestSmartMetricsMatchSchedule(t *testing.T) {
+	for _, d := range [][2]int{{16, 4}, {12, 3}, {18, 5}} {
+		lgN, lgP := d[0], d[1]
+		n := 1 << uint(lgN-lgP)
+		sched := schedule.New(lgN, lgP, schedule.Head)
+		m := Smart(lgN, lgP)
+		if m.R != len(sched) || m.V != schedule.Volume(sched, n) || m.M != schedule.Messages(sched) {
+			t.Errorf("lgN=%d lgP=%d: metrics %+v disagree with schedule", lgN, lgP, m)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"sync"
+
+	"parbitonic/internal/trace"
+)
+
+// barrier is a reusable sense-reversing barrier for exactly p
+// goroutines that additionally reduces the participants' virtual clocks
+// to their maximum (the bulk-synchronous interpretation of a collective
+// phase). It can be poisoned to unblock everyone when one participant
+// panics, preventing deadlock.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	p       int
+	count   int
+	gen     uint64
+	maxSeen float64
+	prevMax float64
+	broken  bool
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// maxClock enters the barrier with the processor's clock; on release
+// every participant's clock is the maximum entered this round.
+func (b *barrier) maxClock(pr *Proc) {
+	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		panic("machine: barrier poisoned by a failed processor")
+	}
+	if pr.Clock > b.maxSeen {
+		b.maxSeen = pr.Clock
+	}
+	b.count++
+	if b.count == b.p {
+		// Last arriver releases the round.
+		b.prevMax = b.maxSeen
+		b.maxSeen = 0
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		if rec := pr.m.cfg.Trace; rec != nil && b.prevMax > pr.Clock {
+			rec.Add(trace.Event{Proc: pr.ID, Phase: trace.Wait, Start: pr.Clock, End: b.prevMax})
+		}
+		pr.Clock = b.prevMax
+		b.mu.Unlock()
+		return
+	}
+	gen := b.gen
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		b.mu.Unlock()
+		panic("machine: barrier poisoned by a failed processor")
+	}
+	if rec := pr.m.cfg.Trace; rec != nil && b.prevMax > pr.Clock {
+		rec.Add(trace.Event{Proc: pr.ID, Phase: trace.Wait, Start: pr.Clock, End: b.prevMax})
+	}
+	pr.Clock = b.prevMax
+	b.mu.Unlock()
+}
+
+// poison releases all waiters with a panic so a failed processor does
+// not deadlock the machine.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reset repairs a poisoned barrier so the machine can be reused.
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.broken = false
+	b.count = 0
+	b.maxSeen = 0
+	b.mu.Unlock()
+}

@@ -1,0 +1,64 @@
+package machine
+
+// Collective operations built on Exchange, in the style of the Split-C
+// bulk operations the paper's implementation uses. All of them are
+// collective: every processor must call them in the same round.
+
+// AllGather sends mine to every processor and returns all
+// contributions indexed by source (the local contribution included).
+func (p *Proc) AllGather(mine []uint32) [][]uint32 {
+	out := make([][]uint32, p.m.cfg.P)
+	for q := range out {
+		out[q] = mine
+	}
+	return p.Exchange(out)
+}
+
+// Broadcast distributes root's data to every processor; callers other
+// than root pass nil. Returns the broadcast data.
+func (p *Proc) Broadcast(root int, data []uint32) []uint32 {
+	out := make([][]uint32, p.m.cfg.P)
+	if p.ID == root {
+		for q := range out {
+			out[q] = data
+		}
+	}
+	in := p.Exchange(out)
+	return in[root]
+}
+
+// AllReduceSum element-wise sums every processor's vector (vectors must
+// have equal length on all processors) and returns the total on every
+// processor.
+func (p *Proc) AllReduceSum(mine []uint32) []uint32 {
+	in := p.AllGather(mine)
+	out := make([]uint32, len(mine))
+	for _, v := range in {
+		if len(v) != len(mine) {
+			panic("machine: AllReduceSum length mismatch across processors")
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	return out
+}
+
+// ExclusiveScanSum returns, for each element position, the sum of the
+// vectors of all lower-ranked processors (an exclusive prefix sum
+// across processor rank, element-wise) — the primitive behind rank
+// computation in counting-based sorts.
+func (p *Proc) ExclusiveScanSum(mine []uint32) []uint32 {
+	in := p.AllGather(mine)
+	out := make([]uint32, len(mine))
+	for src := 0; src < p.ID; src++ {
+		v := in[src]
+		if len(v) != len(mine) {
+			panic("machine: ExclusiveScanSum length mismatch across processors")
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package machine
+
+import "testing"
+
+func TestAllGather(t *testing.T) {
+	const P = 8
+	m := New(testConfig(P, true))
+	m.Run(nil, func(p *Proc) {
+		in := p.AllGather([]uint32{uint32(p.ID), uint32(p.ID * 2)})
+		for src := 0; src < P; src++ {
+			if len(in[src]) != 2 || in[src][0] != uint32(src) || in[src][1] != uint32(src*2) {
+				t.Errorf("proc %d: from %d got %v", p.ID, src, in[src])
+			}
+		}
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	const P = 8
+	m := New(testConfig(P, true))
+	m.Run(nil, func(p *Proc) {
+		var payload []uint32
+		if p.ID == 3 {
+			payload = []uint32{7, 8, 9}
+		}
+		got := p.Broadcast(3, payload)
+		if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+			t.Errorf("proc %d: broadcast got %v", p.ID, got)
+		}
+	})
+}
+
+func TestAllReduceSum(t *testing.T) {
+	const P = 4
+	m := New(testConfig(P, true))
+	m.Run(nil, func(p *Proc) {
+		got := p.AllReduceSum([]uint32{uint32(p.ID), 1})
+		if got[0] != 0+1+2+3 || got[1] != P {
+			t.Errorf("proc %d: sum %v", p.ID, got)
+		}
+	})
+}
+
+func TestExclusiveScanSum(t *testing.T) {
+	const P = 4
+	m := New(testConfig(P, true))
+	m.Run(nil, func(p *Proc) {
+		got := p.ExclusiveScanSum([]uint32{1, uint32(p.ID)})
+		wantA := uint32(p.ID) // p ones below me
+		var wantB uint32
+		for q := 0; q < p.ID; q++ {
+			wantB += uint32(q)
+		}
+		if got[0] != wantA || got[1] != wantB {
+			t.Errorf("proc %d: scan %v, want [%d %d]", p.ID, got, wantA, wantB)
+		}
+	})
+}
+
+func TestCollectiveLengthMismatchPanics(t *testing.T) {
+	m := New(testConfig(2, true))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched AllReduceSum should panic")
+		}
+	}()
+	m.Run(nil, func(p *Proc) {
+		p.AllReduceSum(make([]uint32, 1+p.ID))
+	})
+}

@@ -1,0 +1,419 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parbitonic/internal/addr"
+	"parbitonic/internal/logp"
+)
+
+func testConfig(p int, long bool) Config {
+	cfg := DefaultConfig(p)
+	cfg.Long = long
+	return cfg
+}
+
+func TestRunClockIsMakespan(t *testing.T) {
+	m := New(testConfig(4, true))
+	res := m.Run(nil, func(p *Proc) {
+		p.ChargeCompute(float64(p.ID) * 10) // proc 3 is slowest
+	})
+	if res.Time != 30 {
+		t.Errorf("makespan %v, want 30", res.Time)
+	}
+	if res.Sum.ComputeTime != 60 {
+		t.Errorf("summed compute %v, want 60", res.Sum.ComputeTime)
+	}
+	if res.Mean.ComputeTime != 15 {
+		t.Errorf("mean compute %v, want 15", res.Mean.ComputeTime)
+	}
+}
+
+func TestBarrierSyncsClocks(t *testing.T) {
+	m := New(testConfig(8, true))
+	m.Run(nil, func(p *Proc) {
+		p.ChargeCompute(float64(p.ID))
+		p.Barrier()
+		if p.Clock != 7 {
+			t.Errorf("proc %d clock %v after barrier, want 7", p.ID, p.Clock)
+		}
+	})
+}
+
+func TestExchangeDelivers(t *testing.T) {
+	const P = 8
+	m := New(testConfig(P, true))
+	m.Run(nil, func(p *Proc) {
+		out := make([][]uint32, P)
+		for q := 0; q < P; q++ {
+			out[q] = []uint32{uint32(p.ID*100 + q)}
+		}
+		in := p.Exchange(out)
+		for src := 0; src < P; src++ {
+			if len(in[src]) != 1 || in[src][0] != uint32(src*100+p.ID) {
+				t.Errorf("proc %d: from %d got %v", p.ID, src, in[src])
+			}
+		}
+	})
+}
+
+func TestExchangeAccounting(t *testing.T) {
+	const P = 4
+	for _, long := range []bool{true, false} {
+		m := New(testConfig(P, long))
+		res := m.Run(nil, func(p *Proc) {
+			out := make([][]uint32, P)
+			for q := 0; q < P; q++ {
+				out[q] = make([]uint32, 10)
+			}
+			out[(p.ID+1)%P] = nil // skip one destination
+			p.Exchange(out)
+		})
+		// Each proc sends to P-2 others (skipping itself and one nil).
+		wantVol, wantMsgs := 10*(P-2), P-2
+		for i, s := range res.PerProc {
+			if s.VolumeSent != wantVol || s.MessagesSent != wantMsgs {
+				t.Errorf("long=%v proc %d: vol=%d msgs=%d, want %d/%d", long, i, s.VolumeSent, s.MessagesSent, wantVol, wantMsgs)
+			}
+			var want float64
+			model := m.Config().Model
+			if long {
+				want = model.LongRemapTime(wantVol, wantMsgs)
+			} else {
+				want = model.ShortRemapTime(wantVol)
+			}
+			if math.Abs(s.TransferTime-want) > 1e-9 {
+				t.Errorf("long=%v proc %d: transfer %v, want %v", long, i, s.TransferTime, want)
+			}
+		}
+	}
+}
+
+func TestPairExchange(t *testing.T) {
+	const P = 8
+	m := New(testConfig(P, true))
+	m.Run(nil, func(p *Proc) {
+		partner := p.ID ^ 1
+		got := p.PairExchange(partner, []uint32{uint32(p.ID)})
+		if len(got) != 1 || got[0] != uint32(partner) {
+			t.Errorf("proc %d: got %v from partner %d", p.ID, got, partner)
+		}
+	})
+}
+
+// RemapExchange must move the data exactly as the sequential reference
+// addr.Apply does, for both message modes and both fusion settings.
+func TestRemapExchangeMatchesApply(t *testing.T) {
+	lgN, lgP := 10, 3
+	P := 1 << uint(lgP)
+	rng := rand.New(rand.NewSource(7))
+	layouts := []*addr.Layout{
+		addr.Blocked(lgN, lgP),
+		addr.Smart(lgN, lgP, 1, lgN-lgP+1),
+		addr.Smart(lgN, lgP, 2, 3),
+		addr.Cyclic(lgN, lgP),
+		addr.Blocked(lgN, lgP),
+	}
+	for _, long := range []bool{true, false} {
+		for _, fused := range []bool{false, true} {
+			data := make([][]uint32, P)
+			for p := range data {
+				data[p] = make([]uint32, 1<<uint(lgN-lgP))
+				for i := range data[p] {
+					data[p][i] = rng.Uint32()
+				}
+			}
+			want := data
+			m := New(testConfig(P, long))
+			m.Run(data, func(p *Proc) {
+				p.Data = append([]uint32(nil), p.Data...)
+				for i := 1; i < len(layouts); i++ {
+					plan := addr.NewRemapPlan(layouts[i-1], layouts[i])
+					p.RemapExchange(plan, fused)
+				}
+			})
+			for i := 1; i < len(layouts); i++ {
+				want = addr.Apply(layouts[i-1], layouts[i], want)
+			}
+			got := m.Data()
+			for p := 0; p < P; p++ {
+				for l := range got[p] {
+					if got[p][l] != want[p][l] {
+						t.Fatalf("long=%v fused=%v: mismatch at proc %d local %d", long, fused, p, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRemapExchangePhaseCharges(t *testing.T) {
+	lgN, lgP := 8, 2
+	P := 1 << uint(lgP)
+	n := 1 << uint(lgN-lgP)
+	plan := addr.NewRemapPlan(addr.Blocked(lgN, lgP), addr.Cyclic(lgN, lgP))
+	run := func(long, fused bool) Result {
+		data := make([][]uint32, P)
+		for p := range data {
+			data[p] = make([]uint32, n)
+		}
+		m := New(testConfig(P, long))
+		return m.Run(data, func(p *Proc) { p.RemapExchange(plan, fused) })
+	}
+
+	longSep := run(true, false)
+	costs := DefaultCosts()
+	for i, s := range longSep.PerProc {
+		if math.Abs(s.PackTime-costs.Pack*float64(n)) > 1e-9 {
+			t.Errorf("proc %d pack time %v", i, s.PackTime)
+		}
+		if math.Abs(s.UnpackTime-costs.Unpack*float64(n)) > 1e-9 {
+			t.Errorf("proc %d unpack time %v", i, s.UnpackTime)
+		}
+		if s.Remaps != 1 {
+			t.Errorf("proc %d remaps %d", i, s.Remaps)
+		}
+	}
+
+	longFused := run(true, true)
+	if longFused.Sum.PackTime != 0 || longFused.Sum.UnpackTime != 0 {
+		t.Error("fused remap should charge no pack/unpack time")
+	}
+	if longFused.Time >= longSep.Time {
+		t.Error("fused remap should be faster than separate phases")
+	}
+
+	short := run(false, false)
+	if short.Sum.PackTime != 0 || short.Sum.UnpackTime != 0 {
+		t.Error("short messages have no pack/unpack phases")
+	}
+	if short.Time <= longSep.Time {
+		t.Error("short messages should be slower than long messages at this size")
+	}
+}
+
+// Lemma 4 made operational: during a smart remap the per-processor
+// volume must be n - n/2^changed.
+func TestRemapVolumeMatchesLemma4(t *testing.T) {
+	lgN, lgP := 10, 3
+	P := 1 << uint(lgP)
+	n := 1 << uint(lgN-lgP)
+	old := addr.Blocked(lgN, lgP)
+	new := addr.Smart(lgN, lgP, 1, lgN-lgP+1)
+	plan := addr.NewRemapPlan(old, new)
+	data := make([][]uint32, P)
+	for p := range data {
+		data[p] = make([]uint32, n)
+	}
+	m := New(testConfig(P, true))
+	res := m.Run(data, func(p *Proc) { p.RemapExchange(plan, false) })
+	want := n - n>>uint(plan.Changed)
+	for i, s := range res.PerProc {
+		if s.VolumeSent != want {
+			t.Errorf("proc %d sent %d keys, Lemma 4 wants %d", i, s.VolumeSent, want)
+		}
+		if s.MessagesSent != plan.GroupSize()-1 {
+			t.Errorf("proc %d sent %d messages, want %d", i, s.MessagesSent, plan.GroupSize()-1)
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	const P = 8
+	body := func(p *Proc) {
+		for round := 0; round < 5; round++ {
+			p.ChargeCompute(float64((p.ID*7+round)%5) + 1)
+			out := make([][]uint32, P)
+			for q := range out {
+				out[q] = make([]uint32, (p.ID+q+round)%4)
+			}
+			p.Exchange(out)
+		}
+	}
+	m1 := New(testConfig(P, true))
+	r1 := m1.Run(nil, body)
+	m2 := New(testConfig(P, true))
+	r2 := m2.Run(nil, body)
+	if r1.Time != r2.Time {
+		t.Errorf("nondeterministic makespan: %v vs %v", r1.Time, r2.Time)
+	}
+	for i := range r1.PerProc {
+		if r1.PerProc[i] != r2.PerProc[i] {
+			t.Errorf("nondeterministic stats on proc %d", i)
+		}
+	}
+}
+
+func TestPanicPropagatesWithoutDeadlock(t *testing.T) {
+	m := New(testConfig(4, true))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run should re-panic")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+		// The machine must be reusable after a failure.
+		res := m.Run(nil, func(p *Proc) { p.Barrier() })
+		if res.Time != 0 {
+			t.Errorf("post-failure run time %v", res.Time)
+		}
+	}()
+	m.Run(nil, func(p *Proc) {
+		if p.ID == 2 {
+			panic("boom")
+		}
+		p.Barrier() // would deadlock without poisoning
+	})
+}
+
+func TestNewRejectsBadP(t *testing.T) {
+	for _, p := range []int{0, 3, -4, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("P=%d should panic", p)
+				}
+			}()
+			New(testConfig(p, true))
+		}()
+	}
+}
+
+func TestTimePerKey(t *testing.T) {
+	r := Result{Time: 1000}
+	if got := r.TimePerKey(500); got != 2 {
+		t.Errorf("TimePerKey = %v", got)
+	}
+}
+
+func TestChargeHelpers(t *testing.T) {
+	m := New(Config{P: 1, Model: logp.MeikoCS2(1), Costs: CostModel{
+		RadixPass: 2, RadixPasses: 3, Merge: 5, CompareExchange: 7, Pack: 1, Unpack: 1,
+	}, Long: true})
+	res := m.Run(nil, func(p *Proc) {
+		p.ChargeRadixSort(10)       // 2*3*10 = 60
+		p.ChargeMerge(10)           // 50
+		p.ChargeCompareExchange(10) // 70
+	})
+	if res.Time != 180 {
+		t.Errorf("charged %v, want 180", res.Time)
+	}
+}
+
+func TestCacheFactor(t *testing.T) {
+	c := DefaultCosts()
+	if f := c.cacheFactor(1 << c.LgCacheKeys); f != 1 {
+		t.Errorf("at-cache factor %v, want 1", f)
+	}
+	small := c.cacheFactor(1 << 10)
+	big := c.cacheFactor(1 << (c.LgCacheKeys + 3))
+	if small != 1 {
+		t.Errorf("in-cache factor %v, want 1", small)
+	}
+	want := 1 + 3*c.CacheAlpha
+	if math.Abs(big-want) > 1e-12 {
+		t.Errorf("3-doublings factor %v, want %v", big, want)
+	}
+	zero := CostModel{RadixPasses: 1}
+	if zero.cacheFactor(1<<30) != 1 {
+		t.Error("zero alpha must be free")
+	}
+}
+
+func TestRemapExchangeRunsAndPrepacked(t *testing.T) {
+	lgN, lgP := 8, 2
+	P := 1 << uint(lgP)
+	n := 1 << uint(lgN-lgP)
+	planA := addr.NewRemapPlan(addr.Blocked(lgN, lgP), addr.Cyclic(lgN, lgP))
+	planB := addr.NewRemapPlan(addr.Cyclic(lgN, lgP), addr.Blocked(lgN, lgP))
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]uint32, P)
+	for p := range data {
+		data[p] = make([]uint32, n)
+		for i := range data[p] {
+			data[p][i] = rng.Uint32()
+		}
+	}
+	want := addr.Apply(planA.Old, planA.New, data)
+	want = addr.Apply(planB.Old, planB.New, want)
+
+	copied := make([][]uint32, P)
+	for p := range data {
+		copied[p] = append([]uint32(nil), data[p]...)
+	}
+	m := New(testConfig(P, true))
+	res := m.Run(copied, func(p *Proc) {
+		// Remap 1: keep the runs, reassemble manually via unpack table.
+		in := p.RemapExchangeRuns(planA, true)
+		next := make([]uint32, n)
+		nl := make([]int32, planA.MsgLen)
+		for src, msg := range in {
+			if len(msg) == 0 {
+				continue
+			}
+			planA.UnpackTable(src, nl)
+			for i, v := range msg {
+				next[nl[i]] = v
+			}
+		}
+		p.Data = next
+		// Remap 2: pre-pack by hand, then exchange prepacked.
+		out := make([][]uint32, P)
+		for _, q := range planB.Dests(p.ID) {
+			out[q] = make([]uint32, planB.MsgLen)
+		}
+		dest := make([]int32, n)
+		off := make([]int32, n)
+		planB.Route(p.ID, dest, off)
+		for l := 0; l < n; l++ {
+			out[dest[l]][off[l]] = p.Data[l]
+		}
+		in2 := p.RemapExchangePrepacked(planB, out)
+		final := make([]uint32, n)
+		nl2 := make([]int32, planB.MsgLen)
+		for src, msg := range in2 {
+			if len(msg) == 0 {
+				continue
+			}
+			planB.UnpackTable(src, nl2)
+			for i, v := range msg {
+				final[nl2[i]] = v
+			}
+		}
+		p.Data = final
+	})
+	for p := 0; p < P; p++ {
+		for l := 0; l < n; l++ {
+			if m.Data()[p][l] != want[p][l] {
+				t.Fatalf("runs/prepacked pipeline differs at (%d,%d)", p, l)
+			}
+		}
+	}
+	if res.Mean.Remaps != 2 {
+		t.Errorf("remaps %d, want 2", res.Mean.Remaps)
+	}
+	if res.Sum.PackTime != 0 || res.Sum.UnpackTime != 0 {
+		t.Errorf("fused paths must charge no pack/unpack time: %v/%v", res.Sum.PackTime, res.Sum.UnpackTime)
+	}
+}
+
+func TestRemapExchangePrepackedValidation(t *testing.T) {
+	plan := addr.NewRemapPlan(addr.Blocked(4, 1), addr.Cyclic(4, 1))
+	m := New(testConfig(2, true))
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("short prepacked message should panic")
+		}
+	}()
+	m.Run(nil, func(p *Proc) {
+		out := make([][]uint32, 2)
+		out[0] = make([]uint32, 1) // wrong length: plan.MsgLen is larger
+		out[1] = make([]uint32, 1)
+		p.RemapExchangePrepacked(plan, out)
+	})
+}

@@ -1,0 +1,136 @@
+// Package network implements the bitonic sorting network of Definition 3
+// directly: lg N stages, where stage k performs compare-exchange steps
+// on address bits k-1 .. 0 and the merge direction of row r is given by
+// bit k of r. It serves as the sequential reference implementation that
+// every parallel algorithm in this module is validated against, and
+// provides the data-format checkers for Lemma 6 and Lemma 7.
+package network
+
+import (
+	"fmt"
+
+	"parbitonic/internal/bitseq"
+)
+
+// Sort runs the full bitonic sorting network on data in place. The
+// length must be a power of two. Complexity is O(n lg^2 n).
+func Sort(data []uint32) {
+	n := len(data)
+	if n&(n-1) != 0 {
+		panic("network: length must be a power of two")
+	}
+	lgN := log2(n)
+	for stage := 1; stage <= lgN; stage++ {
+		RunStage(data, stage)
+	}
+}
+
+// RunStage executes all steps of one stage (bits stage-1 down to 0).
+func RunStage(data []uint32, stage int) {
+	for bit := stage - 1; bit >= 0; bit-- {
+		RunStep(data, stage, bit)
+	}
+}
+
+// RunStep executes one compare-exchange step: every pair of rows
+// differing in the given bit is ordered, ascending where bit `stage` of
+// the row is 0 and descending where it is 1 (Definition 3's
+// (r div 2^c) mod 2 = (r div 2^s) mod 2 rule). For the final stage
+// (stage == lg N) the direction is ascending everywhere.
+func RunStep(data []uint32, stage, bit int) {
+	n := len(data)
+	for r := 0; r < n; r++ {
+		if r>>uint(bit)&1 != 0 {
+			continue
+		}
+		partner := r | 1<<uint(bit)
+		asc := r>>uint(stage)&1 == 0
+		if (data[r] > data[partner]) == asc {
+			data[r], data[partner] = data[partner], data[r]
+		}
+	}
+}
+
+// CheckStageInput verifies Lemma 6: the input of stage k consists of
+// alternating increasing and decreasing sorted sequences of length
+// 2^(k-1).
+func CheckStageInput(data []uint32, stage int) error {
+	n := len(data)
+	run := 1 << uint(stage-1)
+	if run > n {
+		return fmt.Errorf("network: stage %d run length %d exceeds data size %d", stage, run, n)
+	}
+	for i := 0; i*run < n; i++ {
+		seg := data[i*run : (i+1)*run]
+		asc := i%2 == 0
+		if !bitseq.IsSorted(seg, asc) {
+			return fmt.Errorf("network: stage %d input run %d not sorted (asc=%v)", stage, i, asc)
+		}
+	}
+	return nil
+}
+
+// CheckColumn verifies Lemma 7: at column s of a stage (i.e. after the
+// stage has executed its steps down to, but not including, step s) the
+// data consists of 2^(lgN-s) bitonic sequences of length 2^s, with the
+// bitonic-split dominance ordering inside each enclosing merge.
+func CheckColumn(data []uint32, col int) error {
+	n := len(data)
+	seq := 1 << uint(col)
+	if seq > n {
+		return fmt.Errorf("network: column %d sequence length %d exceeds data size %d", col, seq, n)
+	}
+	for i := 0; i*seq < n; i++ {
+		if !bitseq.IsBitonic(data[i*seq : (i+1)*seq]) {
+			return fmt.Errorf("network: column %d sequence %d not bitonic", col, i)
+		}
+	}
+	return nil
+}
+
+// Comparator is one compare-exchange of the network: rows Low and High
+// (Low < High) are compared and Low receives the minimum iff MinAtLow.
+type Comparator struct {
+	Low, High int
+	MinAtLow  bool
+}
+
+// Comparators lists every compare-exchange of the network for 2^lgN
+// inputs in execution order. Useful for zero-one-principle testing and
+// for counting the network's O(n lg^2 n) size.
+func Comparators(lgN int) []Comparator {
+	n := 1 << uint(lgN)
+	var out []Comparator
+	for stage := 1; stage <= lgN; stage++ {
+		for bit := stage - 1; bit >= 0; bit-- {
+			for r := 0; r < n; r++ {
+				if r>>uint(bit)&1 != 0 {
+					continue
+				}
+				out = append(out, Comparator{
+					Low:      r,
+					High:     r | 1<<uint(bit),
+					MinAtLow: r>>uint(stage)&1 == 0,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ApplyComparators runs a comparator list over data in place.
+func ApplyComparators(data []uint32, cs []Comparator) {
+	for _, c := range cs {
+		if (data[c.Low] > data[c.High]) == c.MinAtLow {
+			data[c.Low], data[c.High] = data[c.High], data[c.Low]
+		}
+	}
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}

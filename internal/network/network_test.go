@@ -1,0 +1,157 @@
+package network
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, lg := range []int{0, 1, 2, 5, 10, 14} {
+		n := 1 << uint(lg)
+		data := make([]uint32, n)
+		for i := range data {
+			data[i] = rng.Uint32()
+		}
+		want := append([]uint32(nil), data...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		Sort(data)
+		for i := range want {
+			if data[i] != want[i] {
+				t.Fatalf("n=%d: wrong at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSortPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Sort(make([]uint32, 12))
+}
+
+// The zero-one principle: a comparator network sorts all inputs iff it
+// sorts all 0-1 inputs. Exhaustively check every boolean input for
+// N = 16 — a complete correctness proof of the network construction.
+func TestZeroOnePrincipleExhaustive(t *testing.T) {
+	const lgN = 4
+	const n = 1 << lgN
+	cs := Comparators(lgN)
+	data := make([]uint32, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		ones := 0
+		for i := 0; i < n; i++ {
+			data[i] = uint32(mask >> uint(i) & 1)
+			ones += int(data[i])
+		}
+		ApplyComparators(data, cs)
+		for i := 0; i < n; i++ {
+			want := uint32(0)
+			if i >= n-ones {
+				want = 1
+			}
+			if data[i] != want {
+				t.Fatalf("mask %b: output %v not sorted", mask, data)
+			}
+		}
+	}
+}
+
+// The network has exactly N/2 * lgN(lgN+1)/2 comparators.
+func TestComparatorCount(t *testing.T) {
+	for lgN := 1; lgN <= 8; lgN++ {
+		n := 1 << uint(lgN)
+		want := n / 2 * lgN * (lgN + 1) / 2
+		if got := len(Comparators(lgN)); got != want {
+			t.Errorf("lgN=%d: %d comparators, want %d", lgN, got, want)
+		}
+	}
+}
+
+// Lemma 6 and Lemma 7 must hold at every stage boundary and column of a
+// real execution.
+func TestLemma6And7DuringExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		lgN := 3 + rng.Intn(6)
+		n := 1 << uint(lgN)
+		data := make([]uint32, n)
+		for i := range data {
+			data[i] = rng.Uint32() % 64 // force duplicates too
+		}
+		for stage := 1; stage <= lgN; stage++ {
+			if err := CheckStageInput(data, stage); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			for bit := stage - 1; bit >= 0; bit-- {
+				// Before executing step bit+1 ... we are at column bit+1.
+				if err := CheckColumn(data, bit+1); err != nil {
+					t.Fatalf("trial %d stage %d: %v", trial, stage, err)
+				}
+				RunStep(data, stage, bit)
+			}
+		}
+		for i := 1; i < n; i++ {
+			if data[i-1] > data[i] {
+				t.Fatalf("trial %d: final output not sorted", trial)
+			}
+		}
+	}
+}
+
+func TestCheckersRejectBadData(t *testing.T) {
+	if err := CheckStageInput([]uint32{1, 0, 0, 1}, 2); err == nil {
+		t.Error("CheckStageInput should reject non-alternating runs")
+	}
+	if err := CheckColumn([]uint32{1, 0, 1, 0}, 2); err == nil {
+		t.Error("CheckColumn should reject non-bitonic sequences")
+	}
+	if err := CheckStageInput([]uint32{1, 2}, 5); err == nil {
+		t.Error("CheckStageInput should reject oversized stage")
+	}
+	if err := CheckColumn([]uint32{1, 2}, 5); err == nil {
+		t.Error("CheckColumn should reject oversized column")
+	}
+}
+
+func TestQuickSortMatchesStdlib(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(10))
+		data := make([]uint32, n)
+		for i := range data {
+			data[i] = rng.Uint32() % 1000
+		}
+		want := append([]uint32(nil), data...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		Sort(data)
+		for i := range want {
+			if data[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNetworkSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]uint32, 1<<14)
+	for i := range data {
+		data[i] = rng.Uint32()
+	}
+	work := make([]uint32, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, data)
+		Sort(work)
+	}
+}

@@ -1,0 +1,222 @@
+// Package ntt demonstrates the paper's closing claim that its remapping
+// technique "is applicable in a large variety of applications... We can
+// mention here the FFT which is based on a butterfly network" (Ch. 7).
+//
+// The FFT butterfly is one stage of the bitonic sorting network's
+// communication structure, so the same layout machinery applies: cover
+// the lg N butterfly steps with data layouts that keep lg n consecutive
+// steps local, remapping between them. For N >= P² one remap suffices
+// (the classic cyclic-to-blocked FFT of [CKP+93]); in general
+// ceil(lgP / lg n) inter-chunk remaps are needed.
+//
+// To keep the simulated machine's uint32-typed memory we implement the
+// transform as a number-theoretic transform (an exact FFT over Z_p with
+// p = 15·2^27 + 1), which has the identical butterfly data flow.
+package ntt
+
+import "fmt"
+
+// Modulus is the NTT-friendly prime 15·2^27 + 1: Z_p has roots of unity
+// of every power-of-two order up to 2^27.
+const Modulus = 2013265921
+
+// generator is a primitive root modulo Modulus.
+const generator = 31
+
+// maxLgN is the largest supported transform size exponent.
+const maxLgN = 27
+
+func modAdd(a, b uint32) uint32 {
+	s := a + b
+	if s >= Modulus || s < a {
+		s -= Modulus
+	}
+	return s
+}
+
+func modSub(a, b uint32) uint32 {
+	if a >= b {
+		return a - b
+	}
+	return a + Modulus - b
+}
+
+func modMul(a, b uint32) uint32 {
+	return uint32(uint64(a) * uint64(b) % Modulus)
+}
+
+// ModPow returns base^exp mod Modulus.
+func ModPow(base uint32, exp uint64) uint32 {
+	result := uint32(1)
+	b := base % Modulus
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = modMul(result, b)
+		}
+		b = modMul(b, b)
+		exp >>= 1
+	}
+	return result
+}
+
+// ModInv returns the multiplicative inverse mod Modulus (which is
+// prime, so a^(p-2)).
+func ModInv(a uint32) uint32 { return ModPow(a, Modulus-2) }
+
+// Root returns a primitive 2^lgN-th root of unity.
+func Root(lgN int) uint32 {
+	if lgN < 0 || lgN > maxLgN {
+		panic(fmt.Sprintf("ntt: unsupported size 2^%d", lgN))
+	}
+	return ModPow(generator, (Modulus-1)>>uint(lgN))
+}
+
+// twiddles precomputes w^0 .. w^(n/2-1) for the root of order n = 2^lgN.
+func twiddles(lgN int, inverse bool) []uint32 {
+	w := Root(lgN)
+	if inverse {
+		w = ModInv(w)
+	}
+	half := 1 << uint(lgN) >> 1
+	if half == 0 {
+		half = 1
+	}
+	tw := make([]uint32, half)
+	tw[0] = 1
+	for i := 1; i < half; i++ {
+		tw[i] = modMul(tw[i-1], w)
+	}
+	return tw
+}
+
+// ForwardStep performs the decimation-in-frequency butterfly pass on
+// absolute-address bit `bit`: for every pair (i, j = i|2^bit),
+// a[i], a[j] = a[i]+a[j], (a[i]-a[j])·w^((i mod 2^bit) << (lgN-1-bit)).
+// Running it for bit = lgN-1 down to 0 computes the forward transform
+// with bit-reversed output. tw must come from twiddles(lgN, false).
+//
+// The pass's structure — pairs differing in exactly one address bit —
+// is what makes it layout-remappable with the Chapter 3 machinery.
+func ForwardStep(data []uint32, lgN, bit int, tw []uint32) {
+	n := len(data)
+	shift := uint(lgN - 1 - bit)
+	mask := 1<<uint(bit) - 1
+	for i := 0; i < n; i++ {
+		if i>>uint(bit)&1 != 0 {
+			continue
+		}
+		j := i | 1<<uint(bit)
+		u, v := data[i], data[j]
+		data[i] = modAdd(u, v)
+		data[j] = modMul(modSub(u, v), tw[(i&mask)<<shift])
+	}
+}
+
+// InverseStep is the inverse butterfly pass on bit `bit` (run for
+// bit = 0 up to lgN-1 on bit-reversed input, then scale by N^-1).
+// tw must come from twiddles(lgN, true).
+func InverseStep(data []uint32, lgN, bit int, tw []uint32) {
+	n := len(data)
+	shift := uint(lgN - 1 - bit)
+	mask := 1<<uint(bit) - 1
+	for i := 0; i < n; i++ {
+		if i>>uint(bit)&1 != 0 {
+			continue
+		}
+		j := i | 1<<uint(bit)
+		u := data[i]
+		v := modMul(data[j], tw[(i&mask)<<shift])
+		data[i] = modAdd(u, v)
+		data[j] = modSub(u, v)
+	}
+}
+
+// Forward computes the in-place forward NTT of data (length a power of
+// two, values < Modulus). The output is in bit-reversed index order:
+// afterwards data[i] holds X[BitRev(i, lgN)].
+func Forward(data []uint32) {
+	lgN := checkedLg(len(data))
+	tw := twiddles(lgN, false)
+	for bit := lgN - 1; bit >= 0; bit-- {
+		ForwardStep(data, lgN, bit, tw)
+	}
+}
+
+// Inverse computes the in-place inverse NTT of bit-reverse-ordered
+// spectrum data, producing the natural-order sequence (exact inverse of
+// Forward).
+func Inverse(data []uint32) {
+	lgN := checkedLg(len(data))
+	tw := twiddles(lgN, true)
+	for bit := 0; bit < lgN; bit++ {
+		InverseStep(data, lgN, bit, tw)
+	}
+	inv := ModInv(uint32(len(data) % Modulus))
+	for i := range data {
+		data[i] = modMul(data[i], inv)
+	}
+}
+
+// BitRev reverses the low `bits` bits of i.
+func BitRev(i, bits int) int {
+	out := 0
+	for b := 0; b < bits; b++ {
+		out |= (i >> uint(b) & 1) << uint(bits-1-b)
+	}
+	return out
+}
+
+// NaiveDFT computes the N² reference transform: X[k] = sum a[j] w^(jk),
+// natural order. Used only by tests.
+func NaiveDFT(a []uint32) []uint32 {
+	lgN := checkedLg(len(a))
+	w := Root(lgN)
+	n := len(a)
+	out := make([]uint32, n)
+	for k := 0; k < n; k++ {
+		wk := ModPow(w, uint64(k))
+		cur := uint32(1)
+		var sum uint32
+		for j := 0; j < n; j++ {
+			sum = modAdd(sum, modMul(a[j], cur))
+			cur = modMul(cur, wk)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Convolve multiplies two polynomials modulo Modulus via the NTT. The
+// result has length len(a)+len(b)-1.
+func Convolve(a, b []uint32) []uint32 {
+	outLen := len(a) + len(b) - 1
+	size := 1
+	for size < outLen {
+		size *= 2
+	}
+	fa := make([]uint32, size)
+	fb := make([]uint32, size)
+	copy(fa, a)
+	copy(fb, b)
+	Forward(fa)
+	Forward(fb)
+	for i := range fa {
+		fa[i] = modMul(fa[i], fb[i])
+	}
+	Inverse(fa)
+	return fa[:outLen]
+}
+
+func checkedLg(n int) int {
+	if n == 0 || n&(n-1) != 0 {
+		panic("ntt: length must be a power of two")
+	}
+	lg := 0
+	for 1<<uint(lg) < n {
+		lg++
+	}
+	if lg > maxLgN {
+		panic(fmt.Sprintf("ntt: size 2^%d exceeds the 2^%d root order", lg, maxLgN))
+	}
+	return lg
+}

@@ -1,0 +1,340 @@
+package ntt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parbitonic/internal/machine"
+	"parbitonic/internal/workload"
+)
+
+func randomPoints(n int, seed uint64) []uint32 {
+	rng := workload.NewRNG(seed)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = rng.Uint32() % Modulus
+	}
+	return out
+}
+
+func TestModArithmetic(t *testing.T) {
+	if modAdd(Modulus-1, 1) != 0 {
+		t.Error("modAdd wraparound")
+	}
+	if modSub(0, 1) != Modulus-1 {
+		t.Error("modSub wraparound")
+	}
+	if modMul(Modulus-1, Modulus-1) != 1 {
+		t.Error("(-1)*(-1) should be 1")
+	}
+	if ModPow(2, 10) != 1024 {
+		t.Error("ModPow small case")
+	}
+	for _, a := range []uint32{1, 2, 31, 12345, Modulus - 2} {
+		if modMul(a, ModInv(a)) != 1 {
+			t.Errorf("ModInv(%d) wrong", a)
+		}
+	}
+}
+
+func TestRootOrders(t *testing.T) {
+	for lg := 0; lg <= 12; lg++ {
+		w := Root(lg)
+		if ModPow(w, uint64(1)<<uint(lg)) != 1 {
+			t.Fatalf("Root(%d) is not a 2^%d-th root", lg, lg)
+		}
+		if lg > 0 && ModPow(w, uint64(1)<<uint(lg-1)) == 1 {
+			t.Fatalf("Root(%d) is not primitive", lg)
+		}
+	}
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	for _, lg := range []int{0, 1, 2, 4, 6, 8} {
+		n := 1 << uint(lg)
+		a := randomPoints(n, uint64(lg)+1)
+		want := NaiveDFT(a)
+		got := append([]uint32(nil), a...)
+		Forward(got)
+		for i := 0; i < n; i++ {
+			if got[i] != want[BitRev(i, lg)] {
+				t.Fatalf("lg=%d: Forward[%d]=%d, naive[bitrev]=%d", lg, i, got[i], want[BitRev(i, lg)])
+			}
+		}
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	for _, lg := range []int{0, 1, 3, 7, 12, 16} {
+		n := 1 << uint(lg)
+		a := randomPoints(n, uint64(lg)+99)
+		work := append([]uint32(nil), a...)
+		Forward(work)
+		Inverse(work)
+		for i := range a {
+			if work[i] != a[i] {
+				t.Fatalf("lg=%d: roundtrip broken at %d", lg, i)
+			}
+		}
+	}
+}
+
+func TestConvolveMatchesSchoolbook(t *testing.T) {
+	rng := workload.NewRNG(5)
+	for trial := 0; trial < 30; trial++ {
+		la := 1 + rng.Intn(40)
+		lb := 1 + rng.Intn(40)
+		a := randomPoints(la, uint64(trial))
+		b := randomPoints(lb, uint64(trial)+1000)
+		want := make([]uint32, la+lb-1)
+		for i, x := range a {
+			for j, y := range b {
+				want[i+j] = modAdd(want[i+j], modMul(x, y))
+			}
+		}
+		got := Convolve(a, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: convolution wrong at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestBitRev(t *testing.T) {
+	if BitRev(0b0011, 4) != 0b1100 {
+		t.Error("BitRev(0011)")
+	}
+	if BitRev(1, 1) != 1 || BitRev(0, 0) != 0 {
+		t.Error("BitRev degenerate")
+	}
+}
+
+func TestLayoutChain(t *testing.T) {
+	// N >= P^2: exactly 2 layouts (the classic single-remap FFT).
+	chain := LayoutChain(12, 4)
+	if len(chain) != 2 {
+		t.Fatalf("lgN=12 lgP=4: chain length %d, want 2", len(chain))
+	}
+	// The final layout must be blocked.
+	last := chain[len(chain)-1]
+	for i, b := range last.LocalBits {
+		if b != i {
+			t.Fatalf("final layout not blocked: %v", last.LocalBits)
+		}
+	}
+	// n < P: more chunks, ceil(lgN/lgn) total.
+	chain = LayoutChain(10, 8) // lgn = 2
+	if want := 5; len(chain) != want {
+		t.Fatalf("lgN=10 lgP=8: chain length %d, want %d", len(chain), want)
+	}
+	// Every consecutive pair differs (no wasted remaps).
+	for i := 1; i < len(chain); i++ {
+		if chain[i-1].Equal(chain[i]) {
+			t.Fatalf("chain repeats layout at %d", i)
+		}
+	}
+}
+
+func TestParallelForwardMatchesSequential(t *testing.T) {
+	for _, d := range [][2]int{{0, 6}, {1, 5}, {2, 4}, {3, 5}, {4, 4}, {5, 2}, {3, 2}} {
+		lgP, lgn := d[0], d[1]
+		p, n := 1<<uint(lgP), 1<<uint(lgn)
+		all := randomPoints(p*n, uint64(lgP*10+lgn))
+		want := append([]uint32(nil), all...)
+		Forward(want)
+
+		data := make([][]uint32, p)
+		for i := range data {
+			data[i] = append([]uint32(nil), all[i*n:(i+1)*n]...)
+		}
+		m := machine.New(machine.DefaultConfig(p))
+		res, err := ParallelForward(m, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := flatten(m.Data())
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("lgP=%d lgn=%d: parallel differs from sequential at %d", lgP, lgn, i)
+			}
+		}
+		// Remap count: the layout-chain length minus shared prefixes,
+		// plus the initial blocked->first-chunk remap.
+		wantRemaps := len(LayoutChain(lgP+lgn, lgP))
+		if lgP == 0 {
+			wantRemaps = 0
+		}
+		if lgP > 0 && res.Mean.Remaps != wantRemaps {
+			t.Errorf("lgP=%d lgn=%d: %d remaps, want %d", lgP, lgn, res.Mean.Remaps, wantRemaps)
+		}
+	}
+}
+
+func TestParallelRoundTrip(t *testing.T) {
+	for _, d := range [][2]int{{2, 5}, {3, 4}, {4, 3}, {1, 6}} {
+		lgP, lgn := d[0], d[1]
+		p, n := 1<<uint(lgP), 1<<uint(lgn)
+		all := randomPoints(p*n, 77)
+		data := make([][]uint32, p)
+		for i := range data {
+			data[i] = append([]uint32(nil), all[i*n:(i+1)*n]...)
+		}
+		m := machine.New(machine.DefaultConfig(p))
+		if _, err := ParallelForward(m, data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParallelInverse(m, m.Data()); err != nil {
+			t.Fatal(err)
+		}
+		got := flatten(m.Data())
+		for i := range all {
+			if got[i] != all[i] {
+				t.Fatalf("lgP=%d lgn=%d: roundtrip broken at %d", lgP, lgn, i)
+			}
+		}
+	}
+}
+
+func TestBlockedForwardMatchesSequential(t *testing.T) {
+	for _, d := range [][2]int{{1, 5}, {2, 4}, {3, 4}, {4, 3}} {
+		lgP, lgn := d[0], d[1]
+		p, n := 1<<uint(lgP), 1<<uint(lgn)
+		all := randomPoints(p*n, 31)
+		want := append([]uint32(nil), all...)
+		Forward(want)
+		data := make([][]uint32, p)
+		for i := range data {
+			data[i] = append([]uint32(nil), all[i*n:(i+1)*n]...)
+		}
+		m := machine.New(machine.DefaultConfig(p))
+		if _, err := BlockedForward(m, data); err != nil {
+			t.Fatal(err)
+		}
+		got := flatten(m.Data())
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("lgP=%d lgn=%d: blocked baseline differs at %d", lgP, lgn, i)
+			}
+		}
+	}
+}
+
+// The paper's claim transplanted: the remapped FFT transfers far less
+// data than the fixed-blocked FFT and therefore wins whenever volume
+// dominates (always under short messages; under long messages the
+// blocked variant's few huge messages keep it competitive at small P —
+// the same §3.4.3 caveat as for the sorts).
+func TestRemappedBeatsBlocked(t *testing.T) {
+	lgP, lgn := 4, 12
+	p, n := 1<<uint(lgP), 1<<uint(lgn)
+	all := randomPoints(p*n, 13)
+	mk := func() [][]uint32 {
+		data := make([][]uint32, p)
+		for i := range data {
+			data[i] = append([]uint32(nil), all[i*n:(i+1)*n]...)
+		}
+		return data
+	}
+	cfg := machine.DefaultConfig(p)
+	cfg.Long = false // LogP regime: volume dominates
+	smart, err := ParallelForward(machine.New(cfg), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := BlockedForward(machine.New(cfg), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.Time >= blocked.Time {
+		t.Errorf("remapped FFT (%v) should beat blocked FFT (%v) under LogP", smart.Time, blocked.Time)
+	}
+	if smart.Mean.VolumeSent >= blocked.Mean.VolumeSent {
+		t.Errorf("remapped FFT volume %d should be below blocked %d", smart.Mean.VolumeSent, blocked.Mean.VolumeSent)
+	}
+	// The volume gap is the lgP/2(1-1/P) factor: blocked moves n keys
+	// per remote step, the remapped chain ~n per remap with only
+	// ceil(lgP/lgn)+1 remaps.
+	if ratio := float64(blocked.Mean.VolumeSent) / float64(smart.Mean.VolumeSent); ratio < 1.5 {
+		t.Errorf("volume ratio %.2f too small", ratio)
+	}
+}
+
+func TestDimsErrors(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(4))
+	if _, err := ParallelForward(m, make([][]uint32, 3)); err == nil {
+		t.Error("wrong slice count should error")
+	}
+	bad := [][]uint32{make([]uint32, 3), make([]uint32, 3), make([]uint32, 3), make([]uint32, 3)}
+	if _, err := ParallelForward(m, bad); err == nil {
+		t.Error("non-power-of-two share should error")
+	}
+	ragged := [][]uint32{make([]uint32, 4), make([]uint32, 4), make([]uint32, 4), make([]uint32, 2)}
+	if _, err := ParallelForward(m, ragged); err == nil {
+		t.Error("ragged data should error")
+	}
+}
+
+func TestQuickParallelMatchesSequential(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := workload.NewRNG(seed)
+		lgP := rng.Intn(4)
+		lgn := 1 + rng.Intn(5)
+		p, n := 1<<uint(lgP), 1<<uint(lgn)
+		all := randomPoints(p*n, seed)
+		want := append([]uint32(nil), all...)
+		Forward(want)
+		data := make([][]uint32, p)
+		for i := range data {
+			data[i] = append([]uint32(nil), all[i*n:(i+1)*n]...)
+		}
+		m := machine.New(machine.DefaultConfig(p))
+		if _, err := ParallelForward(m, data); err != nil {
+			return false
+		}
+		got := flatten(m.Data())
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func flatten(data [][]uint32) []uint32 {
+	var out []uint32
+	for _, d := range data {
+		out = append(out, d...)
+	}
+	return out
+}
+
+func BenchmarkSequentialNTT(b *testing.B) {
+	data := randomPoints(1<<16, 1)
+	work := make([]uint32, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, data)
+		Forward(work)
+	}
+}
+
+func BenchmarkParallelNTT(b *testing.B) {
+	const p, lgn = 8, 13
+	all := randomPoints(p<<lgn, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := make([][]uint32, p)
+		for j := range data {
+			data[j] = append([]uint32(nil), all[j<<lgn:(j+1)<<lgn]...)
+		}
+		m := machine.New(machine.DefaultConfig(p))
+		if _, err := ParallelForward(m, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

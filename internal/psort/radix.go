@@ -1,0 +1,163 @@
+// Package psort implements the two comparator algorithms of §5.5 —
+// parallel radix sort and parallel sample sort — on the same simulated
+// machine and with the same long-message discipline as the bitonic
+// sorts, following the structure of the optimized Split-C
+// implementations of [AISS95] that the paper compares against.
+package psort
+
+import (
+	"fmt"
+
+	"parbitonic/internal/machine"
+)
+
+const (
+	radixBits = 11
+	radixSize = 1 << radixBits
+	radixMask = radixSize - 1
+	passes    = 3
+)
+
+// RadixSort runs a parallel LSD radix sort: for each of the three
+// 11-bit digits, processors build local histograms, exchange them to
+// compute every key's global rank, and redistribute the keys so that
+// processor q receives global ranks [q*n, (q+1)*n). The output is
+// globally sorted and perfectly balanced. It takes ownership of data;
+// retrieve the output with m.Data().
+//
+// The per-pass histogram exchange and scan is the fixed cost that makes
+// parallel radix sort expensive for small n — the source of the
+// bitonic-vs-radix crossover in Figures 5.7/5.8.
+func RadixSort(m *machine.Machine, data [][]uint32) (machine.Result, error) {
+	P := m.P()
+	if len(data) != P {
+		return machine.Result{}, fmt.Errorf("psort: %d data slices for %d processors", len(data), P)
+	}
+	n := len(data[0])
+	for i := range data {
+		if len(data[i]) != n {
+			return machine.Result{}, fmt.Errorf("psort: ragged data at processor %d", i)
+		}
+	}
+	res := m.Run(data, func(pr *machine.Proc) { radixBody(pr, n) })
+	return res, nil
+}
+
+func radixBody(pr *machine.Proc, n int) {
+	P := pr.P()
+	scratch := make([]uint32, n)
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * radixBits)
+		digit := func(k uint32) int { return int(k>>shift) & radixMask }
+
+		// Local stable counting sort by this pass's digit; afterwards
+		// the local keys are in (digit, previous order) order, which is
+		// global-rank order within each digit.
+		var hist [radixSize]uint32
+		for _, k := range pr.Data {
+			hist[digit(k)]++
+		}
+		offs := make([]int, radixSize)
+		sum := 0
+		for d := 0; d < radixSize; d++ {
+			offs[d] = sum
+			sum += int(hist[d])
+		}
+		for _, k := range pr.Data {
+			d := digit(k)
+			scratch[offs[d]] = k
+			offs[d]++
+		}
+		pr.Data, scratch = scratch, pr.Data
+		pr.ChargeCompute(pr.Costs().RadixPass * float64(n))
+
+		// Exchange histograms so every processor can compute global
+		// ranks: senderStart[p][d] is the global rank of processor p's
+		// first digit-d key.
+		histIn := pr.AllGather(append([]uint32(nil), hist[:]...))
+
+		senderStart := make([][]int, P)
+		for p := range senderStart {
+			senderStart[p] = make([]int, radixSize)
+		}
+		running := 0
+		for d := 0; d < radixSize; d++ {
+			for p := 0; p < P; p++ {
+				senderStart[p][d] = running
+				running += int(histIn[p][d])
+			}
+		}
+		pr.ChargeCompute(pr.Costs().RadixPass * float64(radixSize*P) / 4)
+
+		// Route: my digit-d keys occupy global ranks
+		// [senderStart[me][d], +hist[d]); walking my digit-sorted keys
+		// assigns consecutive ranks per digit, so per-destination
+		// messages come out in (digit, rank) order automatically.
+		msgs := make([][]uint32, P)
+		d := 0
+		remaining := int(hist[0])
+		rank := senderStart[pr.ID][0]
+		for _, k := range pr.Data {
+			for remaining == 0 {
+				d++
+				remaining = int(hist[d])
+				rank = senderStart[pr.ID][d]
+			}
+			q := rank / n
+			msgs[q] = append(msgs[q], k)
+			rank++
+			remaining--
+		}
+		if pr.Long() {
+			pr.ChargeCompute(pr.Costs().Pack * float64(n))
+		}
+		in := pr.Exchange(msgs)
+
+		// Unpack: sender p's digit-d keys destined to me occupy the
+		// contiguous rank range [senderStart[p][d], +count) clipped to
+		// my segment, and p's message lists them in (digit, rank) order.
+		next := pr.Data[:n]
+		base := pr.ID * n
+		for p := 0; p < P; p++ {
+			msg := in[p]
+			idx := 0
+			for d := 0; d < radixSize && idx < len(msg); d++ {
+				cnt := int(histIn[p][d])
+				if cnt == 0 {
+					continue
+				}
+				lo, hi := senderStart[p][d], senderStart[p][d]+cnt
+				if hi <= base || lo >= base+n {
+					continue
+				}
+				from, to := maxInt(lo, base), minInt(hi, base+n)
+				for r := from; r < to; r++ {
+					next[r-base] = msg[idx]
+					idx++
+				}
+			}
+			if idx != len(msg) {
+				panic("psort: radix unpack consumed wrong message length")
+			}
+		}
+		pr.Data = next
+		scratch = scratch[:n]
+		if pr.Long() {
+			pr.ChargeCompute(pr.Costs().Unpack * float64(n))
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package psort
+
+import (
+	"fmt"
+	"sort"
+
+	"parbitonic/internal/localsort"
+	"parbitonic/internal/machine"
+)
+
+// SampleSortResult carries the machine result plus the output balance
+// information that §5.5 discusses: sample sort's performance depends on
+// how evenly the splitters divide the input.
+type SampleSortResult struct {
+	machine.Result
+	// MaxKeys is the largest number of keys any processor ended up
+	// with; n is the balanced share. MaxKeys/n is the imbalance factor.
+	MaxKeys int
+}
+
+// SampleSort runs a one-pass parallel sample sort in the style of
+// [AISS95]: local radix sort, splitter selection from P-1 evenly spaced
+// local samples per processor, an all-to-all redistribution, and a
+// final p-way merge of the received sorted runs. The output is globally
+// sorted in processor order but generally *unbalanced* — low-entropy
+// inputs concentrate keys on few processors, which is exactly the
+// sensitivity the paper contrasts with bitonic sort's obliviousness.
+// It takes ownership of data; retrieve the output with m.Data().
+func SampleSort(m *machine.Machine, data [][]uint32) (SampleSortResult, error) {
+	P := m.P()
+	if len(data) != P {
+		return SampleSortResult{}, fmt.Errorf("psort: %d data slices for %d processors", len(data), P)
+	}
+	n := len(data[0])
+	for i := range data {
+		if len(data[i]) != n {
+			return SampleSortResult{}, fmt.Errorf("psort: ragged data at processor %d", i)
+		}
+	}
+	res := m.Run(data, func(pr *machine.Proc) { sampleBody(pr, n) })
+	out := SampleSortResult{Result: res}
+	for _, d := range m.Data() {
+		if len(d) > out.MaxKeys {
+			out.MaxKeys = len(d)
+		}
+	}
+	return out, nil
+}
+
+func sampleBody(pr *machine.Proc, n int) {
+	P := pr.P()
+	if P == 1 {
+		localsort.RadixSort(pr.Data)
+		pr.ChargeRadixSort(n)
+		return
+	}
+
+	// Phase 1: local sort.
+	localsort.RadixSort(pr.Data)
+	pr.ChargeRadixSort(n)
+
+	// Phase 2: every processor contributes P-1 evenly spaced samples;
+	// an all-gather gives everyone the full P(P-1) sample set, from
+	// which each processor deterministically derives the same P-1
+	// splitters — no separate broadcast step needed.
+	samples := make([]uint32, 0, P-1)
+	for i := 1; i < P; i++ {
+		samples = append(samples, pr.Data[i*n/P])
+	}
+	gathered := pr.AllGather(samples)
+	all := make([]uint32, 0, P*(P-1))
+	for _, s := range gathered {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	splitters := make([]uint32, P-1)
+	for i := 1; i < P; i++ {
+		splitters[i-1] = all[i*(P-1)]
+	}
+	pr.ChargeCompute(pr.Costs().Merge * float64(len(all)))
+
+	// Phase 3: partition the sorted local keys by the splitters (binary
+	// searches) and redistribute. Keys equal to a splitter go right, so
+	// duplicates of one value all land on one processor — the
+	// low-entropy hazard of §5.5.
+	bounds := make([]int, P+1)
+	bounds[P] = n
+	for i, s := range splitters {
+		bounds[i+1] = sort.Search(n, func(j int) bool { return pr.Data[j] > s })
+	}
+	for i := 1; i < P; i++ { // bounds must be monotone even with duplicate splitters
+		if bounds[i] < bounds[i-1] {
+			bounds[i] = bounds[i-1]
+		}
+	}
+	msgs := make([][]uint32, P)
+	for q := 0; q < P; q++ {
+		msgs[q] = pr.Data[bounds[q]:bounds[q+1]]
+	}
+	if pr.Long() {
+		pr.ChargeCompute(pr.Costs().Pack * float64(n))
+	}
+	in := pr.Exchange(msgs)
+
+	// Phase 4: p-way merge of the received runs (each already sorted
+	// ascending). The merge replaces a separate unpack pass — the §4.3
+	// fusion applied to sample sort, as [AISS95] does.
+	runs := make([]localsort.Run, 0, P)
+	total := 0
+	for _, msg := range in {
+		runs = append(runs, localsort.Run{Keys: msg})
+		total += len(msg)
+	}
+	merged := make([]uint32, total)
+	localsort.MergeRuns(merged, runs)
+	pr.Data = merged
+	pr.ChargeMerge(total)
+	pr.Barrier()
+}

@@ -1,0 +1,406 @@
+// Package schedule generates the smart-remap schedule of §3.2 of the
+// paper: the sequence of (stage, step) positions at which the parallel
+// bitonic sort remaps its data, the Definition 7 parameters (k, s, a, b,
+// t) of each remap, the inside/crossing/Out/In/Last taxonomy of §3.2.1,
+// the changed-bit counts of Lemma 3, and the remap-shifting strategies
+// of Lemma 5 (HeadRemap, TailRemap, MiddleRemap1, MiddleRemap2).
+//
+// Conventions follow the paper: stages are numbered 1..lgN, stage
+// lgn + k (k = 1..lgP) has steps lgn+k .. 1 counted right-to-left, and
+// step s compares absolute addresses differing in bit s-1 (0-indexed).
+package schedule
+
+import (
+	"fmt"
+
+	"parbitonic/internal/addr"
+)
+
+// Kind classifies a remap.
+type Kind int
+
+const (
+	// Inside: the lg n steps following the remap stay within one stage
+	// (s >= lg n, Figure 3.5).
+	Inside Kind = iota
+	// Crossing: the steps span a stage boundary (s < lg n, Figure 3.6).
+	Crossing
+	// Last: the final remap (k = lgP, s <= lg n); the layout degenerates
+	// to blocked and only s more steps remain.
+	Last
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Inside:
+		return "inside"
+	case Crossing:
+		return "crossing"
+	case Last:
+		return "last"
+	}
+	return "unknown"
+}
+
+// Remap describes one smart remap of the schedule.
+type Remap struct {
+	Index int // 0-based position in the schedule
+
+	// K and S locate the remap: it happens just before executing step S
+	// of stage lgn+K (paper notation, S counted from the left).
+	K, S int
+
+	// A, B, T are the Definition 7 parameters (in steps/bits).
+	A, B, T int
+
+	Kind Kind
+
+	// StepsAfter is how many network steps execute locally after this
+	// remap before the next one: lg n everywhere except possibly the
+	// first and last remap, depending on the strategy.
+	StepsAfter int
+
+	// BitsChanged is N_BitsChanged of Lemma 3 for this remap relative to
+	// the previous layout in the schedule (the blocked layout for
+	// remap 0).
+	BitsChanged int
+
+	// Layout is the smart data layout installed by this remap.
+	Layout *addr.Layout
+
+	// Plan routes data from the previous layout to Layout.
+	Plan *addr.RemapPlan
+}
+
+// Strategy selects how remaps are shifted relative to the step stream
+// (Lemma 5).
+type Strategy int
+
+const (
+	// Head executes lg n steps after every remap except the last
+	// (the paper's default, used by Algorithm 1).
+	Head Strategy = iota
+	// Tail executes the leftover N_RemainingSteps after the FIRST remap
+	// and lg n after every other.
+	Tail
+	// Middle1 splits the leftover between the first and last remap,
+	// adding one extra remap.
+	Middle1
+	// Middle2 shifts remaps left: first remap executes
+	// lgn - (lgn+rem)/2 ... concretely the leftover lgn+rem is split
+	// between first and last remap without changing the remap count.
+	Middle2
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Head:
+		return "head"
+	case Tail:
+		return "tail"
+	case Middle1:
+		return "middle1"
+	case Middle2:
+		return "middle2"
+	}
+	return "unknown"
+}
+
+// TotalSteps returns the number of network steps in the last lg P
+// stages: lgP*lgn + lgP(lgP+1)/2.
+func TotalSteps(lgN, lgP int) int {
+	lgn := lgN - lgP
+	return lgP*lgn + lgP*(lgP+1)/2
+}
+
+// RemainingSteps returns N_RemainingSteps = (lgP(lgP+1)/2) mod lg n,
+// the leftover after the Head strategy's full lg n chunks (Lemma 5).
+func RemainingSteps(lgN, lgP int) int {
+	lgn := lgN - lgP
+	return (lgP * (lgP + 1) / 2) % lgn
+}
+
+// NumRemaps returns R_Smart = ceil(lgP + lgP(lgP+1)/(2*lgn)) (§3.2.1),
+// the number of remaps of the Head (and Tail) strategies.
+func NumRemaps(lgN, lgP int) int {
+	lgn := lgN - lgP
+	num := lgP*lgn + lgP*(lgP+1)/2 // total steps
+	return (num + lgn - 1) / lgn   // ceil(total / lgn)
+}
+
+// position is a (k, s) cursor into the step stream of the last lgP
+// stages.
+type position struct{ k, s int }
+
+// advance moves the cursor forward by j network steps.
+func (p position) advance(lgN, lgP, j int) position {
+	lgn := lgN - lgP
+	for j > 0 {
+		if p.s > j {
+			p.s -= j
+			return p
+		}
+		j -= p.s
+		p.k++
+		p.s = lgn + p.k
+	}
+	return p
+}
+
+// chunks returns the per-remap local step counts for a strategy.
+// The sum is always TotalSteps.
+func chunks(lgN, lgP int, strat Strategy) []int {
+	lgn := lgN - lgP
+	if lgn <= 0 {
+		panic("schedule: need at least 2 keys per processor (lg n >= 1)")
+	}
+	total := TotalSteps(lgN, lgP)
+	rem := total % lgn
+	full := total / lgn
+	var out []int
+	switch strat {
+	case Head:
+		for i := 0; i < full; i++ {
+			out = append(out, lgn)
+		}
+		if rem > 0 {
+			out = append(out, rem)
+		}
+	case Tail:
+		if rem > 0 {
+			out = append(out, rem)
+		}
+		for i := 0; i < full; i++ {
+			out = append(out, lgn)
+		}
+	case Middle1:
+		// Split the leftover across both ends, adding one remap. When
+		// there is no leftover fall back to Head (the paper defines
+		// Middle1 only for rem > 0 split into two positive parts).
+		if rem < 2 {
+			return chunks(lgN, lgP, Head)
+		}
+		out = append(out, rem/2)
+		for i := 0; i < full; i++ {
+			out = append(out, lgn)
+		}
+		out = append(out, rem-rem/2)
+	case Middle2:
+		// Shift remaps left: first and last remap share lgn+rem steps,
+		// keeping the remap count; requires the tail part to get at
+		// least rem steps (Lemma 5's N_StepsTail >= rem). With no
+		// leftover the only feasible split is the Head schedule itself.
+		if rem == 0 || full < 1 {
+			return chunks(lgN, lgP, Head)
+		}
+		share := lgn + rem
+		head := share / 2
+		if head == 0 {
+			head = 1
+		}
+		tail := share - head
+		if tail < rem {
+			tail = rem
+			head = share - rem
+		}
+		out = append(out, head)
+		for i := 0; i < full-1; i++ {
+			out = append(out, lgn)
+		}
+		out = append(out, tail)
+	default:
+		panic(fmt.Sprintf("schedule: unknown strategy %d", strat))
+	}
+	return out
+}
+
+// New generates the smart-remap schedule for sorting 2^lgN keys on
+// 2^lgP processors with the given strategy. The returned remaps carry
+// the layout of Definition 7 and the routing plan from the previous
+// layout (the first remap's plan starts from the blocked layout, which
+// is where the algorithm stands after the purely local first lg n
+// stages).
+//
+// lgP == 0 yields an empty schedule (single processor: everything is
+// local). lg n must be at least 1.
+func New(lgN, lgP int, strat Strategy) []Remap {
+	if lgP == 0 {
+		return nil
+	}
+	lgn := lgN - lgP
+	if lgn <= 0 {
+		panic("schedule: need at least 2 keys per processor (lg n >= 1)")
+	}
+	sizes := chunks(lgN, lgP, strat)
+	prev := addr.Blocked(lgN, lgP)
+	pos := position{k: 1, s: lgn + 1}
+	out := make([]Remap, 0, len(sizes))
+	for i, sz := range sizes {
+		r := describe(lgN, lgP, pos.k, pos.s)
+		r.Index = i
+		r.StepsAfter = sz
+		r.BitsChanged = addr.ChangedBits(prev, r.Layout)
+		r.Plan = addr.NewRemapPlan(prev, r.Layout)
+		out = append(out, r)
+		prev = r.Layout
+		pos = pos.advance(lgN, lgP, sz)
+	}
+	if pos.k != lgP+1 {
+		panic(fmt.Sprintf("schedule: internal error, cursor ended at stage lgn+%d", pos.k))
+	}
+	return out
+}
+
+// describe builds the Remap metadata (without Index/StepsAfter/
+// BitsChanged) for a remap at stage lgn+k, step s.
+func describe(lgN, lgP, k, s int) Remap {
+	lgn := lgN - lgP
+	r := Remap{K: k, S: s, Layout: addr.Smart(lgN, lgP, k, s)}
+	switch {
+	case k == lgP && s <= lgn:
+		r.Kind = Last
+		r.A, r.B, r.T = lgn, 0, lgn
+	case s >= lgn:
+		r.Kind = Inside
+		r.A, r.B, r.T = 0, lgn, s-lgn
+	default:
+		r.Kind = Crossing
+		r.A, r.B, r.T = s, lgn-s, s+k+1
+	}
+	return r
+}
+
+// Step identifies one compare-exchange phase of the bitonic sorting
+// network: all pairs of absolute addresses differing in bit Bit are
+// compared, and the merge direction of row r is ascending iff bit Stage
+// of r is 0 (for the final stage Stage == lgN and the direction is
+// ascending everywhere, consistent with treating the missing bit as 0).
+type Step struct {
+	Bit   int // 0-indexed absolute-address bit (paper step number - 1)
+	Stage int // paper stage number lgn+k
+}
+
+// Ascending reports the merge direction for the row with absolute
+// address abs at this step.
+func (s Step) Ascending(abs int) bool {
+	return abs>>uint(s.Stage)&1 == 0
+}
+
+// StepsFrom enumerates count network steps starting at step s of stage
+// lgn+k (inclusive), in execution order.
+func StepsFrom(lgN, lgP, k, s, count int) []Step {
+	lgn := lgN - lgP
+	out := make([]Step, 0, count)
+	for len(out) < count {
+		if k > lgP {
+			panic("schedule: StepsFrom ran past the final stage")
+		}
+		out = append(out, Step{Bit: s - 1, Stage: lgn + k})
+		s--
+		if s == 0 {
+			k++
+			s = lgn + k
+		}
+	}
+	return out
+}
+
+// Lemma3Bits returns the N_BitsChanged value Lemma 3 predicts for a
+// remap at (k, s). It covers the n >= P case, the n < P correction, and
+// the last-remap special case.
+func Lemma3Bits(lgN, lgP, k, s int) int {
+	lgn := lgN - lgP
+	if k == lgP && s <= lgn { // last remap
+		if s <= lgP {
+			return s
+		}
+		return lgP
+	}
+	if s < lgn { // crossing
+		if k+1 > lgn { // n < P: at most lg n bits can leave the local part
+			return lgn
+		}
+		return k + 1
+	}
+	// inside
+	if k > lgn { // n < P correction
+		return lgn
+	}
+	return k
+}
+
+// FirstChangeStep returns s_k of §3.2.1: the step at which the data
+// layout changes for the first time within stage lgn+k under the Head
+// strategy. a_k = k(k-1)/2 mod lg n.
+func FirstChangeStep(lgN, lgP, k int) int {
+	lgn := lgN - lgP
+	ak := (k * (k - 1) / 2) % lgn
+	if ak == 0 {
+		return lgn + k
+	}
+	return k + ak
+}
+
+// HasTwoRemaps reports whether stage lgn+k has two remaps ending within
+// it under the Head strategy (an InRemap in the paper's taxonomy):
+// lgn+k > s_k >= lgn.
+func HasTwoRemaps(lgN, lgP, k int) bool {
+	lgn := lgN - lgP
+	sk := FirstChangeStep(lgN, lgP, k)
+	return sk >= lgn && sk < lgn+k
+}
+
+// Volume returns the total number of elements each processor transfers
+// across the whole schedule: sum over remaps of n(1 - 1/2^BitsChanged)
+// (§3.2.1).
+func Volume(sched []Remap, n int) int {
+	total := 0
+	for _, r := range sched {
+		total += n - n>>uint(r.BitsChanged)
+	}
+	return total
+}
+
+// VolumeFormula evaluates the paper's closed-form V_Smart =
+// n(lgP + 1/P - 1/2^N_Last + sum over InRemap stages of (1 - 1/2^k))
+// for the Head strategy with n >= P. The caller should compare against
+// Volume(New(lgN, lgP, Head), n).
+func VolumeFormula(lgN, lgP int, n int) float64 {
+	if lgP == 0 {
+		return 0
+	}
+	lgn := lgN - lgP
+	if lgn <= 0 {
+		panic("schedule: VolumeFormula needs lg n >= 1")
+	}
+	P := float64(int(1) << uint(lgP))
+	v := float64(lgP) + 1/P
+	// N_Last: bits changed at the last remap.
+	sched := New(lgN, lgP, Head)
+	last := sched[len(sched)-1]
+	v -= 1 / float64(int(1)<<uint(last.BitsChanged))
+	for k := 1; k <= lgP; k++ {
+		if !HasTwoRemaps(lgN, lgP, k) {
+			continue
+		}
+		// When the in-stage remap of the final stage happens exactly at
+		// step lg n it *is* the last remap, already accounted by N_Last.
+		if k == lgP && FirstChangeStep(lgN, lgP, k) == lgn {
+			continue
+		}
+		v += 1 - 1/float64(int(1)<<uint(k))
+	}
+	return float64(n) * v
+}
+
+// Messages returns a lower bound on the total number of messages each
+// processor sends across the schedule: sum of (2^BitsChanged - 1)
+// (§3.4.3; each remap talks to the other group members once thanks to
+// long messages).
+func Messages(sched []Remap) int {
+	total := 0
+	for _, r := range sched {
+		total += 1<<uint(r.BitsChanged) - 1
+	}
+	return total
+}

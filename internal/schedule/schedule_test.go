@@ -1,0 +1,336 @@
+package schedule
+
+import (
+	"testing"
+
+	"parbitonic/internal/addr"
+)
+
+// The paper's running example (Figures 3.3 and 3.4): N=256 elements on
+// P=16 processors gives exactly 7 remaps with changed-bit sequence
+// 1, 2, 3, 3, 4, 4, 2.
+func TestPaperExampleN256P16(t *testing.T) {
+	lgN, lgP := 8, 4
+	sched := New(lgN, lgP, Head)
+	wantPos := [][2]int{{1, 5}, {1, 1}, {2, 3}, {3, 6}, {3, 2}, {4, 6}, {4, 2}}
+	wantBits := []int{1, 2, 3, 3, 4, 4, 2}
+	if len(sched) != len(wantPos) {
+		t.Fatalf("got %d remaps, want %d", len(sched), len(wantPos))
+	}
+	if NumRemaps(lgN, lgP) != 7 {
+		t.Fatalf("NumRemaps = %d, want 7", NumRemaps(lgN, lgP))
+	}
+	for i, r := range sched {
+		if r.K != wantPos[i][0] || r.S != wantPos[i][1] {
+			t.Errorf("remap %d at (k=%d,s=%d), want (%d,%d)", i, r.K, r.S, wantPos[i][0], wantPos[i][1])
+		}
+		if r.BitsChanged != wantBits[i] {
+			t.Errorf("remap %d changed %d bits, want %d (Figure 3.4)", i, r.BitsChanged, wantBits[i])
+		}
+	}
+	if last := sched[len(sched)-1]; last.Kind != Last || last.StepsAfter != 2 {
+		t.Errorf("last remap kind=%v steps=%d, want last/2", last.Kind, last.StepsAfter)
+	}
+	// Paper: 7 remaps here vs 8 for cyclic-blocked (2 lg P).
+	if 2*lgP <= len(sched) {
+		t.Errorf("smart should beat cyclic-blocked remap count: %d vs %d", len(sched), 2*lgP)
+	}
+}
+
+func TestStepsSumToTotal(t *testing.T) {
+	for _, d := range [][2]int{{8, 4}, {10, 3}, {12, 5}, {20, 5}, {6, 4}, {9, 8}} {
+		lgN, lgP := d[0], d[1]
+		for _, strat := range []Strategy{Head, Tail, Middle1, Middle2} {
+			sched := New(lgN, lgP, strat)
+			sum := 0
+			for _, r := range sched {
+				sum += r.StepsAfter
+				if r.StepsAfter <= 0 || r.StepsAfter > lgN-lgP {
+					t.Fatalf("%v lgN=%d lgP=%d: remap %d executes %d steps", strat, lgN, lgP, r.Index, r.StepsAfter)
+				}
+			}
+			if sum != TotalSteps(lgN, lgP) {
+				t.Errorf("%v lgN=%d lgP=%d: steps sum %d, want %d", strat, lgN, lgP, sum, TotalSteps(lgN, lgP))
+			}
+		}
+	}
+}
+
+func TestNumRemapsMatchesScheduleLength(t *testing.T) {
+	for lgN := 2; lgN <= 16; lgN++ {
+		for lgP := 1; lgP < lgN; lgP++ {
+			if got, want := len(New(lgN, lgP, Head)), NumRemaps(lgN, lgP); got != want {
+				t.Errorf("lgN=%d lgP=%d: len=%d formula=%d", lgN, lgP, got, want)
+			}
+		}
+	}
+}
+
+// Lemma 3: the analytic changed-bit formula must match the layouts.
+func TestLemma3MatchesLayouts(t *testing.T) {
+	for lgN := 2; lgN <= 14; lgN++ {
+		for lgP := 1; lgP < lgN; lgP++ {
+			for _, r := range New(lgN, lgP, Head) {
+				if want := Lemma3Bits(lgN, lgP, r.K, r.S); r.BitsChanged != want {
+					t.Errorf("lgN=%d lgP=%d remap (k=%d,s=%d,%v): layout says %d bits, Lemma 3 says %d",
+						lgN, lgP, r.K, r.S, r.Kind, r.BitsChanged, want)
+				}
+			}
+		}
+	}
+}
+
+// For usual computations (lgP(lgP+1)/2 <= lg n) the paper derives
+// R = lgP + 1 and V = n lgP exactly.
+func TestUsualCaseClosedForms(t *testing.T) {
+	for _, d := range [][2]int{{14, 4}, {20, 5}, {11, 3}} {
+		lgN, lgP := d[0], d[1]
+		lgn := lgN - lgP
+		if lgP*(lgP+1)/2 > lgn {
+			t.Fatalf("test config lgN=%d lgP=%d is not in the usual regime", lgN, lgP)
+		}
+		sched := New(lgN, lgP, Head)
+		if len(sched) != lgP+1 {
+			t.Errorf("lgN=%d lgP=%d: %d remaps, want lgP+1=%d", lgN, lgP, len(sched), lgP+1)
+		}
+		n := 1 << uint(lgn)
+		if v := Volume(sched, n); v != n*lgP {
+			t.Errorf("lgN=%d lgP=%d: volume %d, want n*lgP=%d", lgN, lgP, v, n*lgP)
+		}
+		if last := sched[len(sched)-1]; last.StepsAfter != lgP*(lgP+1)/2 {
+			t.Errorf("last remap executes %d steps, want lgP(lgP+1)/2=%d", last.StepsAfter, lgP*(lgP+1)/2)
+		}
+	}
+}
+
+func TestVolumeFormulaMatchesSchedule(t *testing.T) {
+	for lgN := 4; lgN <= 16; lgN++ {
+		for lgP := 1; lgP <= lgN/2; lgP++ { // n >= P as the paper assumes
+			n := 1 << uint(lgN-lgP)
+			sched := New(lgN, lgP, Head)
+			got := float64(Volume(sched, n))
+			want := VolumeFormula(lgN, lgP, n)
+			if got != want {
+				t.Errorf("lgN=%d lgP=%d: Volume=%v formula=%v", lgN, lgP, got, want)
+			}
+		}
+	}
+}
+
+// §3.2.1: exactly one OutRemap ends within each of the last lgP stages;
+// InRemaps appear exactly in the stages flagged by HasTwoRemaps.
+func TestRemapTaxonomy(t *testing.T) {
+	for _, d := range [][2]int{{8, 4}, {12, 4}, {14, 3}, {16, 4}, {10, 2}} {
+		lgN, lgP := d[0], d[1]
+		lgn := lgN - lgP
+		sched := New(lgN, lgP, Head)
+		outPerStage := map[int]int{}
+		inPerStage := map[int]int{}
+		for i, r := range sched {
+			if i == len(sched)-1 {
+				continue // LastRemap counted separately
+			}
+			endStage := r.K
+			if r.Kind == Crossing {
+				endStage = r.K + 1
+			}
+			if r.Kind == Crossing || r.S == lgn+r.K {
+				outPerStage[endStage]++
+			} else {
+				inPerStage[endStage]++
+			}
+		}
+		for k := 1; k <= lgP; k++ {
+			wantOut := 1
+			if k == lgP {
+				// The final stage's OutRemap may be the LastRemap itself,
+				// which we excluded above.
+				last := sched[len(sched)-1]
+				if last.K == lgP && (outPerStage[lgP] == 0) {
+					wantOut = 0
+				}
+			}
+			if outPerStage[k] != wantOut {
+				t.Errorf("lgN=%d lgP=%d: stage lgn+%d has %d OutRemaps, want %d", lgN, lgP, k, outPerStage[k], wantOut)
+			}
+			wantIn := 0
+			if HasTwoRemaps(lgN, lgP, k) && k != lgP {
+				wantIn = 1
+			}
+			if k != lgP && inPerStage[k] != wantIn {
+				t.Errorf("lgN=%d lgP=%d: stage lgn+%d has %d InRemaps, HasTwoRemaps=%v", lgN, lgP, k, inPerStage[k], HasTwoRemaps(lgN, lgP, k))
+			}
+		}
+	}
+}
+
+// Lemma 5: V_Tail <= V_Head < V_Middle1 (when Middle1 adds a remap) and
+// V_Tail <= V_Middle2, for n >= P^2. When lgP(lgP+1)/2 <= lg n,
+// V_Head == V_Tail.
+func TestLemma5VolumeOrdering(t *testing.T) {
+	for _, d := range [][2]int{{12, 4}, {10, 4}, {14, 5}, {16, 4}, {12, 3}, {18, 5}} {
+		lgN, lgP := d[0], d[1]
+		lgn := lgN - lgP
+		if lgn < 2*lgP { // n >= P^2 precondition of Lemma 5
+			continue
+		}
+		n := 1 << uint(lgn)
+		vHead := Volume(New(lgN, lgP, Head), n)
+		vTail := Volume(New(lgN, lgP, Tail), n)
+		vM1 := Volume(New(lgN, lgP, Middle1), n)
+		vM2 := Volume(New(lgN, lgP, Middle2), n)
+		if vTail > vHead {
+			t.Errorf("lgN=%d lgP=%d: V_Tail=%d > V_Head=%d", lgN, lgP, vTail, vHead)
+		}
+		if RemainingSteps(lgN, lgP) >= 2 && vHead >= vM1 {
+			t.Errorf("lgN=%d lgP=%d: V_Head=%d >= V_Middle1=%d", lgN, lgP, vHead, vM1)
+		}
+		if vTail > vM2 {
+			t.Errorf("lgN=%d lgP=%d: V_Tail=%d > V_Middle2=%d", lgN, lgP, vTail, vM2)
+		}
+		if lgP*(lgP+1)/2 <= lgn && vHead != vTail {
+			t.Errorf("lgN=%d lgP=%d: usual case should give V_Head == V_Tail (%d vs %d)", lgN, lgP, vHead, vTail)
+		}
+	}
+}
+
+// Every remap's layout must make the steps it is responsible for local,
+// for every strategy (including partial chunks).
+func TestScheduleStepsAreLocal(t *testing.T) {
+	for _, d := range [][2]int{{8, 4}, {10, 3}, {12, 5}, {6, 4}, {9, 6}} {
+		lgN, lgP := d[0], d[1]
+		for _, strat := range []Strategy{Head, Tail, Middle1, Middle2} {
+			for _, r := range New(lgN, lgP, strat) {
+				steps := StepsFrom(lgN, lgP, r.K, r.S, r.StepsAfter)
+				for _, st := range steps {
+					if !r.Layout.IsLocalBit(st.Bit) {
+						t.Fatalf("%v lgN=%d lgP=%d remap (k=%d,s=%d): step bit %d not local under %s",
+							strat, lgN, lgP, r.K, r.S, st.Bit, r.Layout)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStepsFromOrdering(t *testing.T) {
+	// lgN=5, lgP=2, lgn=3. Stage 4 steps 4..1 then stage 5 steps 5..1.
+	steps := StepsFrom(5, 2, 1, 4, 9)
+	wantBits := []int{3, 2, 1, 0, 4, 3, 2, 1, 0}
+	wantStage := []int{4, 4, 4, 4, 5, 5, 5, 5, 5}
+	for i := range steps {
+		if steps[i].Bit != wantBits[i] || steps[i].Stage != wantStage[i] {
+			t.Fatalf("step %d = %+v, want bit %d stage %d", i, steps[i], wantBits[i], wantStage[i])
+		}
+	}
+	// Direction: stage 5 (== lgN) is ascending for every row.
+	for abs := 0; abs < 32; abs++ {
+		if !(Step{Bit: 0, Stage: 5}).Ascending(abs) {
+			t.Fatalf("final stage must be ascending everywhere")
+		}
+	}
+	// Stage 4: rows with bit 4 set are descending.
+	if (Step{Bit: 0, Stage: 4}).Ascending(1 << 4) {
+		t.Fatal("row 16 should be descending in stage 4")
+	}
+}
+
+func TestStepsFromPanicsPastEnd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StepsFrom should panic when running past the final stage")
+		}
+	}()
+	StepsFrom(5, 2, 2, 1, 2)
+}
+
+// Groups must be consecutive aligned processor ranges at every remap of
+// the real schedule (Lemma 4's stronger claim).
+func TestGroupsConsecutive(t *testing.T) {
+	for _, d := range [][2]int{{10, 4}, {12, 5}, {8, 3}} {
+		lgN, lgP := d[0], d[1]
+		for _, r := range New(lgN, lgP, Head) {
+			for p := 0; p < 1<<uint(lgP); p++ {
+				dests := r.Plan.Dests(p)
+				min, max := dests[0], dests[0]
+				for _, q := range dests {
+					if q < min {
+						min = q
+					}
+					if q > max {
+						max = q
+					}
+				}
+				gs := r.Plan.GroupSize()
+				if max-min+1 != gs || min != gs*(p/gs) {
+					t.Fatalf("lgN=%d lgP=%d remap (k=%d,s=%d): proc %d group %v not consecutive/aligned",
+						lgN, lgP, r.K, r.S, p, dests)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyAndInvalidSchedules(t *testing.T) {
+	if s := New(10, 0, Head); len(s) != 0 {
+		t.Errorf("P=1 should yield an empty schedule, got %d remaps", len(s))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lg n = 0 should panic")
+		}
+	}()
+	New(4, 4, Head)
+}
+
+func TestFirstChangeStepRecurrence(t *testing.T) {
+	// s_k must equal the S position of the first remap ending within
+	// stage lgn+k in the Head schedule, whenever that remap exists with
+	// a_k > 0; when a_k == 0 an OutRemap starts exactly at the stage
+	// boundary (s_k = lgn+k).
+	for _, d := range [][2]int{{8, 4}, {12, 4}, {16, 5}} {
+		lgN, lgP := d[0], d[1]
+		lgn := lgN - lgP
+		sched := New(lgN, lgP, Head)
+		for k := 1; k <= lgP; k++ {
+			sk := FirstChangeStep(lgN, lgP, k)
+			if sk < 1 || sk > lgn+k {
+				t.Fatalf("s_%d = %d out of range", k, sk)
+			}
+			// Find the first remap whose covered steps end inside stage
+			// lgn+k; its position must be (k, s_k) when it starts inside
+			// the stage.
+			for _, r := range sched {
+				if r.K == k && r.S < lgn+k && r.Kind != Last {
+					if r.S != sk && sk != lgn+k {
+						t.Errorf("lgN=%d lgP=%d stage %d: first in-stage remap at s=%d, formula s_k=%d",
+							lgN, lgP, k, r.S, sk)
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+// Layouts along the schedule are valid and distinct from their
+// predecessors (except trivially when a remap is a no-op, which must
+// never happen).
+func TestScheduleLayoutsValidAndMoving(t *testing.T) {
+	for _, d := range [][2]int{{8, 4}, {14, 4}, {9, 5}} {
+		lgN, lgP := d[0], d[1]
+		prev := addr.Blocked(lgN, lgP)
+		for _, r := range New(lgN, lgP, Head) {
+			if err := r.Layout.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if r.BitsChanged == 0 {
+				t.Fatalf("lgN=%d lgP=%d remap (k=%d,s=%d) is a no-op", lgN, lgP, r.K, r.S)
+			}
+			if r.Plan.Old != prev && !r.Plan.Old.Equal(prev) {
+				t.Fatalf("plan chain broken at remap %d", r.Index)
+			}
+			prev = r.Layout
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package svgchart emits the evaluation figures as standalone SVG
+// documents using only the standard library, so the reproduction can
+// regenerate graphical versions of Figures 5.1-5.8 alongside the data
+// tables. Output is deterministic.
+package svgchart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is a categorical-x line chart (matching the paper's figures,
+// which plot metric-vs-size or metric-vs-P with discrete x values).
+type Chart struct {
+	Title   string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+
+	// Width and Height of the SVG canvas in pixels (defaults 640x400).
+	Width, Height int
+}
+
+// palette holds distinguishable stroke colours.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 50
+)
+
+// Render returns the chart as a complete SVG document.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 400
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(c.Title))
+
+	plotW := w - marginLeft - marginRight
+	plotH := h - marginTop - marginBottom
+	cols := len(c.XLabels)
+	if cols == 0 || len(c.Series) == 0 || plotW <= 0 || plotH <= 0 {
+		sb.WriteString(`<text x="20" y="60" font-family="sans-serif" font-size="12">(no data)</text>` + "\n</svg>\n")
+		return sb.String()
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		sb.WriteString(`<text x="20" y="60" font-family="sans-serif" font-size="12">(no data)</text>` + "\n</svg>\n")
+		return sb.String()
+	}
+	if lo > 0 && lo < hi/3 || lo == hi {
+		lo = 0 // anchor at zero unless the values are tightly clustered
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	xAt := func(i int) float64 {
+		if cols == 1 {
+			return float64(marginLeft) + float64(plotW)/2
+		}
+		return float64(marginLeft) + float64(i)*float64(plotW)/float64(cols-1)
+	}
+	yAt := func(v float64) float64 {
+		return float64(marginTop) + (hi-v)/(hi-lo)*float64(plotH)
+	}
+
+	// Axes and gridlines with 5 y ticks.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	for t := 0; t <= 4; t++ {
+		v := lo + (hi-lo)*float64(t)/4
+		y := yAt(v)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, fmtNum(v))
+	}
+	for i, xl := range c.XLabels {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			xAt(i), marginTop+plotH+18, escape(xl))
+	}
+	fmt.Fprintf(&sb, `<text x="16" y="%d" font-family="sans-serif" font-size="11" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Series polylines with point markers and a legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, v := range s.Y {
+			if i >= cols {
+				break
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAt(i), yAt(v)))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i, v := range s.Y {
+			if i >= cols {
+				break
+			}
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", xAt(i), yAt(v), color)
+		}
+		ly := marginTop + 8 + si*16
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginLeft+plotW-130, ly, marginLeft+plotW-110, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft+plotW-104, ly+4, escape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func fmtNum(v float64) string {
+	switch {
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.1e", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

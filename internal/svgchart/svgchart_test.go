@@ -1,0 +1,89 @@
+package svgchart
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func demoChart() *Chart {
+	return &Chart{
+		Title:   "Figure 5.2 — µs per key",
+		YLabel:  "µs/key",
+		XLabels: []string{"128K", "256K", "512K", "1024K"},
+		Series: []Series{
+			{Name: "smart", Y: []float64{0.66, 0.65, 0.64, 0.58}},
+			{Name: "cyclic-blocked", Y: []float64{0.90, 0.88, 0.87, 0.87}},
+			{Name: "blocked-merge", Y: []float64{1.43, 1.43, 1.43, 1.43}},
+		},
+	}
+}
+
+// Every rendered chart must be well-formed XML.
+func TestRenderIsWellFormedXML(t *testing.T) {
+	out := demoChart().Render()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestRenderContents(t *testing.T) {
+	out := demoChart().Render()
+	for _, want := range []string{"polyline", "smart", "cyclic-blocked", "blocked-merge", "128K", "1024K", "µs/key", "<svg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 3 {
+		t.Errorf("want 3 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	if got := strings.Count(out, "<circle"); got != 12 {
+		t.Errorf("want 12 point markers, got %d", got)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	c := demoChart()
+	if c.Render() != c.Render() {
+		t.Error("nondeterministic render")
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	empty := &Chart{Title: "x"}
+	if out := empty.Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart should say so: %s", out)
+	}
+	flat := &Chart{XLabels: []string{"a"}, Series: []Series{{Name: "s", Y: []float64{5}}}}
+	out := flat.Render()
+	if !strings.Contains(out, "<polyline") {
+		t.Errorf("flat chart should still plot: %s", out)
+	}
+	// Escaping: titles with XML metacharacters must not break the doc.
+	evil := &Chart{Title: `a<b & "c"`, XLabels: []string{"x"}, Series: []Series{{Name: "<s>", Y: []float64{1}}}}
+	got := evil.Render()
+	dec := xml.NewDecoder(strings.NewReader(got))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("escaping broken: %v", err)
+		}
+	}
+}
+
+func TestFmtNum(t *testing.T) {
+	cases := map[float64]string{0.5: "0.5", 42: "42", 0: "0", 1234: "1.23e+03", 0.001: "1.0e-03"}
+	for in, want := range cases {
+		if got := fmtNum(in); got != want {
+			t.Errorf("fmtNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

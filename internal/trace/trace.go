@@ -1,0 +1,199 @@
+// Package trace records per-processor virtual-time events from the
+// simulated machine and renders them as a textual Gantt timeline. It
+// makes visible what the aggregate numbers hide: where each processor
+// spends its modelled time and how much of it is idling at barriers —
+// the load imbalance that, e.g., sample sort suffers on skewed inputs
+// (§5.5).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Phase identifies what a processor was doing during an event.
+type Phase byte
+
+const (
+	Compute  Phase = 'C'
+	Pack     Phase = 'P'
+	Transfer Phase = 'T'
+	Unpack   Phase = 'U'
+	Wait     Phase = '.' // idle at a barrier waiting for slower peers
+)
+
+func (p Phase) String() string {
+	switch p {
+	case Compute:
+		return "compute"
+	case Pack:
+		return "pack"
+	case Transfer:
+		return "transfer"
+	case Unpack:
+		return "unpack"
+	case Wait:
+		return "wait"
+	}
+	return "?"
+}
+
+// Event is one span of virtual time on one processor.
+type Event struct {
+	Proc       int
+	Phase      Phase
+	Start, End float64 // model µs
+}
+
+// Recorder collects events; safe for concurrent use by the machine's
+// processor goroutines.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add records an event. Zero-length events are dropped.
+func (r *Recorder) Add(e Event) {
+	if e.End <= e.Start {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by processor and
+// start time.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// Reset clears the recorder for reuse.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.mu.Unlock()
+}
+
+// PhaseTotals sums the recorded time by phase across all processors.
+func (r *Recorder) PhaseTotals() map[Phase]float64 {
+	totals := map[Phase]float64{}
+	for _, e := range r.Events() {
+		totals[e.Phase] += e.End - e.Start
+	}
+	return totals
+}
+
+// WaitShare returns the fraction of total recorded time spent idling at
+// barriers — a direct load-imbalance measure.
+func (r *Recorder) WaitShare() float64 {
+	totals := r.PhaseTotals()
+	var all float64
+	for _, v := range totals {
+		all += v
+	}
+	if all == 0 {
+		return 0
+	}
+	return totals[Wait] / all
+}
+
+// Timeline renders a Gantt chart: one row per processor, `width`
+// buckets across the makespan, each bucket showing the phase that
+// dominated it (blank when nothing was recorded there).
+func (r *Recorder) Timeline(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	events := r.Events()
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	maxProc, makespan := 0, 0.0
+	for _, e := range events {
+		if e.Proc > maxProc {
+			maxProc = e.Proc
+		}
+		if e.End > makespan {
+			makespan = e.End
+		}
+	}
+	bucket := makespan / float64(width)
+	if bucket == 0 {
+		bucket = 1
+	}
+	// weights[proc][bucket][phase] accumulated via a dense map keyed by
+	// phase letter.
+	type cell map[Phase]float64
+	grid := make([][]cell, maxProc+1)
+	for p := range grid {
+		grid[p] = make([]cell, width)
+	}
+	for _, e := range events {
+		b0 := int(e.Start / bucket)
+		b1 := int(e.End / bucket)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			lo := float64(b) * bucket
+			hi := lo + bucket
+			overlap := minF(e.End, hi) - maxF(e.Start, lo)
+			if overlap <= 0 {
+				continue
+			}
+			if grid[e.Proc][b] == nil {
+				grid[e.Proc][b] = cell{}
+			}
+			grid[e.Proc][b][e.Phase] += overlap
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "virtual-time timeline (%.0f µs across %d buckets); C=compute P=pack T=transfer U=unpack .=wait\n",
+		makespan, width)
+	for p := 0; p <= maxProc; p++ {
+		fmt.Fprintf(&sb, "proc %3d |", p)
+		for b := 0; b < width; b++ {
+			c := grid[p][b]
+			if len(c) == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			best, bestW := Phase(' '), -1.0
+			// Deterministic tie-break: iterate phases in fixed order.
+			for _, ph := range []Phase{Compute, Pack, Transfer, Unpack, Wait} {
+				if w, ok := c[ph]; ok && w > bestW {
+					best, bestW = ph, w
+				}
+			}
+			sb.WriteByte(byte(best))
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndTotals(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Proc: 0, Phase: Compute, Start: 0, End: 10})
+	r.Add(Event{Proc: 1, Phase: Wait, Start: 5, End: 10})
+	r.Add(Event{Proc: 0, Phase: Transfer, Start: 10, End: 12})
+	r.Add(Event{Proc: 0, Phase: Pack, Start: 12, End: 12}) // zero length: dropped
+	totals := r.PhaseTotals()
+	if totals[Compute] != 10 || totals[Wait] != 5 || totals[Transfer] != 2 || totals[Pack] != 0 {
+		t.Errorf("totals %v", totals)
+	}
+	if got := r.WaitShare(); got < 0.29 || got > 0.30 {
+		t.Errorf("wait share %v, want 5/17", got)
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Proc: 1, Phase: Compute, Start: 3, End: 4})
+	r.Add(Event{Proc: 0, Phase: Compute, Start: 5, End: 6})
+	r.Add(Event{Proc: 0, Phase: Compute, Start: 1, End: 2})
+	ev := r.Events()
+	if ev[0].Proc != 0 || ev[0].Start != 1 || ev[2].Proc != 1 {
+		t.Errorf("events not sorted: %v", ev)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Proc: 0, Phase: Compute, Start: 0, End: 50})
+	r.Add(Event{Proc: 0, Phase: Transfer, Start: 50, End: 100})
+	r.Add(Event{Proc: 1, Phase: Compute, Start: 0, End: 20})
+	r.Add(Event{Proc: 1, Phase: Wait, Start: 20, End: 100})
+	out := r.Timeline(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "C") || !strings.Contains(lines[1], "T") {
+		t.Errorf("proc 0 row missing phases: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ".") {
+		t.Errorf("proc 1 row missing wait: %q", lines[2])
+	}
+	// Proc 0's first half is compute, second half transfer.
+	row := lines[1][strings.Index(lines[1], "|")+1:]
+	if row[0] != 'C' || row[18] != 'T' {
+		t.Errorf("phase placement wrong: %q", row)
+	}
+}
+
+func TestTimelineEmptyAndReset(t *testing.T) {
+	var r Recorder
+	if !strings.Contains(r.Timeline(10), "no events") {
+		t.Error("empty timeline should say so")
+	}
+	r.Add(Event{Proc: 0, Phase: Compute, Start: 0, End: 1})
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("reset should clear")
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	for ph, want := range map[Phase]string{Compute: "compute", Pack: "pack", Transfer: "transfer", Unpack: "unpack", Wait: "wait", Phase('z'): "?"} {
+		if ph.String() != want {
+			t.Errorf("%c -> %q want %q", byte(ph), ph.String(), want)
+		}
+	}
+}

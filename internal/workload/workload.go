@@ -1,0 +1,147 @@
+// Package workload generates the key distributions used by the
+// experiments. The paper uses "random, uniformly-distributed 32-bit
+// keys" whose generator "produces numbers in the range 0 through
+// 2^31 - 1" (§5.3); Uniform31 reproduces that. The other distributions
+// exercise the §5.5 discussion: sample sort degrades on low-entropy
+// inputs while bitonic sort is oblivious to the distribution.
+package workload
+
+import "fmt"
+
+// Dist selects a key distribution.
+type Dist int
+
+const (
+	// Uniform31 draws uniform keys in [0, 2^31) — the paper's workload.
+	Uniform31 Dist = iota
+	// FullRange draws uniform keys over all 32 bits.
+	FullRange
+	// Sorted produces an already ascending sequence.
+	Sorted
+	// Reverse produces a descending sequence.
+	Reverse
+	// FewDistinct draws from only 8 distinct values (low entropy).
+	FewDistinct
+	// Gaussian approximates a normal distribution by averaging four
+	// uniform draws (low variance around 2^30).
+	Gaussian
+	// AllEqual produces a constant sequence (zero entropy).
+	AllEqual
+)
+
+func (d Dist) String() string {
+	switch d {
+	case Uniform31:
+		return "uniform31"
+	case FullRange:
+		return "fullrange"
+	case Sorted:
+		return "sorted"
+	case Reverse:
+		return "reverse"
+	case FewDistinct:
+		return "fewdistinct"
+	case Gaussian:
+		return "gaussian"
+	case AllEqual:
+		return "allequal"
+	}
+	return fmt.Sprintf("dist(%d)", int(d))
+}
+
+// Dists lists every distribution, for sweep-style tests.
+func Dists() []Dist {
+	return []Dist{Uniform31, FullRange, Sorted, Reverse, FewDistinct, Gaussian, AllEqual}
+}
+
+// RNG is a small deterministic xorshift64* generator, so experiments
+// are reproducible without importing math/rand state semantics.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator; seed 0 is remapped to a fixed nonzero value.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns the next 32-bit value.
+func (r *RNG) Uint32() uint32 { return uint32(r.Next() >> 32) }
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn on non-positive bound")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Keys generates n keys of the given distribution.
+func Keys(d Dist, n int, seed uint64) []uint32 {
+	rng := NewRNG(seed)
+	out := make([]uint32, n)
+	switch d {
+	case Uniform31:
+		for i := range out {
+			out[i] = rng.Uint32() & 0x7fffffff
+		}
+	case FullRange:
+		for i := range out {
+			out[i] = rng.Uint32()
+		}
+	case Sorted:
+		for i := range out {
+			out[i] = uint32(i)
+		}
+	case Reverse:
+		for i := range out {
+			out[i] = uint32(n - i)
+		}
+	case FewDistinct:
+		vals := make([]uint32, 8)
+		for i := range vals {
+			vals[i] = rng.Uint32() & 0x7fffffff
+		}
+		for i := range out {
+			out[i] = vals[rng.Intn(len(vals))]
+		}
+	case Gaussian:
+		for i := range out {
+			s := uint64(0)
+			for j := 0; j < 4; j++ {
+				s += uint64(rng.Uint32() & 0x7fffffff)
+			}
+			out[i] = uint32(s / 4)
+		}
+	case AllEqual:
+		v := rng.Uint32() & 0x7fffffff
+		for i := range out {
+			out[i] = v
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown distribution %d", int(d)))
+	}
+	return out
+}
+
+// PerProc generates N = n*P keys and deals them blocked: processor p
+// receives keys[p*n : (p+1)*n], the paper's initial blocked layout.
+func PerProc(d Dist, p, n int, seed uint64) [][]uint32 {
+	all := Keys(d, p*n, seed)
+	out := make([][]uint32, p)
+	for i := range out {
+		out[i] = all[i*n : (i+1)*n : (i+1)*n]
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKeysDeterministic(t *testing.T) {
+	for _, d := range Dists() {
+		a := Keys(d, 1000, 7)
+		b := Keys(d, 1000, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: nondeterministic at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := Keys(Uniform31, 1000, 1)
+	b := Keys(Uniform31, 1000, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("different seeds produced %d/1000 identical keys", same)
+	}
+}
+
+func TestUniform31Range(t *testing.T) {
+	for _, k := range Keys(Uniform31, 10000, 3) {
+		if k >= 1<<31 {
+			t.Fatalf("key %d outside [0, 2^31) — the paper's generator range", k)
+		}
+	}
+}
+
+func TestUniform31LooksUniform(t *testing.T) {
+	keys := Keys(Uniform31, 1<<16, 4)
+	var buckets [16]int
+	for _, k := range keys {
+		buckets[k>>27]++
+	}
+	want := len(keys) / 16
+	for i, c := range buckets {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d has %d keys, expected about %d", i, c, want)
+		}
+	}
+}
+
+func TestShapedDistributions(t *testing.T) {
+	s := Keys(Sorted, 100, 5)
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			t.Fatal("Sorted is not sorted")
+		}
+	}
+	r := Keys(Reverse, 100, 5)
+	for i := 1; i < len(r); i++ {
+		if r[i-1] < r[i] {
+			t.Fatal("Reverse is not reversed")
+		}
+	}
+	few := map[uint32]bool{}
+	for _, k := range Keys(FewDistinct, 10000, 5) {
+		few[k] = true
+	}
+	if len(few) > 8 {
+		t.Errorf("FewDistinct produced %d distinct values", len(few))
+	}
+	eq := Keys(AllEqual, 100, 5)
+	for _, k := range eq {
+		if k != eq[0] {
+			t.Fatal("AllEqual not constant")
+		}
+	}
+}
+
+func TestGaussianConcentrates(t *testing.T) {
+	keys := Keys(Gaussian, 1<<14, 6)
+	mid := uint32(1 << 30)
+	within := 0
+	for _, k := range keys {
+		if k > mid/2 && k < mid+mid/2 {
+			within++
+		}
+	}
+	// Mean of four uniforms: the +/-25% band around the mean covers
+	// about +/-1.7 sigma, i.e. ~91% of the mass.
+	if within < len(keys)*85/100 {
+		t.Errorf("Gaussian: only %d/%d within the central band", within, len(keys))
+	}
+}
+
+func TestPerProcDealsBlocked(t *testing.T) {
+	parts := PerProc(Sorted, 4, 8, 1)
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	for p, part := range parts {
+		if len(part) != 8 {
+			t.Fatalf("part %d has %d keys", p, len(part))
+		}
+		for i, k := range part {
+			if k != uint32(p*8+i) {
+				t.Fatalf("blocked deal broken at proc %d index %d", p, i)
+			}
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	a := NewRNG(0).Next()
+	if a == 0 {
+		t.Error("zero seed should still produce entropy")
+	}
+}
+
+func TestQuickRNGNoShortCycles(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		seen := map[uint64]bool{}
+		for i := 0; i < 1000; i++ {
+			v := r.Next()
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnknownDistPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown distribution should panic")
+		}
+	}()
+	Keys(Dist(99), 10, 1)
+}
+
+func TestDistStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range Dists() {
+		name := d.String()
+		if name == "" || seen[name] {
+			t.Errorf("empty or duplicate name for %d: %q", int(d), name)
+		}
+		seen[name] = true
+	}
+	if Dist(99).String() != "dist(99)" {
+		t.Errorf("fallback name: %s", Dist(99).String())
+	}
+}

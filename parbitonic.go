@@ -1,0 +1,414 @@
+// Package parbitonic is a Go reproduction of "Optimizing Parallel
+// Bitonic Sort" (Ionescu, UCSB 1996 / IPPS 1997): a communication- and
+// computation-optimal parallel bitonic sort for coarse-grained
+// machines, together with the baselines and comparator sorts the paper
+// evaluates against, all running on a simulated distributed-memory SPMD
+// machine with LogP/LogGP virtual-time accounting.
+//
+// The quickest way in:
+//
+//	keys := workload-like random data
+//	res, err := parbitonic.Sort(keys, parbitonic.Config{Processors: 16})
+//	// keys is now sorted; res carries the model time and communication
+//	// counters (remaps, volume, messages, phase breakdown).
+//
+// The paper's algorithm is Config{Algorithm: SmartBitonic} (the
+// default): it remaps data between "smart" layouts so that exactly
+// lg(N/P) network steps execute locally after every remap — the
+// provable maximum — and replaces all local compare-exchange work with
+// linear-time sorts of bitonic sequences.
+package parbitonic
+
+import (
+	"fmt"
+
+	"parbitonic/internal/bitseq"
+	"parbitonic/internal/core"
+	"parbitonic/internal/logp"
+	"parbitonic/internal/machine"
+	"parbitonic/internal/psort"
+	"parbitonic/internal/schedule"
+	"parbitonic/internal/trace"
+)
+
+// Algorithm selects the parallel sorting algorithm.
+type Algorithm int
+
+const (
+	// SmartBitonic is the paper's contribution: the minimum-remap smart
+	// data layout (Chapter 3) with optimized local computation
+	// (Chapter 4).
+	SmartBitonic Algorithm = iota
+	// CyclicBlockedBitonic alternates blocked and cyclic layouts
+	// ([CDMS94], §2.3) — two remaps per stage. Requires N >= P².
+	CyclicBlockedBitonic
+	// BlockedMergeBitonic keeps a fixed blocked layout with pairwise
+	// remote compare-split steps ([BLM+91], §5.3).
+	BlockedMergeBitonic
+	// SampleSort is the one-pass parallel sample sort of [AISS95],
+	// the §5.5 comparator.
+	SampleSort
+	// RadixSort is the parallel LSD radix sort of [AISS95], the other
+	// §5.5 comparator.
+	RadixSort
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case SmartBitonic:
+		return "smart-bitonic"
+	case CyclicBlockedBitonic:
+		return "cyclic-blocked-bitonic"
+	case BlockedMergeBitonic:
+		return "blocked-merge-bitonic"
+	case SampleSort:
+		return "sample-sort"
+	case RadixSort:
+		return "radix-sort"
+	}
+	return "unknown"
+}
+
+// Config configures a sort. The zero value plus a Processors count is a
+// sensible default: the smart algorithm, long messages, optimized local
+// computation, Meiko-CS-2-like model parameters.
+type Config struct {
+	// Processors is the simulated machine size P (power of two, >= 1).
+	Processors int
+
+	Algorithm Algorithm
+
+	// ShortMessages switches the remaps to elementwise transfers
+	// (§3.3's baseline); the default is long messages.
+	ShortMessages bool
+
+	// SimulateSteps replaces the optimized local computation with the
+	// step-by-step compare-exchange simulation (the Chapter 4 ablation;
+	// bitonic algorithms only).
+	SimulateSteps bool
+
+	// FusePackUnpack folds packing/unpacking into the local sorts
+	// (§4.3; SmartBitonic without step simulation only). In the usual
+	// regime (lgP(lgP+1)/2 <= lg(N/P)) this runs the fully fused
+	// FullSort implementation — one p-way merge per remap, no separate
+	// pack/unpack passes at all (§4.1, Figure 4.8); outside it the
+	// optimized implementation runs with the fusion accounted in the
+	// cost model.
+	FusePackUnpack bool
+
+	// Strategy shifts the smart remaps relative to the step stream
+	// (Lemma 5). Non-Head strategies imply SimulateSteps (the optimized
+	// local computation is derived for the Head alignment).
+	Strategy RemapStrategy
+
+	// Model overrides the LogGP machine parameters; nil uses
+	// Meiko-CS-2-like defaults.
+	Model *ModelParams
+
+	// Costs overrides the local-computation cost model; nil uses the
+	// calibrated defaults.
+	Costs *machine.CostModel
+
+	// Trace, when non-nil, records every processor's virtual-time spans
+	// (compute/pack/transfer/unpack/barrier-wait) during the sort; use
+	// its Timeline method to render a Gantt view. The zero value of
+	// TraceRecorder is ready to use.
+	Trace *TraceRecorder
+}
+
+// TraceRecorder collects per-processor virtual-time events; see
+// Config.Trace.
+type TraceRecorder = trace.Recorder
+
+// RemapStrategy selects how the smart remaps are shifted relative to
+// the network's step stream (Lemma 5).
+type RemapStrategy int
+
+const (
+	// HeadRemap executes lg n steps after every remap except the last —
+	// the paper's default.
+	HeadRemap RemapStrategy = iota
+	// TailRemap executes the leftover steps after the first remap; it
+	// transfers no more data than HeadRemap (Lemma 5).
+	TailRemap
+	// MiddleRemap1 splits the leftover across both ends, adding a remap.
+	MiddleRemap1
+	// MiddleRemap2 shifts the remaps left without changing their count.
+	MiddleRemap2
+)
+
+func (s RemapStrategy) schedule() schedule.Strategy {
+	switch s {
+	case TailRemap:
+		return schedule.Tail
+	case MiddleRemap1:
+		return schedule.Middle1
+	case MiddleRemap2:
+		return schedule.Middle2
+	default:
+		return schedule.Head
+	}
+}
+
+// ModelParams are the LogGP parameters of the simulated machine, in
+// model microseconds (per key for GKey and ShortKey). See
+// internal/logp for the formulas.
+type ModelParams struct {
+	L, O, Gap, GKey, ShortKey float64
+}
+
+// Result reports a completed sort.
+type Result struct {
+	// Algorithm that ran.
+	Algorithm Algorithm
+	// Keys is the total number of keys sorted.
+	Keys int
+	// Time is the modelled execution time in model microseconds (the
+	// makespan over all processors' virtual clocks).
+	Time float64
+	// Remaps, VolumeSent and MessagesSent are per-processor averages of
+	// the three communication metrics of §3.4.
+	Remaps       int
+	VolumeSent   int
+	MessagesSent int
+	// ComputeTime, PackTime, TransferTime, UnpackTime break down the
+	// per-processor average time by phase (Figures 5.4 and 5.6).
+	ComputeTime  float64
+	PackTime     float64
+	TransferTime float64
+	UnpackTime   float64
+}
+
+// TimePerKey returns the paper's per-key metric: Time / Keys.
+func (r Result) TimePerKey() float64 {
+	if r.Keys == 0 {
+		return 0
+	}
+	return r.Time / float64(r.Keys)
+}
+
+// CommTime returns the communication part of the per-processor time.
+func (r Result) CommTime() float64 { return r.PackTime + r.TransferTime + r.UnpackTime }
+
+// Sort sorts keys in place (ascending) on a simulated machine with
+// cfg.Processors processors and returns the modelled execution
+// statistics. len(keys) must be a multiple of Processors with a
+// power-of-two per-processor share (the bitonic network sorts
+// power-of-two sizes; the paper assumes the same).
+func Sort(keys []uint32, cfg Config) (Result, error) {
+	p := cfg.Processors
+	if p < 1 || p&(p-1) != 0 {
+		return Result{}, fmt.Errorf("parbitonic: Processors must be a positive power of two, got %d", p)
+	}
+	if len(keys) == 0 || len(keys)%p != 0 {
+		return Result{}, fmt.Errorf("parbitonic: %d keys cannot be divided over %d processors", len(keys), p)
+	}
+	n := len(keys) / p
+	if n&(n-1) != 0 {
+		return Result{}, fmt.Errorf("parbitonic: keys per processor (%d) must be a power of two", n)
+	}
+
+	m := machine.New(machineConfig(cfg))
+	data := make([][]uint32, p)
+	for i := range data {
+		data[i] = append([]uint32(nil), keys[i*n:(i+1)*n]...)
+	}
+
+	var (
+		res machine.Result
+		err error
+	)
+	switch cfg.Algorithm {
+	case SmartBitonic, CyclicBlockedBitonic, BlockedMergeBitonic:
+		opts := core.Options{Fused: cfg.FusePackUnpack}
+		switch cfg.Algorithm {
+		case CyclicBlockedBitonic:
+			opts.Algorithm = core.CyclicBlocked
+		case BlockedMergeBitonic:
+			opts.Algorithm = core.BlockedMerge
+		default:
+			opts.Algorithm = core.Smart
+		}
+		opts.Strategy = cfg.Strategy.schedule()
+		if cfg.SimulateSteps || opts.Strategy != schedule.Head {
+			opts.Compute = core.Simulated
+		}
+		if cfg.FusePackUnpack && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
+			lgn, lgP := log2(n), log2(p)
+			if p == 1 || lgP*(lgP+1)/2 <= lgn {
+				opts.Compute = core.FullSort
+			}
+		}
+		res, err = core.Sort(m, data, opts)
+	case SampleSort:
+		var sres psort.SampleSortResult
+		sres, err = psort.SampleSort(m, data)
+		res = sres.Result
+	case RadixSort:
+		res, err = psort.RadixSort(m, data)
+	default:
+		err = fmt.Errorf("parbitonic: unknown algorithm %v", cfg.Algorithm)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	pos := 0
+	for _, d := range m.Data() {
+		pos += copy(keys[pos:], d)
+	}
+	if pos != len(keys) {
+		return Result{}, fmt.Errorf("parbitonic: internal error, %d of %d keys returned", pos, len(keys))
+	}
+
+	return Result{
+		Algorithm:    cfg.Algorithm,
+		Keys:         len(keys),
+		Time:         res.Time,
+		Remaps:       res.Mean.Remaps,
+		VolumeSent:   res.Mean.VolumeSent,
+		MessagesSent: res.Mean.MessagesSent,
+		ComputeTime:  res.Mean.ComputeTime,
+		PackTime:     res.Mean.PackTime,
+		TransferTime: res.Mean.TransferTime,
+		UnpackTime:   res.Mean.UnpackTime,
+	}, nil
+}
+
+func machineConfig(cfg Config) machine.Config {
+	mc := machine.DefaultConfig(cfg.Processors)
+	mc.Long = !cfg.ShortMessages
+	if cfg.Model != nil {
+		mc.Model = logp.Params{
+			L: cfg.Model.L, O: cfg.Model.O, Gap: cfg.Model.Gap,
+			GKey: cfg.Model.GKey, ShortKey: cfg.Model.ShortKey, P: cfg.Processors,
+		}
+	}
+	if cfg.Costs != nil {
+		mc.Costs = *cfg.Costs
+	}
+	mc.Trace = cfg.Trace
+	return mc
+}
+
+// SortPadded sorts keys of arbitrary length: the input is padded with
+// maximal keys up to the next length divisible into power-of-two
+// per-processor shares, sorted with Sort, and the padding stripped.
+// Result statistics refer to the padded run.
+func SortPadded(keys []uint32, cfg Config) (Result, error) {
+	p := cfg.Processors
+	if p < 1 || p&(p-1) != 0 {
+		return Result{}, fmt.Errorf("parbitonic: Processors must be a positive power of two, got %d", p)
+	}
+	if len(keys) == 0 {
+		return Result{}, fmt.Errorf("parbitonic: no keys")
+	}
+	n := (len(keys) + p - 1) / p
+	for n&(n-1) != 0 {
+		n++
+	}
+	if p > 1 && n < 2 {
+		n = 2 // the bitonic algorithms need at least two keys per processor
+	}
+	total := n * p
+	if total == len(keys) {
+		return Sort(keys, cfg)
+	}
+	padded := make([]uint32, total)
+	copy(padded, keys)
+	for i := len(keys); i < total; i++ {
+		padded[i] = ^uint32(0)
+	}
+	res, err := Sort(padded, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	// All padding keys are maximal, so they occupy the tail (possibly
+	// interleaved with genuine maximal keys, which is harmless: the
+	// kept prefix is still the sorted multiset of the input).
+	copy(keys, padded[:len(keys)])
+	return res, nil
+}
+
+// ---- re-exported bitonic-sequence utilities (Chapter 4 primitives) ----
+
+// IsBitonic reports whether s is a bitonic sequence (Definition 1).
+func IsBitonic(s []uint32) bool { return bitseq.IsBitonic(s) }
+
+// MinIndexBitonic returns the index of a minimum of the bitonic
+// sequence s, in O(log n) time for duplicate-free input (Algorithm 2).
+func MinIndexBitonic(s []uint32) int { return bitseq.MinIndex(s) }
+
+// SortBitonicSequence sorts the bitonic sequence src into dst in O(n)
+// time (Lemma 9). dst and src must have equal length and not overlap.
+func SortBitonicSequence(dst, src []uint32, ascending bool) {
+	bitseq.SortBitonic(dst, src, ascending)
+}
+
+// RemapInfo describes one remap of the smart schedule, for inspection.
+type RemapInfo struct {
+	Stage, Step int    // paper coordinates: stage lgn+K, step S
+	Kind        string // "inside", "crossing" or "last"
+	StepsAfter  int    // network steps executed locally after the remap
+	BitsChanged int    // Lemma 3's N_BitsChanged
+	BitPattern  string // 'P'/'L' rendering of the layout (Figure 3.4)
+}
+
+// SmartSchedule returns the smart remap schedule for sorting 2^lgN keys
+// on 2^lgP processors (Head strategy) — the data behind Figures 3.3
+// and 3.4.
+func SmartSchedule(lgN, lgP int) []RemapInfo {
+	lgn := lgN - lgP
+	var out []RemapInfo
+	for _, r := range schedule.New(lgN, lgP, schedule.Head) {
+		l := *r.Layout
+		l.Name = ""
+		out = append(out, RemapInfo{
+			Stage:       lgn + r.K,
+			Step:        r.S,
+			Kind:        r.Kind.String(),
+			StepsAfter:  r.StepsAfter,
+			BitsChanged: r.BitsChanged,
+			BitPattern:  l.String(),
+		})
+	}
+	return out
+}
+
+// Predict returns the analytic LogP/LogGP communication metrics and
+// times for the three bitonic remapping strategies (§3.4) without
+// running anything: the (R, V, M) table and the total communication
+// time under the given message mode.
+type Prediction struct {
+	Strategy            string
+	Remaps, Volume, Msg int
+	CommTime            float64
+}
+
+// Predict evaluates the §3.4 analysis for sorting 2^lgN keys on 2^lgP
+// processors under Meiko-like parameters (or cfg.Model overrides).
+func Predict(lgN, lgP int, longMessages bool, model *ModelParams) []Prediction {
+	p := logp.MeikoCS2(1 << uint(lgP))
+	if model != nil {
+		p = logp.Params{L: model.L, O: model.O, Gap: model.Gap, GKey: model.GKey, ShortKey: model.ShortKey, P: 1 << uint(lgP)}
+	}
+	n := 1 << uint(lgN-lgP)
+	metrics := []logp.Metrics{logp.Blocked(lgP, n), logp.CyclicBlocked(lgP, n), logp.Smart(lgN, lgP)}
+	var out []Prediction
+	for _, m := range metrics {
+		t := m.ShortTime(p)
+		if longMessages {
+			t = m.LongTime(p)
+		}
+		out = append(out, Prediction{Strategy: m.Name, Remaps: m.R, Volume: m.V, Msg: m.M, CommTime: t})
+	}
+	return out
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}
