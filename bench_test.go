@@ -194,8 +194,8 @@ func BenchmarkAblation_Compute(b *testing.B) {
 func BenchmarkExperimentSuite(b *testing.B) {
 	cfg := experiments.Config{Seed: 1996, Scale: 9}
 	for i := 0; i < b.N; i++ {
-		if tabs := experiments.All(cfg); len(tabs) != 12 {
-			b.Fatalf("expected 12 tables, got %d", len(tabs))
+		if tabs := experiments.All(cfg); len(tabs) != 13 {
+			b.Fatalf("expected 13 tables, got %d", len(tabs))
 		}
 	}
 }

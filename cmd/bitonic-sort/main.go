@@ -1,11 +1,14 @@
-// Command bitonic-sort sorts a synthetic workload on the simulated
-// machine with a chosen algorithm and prints the modelled execution
-// statistics — a quick way to poke at the library from the shell.
+// Command bitonic-sort sorts a synthetic workload with a chosen
+// algorithm and prints the execution statistics — a quick way to poke
+// at the library from the shell. By default it runs on the simulated
+// machine and reports model time; -backend native runs the same
+// algorithm as real goroutines and reports wall-clock time.
 //
 // Usage:
 //
 //	bitonic-sort [-p procs] [-n keys-per-proc] [-alg name] [-dist name]
-//	             [-short] [-simulate] [-fused] [-seed S] [-v]
+//	             [-backend simulated|native] [-short] [-simulate]
+//	             [-fused] [-seed S] [-v]
 package main
 
 import (
@@ -39,6 +42,7 @@ func main() {
 	p := flag.Int("p", 16, "number of simulated processors (power of two)")
 	n := flag.Int("n", 1<<16, "keys per processor (power of two)")
 	algName := flag.String("alg", "smart", "algorithm: smart, cyclic-blocked, blocked-merge, sample, radix")
+	backendName := flag.String("backend", "simulated", "execution backend: simulated (model time) or native (wall-clock)")
 	distName := flag.String("dist", "uniform", "distribution: uniform, fullrange, sorted, reverse, fewdistinct, gaussian, allequal")
 	short := flag.Bool("short", false, "use short (elementwise) messages")
 	simulate := flag.Bool("simulate", false, "simulate every network step instead of optimized local sorts")
@@ -58,6 +62,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *distName)
 		os.Exit(2)
 	}
+	var backend parbitonic.Backend
+	switch *backendName {
+	case "simulated":
+		backend = parbitonic.Simulated
+	case "native":
+		backend = parbitonic.Native
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backendName)
+		os.Exit(2)
+	}
 
 	keys := workload.Keys(dist, *p**n, *seed)
 	var rec *parbitonic.TraceRecorder
@@ -67,6 +81,7 @@ func main() {
 	res, err := parbitonic.Sort(keys, parbitonic.Config{
 		Processors:     *p,
 		Algorithm:      alg,
+		Backend:        backend,
 		ShortMessages:  *short,
 		SimulateSteps:  *simulate,
 		FusePackUnpack: *fused,
@@ -83,9 +98,17 @@ func main() {
 		}
 	}
 
-	fmt.Printf("algorithm        %s (%s keys, %s messages)\n", res.Algorithm, *distName, msgMode(*short))
+	if backend == parbitonic.Native {
+		fmt.Printf("algorithm        %s (%s keys, native backend)\n", res.Algorithm, *distName)
+	} else {
+		fmt.Printf("algorithm        %s (%s keys, %s messages)\n", res.Algorithm, *distName, msgMode(*short))
+	}
 	fmt.Printf("keys             %d total = %d procs x %d\n", res.Keys, *p, *n)
-	fmt.Printf("model time       %.1f us  (%.4f us/key)\n", res.Time, res.TimePerKey())
+	if backend == parbitonic.Native {
+		fmt.Printf("wall time        %.1f us  (%.4f us/key)\n", res.Time, res.TimePerKey())
+	} else {
+		fmt.Printf("model time       %.1f us  (%.4f us/key)\n", res.Time, res.TimePerKey())
+	}
 	fmt.Printf("per-processor    remaps=%d  volume=%d keys  messages=%d\n", res.Remaps, res.VolumeSent, res.MessagesSent)
 	fmt.Printf("phase breakdown  compute=%.1f  pack=%.1f  transfer=%.1f  unpack=%.1f (us)\n",
 		res.ComputeTime, res.PackTime, res.TransferTime, res.UnpackTime)

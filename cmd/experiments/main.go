@@ -59,7 +59,7 @@ func main() {
 		experiments.Table51, experiments.Table52, experiments.Fig53, experiments.Fig54,
 		experiments.Table53, experiments.Table54, experiments.Fig57, experiments.Fig58,
 		experiments.AnalysisRVM, experiments.AblationShift, experiments.AblationCompute,
-		experiments.FutureWorkOverlap,
+		experiments.FutureWorkOverlap, experiments.NativeThroughput,
 	}
 	ran := 0
 	for _, run := range runners {

@@ -2,18 +2,19 @@ package core
 
 import (
 	"parbitonic/internal/addr"
+	"parbitonic/internal/intbits"
 	"parbitonic/internal/localsort"
-	"parbitonic/internal/machine"
 	"parbitonic/internal/schedule"
+	"parbitonic/internal/spmd"
 )
 
 // cyclicBlockedSort is the [CDMS94] baseline of §2.3: for each of the
 // last lg P stages, remap blocked->cyclic, execute the first k steps
 // locally (bitonic-split sweeps), remap back to blocked, and finish the
 // stage with a local sort. Requires n >= P.
-func cyclicBlockedSort(pr *machine.Proc, toCyclic, toBlocked *addr.RemapPlan, opts Options) {
+func cyclicBlockedSort(pr *spmd.Proc, toCyclic, toBlocked *addr.RemapPlan, opts Options) {
 	n := len(pr.Data)
-	lgn, lgP := log2(n), log2(pr.P())
+	lgn, lgP := intbits.Log2(n), intbits.Log2(pr.P())
 	lgN := lgn + lgP
 
 	localsort.Sort(pr.Data, pr.ID%2 == 0)
@@ -74,9 +75,9 @@ func cyclicBlockedSort(pr *machine.Proc, toCyclic, toBlocked *addr.RemapPlan, op
 // layout. For stage lg n + k the first k steps pair processors that
 // exchange their full n keys and keep the element-wise minima or maxima
 // (a remote compare-split); the remaining lg n steps are a local sort.
-func blockedMergeSort(pr *machine.Proc) {
+func blockedMergeSort(pr *spmd.Proc) {
 	n := len(pr.Data)
-	lgn, lgP := log2(n), log2(pr.P())
+	lgn, lgP := intbits.Log2(n), intbits.Log2(pr.P())
 	lgN := lgn + lgP
 
 	localsort.Sort(pr.Data, pr.ID%2 == 0)

@@ -18,8 +18,9 @@ import (
 	"fmt"
 
 	"parbitonic/internal/addr"
-	"parbitonic/internal/machine"
+	"parbitonic/internal/intbits"
 	"parbitonic/internal/schedule"
+	"parbitonic/internal/spmd"
 )
 
 // Algorithm selects a parallel sorting algorithm.
@@ -113,7 +114,7 @@ func (o Options) Validate(p, n int) error {
 		if o.Algorithm != Smart {
 			return fmt.Errorf("core: FullSort applies to the Smart algorithm only")
 		}
-		lgn, lgP := log2(n), log2(p)
+		lgn, lgP := intbits.Log2(n), intbits.Log2(p)
 		if p > 1 && lgP*(lgP+1)/2 > lgn {
 			return fmt.Errorf("core: FullSort requires the usual regime lgP(lgP+1)/2 <= lg n (lgP=%d, lgn=%d)", lgP, lgn)
 		}
@@ -125,53 +126,44 @@ func (o Options) Validate(p, n int) error {
 // n keys per processor, blocked layout). It takes ownership of data —
 // the slices are consumed. On return the machine's processors hold the
 // globally sorted keys in blocked layout; retrieve them with m.Data().
-func Sort(m *machine.Machine, data [][]uint32, opts Options) (machine.Result, error) {
+func Sort(m spmd.Backend, data [][]uint32, opts Options) (spmd.Result, error) {
 	p := m.P()
 	if len(data) != p {
-		return machine.Result{}, fmt.Errorf("core: %d data slices for %d processors", len(data), p)
+		return spmd.Result{}, fmt.Errorf("core: %d data slices for %d processors", len(data), p)
 	}
 	n := len(data[0])
 	for i, d := range data {
 		if len(d) != n {
-			return machine.Result{}, fmt.Errorf("core: processor %d holds %d keys, want %d", i, len(d), n)
+			return spmd.Result{}, fmt.Errorf("core: processor %d holds %d keys, want %d", i, len(d), n)
 		}
 	}
 	if err := opts.Validate(p, n); err != nil {
-		return machine.Result{}, err
+		return spmd.Result{}, err
 	}
-	var body func(*machine.Proc)
+	var body func(*spmd.Proc)
 	switch opts.Algorithm {
 	case Smart:
 		// Build the schedule (layouts + remap plans) once; it is shared
 		// read-only by all processors.
 		var sched []schedule.Remap
 		if p > 1 {
-			sched = schedule.New(log2(n)+log2(p), log2(p), opts.Strategy)
+			sched = schedule.New(intbits.Log2(n)+intbits.Log2(p), intbits.Log2(p), opts.Strategy)
 		}
-		body = func(pr *machine.Proc) { smartSort(pr, sched, opts) }
+		body = func(pr *spmd.Proc) { smartSort(pr, sched, opts) }
 	case CyclicBlocked:
 		var toCyclic, toBlocked *addr.RemapPlan
 		if p > 1 {
-			lgN, lgP := log2(n)+log2(p), log2(p)
+			lgN, lgP := intbits.Log2(n)+intbits.Log2(p), intbits.Log2(p)
 			toCyclic = addr.NewRemapPlan(addr.Blocked(lgN, lgP), addr.Cyclic(lgN, lgP))
 			toBlocked = addr.NewRemapPlan(addr.Cyclic(lgN, lgP), addr.Blocked(lgN, lgP))
 		}
-		body = func(pr *machine.Proc) { cyclicBlockedSort(pr, toCyclic, toBlocked, opts) }
+		body = func(pr *spmd.Proc) { cyclicBlockedSort(pr, toCyclic, toBlocked, opts) }
 	case BlockedMerge:
-		body = func(pr *machine.Proc) { blockedMergeSort(pr) }
+		body = func(pr *spmd.Proc) { blockedMergeSort(pr) }
 	default:
-		return machine.Result{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
+		return spmd.Result{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
 	}
 	return m.Run(data, body), nil
-}
-
-// log2 returns lg n for a power of two n.
-func log2(n int) int {
-	k := 0
-	for 1<<uint(k) < n {
-		k++
-	}
-	return k
 }
 
 // ascFor returns the merge direction of stage `stage` for every element
@@ -194,7 +186,7 @@ func ascFor(l *addr.Layout, proc, stage int) bool {
 // under layout l: compare-exchange every local pair whose absolute
 // addresses differ in st.Bit, which must be a local bit of l. This is
 // the unoptimized local computation (and the oracle for Chapter 4).
-func simulateStep(pr *machine.Proc, l *addr.Layout, st schedule.Step) {
+func simulateStep(pr *spmd.Proc, l *addr.Layout, st schedule.Step) {
 	localBit := -1
 	for i, b := range l.LocalBits {
 		if b == st.Bit {

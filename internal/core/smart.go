@@ -4,9 +4,10 @@ import (
 	"fmt"
 
 	"parbitonic/internal/bitseq"
+	"parbitonic/internal/intbits"
 	"parbitonic/internal/localsort"
-	"parbitonic/internal/machine"
 	"parbitonic/internal/schedule"
+	"parbitonic/internal/spmd"
 )
 
 // smartSort is Algorithm 1: local sort for the first lg n stages, then
@@ -15,9 +16,9 @@ import (
 //
 // The schedule (with its remap plans) is precomputed once by Sort and
 // shared read-only by all processors.
-func smartSort(pr *machine.Proc, sched []schedule.Remap, opts Options) {
+func smartSort(pr *spmd.Proc, sched []schedule.Remap, opts Options) {
 	n := len(pr.Data)
-	lgn, lgP := log2(n), log2(pr.P())
+	lgn, lgP := intbits.Log2(n), intbits.Log2(pr.P())
 	lgN := lgn + lgP
 
 	// Stages 1..lg n: entirely local under the blocked layout. Their net
@@ -58,7 +59,7 @@ func smartSort(pr *machine.Proc, sched []schedule.Remap, opts Options) {
 //     the next remap needs (§4.1, Figures 4.3-4.5);
 //   - packing for the next remap is the merge's emission pass, so no
 //     separate pack or unpack pass is charged (§4.3, Figure 4.8).
-func fullSortRun(pr *machine.Proc, sched []schedule.Remap, lgn, lgP int) {
+func fullSortRun(pr *spmd.Proc, sched []schedule.Remap, lgn, lgP int) {
 	// dirAfter gives the direction processor q's keys are sorted in
 	// once remap i's local phase completed: the merge direction of the
 	// stage the phase ends in, which is processor-determined.
@@ -80,7 +81,19 @@ func fullSortRun(pr *machine.Proc, sched []schedule.Remap, lgn, lgP int) {
 	// the thesis's first Chapter 7 refinement). Only the final phase
 	// materializes a local array.
 	n := len(pr.Data)
+	dest := make([]int32, n)
+	off := make([]int32, n)
 	in := pr.RemapExchangeRuns(sched[0].Plan, true)
+	// recycle hands the round's consumed message buffers back to the
+	// engine pool; the next round's pack reuses them, so steady-state
+	// FullSort allocates nothing per remap.
+	recycle := func() {
+		for _, msg := range in {
+			if len(msg) > 0 {
+				pr.PutBuf(msg)
+			}
+		}
+	}
 	for i, r := range sched {
 		// The usual-regime shape Validate guaranteed: an inside remap,
 		// then crossings, then the last remap.
@@ -114,6 +127,7 @@ func fullSortRun(pr *machine.Proc, sched []schedule.Remap, lgn, lgP int) {
 			localsort.MergeRuns(merged, runs)
 			pr.Data = merged
 			pr.ChargeMerge(total)
+			recycle()
 			return
 		}
 
@@ -121,12 +135,7 @@ func fullSortRun(pr *machine.Proc, sched []schedule.Remap, lgn, lgP int) {
 		// index e (ascending region) or n-1-e (descending region), and
 		// goes to the next plan's destination slot for that index.
 		next := sched[i+1].Plan
-		out := make([][]uint32, pr.P())
-		for _, q := range next.Dests(pr.ID) {
-			out[q] = make([]uint32, next.MsgLen)
-		}
-		dest := make([]int32, n)
-		off := make([]int32, n)
+		out := pr.PackBuffers(next)
 		next.Route(pr.ID, dest, off)
 		if dirAfter(i, pr.ID) {
 			localsort.MergeRunsEmit(runs, total, func(rank int, v uint32) {
@@ -139,13 +148,15 @@ func fullSortRun(pr *machine.Proc, sched []schedule.Remap, lgn, lgP int) {
 			})
 		}
 		pr.ChargeMerge(total)
+		recycle()
 		in = pr.RemapExchangePrepacked(next, out)
+		pr.ClearPackBuffers()
 	}
 }
 
 // smartPhase runs the optimized local computation for the lg n (or, for
 // the last remap, S) steps following remap r, per Theorems 2 and 3.
-func smartPhase(pr *machine.Proc, r schedule.Remap, lgn, lgP int) {
+func smartPhase(pr *spmd.Proc, r schedule.Remap, lgn, lgP int) {
 	n := len(pr.Data)
 	switch r.Kind {
 	case schedule.Inside:

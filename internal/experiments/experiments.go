@@ -13,6 +13,7 @@ import (
 
 	"parbitonic"
 	"parbitonic/internal/asciichart"
+	"parbitonic/internal/intbits"
 	"parbitonic/internal/logp"
 	"parbitonic/internal/schedule"
 	"parbitonic/internal/svgchart"
@@ -387,7 +388,7 @@ func compareSorts(c Config, p int, id string) *Table {
 func AnalysisRVM(c Config) *Table {
 	lgP := 4
 	n := c.keysPerProc(256)
-	lgn := log2(n)
+	lgn := intbits.Log2(n)
 	lgN := lgn + lgP
 	t := &Table{
 		ID:      "§3.4 analysis",
@@ -474,16 +475,8 @@ func All(c Config) []*Table {
 		Table51(c), Table52(c), Fig53(c), Fig54(c),
 		Table53(c), Table54(c), Fig57(c), Fig58(c),
 		AnalysisRVM(c), AblationShift(c), AblationCompute(c),
-		FutureWorkOverlap(c),
+		FutureWorkOverlap(c), NativeThroughput(c),
 	}
-}
-
-func log2(n int) int {
-	k := 0
-	for 1<<uint(k) < n {
-		k++
-	}
-	return k
 }
 
 // FutureWorkOverlap quantifies the thesis's Chapter 7 suggestion to

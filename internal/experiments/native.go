@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"time"
+
+	"parbitonic"
+	"parbitonic/internal/intbits"
+	"parbitonic/internal/workload"
+)
+
+// NativeThroughput is not a paper reproduction: it pits the smart
+// bitonic sort running on the native wall-clock backend against Go's
+// single-threaded slices.Sort over the same keys — the sanity check
+// that the paper's algorithm, executed for real rather than simulated,
+// is a usable parallel sort on the host machine.
+func NativeThroughput(c Config) *Table {
+	p := intbits.CeilPow2(runtime.GOMAXPROCS(0))
+	if p < 4 {
+		p = 4
+	}
+	t := &Table{
+		ID:    "Native throughput",
+		Title: fmt.Sprintf("smart bitonic on the native backend (P=%d goroutines) vs single-threaded slices.Sort, wall ms", p),
+		Columns: []string{"keys total", "native smart (ms)", "slices.Sort (ms)", "speedup",
+			"native us/key"},
+		Notes: []string{
+			fmt.Sprintf("host: GOMAXPROCS=%d; native times are measured wall clock, not model time.", runtime.GOMAXPROCS(0)),
+			"speedup > 1 means the parallel bitonic sort beats the stdlib sequential sort.",
+		},
+		ChartYCols: []int{1, 2},
+		ChartYLab:  "wall ms",
+	}
+	for _, kKeys := range paperSizesK {
+		n := c.keysPerProc(kKeys)
+		keys := workload.Keys(workload.Uniform31, p*n, c.Seed)
+
+		ref := slices.Clone(keys)
+		t0 := time.Now()
+		slices.Sort(ref)
+		stdMS := time.Since(t0).Seconds() * 1e3
+
+		res, err := parbitonic.Sort(keys, parbitonic.Config{
+			Processors: p,
+			Backend:    parbitonic.Native,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		if !slices.Equal(keys, ref) {
+			panic("experiments: native sort output differs from slices.Sort")
+		}
+		natMS := res.Time / 1e3
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p*n),
+			f2(natMS), f2(stdMS), f2(stdMS / natMS),
+			fmt.Sprintf("%.4f", res.TimePerKey()),
+		})
+	}
+	return t
+}

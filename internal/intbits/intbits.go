@@ -1,0 +1,27 @@
+// Package intbits centralizes the small power-of-two bit arithmetic
+// the module needs everywhere: ceil-log2, next-power-of-two round-up
+// and power-of-two testing, all constant-time via math/bits. Before
+// this package existed, four copies of a linear-loop log2 lived in
+// parbitonic, core, network and experiments.
+package intbits
+
+import "math/bits"
+
+// Log2 returns the smallest k with 1<<k >= n (ceil(lg n)); for a power
+// of two this is the exact base-2 logarithm. Log2(n) = 0 for n <= 1.
+func Log2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// CeilPow2 returns the smallest power of two >= n (1 for n <= 1).
+func CeilPow2(n int) int {
+	return 1 << uint(Log2(n))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}

@@ -1,0 +1,52 @@
+package intbits
+
+import "testing"
+
+func TestLog2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {7, 3}, {8, 3},
+		{9, 4}, {1023, 10}, {1024, 10}, {1025, 11}, {1 << 20, 20}, {1<<20 + 1, 21},
+	}
+	for _, c := range cases {
+		if got := Log2(c.n); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Must agree with the loop implementation it replaced.
+	loop := func(n int) int {
+		k := 0
+		for 1<<uint(k) < n {
+			k++
+		}
+		return k
+	}
+	for n := 0; n < 1<<12; n++ {
+		if Log2(n) != loop(n) {
+			t.Fatalf("Log2(%d) = %d, loop says %d", n, Log2(n), loop(n))
+		}
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := CeilPow2(c.n); got != c.want {
+			t.Errorf("CeilPow2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024, 1 << 30} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -1, -2, 3, 6, 1023} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}

@@ -1,69 +1,46 @@
-// Package machine simulates the distributed-memory SPMD machine the
-// paper ran on (a Meiko CS-2 programmed in Split-C). P virtual
-// processors execute as goroutines with private memories and
-// communicate through collective exchanges; a per-processor virtual
-// clock is charged using the LogP/LogGP formulas of §3.4 for
-// communication and a per-element cost model for local computation.
+// Package machine is the LogP/LogGP *simulator* backend of the SPMD
+// runtime (internal/spmd): P virtual processors execute as goroutines
+// with private memories and communicate through collective exchanges,
+// while a per-processor virtual clock is charged using the formulas of
+// §3.4 for communication and a per-element cost model for local
+// computation — the distributed-memory machine the paper ran on (a
+// Meiko CS-2 programmed in Split-C).
 //
 // The simulator therefore serves two purposes at once: the algorithms
 // really execute (so correctness is exercised end to end, with true
 // concurrency across the goroutines), and every run yields the model
 // times, volumes, message counts and phase breakdowns that the paper's
-// tables and figures report.
+// tables and figures report. For running the same algorithms at real
+// hardware speed instead, see internal/native, the wall-clock backend
+// of the same runtime.
 package machine
 
 import (
-	"fmt"
-	"sync"
-
-	"parbitonic/internal/addr"
 	"parbitonic/internal/logp"
+	"parbitonic/internal/spmd"
 	"parbitonic/internal/trace"
 )
 
+// The runtime types algorithms and callers program against live in
+// internal/spmd; the historical names are preserved here because this
+// package is where simulator users import them from.
+
+// Proc is one virtual processor, owned by exactly one goroutine during
+// Run.
+type Proc = spmd.Proc
+
 // CostModel gives the virtual cost, in model microseconds per element,
-// of each local-computation routine. The defaults are calibrated so the
-// simulated per-key times land in the same regime as the paper's Meiko
-// CS-2 measurements (see DESIGN.md §2); only relative magnitudes carry
-// meaning.
-type CostModel struct {
-	RadixPass       float64 // one counting pass of LSD radix sort, per key
-	RadixPasses     int     // passes needed for 32-bit keys
-	Merge           float64 // linear merge / bitonic-merge-sort work, per key
-	CompareExchange float64 // one simulated network step, per key
-	Pack            float64 // packing into long messages, per key
-	Unpack          float64 // unpacking from long messages, per key
+// of each local-computation routine.
+type CostModel = spmd.CostModel
 
-	// CacheAlpha adds a relative penalty per doubling of the local data
-	// size beyond 2^LgCacheKeys keys, modelling the cache misses the
-	// paper observes ("when we increase the number of elements, a higher
-	// percentage of the total execution time is spent during the local
-	// computation phases... due to cache misses", §5.3). Every
-	// computation charge is multiplied by
-	// 1 + CacheAlpha * max(0, lg n - LgCacheKeys).
-	CacheAlpha  float64
-	LgCacheKeys int
-}
+// Stats accumulates per-processor counters and virtual time by phase.
+type Stats = spmd.Stats
 
-// DefaultCosts returns the calibrated cost model. The per-key values
-// are model microseconds per local element, back-solved from the
-// paper's per-key tables: pack/unpack reproduce Table 5.4's 0.35/0.13
-// µs per key at P=16 over 5 remaps; radix/merge/compare-exchange place
-// the three algorithms of Table 5.1 in the measured ratios; the cache
-// term reproduces the per-key growth with n. LgCacheKeys = 18 is the
-// CS-2 node's 1 MB external cache in 4-byte keys.
-func DefaultCosts() CostModel {
-	return CostModel{
-		RadixPass:       0.50,
-		RadixPasses:     3,
-		Merge:           0.90,
-		CompareExchange: 0.55,
-		Pack:            0.55,
-		Unpack:          0.25,
-		CacheAlpha:      0.045,
-		LgCacheKeys:     18,
-	}
-}
+// Result is what a completed SPMD run reports.
+type Result = spmd.Result
+
+// DefaultCosts returns the calibrated cost model (see spmd.DefaultCosts).
+func DefaultCosts() CostModel { return spmd.DefaultCosts() }
 
 // Config configures a simulated machine.
 type Config struct {
@@ -83,411 +60,87 @@ func DefaultConfig(p int) Config {
 	return Config{P: p, Model: logp.MeikoCS2(p), Costs: DefaultCosts(), Long: true}
 }
 
-// Stats accumulates per-processor counters and virtual time by phase.
-type Stats struct {
-	Remaps       int // collective remap operations participated in
-	MessagesSent int // messages to *other* processors
-	VolumeSent   int // keys sent to other processors
-
-	ComputeTime  float64 // local sorts, merges, compare-exchange steps
-	PackTime     float64
-	TransferTime float64
-	UnpackTime   float64
-}
-
-// CommTime returns the communication portion of the time: packing,
-// transfer and unpacking.
-func (s Stats) CommTime() float64 { return s.PackTime + s.TransferTime + s.UnpackTime }
-
-// Total returns all charged time.
-func (s Stats) Total() float64 { return s.ComputeTime + s.CommTime() }
-
-func (s *Stats) add(o Stats) {
-	s.Remaps += o.Remaps
-	s.MessagesSent += o.MessagesSent
-	s.VolumeSent += o.VolumeSent
-	s.ComputeTime += o.ComputeTime
-	s.PackTime += o.PackTime
-	s.TransferTime += o.TransferTime
-	s.UnpackTime += o.UnpackTime
-}
-
-// Result is what a completed SPMD run reports.
-type Result struct {
-	Time    float64 // makespan: the maximum final virtual clock, model µs
-	PerProc []Stats
-	Sum     Stats // per-processor stats summed over all processors
-	Mean    Stats // per-processor averages (the machine is symmetric)
-}
-
-// TimePerKey returns Time divided by the total key count, the paper's
-// "execution time per key" metric.
-func (r Result) TimePerKey(totalKeys int) float64 { return r.Time / float64(totalKeys) }
-
-// Machine is a simulated P-processor distributed-memory machine.
+// Machine is a simulated P-processor distributed-memory machine: the
+// shared SPMD engine driven by the virtual-time charger. It implements
+// spmd.Backend.
 type Machine struct {
-	cfg   Config
-	board [][]delivery // board[src][dst], rewritten every exchange round
-	bar   *barrier
-	procs []*Proc
-}
-
-type delivery struct {
-	data []uint32
-}
-
-// Proc is one virtual processor, owned by exactly one goroutine during
-// Run.
-type Proc struct {
-	ID   int
-	m    *Machine
-	Data []uint32 // local keys; algorithms read and replace freely
-
-	Clock float64
-	Stats Stats
+	*spmd.Engine
+	cfg Config
 }
 
 // New creates a machine. P must be a power of two and at least 1.
 func New(cfg Config) *Machine {
-	if cfg.P < 1 || cfg.P&(cfg.P-1) != 0 {
-		panic(fmt.Sprintf("machine: P=%d must be a positive power of two", cfg.P))
-	}
 	if cfg.Costs.RadixPasses <= 0 {
 		cfg.Costs = DefaultCosts()
 	}
-	m := &Machine{cfg: cfg, bar: newBarrier(cfg.P)}
-	m.board = make([][]delivery, cfg.P)
-	for i := range m.board {
-		m.board[i] = make([]delivery, cfg.P)
-	}
-	m.procs = make([]*Proc, cfg.P)
-	for i := range m.procs {
-		m.procs[i] = &Proc{ID: i, m: m}
-	}
-	return m
+	eng := spmd.NewEngine(spmd.EngineConfig{
+		P:     cfg.P,
+		Costs: cfg.Costs,
+		Long:  cfg.Long,
+		Charge: &simCharger{
+			model: cfg.Model,
+			costs: cfg.Costs,
+			long:  cfg.Long,
+			rec:   cfg.Trace,
+		},
+		Trace: cfg.Trace,
+	})
+	return &Machine{Engine: eng, cfg: cfg}
 }
-
-// P returns the processor count.
-func (m *Machine) P() int { return m.cfg.P }
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// Run executes body once per processor, concurrently, SPMD style, and
-// aggregates the results. data[i] becomes processor i's initial local
-// memory (may be nil). If any processor panics, Run re-panics with its
-// message after unblocking the others.
-func (m *Machine) Run(data [][]uint32, body func(p *Proc)) Result {
-	if data != nil && len(data) != m.cfg.P {
-		panic(fmt.Sprintf("machine: Run got %d data slices for %d processors", len(data), m.cfg.P))
-	}
-	var wg sync.WaitGroup
-	panics := make(chan interface{}, m.cfg.P)
-	for i := range m.procs {
-		p := m.procs[i]
-		p.Clock = 0
-		p.Stats = Stats{}
-		if data != nil {
-			p.Data = data[i]
-		} else {
-			p.Data = nil
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics <- r
-					m.bar.poison()
-				}
-			}()
-			body(p)
-		}()
-	}
-	wg.Wait()
-	select {
-	case r := <-panics:
-		m.bar.reset()
-		panic(fmt.Sprintf("machine: processor panicked: %v", r))
-	default:
-	}
-
-	var res Result
-	res.PerProc = make([]Stats, m.cfg.P)
-	for i, p := range m.procs {
-		res.PerProc[i] = p.Stats
-		res.Sum.add(p.Stats)
-		if p.Clock > res.Time {
-			res.Time = p.Clock
-		}
-	}
-	res.Mean = res.Sum
-	f := float64(m.cfg.P)
-	res.Mean.Remaps /= m.cfg.P
-	res.Mean.MessagesSent /= m.cfg.P
-	res.Mean.VolumeSent /= m.cfg.P
-	res.Mean.ComputeTime /= f
-	res.Mean.PackTime /= f
-	res.Mean.TransferTime /= f
-	res.Mean.UnpackTime /= f
-	return res
+// simCharger advances the virtual clocks: every phase costs what the
+// LogGP formulas (communication) and the calibrated per-element cost
+// model (computation) say it would on the modelled machine.
+type simCharger struct {
+	model logp.Params
+	costs CostModel
+	long  bool
+	rec   *trace.Recorder
 }
 
-// Data returns the final local data of every processor after a Run.
-func (m *Machine) Data() [][]uint32 {
-	out := make([][]uint32, m.cfg.P)
-	for i, p := range m.procs {
-		out[i] = p.Data
+// span records a phase of duration t starting at the processor's
+// current virtual clock.
+func (c *simCharger) span(p *Proc, ph trace.Phase, t float64) {
+	if c.rec != nil {
+		c.rec.Add(trace.Event{Proc: p.ID, Phase: ph, Start: p.Clock, End: p.Clock + t})
 	}
-	return out
 }
 
-// ---- virtual time charging ----
+func (c *simCharger) Start(*Proc) {}
 
-// P returns the machine's processor count.
-func (p *Proc) P() int { return p.m.cfg.P }
+func (c *simCharger) Synced(*Proc) {}
 
-// Costs exposes the machine's computation cost model.
-func (p *Proc) Costs() CostModel { return p.m.cfg.Costs }
-
-// Long reports whether the machine uses long messages.
-func (p *Proc) Long() bool { return p.m.cfg.Long }
-
-// ChargeCompute advances the clock by t model µs of local computation.
-func (p *Proc) ChargeCompute(t float64) {
-	p.span(trace.Compute, t)
+func (c *simCharger) Compute(p *Proc, t float64) {
+	c.span(p, trace.Compute, t)
 	p.Clock += t
 	p.Stats.ComputeTime += t
 }
 
-// span records a phase of duration t starting at the current clock.
-func (p *Proc) span(ph trace.Phase, t float64) {
-	if rec := p.m.cfg.Trace; rec != nil {
-		rec.Add(trace.Event{Proc: p.ID, Phase: ph, Start: p.Clock, End: p.Clock + t})
-	}
-}
-
-// cacheFactor is the cache-miss multiplier for memory-bound work over n
-// local keys.
-func (c CostModel) cacheFactor(n int) float64 {
-	if c.CacheAlpha == 0 {
-		return 1
-	}
-	lg := 0
-	for 1<<uint(lg) < n {
-		lg++
-	}
-	if lg <= c.LgCacheKeys {
-		return 1
-	}
-	return 1 + c.CacheAlpha*float64(lg-c.LgCacheKeys)
-}
-
-// ChargeRadixSort charges a full local radix sort of n keys.
-func (p *Proc) ChargeRadixSort(n int) {
-	c := p.m.cfg.Costs
-	p.ChargeCompute(c.RadixPass * float64(c.RadixPasses) * float64(n) * c.cacheFactor(n))
-}
-
-// ChargeMerge charges linear merge work over n keys (bitonic merge
-// sort, two-way or p-way merging — all O(n) routines of Chapter 4).
-func (p *Proc) ChargeMerge(n int) {
-	c := p.m.cfg.Costs
-	p.ChargeCompute(c.Merge * float64(n) * c.cacheFactor(n))
-}
-
-// ChargeCompareExchange charges one simulated network step over n keys.
-func (p *Proc) ChargeCompareExchange(n int) {
-	c := p.m.cfg.Costs
-	p.ChargeCompute(c.CompareExchange * float64(n) * c.cacheFactor(n))
-}
-
-func (p *Proc) chargePack(n int) {
-	c := p.m.cfg.Costs
-	t := c.Pack * float64(n) * c.cacheFactor(n)
-	p.span(trace.Pack, t)
+func (c *simCharger) Pack(p *Proc, n int) {
+	t := c.costs.Pack * float64(n) * c.costs.CacheFactor(n)
+	c.span(p, trace.Pack, t)
 	p.Clock += t
 	p.Stats.PackTime += t
 }
 
-func (p *Proc) chargeUnpack(n int) {
-	c := p.m.cfg.Costs
-	t := c.Unpack * float64(n) * c.cacheFactor(n)
-	p.span(trace.Unpack, t)
+func (c *simCharger) Unpack(p *Proc, n int) {
+	t := c.costs.Unpack * float64(n) * c.costs.CacheFactor(n)
+	c.span(p, trace.Unpack, t)
 	p.Clock += t
 	p.Stats.UnpackTime += t
 }
 
-func (p *Proc) chargeTransfer(volume, msgs int) {
+func (c *simCharger) Transfer(p *Proc, volume, msgs int) {
 	var t float64
-	if p.m.cfg.Long {
-		t = p.m.cfg.Model.LongRemapTime(volume, msgs)
+	if c.long {
+		t = c.model.LongRemapTime(volume, msgs)
 	} else {
-		t = p.m.cfg.Model.ShortRemapTime(volume)
+		t = c.model.ShortRemapTime(volume)
 	}
-	p.span(trace.Transfer, t)
+	c.span(p, trace.Transfer, t)
 	p.Clock += t
 	p.Stats.TransferTime += t
-}
-
-// ---- collectives ----
-
-// Barrier synchronizes all processors and advances every clock to the
-// maximum (the machine is bulk-synchronous between phases, like the
-// barrier-separated phases of the Split-C implementation).
-func (p *Proc) Barrier() {
-	p.m.bar.maxClock(p)
-}
-
-// Exchange performs an all-to-all: out[q] is sent to processor q
-// (out[p.ID] is kept locally, nil entries send nothing) and the result
-// holds one slice per source processor (the local slice comes back in
-// position p.ID). Transfer time is charged per the machine's message
-// mode and all clocks synchronize afterwards.
-func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
-	m := p.m
-	if len(out) != m.cfg.P {
-		panic(fmt.Sprintf("machine: Exchange wants %d destination slices, got %d", m.cfg.P, len(out)))
-	}
-	vol, msgs := 0, 0
-	for q, msg := range out {
-		m.board[p.ID][q] = delivery{data: msg}
-		if q != p.ID && len(msg) > 0 {
-			vol += len(msg)
-			msgs++
-		}
-	}
-	p.Stats.VolumeSent += vol
-	p.Stats.MessagesSent += msgs
-	m.bar.maxClock(p) // publish sends
-	in := make([][]uint32, m.cfg.P)
-	for src := 0; src < m.cfg.P; src++ {
-		in[src] = m.board[src][p.ID].data
-	}
-	p.chargeTransfer(vol, msgs)
-	m.bar.maxClock(p) // everyone has read; board reusable, clocks synced
-	return in
-}
-
-// PairExchange swaps data with one partner processor: both send their
-// slice and receive the other's. Every processor must participate in
-// the round (processors pair up mutually). Used by the Blocked-Merge
-// baseline, whose remote steps exchange full halves between pairs.
-func (p *Proc) PairExchange(partner int, out []uint32) []uint32 {
-	m := p.m
-	if partner < 0 || partner >= m.cfg.P || partner == p.ID {
-		panic(fmt.Sprintf("machine: bad partner %d for processor %d", partner, p.ID))
-	}
-	m.board[p.ID][partner] = delivery{data: out}
-	p.Stats.VolumeSent += len(out)
-	p.Stats.MessagesSent++
-	m.bar.maxClock(p)
-	in := m.board[partner][p.ID].data
-	p.chargeTransfer(len(out), 1)
-	m.bar.maxClock(p)
-	return in
-}
-
-// RemapExchange routes p.Data from plan.Old to plan.New: it packs the
-// local keys into per-destination long messages using the plan's pack
-// mask, exchanges them, and unpacks into the new local order
-// (Figure 3.17's three phases). Pack and unpack costs are charged
-// unless fused is true, modelling §4.3's fusion of packing/unpacking
-// with the local sorts (the data movement still happens; only the extra
-// passes disappear).
-//
-// In short-message mode each key is its own message and no pack/unpack
-// cost arises (there is nothing to pack), exactly as in §3.3.
-func (p *Proc) RemapExchange(plan *addr.RemapPlan, fused bool) {
-	m := p.m
-	n := plan.Old.LocalN()
-	if len(p.Data) != n {
-		panic(fmt.Sprintf("machine: processor %d holds %d keys, plan wants %d", p.ID, len(p.Data), n))
-	}
-	// Pack: one message buffer per destination in the group, routed by
-	// the plan's (precompiled) pack masks.
-	out := make([][]uint32, m.cfg.P)
-	for _, q := range plan.Dests(p.ID) {
-		out[q] = make([]uint32, plan.MsgLen)
-	}
-	dest := make([]int32, n)
-	off := make([]int32, n)
-	plan.Route(p.ID, dest, off)
-	for l := 0; l < n; l++ {
-		out[dest[l]][off[l]] = p.Data[l]
-	}
-	if m.cfg.Long && !fused {
-		p.chargePack(n)
-	}
-	in := p.Exchange(out)
-	// Unpack into the new local order.
-	next := make([]uint32, n)
-	nl := make([]int32, plan.MsgLen)
-	for src, msg := range in {
-		if len(msg) == 0 {
-			continue
-		}
-		plan.UnpackTable(src, nl)
-		for i, v := range msg {
-			next[nl[i]] = v
-		}
-	}
-	p.Data = next
-	if m.cfg.Long && !fused {
-		p.chargeUnpack(n)
-	}
-	p.Stats.Remaps++
-}
-
-// RemapExchangeRuns is RemapExchange without the unpack phase: it
-// packs p.Data per the plan, exchanges, and returns the received long
-// messages indexed by source processor so the caller can fuse the
-// unpacking into its local computation (§4.3's p-way merge). p.Data is
-// set to nil; the caller must install the merged result. No unpack
-// time is charged, and pack time only when fusedPack is false.
-func (p *Proc) RemapExchangeRuns(plan *addr.RemapPlan, fusedPack bool) [][]uint32 {
-	m := p.m
-	n := plan.Old.LocalN()
-	if len(p.Data) != n {
-		panic(fmt.Sprintf("machine: processor %d holds %d keys, plan wants %d", p.ID, len(p.Data), n))
-	}
-	out := make([][]uint32, m.cfg.P)
-	for _, q := range plan.Dests(p.ID) {
-		out[q] = make([]uint32, plan.MsgLen)
-	}
-	dest := make([]int32, n)
-	off := make([]int32, n)
-	plan.Route(p.ID, dest, off)
-	for l := 0; l < n; l++ {
-		out[dest[l]][off[l]] = p.Data[l]
-	}
-	if m.cfg.Long && !fusedPack {
-		p.chargePack(n)
-	}
-	in := p.Exchange(out)
-	p.Data = nil
-	p.Stats.Remaps++
-	return in
-}
-
-// RemapExchangePrepacked performs a remap whose messages the caller has
-// already packed (out[q] must be a plan.MsgLen slice for every group
-// destination, nil elsewhere). Used when the local computation emits
-// directly into the message buffers — the thesis's "single local
-// computation step" future work — so neither pack nor unpack time is
-// charged. Returns the received messages by source; p.Data is set nil.
-func (p *Proc) RemapExchangePrepacked(plan *addr.RemapPlan, out [][]uint32) [][]uint32 {
-	m := p.m
-	if len(out) != m.cfg.P {
-		panic(fmt.Sprintf("machine: prepacked exchange wants %d slices, got %d", m.cfg.P, len(out)))
-	}
-	for _, q := range plan.Dests(p.ID) {
-		if len(out[q]) != plan.MsgLen {
-			panic(fmt.Sprintf("machine: prepacked message to %d has %d keys, plan wants %d", q, len(out[q]), plan.MsgLen))
-		}
-	}
-	in := p.Exchange(out)
-	p.Data = nil
-	p.Stats.Remaps++
-	return in
 }

@@ -307,11 +307,11 @@ func TestChargeHelpers(t *testing.T) {
 
 func TestCacheFactor(t *testing.T) {
 	c := DefaultCosts()
-	if f := c.cacheFactor(1 << c.LgCacheKeys); f != 1 {
+	if f := c.CacheFactor(1 << c.LgCacheKeys); f != 1 {
 		t.Errorf("at-cache factor %v, want 1", f)
 	}
-	small := c.cacheFactor(1 << 10)
-	big := c.cacheFactor(1 << (c.LgCacheKeys + 3))
+	small := c.CacheFactor(1 << 10)
+	big := c.CacheFactor(1 << (c.LgCacheKeys + 3))
 	if small != 1 {
 		t.Errorf("in-cache factor %v, want 1", small)
 	}
@@ -320,7 +320,7 @@ func TestCacheFactor(t *testing.T) {
 		t.Errorf("3-doublings factor %v, want %v", big, want)
 	}
 	zero := CostModel{RadixPasses: 1}
-	if zero.cacheFactor(1<<30) != 1 {
+	if zero.CacheFactor(1<<30) != 1 {
 		t.Error("zero alpha must be free")
 	}
 }

@@ -1,0 +1,134 @@
+// Package native is the wall-clock backend of the SPMD runtime
+// (internal/spmd): the same goroutine-per-processor algorithm bodies
+// that the simulator runs, executed for real speed rather than model
+// fidelity. Nothing on the hot path does model arithmetic — the
+// charger only timestamps phase boundaries — message buffers are
+// pooled across remap rounds, and the collective exchange hands slices
+// over zero-copy, so a P-processor sort is a genuine parallel sort of
+// the host machine.
+//
+// Reporting keeps the simulator's shape: Result.Time is the measured
+// wall-clock makespan in microseconds and the Stats phase fields hold
+// measured wall time per phase, so the same tables, traces and
+// comparisons work against either backend. What the native backend
+// does NOT do is charge LogGP communication costs — transfer time here
+// is the (near-zero) cost of publishing slice headers through shared
+// memory, with synchronization visible as barrier-wait trace spans and
+// as the gap between Time and the per-phase busy totals.
+package native
+
+import (
+	"time"
+
+	"parbitonic/internal/spmd"
+	"parbitonic/internal/trace"
+)
+
+// Config configures a native engine.
+type Config struct {
+	P int // number of processors (power of two, >= 1)
+
+	// Costs is carried for API compatibility with the simulator (the
+	// Charge* helpers consult it to compute model values the wall-clock
+	// charger then ignores); zero value uses the defaults.
+	Costs spmd.CostModel
+
+	// Trace, when non-nil, records measured wall-clock spans per phase
+	// (including barrier waits). Adds some overhead.
+	Trace *trace.Recorder
+}
+
+// Engine is a P-worker shared-memory execution engine. It implements
+// spmd.Backend.
+type Engine struct {
+	*spmd.Engine
+	ch *wallCharger
+}
+
+// New creates a native engine. P must be a power of two and at least 1.
+// P may exceed the host's core count — the algorithms are
+// bulk-synchronous, so oversubscription costs only scheduling overhead.
+func New(cfg Config) *Engine {
+	ch := &wallCharger{rec: cfg.Trace}
+	eng := spmd.NewEngine(spmd.EngineConfig{
+		P:      cfg.P,
+		Costs:  cfg.Costs,
+		Long:   true, // long-message code paths; pack cost is real copying here
+		Charge: ch,
+		Trace:  cfg.Trace,
+	})
+	ch.marks = make([]time.Time, cfg.P)
+	return &Engine{Engine: eng, ch: ch}
+}
+
+// Run executes body once per processor at native speed. Result.Time is
+// the measured wall-clock duration of the whole run in microseconds;
+// per-processor Stats hold measured per-phase wall time.
+func (e *Engine) Run(data [][]uint32, body func(p *spmd.Proc)) spmd.Result {
+	start := time.Now()
+	res := e.Engine.Run(data, body)
+	res.Time = time.Since(start).Seconds() * 1e6
+	return res
+}
+
+// wallCharger implements spmd.Charger by measuring, not modelling: each
+// hook attributes the wall time elapsed since the processor's previous
+// phase boundary to the phase that just ended. marks is indexed by
+// processor ID; each goroutine touches only its own slot.
+type wallCharger struct {
+	rec   *trace.Recorder
+	marks []time.Time
+}
+
+// lap returns the µs elapsed since the processor's last phase boundary
+// and advances the boundary.
+func (c *wallCharger) lap(p *spmd.Proc) float64 {
+	now := time.Now()
+	dt := now.Sub(c.marks[p.ID]).Seconds() * 1e6
+	c.marks[p.ID] = now
+	if dt < 0 {
+		return 0
+	}
+	return dt
+}
+
+func (c *wallCharger) span(p *spmd.Proc, ph trace.Phase, dt float64) {
+	if c.rec != nil {
+		c.rec.Add(trace.Event{Proc: p.ID, Phase: ph, Start: p.Clock, End: p.Clock + dt})
+	}
+}
+
+func (c *wallCharger) Start(p *spmd.Proc) { c.marks[p.ID] = time.Now() }
+
+// Synced resets the phase boundary after a barrier so time spent
+// waiting for peers (already folded into Clock by the barrier's
+// max-reduction) is not double-counted into the next busy phase.
+func (c *wallCharger) Synced(p *spmd.Proc) { c.marks[p.ID] = time.Now() }
+
+func (c *wallCharger) Compute(p *spmd.Proc, _ float64) {
+	dt := c.lap(p)
+	c.span(p, trace.Compute, dt)
+	p.Clock += dt
+	p.Stats.ComputeTime += dt
+}
+
+func (c *wallCharger) Pack(p *spmd.Proc, _ int) {
+	dt := c.lap(p)
+	c.span(p, trace.Pack, dt)
+	p.Clock += dt
+	p.Stats.PackTime += dt
+}
+
+func (c *wallCharger) Unpack(p *spmd.Proc, _ int) {
+	dt := c.lap(p)
+	c.span(p, trace.Unpack, dt)
+	p.Clock += dt
+	p.Stats.UnpackTime += dt
+}
+
+func (c *wallCharger) Transfer(p *spmd.Proc, _, _ int) {
+	dt := c.lap(p)
+	c.span(p, trace.Transfer, dt)
+	p.Clock += dt
+	p.Stats.TransferTime += dt
+}

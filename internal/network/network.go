@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"parbitonic/internal/bitseq"
+	"parbitonic/internal/intbits"
 )
 
 // Sort runs the full bitonic sorting network on data in place. The
@@ -19,7 +20,7 @@ func Sort(data []uint32) {
 	if n&(n-1) != 0 {
 		panic("network: length must be a power of two")
 	}
-	lgN := log2(n)
+	lgN := intbits.Log2(n)
 	for stage := 1; stage <= lgN; stage++ {
 		RunStage(data, stage)
 	}
@@ -125,12 +126,4 @@ func ApplyComparators(data []uint32, cs []Comparator) {
 			data[c.Low], data[c.High] = data[c.High], data[c.Low]
 		}
 	}
-}
-
-func log2(n int) int {
-	k := 0
-	for 1<<uint(k) < n {
-		k++
-	}
-	return k
 }

@@ -8,7 +8,7 @@ package psort
 import (
 	"fmt"
 
-	"parbitonic/internal/machine"
+	"parbitonic/internal/spmd"
 )
 
 const (
@@ -28,22 +28,22 @@ const (
 // The per-pass histogram exchange and scan is the fixed cost that makes
 // parallel radix sort expensive for small n — the source of the
 // bitonic-vs-radix crossover in Figures 5.7/5.8.
-func RadixSort(m *machine.Machine, data [][]uint32) (machine.Result, error) {
+func RadixSort(m spmd.Backend, data [][]uint32) (spmd.Result, error) {
 	P := m.P()
 	if len(data) != P {
-		return machine.Result{}, fmt.Errorf("psort: %d data slices for %d processors", len(data), P)
+		return spmd.Result{}, fmt.Errorf("psort: %d data slices for %d processors", len(data), P)
 	}
 	n := len(data[0])
 	for i := range data {
 		if len(data[i]) != n {
-			return machine.Result{}, fmt.Errorf("psort: ragged data at processor %d", i)
+			return spmd.Result{}, fmt.Errorf("psort: ragged data at processor %d", i)
 		}
 	}
-	res := m.Run(data, func(pr *machine.Proc) { radixBody(pr, n) })
+	res := m.Run(data, func(pr *spmd.Proc) { radixBody(pr, n) })
 	return res, nil
 }
 
-func radixBody(pr *machine.Proc, n int) {
+func radixBody(pr *spmd.Proc, n int) {
 	P := pr.P()
 	scratch := make([]uint32, n)
 	for pass := 0; pass < passes; pass++ {

@@ -5,14 +5,14 @@ import (
 	"sort"
 
 	"parbitonic/internal/localsort"
-	"parbitonic/internal/machine"
+	"parbitonic/internal/spmd"
 )
 
 // SampleSortResult carries the machine result plus the output balance
 // information that §5.5 discusses: sample sort's performance depends on
 // how evenly the splitters divide the input.
 type SampleSortResult struct {
-	machine.Result
+	spmd.Result
 	// MaxKeys is the largest number of keys any processor ended up
 	// with; n is the balanced share. MaxKeys/n is the imbalance factor.
 	MaxKeys int
@@ -26,7 +26,7 @@ type SampleSortResult struct {
 // inputs concentrate keys on few processors, which is exactly the
 // sensitivity the paper contrasts with bitonic sort's obliviousness.
 // It takes ownership of data; retrieve the output with m.Data().
-func SampleSort(m *machine.Machine, data [][]uint32) (SampleSortResult, error) {
+func SampleSort(m spmd.Backend, data [][]uint32) (SampleSortResult, error) {
 	P := m.P()
 	if len(data) != P {
 		return SampleSortResult{}, fmt.Errorf("psort: %d data slices for %d processors", len(data), P)
@@ -37,7 +37,7 @@ func SampleSort(m *machine.Machine, data [][]uint32) (SampleSortResult, error) {
 			return SampleSortResult{}, fmt.Errorf("psort: ragged data at processor %d", i)
 		}
 	}
-	res := m.Run(data, func(pr *machine.Proc) { sampleBody(pr, n) })
+	res := m.Run(data, func(pr *spmd.Proc) { sampleBody(pr, n) })
 	out := SampleSortResult{Result: res}
 	for _, d := range m.Data() {
 		if len(d) > out.MaxKeys {
@@ -47,7 +47,7 @@ func SampleSort(m *machine.Machine, data [][]uint32) (SampleSortResult, error) {
 	return out, nil
 }
 
-func sampleBody(pr *machine.Proc, n int) {
+func sampleBody(pr *spmd.Proc, n int) {
 	P := pr.P()
 	if P == 1 {
 		localsort.RadixSort(pr.Data)

@@ -1,4 +1,4 @@
-package machine
+package spmd
 
 import (
 	"sync"
@@ -7,10 +7,10 @@ import (
 )
 
 // barrier is a reusable sense-reversing barrier for exactly p
-// goroutines that additionally reduces the participants' virtual clocks
-// to their maximum (the bulk-synchronous interpretation of a collective
-// phase). It can be poisoned to unblock everyone when one participant
-// panics, preventing deadlock.
+// goroutines that additionally reduces the participants' clocks to
+// their maximum (the bulk-synchronous interpretation of a collective
+// phase — valid for virtual and wall clocks alike). It can be poisoned
+// to unblock everyone when one participant panics, preventing deadlock.
 type barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -34,7 +34,7 @@ func (b *barrier) maxClock(pr *Proc) {
 	b.mu.Lock()
 	if b.broken {
 		b.mu.Unlock()
-		panic("machine: barrier poisoned by a failed processor")
+		panic("spmd: barrier poisoned by a failed processor")
 	}
 	if pr.Clock > b.maxSeen {
 		b.maxSeen = pr.Clock
@@ -47,11 +47,12 @@ func (b *barrier) maxClock(pr *Proc) {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
-		if rec := pr.m.cfg.Trace; rec != nil && b.prevMax > pr.Clock {
+		if rec := pr.e.rec; rec != nil && b.prevMax > pr.Clock {
 			rec.Add(trace.Event{Proc: pr.ID, Phase: trace.Wait, Start: pr.Clock, End: b.prevMax})
 		}
 		pr.Clock = b.prevMax
 		b.mu.Unlock()
+		pr.e.charge.Synced(pr)
 		return
 	}
 	gen := b.gen
@@ -60,17 +61,18 @@ func (b *barrier) maxClock(pr *Proc) {
 	}
 	if b.broken {
 		b.mu.Unlock()
-		panic("machine: barrier poisoned by a failed processor")
+		panic("spmd: barrier poisoned by a failed processor")
 	}
-	if rec := pr.m.cfg.Trace; rec != nil && b.prevMax > pr.Clock {
+	if rec := pr.e.rec; rec != nil && b.prevMax > pr.Clock {
 		rec.Add(trace.Event{Proc: pr.ID, Phase: trace.Wait, Start: pr.Clock, End: b.prevMax})
 	}
 	pr.Clock = b.prevMax
 	b.mu.Unlock()
+	pr.e.charge.Synced(pr)
 }
 
 // poison releases all waiters with a panic so a failed processor does
-// not deadlock the machine.
+// not deadlock the engine.
 func (b *barrier) poison() {
 	b.mu.Lock()
 	b.broken = true
@@ -78,7 +80,7 @@ func (b *barrier) poison() {
 	b.mu.Unlock()
 }
 
-// reset repairs a poisoned barrier so the machine can be reused.
+// reset repairs a poisoned barrier so the engine can be reused.
 func (b *barrier) reset() {
 	b.mu.Lock()
 	b.broken = false

@@ -1,4 +1,4 @@
-package machine
+package spmd
 
 // Collective operations built on Exchange, in the style of the Split-C
 // bulk operations the paper's implementation uses. All of them are
@@ -7,7 +7,7 @@ package machine
 // AllGather sends mine to every processor and returns all
 // contributions indexed by source (the local contribution included).
 func (p *Proc) AllGather(mine []uint32) [][]uint32 {
-	out := make([][]uint32, p.m.cfg.P)
+	out := make([][]uint32, p.e.p)
 	for q := range out {
 		out[q] = mine
 	}
@@ -17,7 +17,7 @@ func (p *Proc) AllGather(mine []uint32) [][]uint32 {
 // Broadcast distributes root's data to every processor; callers other
 // than root pass nil. Returns the broadcast data.
 func (p *Proc) Broadcast(root int, data []uint32) []uint32 {
-	out := make([][]uint32, p.m.cfg.P)
+	out := make([][]uint32, p.e.p)
 	if p.ID == root {
 		for q := range out {
 			out[q] = data
@@ -35,7 +35,7 @@ func (p *Proc) AllReduceSum(mine []uint32) []uint32 {
 	out := make([]uint32, len(mine))
 	for _, v := range in {
 		if len(v) != len(mine) {
-			panic("machine: AllReduceSum length mismatch across processors")
+			panic("spmd: AllReduceSum length mismatch across processors")
 		}
 		for i, x := range v {
 			out[i] += x
@@ -54,7 +54,7 @@ func (p *Proc) ExclusiveScanSum(mine []uint32) []uint32 {
 	for src := 0; src < p.ID; src++ {
 		v := in[src]
 		if len(v) != len(mine) {
-			panic("machine: ExclusiveScanSum length mismatch across processors")
+			panic("spmd: ExclusiveScanSum length mismatch across processors")
 		}
 		for i, x := range v {
 			out[i] += x

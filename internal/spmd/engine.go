@@ -1,0 +1,261 @@
+package spmd
+
+import (
+	"fmt"
+	"sync"
+
+	"parbitonic/internal/intbits"
+	"parbitonic/internal/trace"
+)
+
+// EngineConfig configures the shared SPMD substrate.
+type EngineConfig struct {
+	P      int       // number of processors (power of two)
+	Costs  CostModel // consulted by the model charge helpers
+	Long   bool      // long messages (pack/unpack phases exist)
+	Charge Charger   // time-accounting policy (simulated or wall-clock)
+
+	// Trace, when non-nil, receives barrier-wait spans from the engine;
+	// chargers add the busy-phase spans. Adds some overhead.
+	Trace *trace.Recorder
+}
+
+// Engine is the concrete runtime both backends share: the processor
+// set, the exchange board and the clock-reducing barrier. Backend
+// packages wrap it with their Charger and any backend-specific
+// reporting.
+type Engine struct {
+	p      int
+	long   bool
+	costs  CostModel
+	charge Charger
+	rec    *trace.Recorder
+	board  [][]delivery // board[src][dst], rewritten every exchange round
+	bar    *barrier
+	procs  []*Proc
+
+	// bufs recycles long-message buffers between remap rounds: a
+	// receiver returns a message's backing array once it has unpacked
+	// (or merged from) it, and any sender may pick it up for its next
+	// pack. Buffers are always fully overwritten before being sent, so
+	// stale contents are harmless.
+	bufs sync.Pool
+}
+
+type delivery struct {
+	data []uint32
+}
+
+// Proc is one processor of the runtime, owned by exactly one goroutine
+// during Run.
+type Proc struct {
+	ID   int
+	Data []uint32 // local keys; algorithms read and replace freely
+
+	// Clock is the processor's accumulated time in µs: virtual model
+	// time under the simulator, measured wall time under the native
+	// backend. Barriers advance it to the round maximum either way.
+	Clock float64
+	Stats Stats
+
+	e *Engine
+
+	// Per-processor routing scratch, reused across remap rounds.
+	dest, off []int32
+	nl        []int32
+	outs      [][]uint32
+}
+
+// NewEngine creates the substrate. P must be a power of two and at
+// least 1; cfg.Charge must be non-nil.
+func NewEngine(cfg EngineConfig) *Engine {
+	if !intbits.IsPow2(cfg.P) {
+		panic(fmt.Sprintf("spmd: P=%d must be a positive power of two", cfg.P))
+	}
+	if cfg.Charge == nil {
+		panic("spmd: EngineConfig.Charge must be set")
+	}
+	if cfg.Costs.RadixPasses <= 0 {
+		cfg.Costs = DefaultCosts()
+	}
+	e := &Engine{
+		p:      cfg.P,
+		long:   cfg.Long,
+		costs:  cfg.Costs,
+		charge: cfg.Charge,
+		rec:    cfg.Trace,
+		bar:    newBarrier(cfg.P),
+	}
+	e.board = make([][]delivery, cfg.P)
+	for i := range e.board {
+		e.board[i] = make([]delivery, cfg.P)
+	}
+	e.procs = make([]*Proc, cfg.P)
+	for i := range e.procs {
+		e.procs[i] = &Proc{ID: i, e: e}
+	}
+	return e
+}
+
+// P returns the processor count.
+func (e *Engine) P() int { return e.p }
+
+// Run executes body once per processor, concurrently, SPMD style, and
+// aggregates the results. data[i] becomes processor i's initial local
+// memory (may be nil). If any processor panics, Run re-panics with its
+// message after unblocking the others.
+func (e *Engine) Run(data [][]uint32, body func(p *Proc)) Result {
+	if data != nil && len(data) != e.p {
+		panic(fmt.Sprintf("spmd: Run got %d data slices for %d processors", len(data), e.p))
+	}
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, e.p)
+	for i := range e.procs {
+		p := e.procs[i]
+		p.Clock = 0
+		p.Stats = Stats{}
+		if data != nil {
+			p.Data = data[i]
+		} else {
+			p.Data = nil
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+					e.bar.poison()
+				}
+			}()
+			e.charge.Start(p)
+			body(p)
+		}()
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		e.bar.reset()
+		panic(fmt.Sprintf("spmd: processor panicked: %v", r))
+	default:
+	}
+
+	var res Result
+	res.PerProc = make([]Stats, e.p)
+	for i, p := range e.procs {
+		res.PerProc[i] = p.Stats
+		res.Sum.add(p.Stats)
+		if p.Clock > res.Time {
+			res.Time = p.Clock
+		}
+	}
+	res.Mean = res.Sum
+	f := float64(e.p)
+	res.Mean.Remaps /= e.p
+	res.Mean.MessagesSent /= e.p
+	res.Mean.VolumeSent /= e.p
+	res.Mean.ComputeTime /= f
+	res.Mean.PackTime /= f
+	res.Mean.TransferTime /= f
+	res.Mean.UnpackTime /= f
+	return res
+}
+
+// Data returns the final local data of every processor after a Run.
+func (e *Engine) Data() [][]uint32 {
+	out := make([][]uint32, e.p)
+	for i, p := range e.procs {
+		out[i] = p.Data
+	}
+	return out
+}
+
+// ---- per-processor runtime services ----
+
+// P returns the runtime's processor count.
+func (p *Proc) P() int { return p.e.p }
+
+// Costs exposes the runtime's computation cost model.
+func (p *Proc) Costs() CostModel { return p.e.costs }
+
+// Long reports whether the runtime uses long messages.
+func (p *Proc) Long() bool { return p.e.long }
+
+// ChargeCompute accounts for local computation whose modelled cost is
+// t model µs.
+func (p *Proc) ChargeCompute(t float64) { p.e.charge.Compute(p, t) }
+
+// ChargeRadixSort charges a full local radix sort of n keys.
+func (p *Proc) ChargeRadixSort(n int) {
+	c := p.e.costs
+	p.e.charge.Compute(p, c.RadixPass*float64(c.RadixPasses)*float64(n)*c.CacheFactor(n))
+}
+
+// ChargeMerge charges linear merge work over n keys (bitonic merge
+// sort, two-way or p-way merging — all O(n) routines of Chapter 4).
+func (p *Proc) ChargeMerge(n int) {
+	c := p.e.costs
+	p.e.charge.Compute(p, c.Merge*float64(n)*c.CacheFactor(n))
+}
+
+// ChargeCompareExchange charges one simulated network step over n keys.
+func (p *Proc) ChargeCompareExchange(n int) {
+	c := p.e.costs
+	p.e.charge.Compute(p, c.CompareExchange*float64(n)*c.CacheFactor(n))
+}
+
+// GetBuf returns an n-key buffer, recycled from the engine's message
+// pool when one of sufficient capacity is available. Contents are
+// undefined; callers must overwrite every slot.
+func (p *Proc) GetBuf(n int) []uint32 {
+	if v := p.e.bufs.Get(); v != nil {
+		if b := v.([]uint32); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]uint32, n)
+}
+
+// PutBuf returns a buffer to the message pool. Only hand back buffers
+// no other processor can still read — typically messages this
+// processor received and has fully consumed.
+func (p *Proc) PutBuf(b []uint32) {
+	if cap(b) == 0 {
+		return
+	}
+	p.e.bufs.Put(b[:cap(b)])
+}
+
+// routeScratch returns the per-processor dest/off routing tables sized
+// for n local keys.
+func (p *Proc) routeScratch(n int) (dest, off []int32) {
+	if cap(p.dest) < n {
+		p.dest = make([]int32, n)
+		p.off = make([]int32, n)
+	}
+	return p.dest[:n], p.off[:n]
+}
+
+// nlScratch returns the per-processor unpack table sized for msgLen.
+func (p *Proc) nlScratch(msgLen int) []int32 {
+	if cap(p.nl) < msgLen {
+		p.nl = make([]int32, msgLen)
+	}
+	return p.nl[:msgLen]
+}
+
+// outScratch returns the per-processor destination-slice table (all
+// entries nil). Callers must nil the entries they set once the round's
+// exchange has completed; clearOuts does that.
+func (p *Proc) outScratch() [][]uint32 {
+	if p.outs == nil {
+		p.outs = make([][]uint32, p.e.p)
+	}
+	return p.outs
+}
+
+func (p *Proc) clearOuts() {
+	for i := range p.outs {
+		p.outs[i] = nil
+	}
+}

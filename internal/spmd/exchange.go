@@ -1,0 +1,191 @@
+package spmd
+
+import (
+	"fmt"
+
+	"parbitonic/internal/addr"
+)
+
+// Barrier synchronizes all processors and advances every clock to the
+// maximum (the runtime is bulk-synchronous between phases, like the
+// barrier-separated phases of the Split-C implementation).
+func (p *Proc) Barrier() {
+	p.e.bar.maxClock(p)
+}
+
+// Exchange performs an all-to-all: out[q] is sent to processor q
+// (out[p.ID] is kept locally, nil entries send nothing) and the result
+// holds one slice per source processor (the local slice comes back in
+// position p.ID). Only slice headers cross the board — the handoff is
+// zero-copy; receivers read the sender's backing array directly.
+// Transfer time is charged per the backend's policy and all clocks
+// synchronize afterwards.
+func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
+	e := p.e
+	if len(out) != e.p {
+		panic(fmt.Sprintf("spmd: Exchange wants %d destination slices, got %d", e.p, len(out)))
+	}
+	vol, msgs := 0, 0
+	for q, msg := range out {
+		e.board[p.ID][q] = delivery{data: msg}
+		if q != p.ID && len(msg) > 0 {
+			vol += len(msg)
+			msgs++
+		}
+	}
+	p.Stats.VolumeSent += vol
+	p.Stats.MessagesSent += msgs
+	e.bar.maxClock(p) // publish sends
+	in := make([][]uint32, e.p)
+	for src := 0; src < e.p; src++ {
+		in[src] = e.board[src][p.ID].data
+	}
+	e.charge.Transfer(p, vol, msgs)
+	e.bar.maxClock(p) // everyone has read; board reusable, clocks synced
+	return in
+}
+
+// PairExchange swaps data with one partner processor: both send their
+// slice and receive the other's. Every processor must participate in
+// the round (processors pair up mutually). Used by the Blocked-Merge
+// baseline, whose remote steps exchange full halves between pairs.
+func (p *Proc) PairExchange(partner int, out []uint32) []uint32 {
+	e := p.e
+	if partner < 0 || partner >= e.p || partner == p.ID {
+		panic(fmt.Sprintf("spmd: bad partner %d for processor %d", partner, p.ID))
+	}
+	e.board[p.ID][partner] = delivery{data: out}
+	p.Stats.VolumeSent += len(out)
+	p.Stats.MessagesSent++
+	e.bar.maxClock(p)
+	in := e.board[partner][p.ID].data
+	e.charge.Transfer(p, len(out), 1)
+	e.bar.maxClock(p)
+	return in
+}
+
+// pack routes p.Data into pooled per-destination message buffers per
+// the plan. The returned slice is the per-processor out table; the
+// caller must run it through Exchange before touching p.Data again and
+// clear it afterwards.
+func (p *Proc) pack(plan *addr.RemapPlan, n int) [][]uint32 {
+	out := p.outScratch()
+	for _, q := range plan.Dests(p.ID) {
+		out[q] = p.GetBuf(plan.MsgLen)
+	}
+	dest, off := p.routeScratch(n)
+	plan.Route(p.ID, dest, off)
+	for l := 0; l < n; l++ {
+		out[dest[l]][off[l]] = p.Data[l]
+	}
+	return out
+}
+
+// RemapExchange routes p.Data from plan.Old to plan.New: it packs the
+// local keys into per-destination long messages using the plan's pack
+// mask, exchanges them, and unpacks into the new local order
+// (Figure 3.17's three phases). Pack and unpack costs are charged
+// unless fused is true, modelling §4.3's fusion of packing/unpacking
+// with the local sorts (the data movement still happens; only the extra
+// passes disappear).
+//
+// In short-message mode each key is its own message and no pack/unpack
+// cost arises (there is nothing to pack), exactly as in §3.3.
+//
+// Message buffers come from the engine's pool: each received message's
+// backing array is recycled once unpacked, so steady-state remapping
+// allocates only the new local array.
+func (p *Proc) RemapExchange(plan *addr.RemapPlan, fused bool) {
+	e := p.e
+	n := plan.Old.LocalN()
+	if len(p.Data) != n {
+		panic(fmt.Sprintf("spmd: processor %d holds %d keys, plan wants %d", p.ID, len(p.Data), n))
+	}
+	out := p.pack(plan, n)
+	if e.long && !fused {
+		e.charge.Pack(p, n)
+	}
+	in := p.Exchange(out)
+	p.clearOuts()
+	// Unpack into the new local order.
+	next := make([]uint32, n)
+	nl := p.nlScratch(plan.MsgLen)
+	for src, msg := range in {
+		if len(msg) == 0 {
+			continue
+		}
+		plan.UnpackTable(src, nl)
+		for i, v := range msg {
+			next[nl[i]] = v
+		}
+		p.PutBuf(msg)
+	}
+	p.Data = next
+	if e.long && !fused {
+		e.charge.Unpack(p, n)
+	}
+	p.Stats.Remaps++
+}
+
+// RemapExchangeRuns is RemapExchange without the unpack phase: it
+// packs p.Data per the plan, exchanges, and returns the received long
+// messages indexed by source processor so the caller can fuse the
+// unpacking into its local computation (§4.3's p-way merge). p.Data is
+// set to nil; the caller must install the merged result. No unpack
+// time is charged, and pack time only when fusedPack is false. The
+// returned messages are pooled buffers — hand them back with PutBuf
+// once consumed.
+func (p *Proc) RemapExchangeRuns(plan *addr.RemapPlan, fusedPack bool) [][]uint32 {
+	e := p.e
+	n := plan.Old.LocalN()
+	if len(p.Data) != n {
+		panic(fmt.Sprintf("spmd: processor %d holds %d keys, plan wants %d", p.ID, len(p.Data), n))
+	}
+	out := p.pack(plan, n)
+	if e.long && !fusedPack {
+		e.charge.Pack(p, n)
+	}
+	in := p.Exchange(out)
+	p.clearOuts()
+	p.Data = nil
+	p.Stats.Remaps++
+	return in
+}
+
+// RemapExchangePrepacked performs a remap whose messages the caller has
+// already packed (out[q] must be a plan.MsgLen slice for every group
+// destination, nil elsewhere). Used when the local computation emits
+// directly into the message buffers — the thesis's "single local
+// computation step" future work — so neither pack nor unpack time is
+// charged. Returns the received messages by source; p.Data is set nil.
+func (p *Proc) RemapExchangePrepacked(plan *addr.RemapPlan, out [][]uint32) [][]uint32 {
+	e := p.e
+	if len(out) != e.p {
+		panic(fmt.Sprintf("spmd: prepacked exchange wants %d slices, got %d", e.p, len(out)))
+	}
+	for _, q := range plan.Dests(p.ID) {
+		if len(out[q]) != plan.MsgLen {
+			panic(fmt.Sprintf("spmd: prepacked message to %d has %d keys, plan wants %d", q, len(out[q]), plan.MsgLen))
+		}
+	}
+	in := p.Exchange(out)
+	p.Data = nil
+	p.Stats.Remaps++
+	return in
+}
+
+// PackBuffers returns pooled plan.MsgLen buffers for every destination
+// of this processor under the plan, for use with
+// RemapExchangePrepacked. The caller owns nil-ing its table entries
+// after the exchange.
+func (p *Proc) PackBuffers(plan *addr.RemapPlan) [][]uint32 {
+	out := p.outScratch()
+	for _, q := range plan.Dests(p.ID) {
+		out[q] = p.GetBuf(plan.MsgLen)
+	}
+	return out
+}
+
+// ClearPackBuffers nils the per-processor destination table filled by
+// PackBuffers once the exchange round has completed.
+func (p *Proc) ClearPackBuffers() { p.clearOuts() }

@@ -1,0 +1,164 @@
+// Package spmd is the abstract SPMD runtime every parallel algorithm
+// in this module is written against: P processors with private
+// memories, bulk-synchronous collective exchanges, and remap routing
+// driven by addr.RemapPlan — the Split-C programming model of the
+// paper, minus any commitment to *how* time is accounted.
+//
+// What a run costs is delegated to a Charger, which is what makes the
+// runtime pluggable:
+//
+//   - internal/machine supplies the LogP/LogGP virtual-time charger —
+//     every phase advances a per-processor model clock by the formulas
+//     of §3.4, reproducing the paper's tables and figures;
+//   - internal/native supplies the wall-clock charger — no model
+//     arithmetic on the hot path, phases are timed with the real
+//     clock, and the same algorithms run at hardware speed.
+//
+// Both backends implement Backend and report through the same Stats
+// and Result shapes, so callers switch between "predict what the 1996
+// Meiko would do" and "sort as fast as this machine allows" without
+// touching algorithm code.
+package spmd
+
+// CostModel gives the virtual cost, in model microseconds per element,
+// of each local-computation routine. The defaults are calibrated so the
+// simulated per-key times land in the same regime as the paper's Meiko
+// CS-2 measurements (see DESIGN.md §2); only relative magnitudes carry
+// meaning. Wall-clock backends carry a CostModel for API compatibility
+// but never consult it.
+type CostModel struct {
+	RadixPass       float64 // one counting pass of LSD radix sort, per key
+	RadixPasses     int     // passes needed for 32-bit keys
+	Merge           float64 // linear merge / bitonic-merge-sort work, per key
+	CompareExchange float64 // one simulated network step, per key
+	Pack            float64 // packing into long messages, per key
+	Unpack          float64 // unpacking from long messages, per key
+
+	// CacheAlpha adds a relative penalty per doubling of the local data
+	// size beyond 2^LgCacheKeys keys, modelling the cache misses the
+	// paper observes ("when we increase the number of elements, a higher
+	// percentage of the total execution time is spent during the local
+	// computation phases... due to cache misses", §5.3). Every
+	// computation charge is multiplied by
+	// 1 + CacheAlpha * max(0, lg n - LgCacheKeys).
+	CacheAlpha  float64
+	LgCacheKeys int
+}
+
+// DefaultCosts returns the calibrated cost model. The per-key values
+// are model microseconds per local element, back-solved from the
+// paper's per-key tables: pack/unpack reproduce Table 5.4's 0.35/0.13
+// µs per key at P=16 over 5 remaps; radix/merge/compare-exchange place
+// the three algorithms of Table 5.1 in the measured ratios; the cache
+// term reproduces the per-key growth with n. LgCacheKeys = 18 is the
+// CS-2 node's 1 MB external cache in 4-byte keys.
+func DefaultCosts() CostModel {
+	return CostModel{
+		RadixPass:       0.50,
+		RadixPasses:     3,
+		Merge:           0.90,
+		CompareExchange: 0.55,
+		Pack:            0.55,
+		Unpack:          0.25,
+		CacheAlpha:      0.045,
+		LgCacheKeys:     18,
+	}
+}
+
+// CacheFactor is the cache-miss multiplier for memory-bound work over n
+// local keys.
+func (c CostModel) CacheFactor(n int) float64 {
+	if c.CacheAlpha == 0 {
+		return 1
+	}
+	lg := 0
+	for 1<<uint(lg) < n {
+		lg++
+	}
+	if lg <= c.LgCacheKeys {
+		return 1
+	}
+	return 1 + c.CacheAlpha*float64(lg-c.LgCacheKeys)
+}
+
+// Stats accumulates per-processor counters and per-phase time. Under
+// the simulator the times are model microseconds of virtual clock;
+// under the native backend they are measured wall-clock microseconds.
+type Stats struct {
+	Remaps       int // collective remap operations participated in
+	MessagesSent int // messages to *other* processors
+	VolumeSent   int // keys sent to other processors
+
+	ComputeTime  float64 // local sorts, merges, compare-exchange steps
+	PackTime     float64
+	TransferTime float64
+	UnpackTime   float64
+}
+
+// CommTime returns the communication portion of the time: packing,
+// transfer and unpacking.
+func (s Stats) CommTime() float64 { return s.PackTime + s.TransferTime + s.UnpackTime }
+
+// Total returns all charged time.
+func (s Stats) Total() float64 { return s.ComputeTime + s.CommTime() }
+
+func (s *Stats) add(o Stats) {
+	s.Remaps += o.Remaps
+	s.MessagesSent += o.MessagesSent
+	s.VolumeSent += o.VolumeSent
+	s.ComputeTime += o.ComputeTime
+	s.PackTime += o.PackTime
+	s.TransferTime += o.TransferTime
+	s.UnpackTime += o.UnpackTime
+}
+
+// Result is what a completed SPMD run reports.
+type Result struct {
+	Time    float64 // makespan: the maximum final processor clock, µs
+	PerProc []Stats
+	Sum     Stats // per-processor stats summed over all processors
+	Mean    Stats // per-processor averages (the machine is symmetric)
+}
+
+// TimePerKey returns Time divided by the total key count, the paper's
+// "execution time per key" metric.
+func (r Result) TimePerKey(totalKeys int) float64 { return r.Time / float64(totalKeys) }
+
+// Charger decides what every phase of a run costs. The simulator's
+// charger advances virtual clocks by the LogGP formulas; the native
+// charger timestamps phases with the real clock. Implementations own
+// the updates to p.Clock, p.Stats time fields and the trace recorder;
+// the runtime calls them at every phase boundary.
+type Charger interface {
+	// Start is called on the processor's own goroutine before the body.
+	Start(p *Proc)
+	// Compute charges local computation whose modelled cost is t model
+	// µs (wall-clock chargers ignore t and measure instead).
+	Compute(p *Proc, t float64)
+	// Pack and Unpack charge the long-message pack/unpack passes over n
+	// local keys.
+	Pack(p *Proc, n int)
+	Unpack(p *Proc, n int)
+	// Transfer charges one collective exchange round in which the
+	// processor sent `volume` keys in `msgs` messages to other
+	// processors.
+	Transfer(p *Proc, volume, msgs int)
+	// Synced is called after every barrier release (the processor's
+	// clock has been advanced to the round maximum).
+	Synced(p *Proc)
+}
+
+// Backend is a complete execution engine for SPMD algorithm bodies.
+// core.Sort and the psort sorters accept any Backend; internal/machine
+// (LogGP simulation) and internal/native (wall-clock execution)
+// provide the two implementations.
+type Backend interface {
+	// P returns the processor count.
+	P() int
+	// Run executes body once per processor, concurrently, SPMD style,
+	// and aggregates the results. data[i] becomes processor i's initial
+	// local memory (may be nil).
+	Run(data [][]uint32, body func(p *Proc)) Result
+	// Data returns the final local data of every processor after a Run.
+	Data() [][]uint32
+}

@@ -1,0 +1,74 @@
+package spmd
+
+import (
+	"strings"
+	"testing"
+)
+
+// countCharger counts hook invocations — a minimal third backend that
+// pins the Charger contract the simulator and native backends rely on.
+type countCharger struct {
+	start, compute, pack, unpack, transfer, synced int
+}
+
+func (c *countCharger) Start(*Proc)              { c.start++ }
+func (c *countCharger) Compute(*Proc, float64)   { c.compute++ }
+func (c *countCharger) Pack(*Proc, int)          { c.pack++ }
+func (c *countCharger) Unpack(*Proc, int)        { c.unpack++ }
+func (c *countCharger) Transfer(*Proc, int, int) { c.transfer++ }
+func (c *countCharger) Synced(*Proc)             { c.synced++ }
+
+func TestChargerHooksFire(t *testing.T) {
+	ch := &countCharger{}
+	e := NewEngine(EngineConfig{P: 1, Long: true, Charge: ch})
+	e.Run(nil, func(p *Proc) {
+		p.ChargeCompute(1)
+		p.Barrier()
+	})
+	if ch.start != 1 || ch.compute != 1 || ch.synced != 1 {
+		t.Fatalf("hook counts start=%d compute=%d synced=%d, want 1 each", ch.start, ch.compute, ch.synced)
+	}
+}
+
+func TestBufPoolRoundTrip(t *testing.T) {
+	e := NewEngine(EngineConfig{P: 1, Charge: &countCharger{}})
+	p := e.procs[0]
+	b := p.GetBuf(64)
+	if len(b) != 64 {
+		t.Fatalf("GetBuf(64) returned %d keys", len(b))
+	}
+	b[0] = 7
+	p.PutBuf(b)
+	c := p.GetBuf(32)
+	if len(c) != 32 {
+		t.Fatalf("GetBuf(32) returned %d keys", len(c))
+	}
+	// A buffer smaller than requested must not be handed back short.
+	p.PutBuf(make([]uint32, 4))
+	d := p.GetBuf(128)
+	if len(d) != 128 {
+		t.Fatalf("GetBuf(128) returned %d keys", len(d))
+	}
+	p.PutBuf(nil) // must not panic
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	for _, p := range []int{0, 3, -4} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil || !strings.Contains(r.(string), "power of two") {
+					t.Fatalf("P=%d: expected power-of-two panic, got %v", p, r)
+				}
+			}()
+			NewEngine(EngineConfig{P: p, Charge: &countCharger{}})
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil Charge did not panic")
+			}
+		}()
+		NewEngine(EngineConfig{P: 2})
+	}()
+}

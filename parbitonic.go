@@ -2,8 +2,10 @@
 // Bitonic Sort" (Ionescu, UCSB 1996 / IPPS 1997): a communication- and
 // computation-optimal parallel bitonic sort for coarse-grained
 // machines, together with the baselines and comparator sorts the paper
-// evaluates against, all running on a simulated distributed-memory SPMD
-// machine with LogP/LogGP virtual-time accounting.
+// evaluates against, all running on a pluggable SPMD runtime: by
+// default a simulated distributed-memory machine with LogP/LogGP
+// virtual-time accounting, or — with Config{Backend: Native} — a real
+// shared-memory parallel execution at wall-clock speed.
 //
 // The quickest way in:
 //
@@ -11,6 +13,13 @@
 //	res, err := parbitonic.Sort(keys, parbitonic.Config{Processors: 16})
 //	// keys is now sorted; res carries the model time and communication
 //	// counters (remaps, volume, messages, phase breakdown).
+//
+// To sort fast rather than to model, run the same algorithm natively:
+//
+//	res, err := parbitonic.Sort(keys, parbitonic.Config{
+//		Processors: 8, Backend: parbitonic.Native,
+//	})
+//	// res.Time is now measured wall-clock microseconds.
 //
 // The paper's algorithm is Config{Algorithm: SmartBitonic} (the
 // default): it remaps data between "smart" layouts so that exactly
@@ -24,12 +33,39 @@ import (
 
 	"parbitonic/internal/bitseq"
 	"parbitonic/internal/core"
+	"parbitonic/internal/intbits"
 	"parbitonic/internal/logp"
 	"parbitonic/internal/machine"
+	"parbitonic/internal/native"
 	"parbitonic/internal/psort"
 	"parbitonic/internal/schedule"
+	"parbitonic/internal/spmd"
 	"parbitonic/internal/trace"
 )
+
+// Backend selects the execution backend the algorithms run on.
+type Backend int
+
+const (
+	// Simulated runs on the virtual-time LogP/LogGP simulator: Result
+	// times are model microseconds on the modelled machine (the paper's
+	// Meiko CS-2 by default). This is the default.
+	Simulated Backend = iota
+	// Native runs the same SPMD algorithm bodies as real goroutines at
+	// wall-clock speed on the host: Result times are measured
+	// microseconds, and no model arithmetic runs on the hot path.
+	Native
+)
+
+func (b Backend) String() string {
+	switch b {
+	case Simulated:
+		return "simulated"
+	case Native:
+		return "native"
+	}
+	return "unknown"
+}
 
 // Algorithm selects the parallel sorting algorithm.
 type Algorithm int
@@ -73,10 +109,17 @@ func (a Algorithm) String() string {
 // sensible default: the smart algorithm, long messages, optimized local
 // computation, Meiko-CS-2-like model parameters.
 type Config struct {
-	// Processors is the simulated machine size P (power of two, >= 1).
+	// Processors is the machine size P (power of two, >= 1): simulated
+	// processors under the Simulated backend, worker goroutines under
+	// Native.
 	Processors int
 
 	Algorithm Algorithm
+
+	// Backend selects where the sort runs: the virtual-time simulator
+	// (default) or the native wall-clock runtime. Model-shaping options
+	// (ShortMessages, Model) apply only to the simulator.
+	Backend Backend
 
 	// ShortMessages switches the remaps to elementwise transfers
 	// (§3.3's baseline); the default is long messages.
@@ -163,8 +206,9 @@ type Result struct {
 	Algorithm Algorithm
 	// Keys is the total number of keys sorted.
 	Keys int
-	// Time is the modelled execution time in model microseconds (the
-	// makespan over all processors' virtual clocks).
+	// Time is the execution time in microseconds: under the Simulated
+	// backend, modelled time (the makespan over all processors' virtual
+	// clocks); under Native, measured wall-clock time of the run.
 	Time float64
 	// Remaps, VolumeSent and MessagesSent are per-processor averages of
 	// the three communication metrics of §3.4.
@@ -172,7 +216,9 @@ type Result struct {
 	VolumeSent   int
 	MessagesSent int
 	// ComputeTime, PackTime, TransferTime, UnpackTime break down the
-	// per-processor average time by phase (Figures 5.4 and 5.6).
+	// per-processor average time by phase (Figures 5.4 and 5.6) —
+	// modelled under Simulated, measured under Native (where transfers
+	// are zero-copy shared-memory handoffs, so TransferTime is tiny).
 	ComputeTime  float64
 	PackTime     float64
 	TransferTime float64
@@ -208,14 +254,26 @@ func Sort(keys []uint32, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("parbitonic: keys per processor (%d) must be a power of two", n)
 	}
 
-	m := machine.New(machineConfig(cfg))
+	var m spmd.Backend
+	switch cfg.Backend {
+	case Native:
+		nc := native.Config{P: p, Trace: cfg.Trace}
+		if cfg.Costs != nil {
+			nc.Costs = *cfg.Costs
+		}
+		m = native.New(nc)
+	case Simulated:
+		m = machine.New(machineConfig(cfg))
+	default:
+		return Result{}, fmt.Errorf("parbitonic: unknown backend %v", cfg.Backend)
+	}
 	data := make([][]uint32, p)
 	for i := range data {
 		data[i] = append([]uint32(nil), keys[i*n:(i+1)*n]...)
 	}
 
 	var (
-		res machine.Result
+		res spmd.Result
 		err error
 	)
 	switch cfg.Algorithm {
@@ -233,8 +291,13 @@ func Sort(keys []uint32, cfg Config) (Result, error) {
 		if cfg.SimulateSteps || opts.Strategy != schedule.Head {
 			opts.Compute = core.Simulated
 		}
-		if cfg.FusePackUnpack && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
-			lgn, lgP := log2(n), log2(p)
+		if cfg.Backend == Native && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
+			// Natively the fused path is simply the fast one — there is
+			// no model-ablation reason to keep pack/unpack separate.
+			opts.Fused = true
+		}
+		if opts.Fused && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
+			lgn, lgP := intbits.Log2(n), intbits.Log2(p)
 			if p == 1 || lgP*(lgP+1)/2 <= lgn {
 				opts.Compute = core.FullSort
 			}
@@ -303,10 +366,7 @@ func SortPadded(keys []uint32, cfg Config) (Result, error) {
 	if len(keys) == 0 {
 		return Result{}, fmt.Errorf("parbitonic: no keys")
 	}
-	n := (len(keys) + p - 1) / p
-	for n&(n-1) != 0 {
-		n++
-	}
+	n := intbits.CeilPow2((len(keys) + p - 1) / p)
 	if p > 1 && n < 2 {
 		n = 2 // the bitonic algorithms need at least two keys per processor
 	}
@@ -403,12 +463,4 @@ func Predict(lgN, lgP int, longMessages bool, model *ModelParams) []Prediction {
 		out = append(out, Prediction{Strategy: m.Name, Remaps: m.R, Volume: m.V, Msg: m.M, CommTime: t})
 	}
 	return out
-}
-
-func log2(n int) int {
-	k := 0
-	for 1<<uint(k) < n {
-		k++
-	}
-	return k
 }
