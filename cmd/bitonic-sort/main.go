@@ -8,15 +8,18 @@
 //
 //	bitonic-sort [-p procs] [-n keys-per-proc] [-alg name] [-dist name]
 //	             [-backend simulated|native] [-short] [-simulate]
-//	             [-fused] [-seed S] [-v]
+//	             [-fused] [-seed S] [-timeout D] [-verify] [-v]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"parbitonic"
+	"parbitonic/internal/spmd"
 	"parbitonic/internal/workload"
 )
 
@@ -48,6 +51,8 @@ func main() {
 	simulate := flag.Bool("simulate", false, "simulate every network step instead of optimized local sorts")
 	fused := flag.Bool("fused", false, "fuse pack/unpack into local computation (§4.3)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	timeout := flag.Duration("timeout", 0, "abort the sort after this duration (0 = no limit)")
+	doVerify := flag.Bool("verify", false, "verify the output: per-processor order, boundaries, multiset checksum")
 	verbose := flag.Bool("v", false, "print the first and last few output keys")
 	showTrace := flag.Bool("trace", false, "print a per-processor virtual-time timeline")
 	flag.Parse()
@@ -78,7 +83,13 @@ func main() {
 	if *showTrace {
 		rec = new(parbitonic.TraceRecorder)
 	}
-	res, err := parbitonic.Sort(keys, parbitonic.Config{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := parbitonic.SortContext(ctx, keys, parbitonic.Config{
 		Processors:     *p,
 		Algorithm:      alg,
 		Backend:        backend,
@@ -86,9 +97,17 @@ func main() {
 		SimulateSteps:  *simulate,
 		FusePackUnpack: *fused,
 		Trace:          rec,
+		Verify:         *doVerify,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		switch {
+		case errors.Is(err, spmd.ErrDeadline):
+			fmt.Fprintf(os.Stderr, "sort aborted: exceeded -timeout %v (%v)\n", *timeout, err)
+		case errors.Is(err, spmd.ErrCanceled):
+			fmt.Fprintf(os.Stderr, "sort canceled: %v\n", err)
+		default:
+			fmt.Fprintln(os.Stderr, err)
+		}
 		os.Exit(1)
 	}
 	for i := 1; i < len(keys); i++ {
@@ -112,6 +131,9 @@ func main() {
 	fmt.Printf("per-processor    remaps=%d  volume=%d keys  messages=%d\n", res.Remaps, res.VolumeSent, res.MessagesSent)
 	fmt.Printf("phase breakdown  compute=%.1f  pack=%.1f  transfer=%.1f  unpack=%.1f (us)\n",
 		res.ComputeTime, res.PackTime, res.TransferTime, res.UnpackTime)
+	if *doVerify {
+		fmt.Println("verify           ok (local order, boundaries, multiset checksum)")
+	}
 	if *showTrace {
 		fmt.Print(rec.Timeline(100))
 		fmt.Printf("barrier-wait share: %.1f%%\n", rec.WaitShare()*100)

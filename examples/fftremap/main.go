@@ -36,7 +36,10 @@ func main() {
 		}
 		return data
 	}
-	m := machine.New(machine.DefaultConfig(p))
+	m, err := machine.New(machine.DefaultConfig(p))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fwd, err := ntt.ParallelForward(m, deal())
 	if err != nil {
 		log.Fatal(err)
@@ -59,7 +62,11 @@ func main() {
 		fmt.Printf("  chunk %d: %s\n", i, l)
 	}
 
-	blocked, err := ntt.BlockedForward(machine.New(machine.DefaultConfig(p)), deal())
+	m2, err := machine.New(machine.DefaultConfig(p))
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocked, err := ntt.BlockedForward(m2, deal())
 	if err != nil {
 		log.Fatal(err)
 	}

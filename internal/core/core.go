@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"parbitonic/internal/addr"
@@ -127,6 +128,15 @@ func (o Options) Validate(p, n int) error {
 // the slices are consumed. On return the machine's processors hold the
 // globally sorted keys in blocked layout; retrieve them with m.Data().
 func Sort(m spmd.Backend, data [][]uint32, opts Options) (spmd.Result, error) {
+	return SortContext(context.Background(), m, data, opts)
+}
+
+// SortContext is Sort under a context: cancellation or deadline expiry
+// aborts the run with a typed error (spmd.ErrCanceled / ErrDeadline)
+// instead of blocking until completion; a processor panic surfaces as
+// a *spmd.PanicError. The machine's data is unspecified after a
+// failure.
+func SortContext(ctx context.Context, m spmd.Backend, data [][]uint32, opts Options) (spmd.Result, error) {
 	p := m.P()
 	if len(data) != p {
 		return spmd.Result{}, fmt.Errorf("core: %d data slices for %d processors", len(data), p)
@@ -163,7 +173,7 @@ func Sort(m spmd.Backend, data [][]uint32, opts Options) (spmd.Result, error) {
 	default:
 		return spmd.Result{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
 	}
-	return m.Run(data, body), nil
+	return m.RunContext(ctx, data, body)
 }
 
 // ascFor returns the merge direction of stage `stage` for every element

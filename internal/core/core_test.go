@@ -14,7 +14,11 @@ import (
 func testMachine(p int, long bool) *machine.Machine {
 	cfg := machine.DefaultConfig(p)
 	cfg.Long = long
-	return machine.New(cfg)
+	m, err := machine.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // runSort sorts a fresh workload and returns (result, output, want).

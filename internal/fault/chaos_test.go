@@ -1,0 +1,234 @@
+package fault
+
+// The chaos suite: every algorithm on every backend, with crashes at
+// every remap round, seeded random faults, and a 2-second watchdog
+// proving the runtime never deadlocks — every injected fault surfaces
+// as a bounded, typed error (or, for corruption, is caught by the
+// result verification). Run with -race; CHAOS_SEEDS widens the random
+// sweep (the nightly CI job uses 32 seeds).
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"parbitonic/internal/core"
+	"parbitonic/internal/machine"
+	"parbitonic/internal/native"
+	"parbitonic/internal/psort"
+	"parbitonic/internal/spmd"
+	"parbitonic/internal/verify"
+)
+
+const (
+	chaosP = 4  // processors
+	chaosN = 64 // keys per processor
+	// watchdog is the deadlock bound: every aborted run must return
+	// within this, however the fault landed.
+	watchdog = 2 * time.Second
+)
+
+type chaosAlgo struct {
+	name string
+	run  func(ctx context.Context, m spmd.Backend, data [][]uint32) (spmd.Result, error)
+}
+
+func coreRunner(a core.Algorithm) func(context.Context, spmd.Backend, [][]uint32) (spmd.Result, error) {
+	return func(ctx context.Context, m spmd.Backend, data [][]uint32) (spmd.Result, error) {
+		return core.SortContext(ctx, m, data, core.Options{Algorithm: a})
+	}
+}
+
+var chaosAlgos = []chaosAlgo{
+	{"smart", coreRunner(core.Smart)},
+	{"cyclic-blocked", coreRunner(core.CyclicBlocked)},
+	{"blocked-merge", coreRunner(core.BlockedMerge)},
+	{"sample", func(ctx context.Context, m spmd.Backend, data [][]uint32) (spmd.Result, error) {
+		res, err := psort.SampleSortContext(ctx, m, data)
+		return res.Result, err
+	}},
+	{"radix", psort.RadixSortContext},
+}
+
+var chaosBackends = []string{"simulated", "native"}
+
+func chaosBackend(t testing.TB, kind string, wrap func(spmd.Charger) spmd.Charger) spmd.Backend {
+	t.Helper()
+	var m spmd.Backend
+	var err error
+	switch kind {
+	case "simulated":
+		cfg := machine.DefaultConfig(chaosP)
+		cfg.WrapCharger = wrap
+		m, err = machine.New(cfg)
+	case "native":
+		m, err = native.New(native.Config{P: chaosP, WrapCharger: wrap})
+	default:
+		t.Fatalf("unknown backend %q", kind)
+	}
+	if err != nil {
+		t.Fatalf("%s backend: %v", kind, err)
+	}
+	return m
+}
+
+// chaosData returns fresh per-processor input (the runners take
+// ownership) plus its multiset fingerprint.
+func chaosData(seed uint64) ([][]uint32, verify.Checksum) {
+	r := rng{seed}
+	data := make([][]uint32, chaosP)
+	var sum verify.Checksum
+	for i := range data {
+		data[i] = make([]uint32, chaosN)
+		for j := range data[i] {
+			data[i][j] = uint32(r.next()) &^ (1 << 31) // headroom for the corrupt bit-flip
+		}
+		sum = sum.Add(data[i])
+	}
+	return data, sum
+}
+
+// watchdogRun runs f with the deadlock watchdog.
+func watchdogRun(t *testing.T, f func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(watchdog):
+		t.Fatalf("run still blocked after %v — runtime deadlocked on an injected fault", watchdog)
+		return nil
+	}
+}
+
+// remapRounds runs the algorithm cleanly on the simulator and returns
+// each processor's remap count — the space of meaningful fault rounds.
+func remapRounds(t *testing.T, a chaosAlgo) []int {
+	t.Helper()
+	m := chaosBackend(t, "simulated", nil)
+	data, sum := chaosData(1)
+	res, err := a.run(context.Background(), m, data)
+	if err != nil {
+		t.Fatalf("clean %s run failed: %v", a.name, err)
+	}
+	if verr := verify.Distributed(m.Data(), sum); verr != nil {
+		t.Fatalf("clean %s run produced bad output: %v", a.name, verr)
+	}
+	rounds := make([]int, chaosP)
+	for i, st := range res.PerProc {
+		rounds[i] = st.Remaps
+	}
+	return rounds
+}
+
+// TestCrashMatrix is the deadlock-freedom matrix: every algorithm on
+// every backend, with the first and last processors crashed at each of
+// their remap rounds (0 = before the first remap, R = at the final
+// boundary). Every run must return a *spmd.PanicError carrying the
+// injected *Crashed value within the watchdog bound.
+func TestCrashMatrix(t *testing.T) {
+	for _, a := range chaosAlgos {
+		rounds := remapRounds(t, a)
+		for _, backend := range chaosBackends {
+			for _, proc := range []int{0, chaosP - 1} {
+				for round := 0; round <= rounds[proc]; round++ {
+					plan := Plan{Kind: Crash, Proc: proc, Round: round}
+					t.Run(a.name+"/"+backend+"/"+plan.String(), func(t *testing.T) {
+						inj := NewInjector(plan)
+						m := chaosBackend(t, backend, inj.Wrap)
+						data, _ := chaosData(2)
+						err := watchdogRun(t, func() error {
+							_, err := a.run(context.Background(), m, data)
+							return err
+						})
+						var pe *spmd.PanicError
+						if !errors.As(err, &pe) {
+							t.Fatalf("err = %v, want *spmd.PanicError", err)
+						}
+						if pe.Proc != plan.Proc {
+							t.Fatalf("panic on proc %d, want %d", pe.Proc, plan.Proc)
+						}
+						if c, ok := pe.Value.(*Crashed); !ok || c.Plan != plan {
+							t.Fatalf("panic value %v, want injected *Crashed %v", pe.Value, plan)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestChaosSeeds sweeps seeded random plans over every algorithm ×
+// backend: whatever the injector does, the run must end within the
+// watchdog bound, and the outcome must be accounted for — a typed
+// error, a deadline, or a verification catch. CHAOS_SEEDS sets the
+// sweep width (default 4; the nightly CI job runs 32).
+func TestChaosSeeds(t *testing.T) {
+	seeds := 4
+	if s := os.Getenv("CHAOS_SEEDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			t.Fatalf("bad CHAOS_SEEDS %q", s)
+		}
+		seeds = v
+	}
+	for _, a := range chaosAlgos {
+		rounds := remapRounds(t, a)
+		minRounds := rounds[0]
+		for _, r := range rounds {
+			if r < minRounds {
+				minRounds = r
+			}
+		}
+		for _, backend := range chaosBackends {
+			for seed := 0; seed < seeds; seed++ {
+				plan := RandomPlan(uint64(seed)*1000003+7, chaosP, minRounds+1)
+				if plan.Kind == Delay {
+					plan.Delay = time.Second // long enough to trip the deadline below
+				}
+				t.Run(a.name+"/"+backend+"/"+plan.String(), func(t *testing.T) {
+					inj := NewInjector(plan)
+					m := chaosBackend(t, backend, inj.Wrap)
+					data, sum := chaosData(uint64(seed) + 3)
+					ctx := context.Background()
+					if plan.Kind == Delay {
+						var cancel context.CancelFunc
+						ctx, cancel = context.WithTimeout(ctx, 50*time.Millisecond)
+						defer cancel()
+					}
+					err := watchdogRun(t, func() error {
+						_, err := a.run(ctx, m, data)
+						return err
+					})
+					switch {
+					case err == nil:
+						verr := verify.Distributed(m.Data(), sum)
+						if plan.Kind == Corrupt && inj.Fired() {
+							if verr == nil {
+								t.Fatal("corruption fired but verification passed")
+							}
+						} else if verr != nil {
+							t.Fatalf("no fault surfaced yet output is bad: %v", verr)
+						}
+					case errors.Is(err, spmd.ErrDeadline), errors.Is(err, spmd.ErrCanceled):
+						if plan.Kind != Delay {
+							t.Fatalf("unexpected context error for %v: %v", plan, err)
+						}
+					default:
+						var pe *spmd.PanicError
+						if !errors.As(err, &pe) {
+							t.Fatalf("untyped failure for %v: %v", plan, err)
+						}
+						if _, ok := pe.Value.(*Crashed); !ok {
+							t.Fatalf("genuine panic (not the injected crash) for %v: %v", plan, err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

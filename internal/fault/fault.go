@@ -1,0 +1,181 @@
+// Package fault is the deterministic fault injector for the SPMD
+// runtime — the chaos half of the fail-safe story. It wraps a backend's
+// spmd.Charger (the one seam every processor crosses at every phase
+// boundary) and fires one planned fault when its target processor
+// reaches its target remap round:
+//
+//   - Crash panics on the target processor, exercising the engine's
+//     panic containment (*spmd.PanicError, poisoned barrier, no
+//     deadlock);
+//   - Delay stalls the target processor, exercising cancellation and
+//     deadline paths (the stall polls Proc.Aborting so an aborted run
+//     is not held hostage by the sleeper);
+//   - Corrupt flips a bit in one of the target's local keys —
+//     modelling an undetected corruption in a delivered message
+//     payload — which the verification invariants (internal/verify,
+//     parbitonic Config.Verify) must catch.
+//
+// Plans are either pinned explicitly or derived deterministically from
+// a seed (RandomPlan), so every chaos-test failure is replayable.
+//
+// Wire an injector into a backend through the Config.WrapCharger seam:
+//
+//	inj := fault.NewInjector(fault.Plan{Kind: fault.Crash, Proc: 2, Round: 1})
+//	cfg.WrapCharger = inj.Wrap
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"parbitonic/internal/spmd"
+)
+
+// Kind selects what the injected fault does.
+type Kind int
+
+const (
+	// Crash panics on the target processor.
+	Crash Kind = iota
+	// Delay stalls the target processor for Plan.Delay.
+	Delay
+	// Corrupt flips a bit in one of the target processor's local keys.
+	Corrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Delay:
+		return "delay"
+	case Corrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// Plan pins one fault: Kind fires on processor Proc at the first phase
+// boundary after it has completed Round remaps (Round 0 = before its
+// first remap).
+type Plan struct {
+	Kind  Kind
+	Proc  int
+	Round int
+	// Delay is the stall duration for Delay faults; 0 means 10ms.
+	Delay time.Duration
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("%v@proc%d/round%d", p.Kind, p.Proc, p.Round)
+}
+
+// Crashed is the panic value of an injected Crash fault, so chaos
+// tests can tell an injected failure apart from a genuine bug: the
+// *spmd.PanicError's Value must be exactly this.
+type Crashed struct {
+	Plan Plan
+}
+
+func (c *Crashed) Error() string { return fmt.Sprintf("fault: injected %v", c.Plan) }
+
+// RandomPlan derives a deterministic plan from seed for a machine of p
+// processors whose run performs `rounds` remaps per processor
+// (splitmix64 over the seed; the same seed always yields the same
+// plan).
+func RandomPlan(seed uint64, p, rounds int) Plan {
+	r := rng{seed}
+	if rounds < 1 {
+		rounds = 1
+	}
+	return Plan{
+		Kind:  Kind(r.next() % 3),
+		Proc:  int(r.next() % uint64(p)),
+		Round: int(r.next() % uint64(rounds)),
+	}
+}
+
+// rng is splitmix64 — tiny, seedable, good enough to scatter plans.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Injector wraps a Charger and fires its plan exactly once per
+// injector. Create a fresh Injector per run (Fired state is not
+// reset by the engine).
+type Injector struct {
+	plan  Plan
+	inner spmd.Charger
+	fired atomic.Bool
+}
+
+// NewInjector creates an injector for one planned fault. Bind it to a
+// backend with Wrap (machine.Config.WrapCharger /
+// native.Config.WrapCharger).
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan}
+}
+
+// Wrap installs the injector around a backend's charger.
+func (f *Injector) Wrap(inner spmd.Charger) spmd.Charger {
+	f.inner = inner
+	return f
+}
+
+// Fired reports whether the planned fault has been injected. A plan
+// whose round exceeds the run's actual remap count never fires.
+func (f *Injector) Fired() bool { return f.fired.Load() }
+
+// maybeFire injects the planned fault if p is the target processor at
+// the target round. Called on every phase boundary of every processor;
+// non-target processors pay two compares.
+func (f *Injector) maybeFire(p *spmd.Proc) {
+	if p.ID != f.plan.Proc || p.Stats.Remaps < f.plan.Round {
+		return
+	}
+	if f.plan.Kind == Corrupt && len(p.Data) == 0 {
+		return // nothing to corrupt yet; retry at a later boundary
+	}
+	if !f.fired.CompareAndSwap(false, true) {
+		return
+	}
+	switch f.plan.Kind {
+	case Crash:
+		panic(&Crashed{Plan: f.plan})
+	case Delay:
+		d := f.plan.Delay
+		if d == 0 {
+			d = 10 * time.Millisecond
+		}
+		// Stall in slices, yielding as soon as the run aborts, so a
+		// delayed processor cannot pin RunContext past its deadline by
+		// more than one slice.
+		const slice = time.Millisecond
+		for waited := time.Duration(0); waited < d && !p.Aborting(); waited += slice {
+			time.Sleep(slice)
+		}
+	case Corrupt:
+		r := rng{uint64(f.plan.Round)<<32 | uint64(f.plan.Proc)}
+		i := int(r.next() % uint64(len(p.Data)))
+		p.Data[i] ^= 1 << 31 // flip the top bit: breaks multiset, often order too
+	}
+}
+
+// ---- spmd.Charger, delegating after the injection check ----
+
+func (f *Injector) Start(p *spmd.Proc)              { f.maybeFire(p); f.inner.Start(p) }
+func (f *Injector) Compute(p *spmd.Proc, t float64) { f.maybeFire(p); f.inner.Compute(p, t) }
+func (f *Injector) Pack(p *spmd.Proc, n int)        { f.maybeFire(p); f.inner.Pack(p, n) }
+func (f *Injector) Unpack(p *spmd.Proc, n int)      { f.maybeFire(p); f.inner.Unpack(p, n) }
+func (f *Injector) Transfer(p *spmd.Proc, volume, msgs int) {
+	f.maybeFire(p)
+	f.inner.Transfer(p, volume, msgs)
+}
+func (f *Injector) Synced(p *spmd.Proc) { f.maybeFire(p); f.inner.Synced(p) }

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"parbitonic/internal/machine"
+	"parbitonic/internal/native"
+	"parbitonic/internal/spmd"
+)
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		a := RandomPlan(seed, 8, 5)
+		b := RandomPlan(seed, 8, 5)
+		if a != b {
+			t.Fatalf("seed %d: plans differ: %v vs %v", seed, a, b)
+		}
+		if a.Proc < 0 || a.Proc >= 8 {
+			t.Fatalf("seed %d: proc %d out of range", seed, a.Proc)
+		}
+		if a.Round < 0 || a.Round >= 5 {
+			t.Fatalf("seed %d: round %d out of range", seed, a.Round)
+		}
+		if a.Kind != Crash && a.Kind != Delay && a.Kind != Corrupt {
+			t.Fatalf("seed %d: unknown kind %v", seed, a.Kind)
+		}
+	}
+	// The three kinds must all be reachable.
+	seen := map[Kind]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		seen[RandomPlan(seed, 8, 5).Kind] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("64 seeds produced only kinds %v", seen)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{Kind: Crash, Proc: 3, Round: 2}
+	if got := p.String(); got != "crash@proc3/round2" {
+		t.Fatalf("Plan.String() = %q", got)
+	}
+}
+
+func TestCrashInjection(t *testing.T) {
+	plan := Plan{Kind: Crash, Proc: 2, Round: 1}
+	inj := NewInjector(plan)
+	cfg := machine.DefaultConfig(4)
+	cfg.WrapCharger = inj.Wrap
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(nil, func(p *spmd.Proc) {
+		for i := 0; i < 8; i++ {
+			p.Stats.Remaps++ // stand-in for a remap round
+			p.Barrier()
+		}
+	})
+	var pe *spmd.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *spmd.PanicError", err)
+	}
+	if pe.Proc != plan.Proc {
+		t.Fatalf("panic on proc %d, want %d", pe.Proc, plan.Proc)
+	}
+	crashed, ok := pe.Value.(*Crashed)
+	if !ok || crashed.Plan != plan {
+		t.Fatalf("panic value %v, want *Crashed with plan %v", pe.Value, plan)
+	}
+	if !inj.Fired() {
+		t.Fatal("Fired() = false after the crash surfaced")
+	}
+}
+
+func TestInjectorFiresOnce(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Corrupt, Proc: 0, Round: 0})
+	cfg := machine.DefaultConfig(2)
+	cfg.WrapCharger = inj.Wrap
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]uint32{{1, 2, 3, 4}, {5, 6, 7, 8}}
+	if _, err := m.Run(data, func(p *spmd.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Barrier()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one key of proc 0 carries the flipped top bit.
+	flips := 0
+	for _, k := range m.Data()[0] {
+		if k&(1<<31) != 0 {
+			flips++
+		}
+	}
+	if flips != 1 {
+		t.Fatalf("%d keys corrupted, want exactly 1 (one-shot injector)", flips)
+	}
+	if !inj.Fired() {
+		t.Fatal("Fired() = false after corruption")
+	}
+}
+
+func TestDelayInjectionYieldsToDeadline(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Delay, Proc: 1, Round: 0, Delay: 2 * time.Second})
+	e, err := native.New(native.Config{P: 2, WrapCharger: inj.Wrap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = e.RunContext(ctx, nil, func(p *spmd.Proc) {
+		p.Barrier()
+	})
+	if !errors.Is(err, spmd.ErrDeadline) {
+		t.Fatalf("err = %v, want wrapping spmd.ErrDeadline", err)
+	}
+	// The 2s stall must not pin RunContext past the deadline: the delay
+	// loop polls Proc.Aborting and bails out within a slice or two.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("RunContext held %v by a delay fault, want prompt abort", elapsed)
+	}
+}
+
+func TestPlanBeyondRunNeverFires(t *testing.T) {
+	inj := NewInjector(Plan{Kind: Crash, Proc: 0, Round: 100})
+	cfg := machine.DefaultConfig(2)
+	cfg.WrapCharger = inj.Wrap
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil, func(p *spmd.Proc) { p.Barrier() }); err != nil {
+		t.Fatalf("run with an unreachable plan failed: %v", err)
+	}
+	if inj.Fired() {
+		t.Fatal("plan at round 100 fired in a 0-remap run")
+	}
+}

@@ -1,11 +1,16 @@
 package machine
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"parbitonic/internal/spmd"
+)
 
 func TestAllGather(t *testing.T) {
 	const P = 8
-	m := New(testConfig(P, true))
-	m.Run(nil, func(p *Proc) {
+	m := mustNew(t, testConfig(P, true))
+	mustRun(t, m, nil, func(p *Proc) {
 		in := p.AllGather([]uint32{uint32(p.ID), uint32(p.ID * 2)})
 		for src := 0; src < P; src++ {
 			if len(in[src]) != 2 || in[src][0] != uint32(src) || in[src][1] != uint32(src*2) {
@@ -17,8 +22,8 @@ func TestAllGather(t *testing.T) {
 
 func TestBroadcast(t *testing.T) {
 	const P = 8
-	m := New(testConfig(P, true))
-	m.Run(nil, func(p *Proc) {
+	m := mustNew(t, testConfig(P, true))
+	mustRun(t, m, nil, func(p *Proc) {
 		var payload []uint32
 		if p.ID == 3 {
 			payload = []uint32{7, 8, 9}
@@ -32,8 +37,8 @@ func TestBroadcast(t *testing.T) {
 
 func TestAllReduceSum(t *testing.T) {
 	const P = 4
-	m := New(testConfig(P, true))
-	m.Run(nil, func(p *Proc) {
+	m := mustNew(t, testConfig(P, true))
+	mustRun(t, m, nil, func(p *Proc) {
 		got := p.AllReduceSum([]uint32{uint32(p.ID), 1})
 		if got[0] != 0+1+2+3 || got[1] != P {
 			t.Errorf("proc %d: sum %v", p.ID, got)
@@ -43,8 +48,8 @@ func TestAllReduceSum(t *testing.T) {
 
 func TestExclusiveScanSum(t *testing.T) {
 	const P = 4
-	m := New(testConfig(P, true))
-	m.Run(nil, func(p *Proc) {
+	m := mustNew(t, testConfig(P, true))
+	mustRun(t, m, nil, func(p *Proc) {
 		got := p.ExclusiveScanSum([]uint32{1, uint32(p.ID)})
 		wantA := uint32(p.ID) // p ones below me
 		var wantB uint32
@@ -57,14 +62,13 @@ func TestExclusiveScanSum(t *testing.T) {
 	})
 }
 
-func TestCollectiveLengthMismatchPanics(t *testing.T) {
-	m := New(testConfig(2, true))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("mismatched AllReduceSum should panic")
-		}
-	}()
-	m.Run(nil, func(p *Proc) {
+func TestCollectiveLengthMismatch(t *testing.T) {
+	m := mustNew(t, testConfig(2, true))
+	_, err := m.Run(nil, func(p *Proc) {
 		p.AllReduceSum(make([]uint32, 1+p.ID))
 	})
+	var pe *spmd.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("mismatched AllReduceSum returned %v, want *spmd.PanicError", err)
+	}
 }

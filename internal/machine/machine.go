@@ -52,6 +52,12 @@ type Config struct {
 	// Trace, when non-nil, records every virtual-time span (including
 	// barrier waits) for timeline rendering. Adds some overhead.
 	Trace *trace.Recorder
+
+	// WrapCharger, when non-nil, wraps the virtual-time charger before
+	// the engine is built. This is the seam fault injection
+	// (internal/fault) hooks into: the wrapper observes every phase
+	// boundary of every processor.
+	WrapCharger func(spmd.Charger) spmd.Charger
 }
 
 // DefaultConfig returns a Meiko-like machine with P processors and long
@@ -68,24 +74,32 @@ type Machine struct {
 	cfg Config
 }
 
-// New creates a machine. P must be a power of two and at least 1.
-func New(cfg Config) *Machine {
+// New creates a machine. P must be a power of two and at least 1;
+// invalid configurations are reported as errors.
+func New(cfg Config) (*Machine, error) {
 	if cfg.Costs.RadixPasses <= 0 {
 		cfg.Costs = DefaultCosts()
 	}
-	eng := spmd.NewEngine(spmd.EngineConfig{
-		P:     cfg.P,
-		Costs: cfg.Costs,
-		Long:  cfg.Long,
-		Charge: &simCharger{
-			model: cfg.Model,
-			costs: cfg.Costs,
-			long:  cfg.Long,
-			rec:   cfg.Trace,
-		},
-		Trace: cfg.Trace,
+	var charge spmd.Charger = &simCharger{
+		model: cfg.Model,
+		costs: cfg.Costs,
+		long:  cfg.Long,
+		rec:   cfg.Trace,
+	}
+	if cfg.WrapCharger != nil {
+		charge = cfg.WrapCharger(charge)
+	}
+	eng, err := spmd.NewEngine(spmd.EngineConfig{
+		P:      cfg.P,
+		Costs:  cfg.Costs,
+		Long:   cfg.Long,
+		Charge: charge,
+		Trace:  cfg.Trace,
 	})
-	return &Machine{Engine: eng, cfg: cfg}
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Engine: eng, cfg: cfg}, nil
 }
 
 // Config returns the machine configuration.

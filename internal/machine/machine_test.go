@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"parbitonic/internal/addr"
 	"parbitonic/internal/logp"
+	"parbitonic/internal/spmd"
 )
 
 func testConfig(p int, long bool) Config {
@@ -16,9 +18,27 @@ func testConfig(p int, long bool) Config {
 	return cfg
 }
 
+func mustNew(t testing.TB, cfg Config) *Machine {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func mustRun(t testing.TB, m *Machine, data [][]uint32, body func(*Proc)) Result {
+	t.Helper()
+	res, err := m.Run(data, body)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
 func TestRunClockIsMakespan(t *testing.T) {
-	m := New(testConfig(4, true))
-	res := m.Run(nil, func(p *Proc) {
+	m := mustNew(t, testConfig(4, true))
+	res := mustRun(t, m, nil, func(p *Proc) {
 		p.ChargeCompute(float64(p.ID) * 10) // proc 3 is slowest
 	})
 	if res.Time != 30 {
@@ -33,8 +53,8 @@ func TestRunClockIsMakespan(t *testing.T) {
 }
 
 func TestBarrierSyncsClocks(t *testing.T) {
-	m := New(testConfig(8, true))
-	m.Run(nil, func(p *Proc) {
+	m := mustNew(t, testConfig(8, true))
+	mustRun(t, m, nil, func(p *Proc) {
 		p.ChargeCompute(float64(p.ID))
 		p.Barrier()
 		if p.Clock != 7 {
@@ -45,8 +65,8 @@ func TestBarrierSyncsClocks(t *testing.T) {
 
 func TestExchangeDelivers(t *testing.T) {
 	const P = 8
-	m := New(testConfig(P, true))
-	m.Run(nil, func(p *Proc) {
+	m := mustNew(t, testConfig(P, true))
+	mustRun(t, m, nil, func(p *Proc) {
 		out := make([][]uint32, P)
 		for q := 0; q < P; q++ {
 			out[q] = []uint32{uint32(p.ID*100 + q)}
@@ -63,8 +83,8 @@ func TestExchangeDelivers(t *testing.T) {
 func TestExchangeAccounting(t *testing.T) {
 	const P = 4
 	for _, long := range []bool{true, false} {
-		m := New(testConfig(P, long))
-		res := m.Run(nil, func(p *Proc) {
+		m := mustNew(t, testConfig(P, long))
+		res := mustRun(t, m, nil, func(p *Proc) {
 			out := make([][]uint32, P)
 			for q := 0; q < P; q++ {
 				out[q] = make([]uint32, 10)
@@ -94,8 +114,8 @@ func TestExchangeAccounting(t *testing.T) {
 
 func TestPairExchange(t *testing.T) {
 	const P = 8
-	m := New(testConfig(P, true))
-	m.Run(nil, func(p *Proc) {
+	m := mustNew(t, testConfig(P, true))
+	mustRun(t, m, nil, func(p *Proc) {
 		partner := p.ID ^ 1
 		got := p.PairExchange(partner, []uint32{uint32(p.ID)})
 		if len(got) != 1 || got[0] != uint32(partner) {
@@ -127,8 +147,8 @@ func TestRemapExchangeMatchesApply(t *testing.T) {
 				}
 			}
 			want := data
-			m := New(testConfig(P, long))
-			m.Run(data, func(p *Proc) {
+			m := mustNew(t, testConfig(P, long))
+			mustRun(t, m, data, func(p *Proc) {
 				p.Data = append([]uint32(nil), p.Data...)
 				for i := 1; i < len(layouts); i++ {
 					plan := addr.NewRemapPlan(layouts[i-1], layouts[i])
@@ -160,8 +180,8 @@ func TestRemapExchangePhaseCharges(t *testing.T) {
 		for p := range data {
 			data[p] = make([]uint32, n)
 		}
-		m := New(testConfig(P, long))
-		return m.Run(data, func(p *Proc) { p.RemapExchange(plan, fused) })
+		m := mustNew(t, testConfig(P, long))
+		return mustRun(t, m, data, func(p *Proc) { p.RemapExchange(plan, fused) })
 	}
 
 	longSep := run(true, false)
@@ -208,8 +228,8 @@ func TestRemapVolumeMatchesLemma4(t *testing.T) {
 	for p := range data {
 		data[p] = make([]uint32, n)
 	}
-	m := New(testConfig(P, true))
-	res := m.Run(data, func(p *Proc) { p.RemapExchange(plan, false) })
+	m := mustNew(t, testConfig(P, true))
+	res := mustRun(t, m, data, func(p *Proc) { p.RemapExchange(plan, false) })
 	want := n - n>>uint(plan.Changed)
 	for i, s := range res.PerProc {
 		if s.VolumeSent != want {
@@ -233,10 +253,10 @@ func TestRunIsDeterministic(t *testing.T) {
 			p.Exchange(out)
 		}
 	}
-	m1 := New(testConfig(P, true))
-	r1 := m1.Run(nil, body)
-	m2 := New(testConfig(P, true))
-	r2 := m2.Run(nil, body)
+	m1 := mustNew(t, testConfig(P, true))
+	r1 := mustRun(t, m1, nil, body)
+	m2 := mustNew(t, testConfig(P, true))
+	r2 := mustRun(t, m2, nil, body)
 	if r1.Time != r2.Time {
 		t.Errorf("nondeterministic makespan: %v vs %v", r1.Time, r2.Time)
 	}
@@ -247,40 +267,33 @@ func TestRunIsDeterministic(t *testing.T) {
 	}
 }
 
-func TestPanicPropagatesWithoutDeadlock(t *testing.T) {
-	m := New(testConfig(4, true))
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("Run should re-panic")
-		}
-		if !strings.Contains(r.(string), "boom") {
-			t.Fatalf("unexpected panic payload: %v", r)
-		}
-		// The machine must be reusable after a failure.
-		res := m.Run(nil, func(p *Proc) { p.Barrier() })
-		if res.Time != 0 {
-			t.Errorf("post-failure run time %v", res.Time)
-		}
-	}()
-	m.Run(nil, func(p *Proc) {
+func TestPanicSurfacesAsErrorWithoutDeadlock(t *testing.T) {
+	m := mustNew(t, testConfig(4, true))
+	_, err := m.Run(nil, func(p *Proc) {
 		if p.ID == 2 {
 			panic("boom")
 		}
 		p.Barrier() // would deadlock without poisoning
 	})
+	var pe *spmd.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run returned %v, want *spmd.PanicError", err)
+	}
+	if pe.Proc != 2 || pe.Value != "boom" || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatalf("PanicError{Proc: %d, Value: %v, stack %d bytes}", pe.Proc, pe.Value, len(pe.Stack))
+	}
+	// The machine must be reusable after a failure.
+	res := mustRun(t, m, nil, func(p *Proc) { p.Barrier() })
+	if res.Time != 0 {
+		t.Errorf("post-failure run time %v", res.Time)
+	}
 }
 
 func TestNewRejectsBadP(t *testing.T) {
 	for _, p := range []int{0, 3, -4, 6} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("P=%d should panic", p)
-				}
-			}()
-			New(testConfig(p, true))
-		}()
+		if _, err := New(testConfig(p, true)); err == nil {
+			t.Errorf("P=%d should be rejected", p)
+		}
 	}
 }
 
@@ -292,10 +305,10 @@ func TestTimePerKey(t *testing.T) {
 }
 
 func TestChargeHelpers(t *testing.T) {
-	m := New(Config{P: 1, Model: logp.MeikoCS2(1), Costs: CostModel{
+	m := mustNew(t, Config{P: 1, Model: logp.MeikoCS2(1), Costs: CostModel{
 		RadixPass: 2, RadixPasses: 3, Merge: 5, CompareExchange: 7, Pack: 1, Unpack: 1,
 	}, Long: true})
-	res := m.Run(nil, func(p *Proc) {
+	res := mustRun(t, m, nil, func(p *Proc) {
 		p.ChargeRadixSort(10)       // 2*3*10 = 60
 		p.ChargeMerge(10)           // 50
 		p.ChargeCompareExchange(10) // 70
@@ -346,8 +359,8 @@ func TestRemapExchangeRunsAndPrepacked(t *testing.T) {
 	for p := range data {
 		copied[p] = append([]uint32(nil), data[p]...)
 	}
-	m := New(testConfig(P, true))
-	res := m.Run(copied, func(p *Proc) {
+	m := mustNew(t, testConfig(P, true))
+	res := mustRun(t, m, copied, func(p *Proc) {
 		// Remap 1: keep the runs, reassemble manually via unpack table.
 		in := p.RemapExchangeRuns(planA, true)
 		next := make([]uint32, n)
@@ -404,16 +417,15 @@ func TestRemapExchangeRunsAndPrepacked(t *testing.T) {
 
 func TestRemapExchangePrepackedValidation(t *testing.T) {
 	plan := addr.NewRemapPlan(addr.Blocked(4, 1), addr.Cyclic(4, 1))
-	m := New(testConfig(2, true))
-	defer func() {
-		if r := recover(); r == nil {
-			t.Fatal("short prepacked message should panic")
-		}
-	}()
-	m.Run(nil, func(p *Proc) {
+	m := mustNew(t, testConfig(2, true))
+	_, err := m.Run(nil, func(p *Proc) {
 		out := make([][]uint32, 2)
 		out[0] = make([]uint32, 1) // wrong length: plan.MsgLen is larger
 		out[1] = make([]uint32, 1)
 		p.RemapExchangePrepacked(plan, out)
 	})
+	var pe *spmd.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("short prepacked message returned %v, want *spmd.PanicError", err)
+	}
 }

@@ -18,6 +18,7 @@
 package native
 
 import (
+	"context"
 	"time"
 
 	"parbitonic/internal/spmd"
@@ -36,6 +37,12 @@ type Config struct {
 	// Trace, when non-nil, records measured wall-clock spans per phase
 	// (including barrier waits). Adds some overhead.
 	Trace *trace.Recorder
+
+	// WrapCharger, when non-nil, wraps the wall-clock charger before
+	// the engine is built. This is the seam fault injection
+	// (internal/fault) hooks into: the wrapper observes every phase
+	// boundary of every processor.
+	WrapCharger func(spmd.Charger) spmd.Charger
 }
 
 // Engine is a P-worker shared-memory execution engine. It implements
@@ -45,30 +52,49 @@ type Engine struct {
 	ch *wallCharger
 }
 
-// New creates a native engine. P must be a power of two and at least 1.
-// P may exceed the host's core count — the algorithms are
-// bulk-synchronous, so oversubscription costs only scheduling overhead.
-func New(cfg Config) *Engine {
+// New creates a native engine. P must be a power of two and at least 1;
+// invalid configurations are reported as errors. P may exceed the
+// host's core count — the algorithms are bulk-synchronous, so
+// oversubscription costs only scheduling overhead.
+func New(cfg Config) (*Engine, error) {
 	ch := &wallCharger{rec: cfg.Trace}
-	eng := spmd.NewEngine(spmd.EngineConfig{
+	var charge spmd.Charger = ch
+	if cfg.WrapCharger != nil {
+		charge = cfg.WrapCharger(charge)
+	}
+	eng, err := spmd.NewEngine(spmd.EngineConfig{
 		P:      cfg.P,
 		Costs:  cfg.Costs,
 		Long:   true, // long-message code paths; pack cost is real copying here
-		Charge: ch,
+		Charge: charge,
 		Trace:  cfg.Trace,
 	})
+	if err != nil {
+		return nil, err
+	}
 	ch.marks = make([]time.Time, cfg.P)
-	return &Engine{Engine: eng, ch: ch}
+	return &Engine{Engine: eng, ch: ch}, nil
 }
 
 // Run executes body once per processor at native speed. Result.Time is
 // the measured wall-clock duration of the whole run in microseconds;
 // per-processor Stats hold measured per-phase wall time.
-func (e *Engine) Run(data [][]uint32, body func(p *spmd.Proc)) spmd.Result {
+func (e *Engine) Run(data [][]uint32, body func(p *spmd.Proc)) (spmd.Result, error) {
+	return e.RunContext(context.Background(), data, body)
+}
+
+// RunContext is Run under a context: cancellation or deadline expiry
+// aborts the run promptly with a typed error (see spmd.Backend), and
+// the worker goroutines are joined before it returns — a canceled
+// native sort leaks nothing.
+func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *spmd.Proc)) (spmd.Result, error) {
 	start := time.Now()
-	res := e.Engine.Run(data, body)
+	res, err := e.Engine.RunContext(ctx, data, body)
+	if err != nil {
+		return spmd.Result{}, err
+	}
 	res.Time = time.Since(start).Seconds() * 1e6
-	return res
+	return res, nil
 }
 
 // wallCharger implements spmd.Charger by measuring, not modelling: each

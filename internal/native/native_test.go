@@ -8,11 +8,29 @@ import (
 	"parbitonic/internal/trace"
 )
 
+func mustNew(t testing.TB, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+func mustRun(t testing.TB, e *Engine, data [][]uint32, body func(*spmd.Proc)) spmd.Result {
+	t.Helper()
+	res, err := e.Run(data, body)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
 // TestRunMeasuresWallTime checks the wall-clock accounting shape: the
 // makespan covers the run, per-phase stats are non-negative, and busy
 // time never exceeds the makespan.
 func TestRunMeasuresWallTime(t *testing.T) {
-	e := New(Config{P: 4})
+	e := mustNew(t, Config{P: 4})
 	data := make([][]uint32, 4)
 	for i := range data {
 		data[i] = make([]uint32, 1<<12)
@@ -20,7 +38,7 @@ func TestRunMeasuresWallTime(t *testing.T) {
 			data[i][j] = uint32((i*31 + j*7) % 997)
 		}
 	}
-	res := e.Run(data, func(p *spmd.Proc) {
+	res := mustRun(t, e, data, func(p *spmd.Proc) {
 		s := uint32(0)
 		for _, v := range p.Data {
 			s += v
@@ -46,9 +64,9 @@ func TestRunMeasuresWallTime(t *testing.T) {
 // TestExchangeIsZeroCopy verifies receivers see the sender's backing
 // array itself, not a copy — the handoff the package documents.
 func TestExchangeIsZeroCopy(t *testing.T) {
-	e := New(Config{P: 2})
+	e := mustNew(t, Config{P: 2})
 	payload := []uint32{1, 2, 3}
-	e.Run(nil, func(p *spmd.Proc) {
+	mustRun(t, e, nil, func(p *spmd.Proc) {
 		out := make([][]uint32, 2)
 		if p.ID == 0 {
 			out[1] = payload
@@ -56,7 +74,7 @@ func TestExchangeIsZeroCopy(t *testing.T) {
 		in := p.Exchange(out)
 		if p.ID == 1 {
 			if len(in[0]) != 3 || &in[0][0] != &payload[0] {
-				panic("native: exchange copied the payload")
+				t.Error("native: exchange copied the payload")
 			}
 		}
 	})
@@ -67,8 +85,8 @@ func TestExchangeIsZeroCopy(t *testing.T) {
 // phase under the native charger, and that barriers reset the lap so
 // waits are not double-counted as compute.
 func TestChargeHelpersMeasure(t *testing.T) {
-	e := New(Config{P: 2})
-	res := e.Run(nil, func(p *spmd.Proc) {
+	e := mustNew(t, Config{P: 2})
+	res := mustRun(t, e, nil, func(p *spmd.Proc) {
 		x := 0
 		for i := 0; i < 1<<16; i++ {
 			x += i
@@ -89,9 +107,9 @@ func TestChargeHelpersMeasure(t *testing.T) {
 // measured phases.
 func TestTraceRecordsSpans(t *testing.T) {
 	rec := new(trace.Recorder)
-	e := New(Config{P: 2, Trace: rec})
+	e := mustNew(t, Config{P: 2, Trace: rec})
 	data := [][]uint32{{4, 3, 2, 1}, {8, 7, 6, 5}}
-	e.Run(data, func(p *spmd.Proc) {
+	mustRun(t, e, data, func(p *spmd.Proc) {
 		p.ChargeCompute(0)
 		p.Barrier()
 	})
@@ -103,18 +121,16 @@ func TestTraceRecordsSpans(t *testing.T) {
 
 // TestBackendInterface pins that *Engine satisfies spmd.Backend.
 func TestBackendInterface(t *testing.T) {
-	var b spmd.Backend = New(Config{P: 1})
+	var b spmd.Backend = mustNew(t, Config{P: 1})
 	if b.P() != 1 {
 		t.Fatalf("P() = %d, want 1", b.P())
 	}
 }
 
-// TestBadPPanics mirrors the simulator's constructor contract.
-func TestBadPPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("New(P=3) did not panic")
-		}
-	}()
-	New(Config{P: 3})
+// TestBadPErrors mirrors the simulator's constructor contract: an
+// invalid processor count is a returned error, not a panic.
+func TestBadPErrors(t *testing.T) {
+	if _, err := New(Config{P: 3}); err == nil {
+		t.Fatal("New(P=3) returned nil error")
+	}
 }

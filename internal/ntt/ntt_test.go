@@ -8,6 +8,15 @@ import (
 	"parbitonic/internal/workload"
 )
 
+func testMachine(t testing.TB, cfg machine.Config) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	return m
+}
+
 func randomPoints(n int, seed uint64) []uint32 {
 	rng := workload.NewRNG(seed)
 	out := make([]uint32, n)
@@ -148,7 +157,7 @@ func TestParallelForwardMatchesSequential(t *testing.T) {
 		for i := range data {
 			data[i] = append([]uint32(nil), all[i*n:(i+1)*n]...)
 		}
-		m := machine.New(machine.DefaultConfig(p))
+		m := testMachine(t, machine.DefaultConfig(p))
 		res, err := ParallelForward(m, data)
 		if err != nil {
 			t.Fatal(err)
@@ -180,7 +189,7 @@ func TestParallelRoundTrip(t *testing.T) {
 		for i := range data {
 			data[i] = append([]uint32(nil), all[i*n:(i+1)*n]...)
 		}
-		m := machine.New(machine.DefaultConfig(p))
+		m := testMachine(t, machine.DefaultConfig(p))
 		if _, err := ParallelForward(m, data); err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +216,7 @@ func TestBlockedForwardMatchesSequential(t *testing.T) {
 		for i := range data {
 			data[i] = append([]uint32(nil), all[i*n:(i+1)*n]...)
 		}
-		m := machine.New(machine.DefaultConfig(p))
+		m := testMachine(t, machine.DefaultConfig(p))
 		if _, err := BlockedForward(m, data); err != nil {
 			t.Fatal(err)
 		}
@@ -238,11 +247,11 @@ func TestRemappedBeatsBlocked(t *testing.T) {
 	}
 	cfg := machine.DefaultConfig(p)
 	cfg.Long = false // LogP regime: volume dominates
-	smart, err := ParallelForward(machine.New(cfg), mk())
+	smart, err := ParallelForward(testMachine(t, cfg), mk())
 	if err != nil {
 		t.Fatal(err)
 	}
-	blocked, err := BlockedForward(machine.New(cfg), mk())
+	blocked, err := BlockedForward(testMachine(t, cfg), mk())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +270,7 @@ func TestRemappedBeatsBlocked(t *testing.T) {
 }
 
 func TestDimsErrors(t *testing.T) {
-	m := machine.New(machine.DefaultConfig(4))
+	m := testMachine(t, machine.DefaultConfig(4))
 	if _, err := ParallelForward(m, make([][]uint32, 3)); err == nil {
 		t.Error("wrong slice count should error")
 	}
@@ -288,7 +297,7 @@ func TestQuickParallelMatchesSequential(t *testing.T) {
 		for i := range data {
 			data[i] = append([]uint32(nil), all[i*n:(i+1)*n]...)
 		}
-		m := machine.New(machine.DefaultConfig(p))
+		m := testMachine(t, machine.DefaultConfig(p))
 		if _, err := ParallelForward(m, data); err != nil {
 			return false
 		}
@@ -332,7 +341,7 @@ func BenchmarkParallelNTT(b *testing.B) {
 		for j := range data {
 			data[j] = append([]uint32(nil), all[j<<lgn:(j+1)<<lgn]...)
 		}
-		m := machine.New(machine.DefaultConfig(p))
+		m := testMachine(b, machine.DefaultConfig(p))
 		if _, err := ParallelForward(m, data); err != nil {
 			b.Fatal(err)
 		}

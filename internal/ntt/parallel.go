@@ -96,7 +96,7 @@ func ParallelForward(m *machine.Machine, data [][]uint32) (machine.Result, error
 	chain := LayoutChain(lgN, lgP)
 	plans := plansAlong(append([]*addr.Layout{addr.Blocked(lgN, lgP)}, chain...))
 	tw := twiddles(lgN, false)
-	res := m.Run(data, func(pr *machine.Proc) {
+	res, runErr := m.Run(data, func(pr *machine.Proc) {
 		hi := lgN
 		for i, l := range chain {
 			if plans[i] != nil {
@@ -112,6 +112,9 @@ func ParallelForward(m *machine.Machine, data [][]uint32) (machine.Result, error
 			hi = lo
 		}
 	})
+	if runErr != nil {
+		return machine.Result{}, runErr
+	}
 	return res, nil
 }
 
@@ -136,7 +139,7 @@ func ParallelInverse(m *machine.Machine, data [][]uint32) (machine.Result, error
 	plans := plansAlong(seq)
 	tw := twiddles(lgN, true)
 	nInv := ModInv(uint32(1 << uint(lgN) % Modulus))
-	res := m.Run(data, func(pr *machine.Proc) {
+	res, runErr := m.Run(data, func(pr *machine.Proc) {
 		lo := 0
 		for i, l := range rev {
 			if plans[i] != nil {
@@ -157,6 +160,9 @@ func ParallelInverse(m *machine.Machine, data [][]uint32) (machine.Result, error
 		}
 		pr.ChargeCompute(pr.Costs().Merge * float64(len(pr.Data)))
 	})
+	if runErr != nil {
+		return machine.Result{}, runErr
+	}
 	return res, nil
 }
 
@@ -202,7 +208,7 @@ func BlockedForward(m *machine.Machine, data [][]uint32) (machine.Result, error)
 	lgn := lgN - lgP
 	blocked := addr.Blocked(lgN, lgP)
 	tw := twiddles(lgN, false)
-	res := m.Run(data, func(pr *machine.Proc) {
+	res, runErr := m.Run(data, func(pr *machine.Proc) {
 		n := len(pr.Data)
 		shiftBase := lgN - 1
 		for bit := lgN - 1; bit >= lgn; bit-- {
@@ -228,6 +234,9 @@ func BlockedForward(m *machine.Machine, data [][]uint32) (machine.Result, error)
 			stepLocal(pr, blocked, lgN, bit, tw, false)
 		}
 	})
+	if runErr != nil {
+		return machine.Result{}, runErr
+	}
 	return res, nil
 }
 

@@ -11,7 +11,11 @@ import (
 )
 
 func testMachine(p int) *machine.Machine {
-	return machine.New(machine.DefaultConfig(p))
+	m, err := machine.New(machine.DefaultConfig(p))
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 func flatten(data [][]uint32) []uint32 {
@@ -216,7 +220,10 @@ func TestTraceShowsSampleSortImbalance(t *testing.T) {
 		var rec trace.Recorder
 		cfg := machine.DefaultConfig(8)
 		cfg.Trace = &rec
-		m := machine.New(cfg)
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		data := workload.PerProc(d, 8, 1<<10, 3)
 		if _, err := SampleSort(m, copyData(data)); err != nil {
 			t.Fatal(err)

@@ -6,6 +6,7 @@
 package psort
 
 import (
+	"context"
 	"fmt"
 
 	"parbitonic/internal/spmd"
@@ -29,6 +30,13 @@ const (
 // parallel radix sort expensive for small n — the source of the
 // bitonic-vs-radix crossover in Figures 5.7/5.8.
 func RadixSort(m spmd.Backend, data [][]uint32) (spmd.Result, error) {
+	return RadixSortContext(context.Background(), m, data)
+}
+
+// RadixSortContext is RadixSort under a context: cancellation or
+// deadline expiry aborts the run with a typed error (spmd.ErrCanceled
+// / ErrDeadline); a processor panic surfaces as a *spmd.PanicError.
+func RadixSortContext(ctx context.Context, m spmd.Backend, data [][]uint32) (spmd.Result, error) {
 	P := m.P()
 	if len(data) != P {
 		return spmd.Result{}, fmt.Errorf("psort: %d data slices for %d processors", len(data), P)
@@ -39,8 +47,7 @@ func RadixSort(m spmd.Backend, data [][]uint32) (spmd.Result, error) {
 			return spmd.Result{}, fmt.Errorf("psort: ragged data at processor %d", i)
 		}
 	}
-	res := m.Run(data, func(pr *spmd.Proc) { radixBody(pr, n) })
-	return res, nil
+	return m.RunContext(ctx, data, func(pr *spmd.Proc) { radixBody(pr, n) })
 }
 
 func radixBody(pr *spmd.Proc, n int) {

@@ -1,6 +1,7 @@
 package psort
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,6 +28,13 @@ type SampleSortResult struct {
 // sensitivity the paper contrasts with bitonic sort's obliviousness.
 // It takes ownership of data; retrieve the output with m.Data().
 func SampleSort(m spmd.Backend, data [][]uint32) (SampleSortResult, error) {
+	return SampleSortContext(context.Background(), m, data)
+}
+
+// SampleSortContext is SampleSort under a context: cancellation or
+// deadline expiry aborts the run with a typed error (spmd.ErrCanceled
+// / ErrDeadline); a processor panic surfaces as a *spmd.PanicError.
+func SampleSortContext(ctx context.Context, m spmd.Backend, data [][]uint32) (SampleSortResult, error) {
 	P := m.P()
 	if len(data) != P {
 		return SampleSortResult{}, fmt.Errorf("psort: %d data slices for %d processors", len(data), P)
@@ -37,7 +45,10 @@ func SampleSort(m spmd.Backend, data [][]uint32) (SampleSortResult, error) {
 			return SampleSortResult{}, fmt.Errorf("psort: ragged data at processor %d", i)
 		}
 	}
-	res := m.Run(data, func(pr *spmd.Proc) { sampleBody(pr, n) })
+	res, err := m.RunContext(ctx, data, func(pr *spmd.Proc) { sampleBody(pr, n) })
+	if err != nil {
+		return SampleSortResult{}, err
+	}
 	out := SampleSortResult{Result: res}
 	for _, d := range m.Data() {
 		if len(d) > out.MaxKeys {

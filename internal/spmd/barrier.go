@@ -10,7 +10,9 @@ import (
 // goroutines that additionally reduces the participants' clocks to
 // their maximum (the bulk-synchronous interpretation of a collective
 // phase — valid for virtual and wall clocks alike). It can be poisoned
-// to unblock everyone when one participant panics, preventing deadlock.
+// to unblock everyone when one participant fails or the run is
+// canceled, preventing deadlock: released waiters unwind with the
+// poisonPanic sentinel, which the engine's worker recovery swallows.
 type barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -34,7 +36,7 @@ func (b *barrier) maxClock(pr *Proc) {
 	b.mu.Lock()
 	if b.broken {
 		b.mu.Unlock()
-		panic("spmd: barrier poisoned by a failed processor")
+		panic(poisonPanic{})
 	}
 	if pr.Clock > b.maxSeen {
 		b.maxSeen = pr.Clock
@@ -61,7 +63,7 @@ func (b *barrier) maxClock(pr *Proc) {
 	}
 	if b.broken {
 		b.mu.Unlock()
-		panic("spmd: barrier poisoned by a failed processor")
+		panic(poisonPanic{})
 	}
 	if rec := pr.e.rec; rec != nil && b.prevMax > pr.Clock {
 		rec.Add(trace.Event{Proc: pr.ID, Phase: trace.Wait, Start: pr.Clock, End: b.prevMax})
@@ -71,8 +73,8 @@ func (b *barrier) maxClock(pr *Proc) {
 	pr.e.charge.Synced(pr)
 }
 
-// poison releases all waiters with a panic so a failed processor does
-// not deadlock the engine.
+// poison releases all waiters with the unwind sentinel so a failed
+// processor or a canceled context does not deadlock the engine.
 func (b *barrier) poison() {
 	b.mu.Lock()
 	b.broken = true

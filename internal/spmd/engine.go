@@ -1,8 +1,11 @@
 package spmd
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"parbitonic/internal/intbits"
 	"parbitonic/internal/trace"
@@ -33,6 +36,14 @@ type Engine struct {
 	board  [][]delivery // board[src][dst], rewritten every exchange round
 	bar    *barrier
 	procs  []*Proc
+
+	// aborting flips to true the moment a run starts failing (processor
+	// panic or context cancellation); blocked processors are unwound via
+	// the poisoned barrier and running ones notice at their next phase
+	// boundary with a single atomic load.
+	aborting atomic.Bool
+	abortErr error // first failure cause; written under abortMu
+	abortMu  sync.Mutex
 
 	// bufs recycles long-message buffers between remap rounds: a
 	// receiver returns a message's backing array once it has unpacked
@@ -68,12 +79,12 @@ type Proc struct {
 
 // NewEngine creates the substrate. P must be a power of two and at
 // least 1; cfg.Charge must be non-nil.
-func NewEngine(cfg EngineConfig) *Engine {
+func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if !intbits.IsPow2(cfg.P) {
-		panic(fmt.Sprintf("spmd: P=%d must be a positive power of two", cfg.P))
+		return nil, fmt.Errorf("spmd: P=%d must be a positive power of two", cfg.P)
 	}
 	if cfg.Charge == nil {
-		panic("spmd: EngineConfig.Charge must be set")
+		return nil, fmt.Errorf("spmd: EngineConfig.Charge must be set")
 	}
 	if cfg.Costs.RadixPasses <= 0 {
 		cfg.Costs = DefaultCosts()
@@ -94,22 +105,85 @@ func NewEngine(cfg EngineConfig) *Engine {
 	for i := range e.procs {
 		e.procs[i] = &Proc{ID: i, e: e}
 	}
-	return e
+	return e, nil
 }
 
 // P returns the processor count.
 func (e *Engine) P() int { return e.p }
 
-// Run executes body once per processor, concurrently, SPMD style, and
-// aggregates the results. data[i] becomes processor i's initial local
-// memory (may be nil). If any processor panics, Run re-panics with its
-// message after unblocking the others.
-func (e *Engine) Run(data [][]uint32, body func(p *Proc)) Result {
-	if data != nil && len(data) != e.p {
-		panic(fmt.Sprintf("spmd: Run got %d data slices for %d processors", len(data), e.p))
+// abort records the first failure cause and unwinds every processor:
+// blocked ones are released by the poisoned barrier, running ones
+// notice at their next phase boundary.
+func (e *Engine) abort(cause error) {
+	e.abortMu.Lock()
+	if e.abortErr == nil {
+		e.abortErr = cause
 	}
+	e.abortMu.Unlock()
+	e.aborting.Store(true)
+	e.bar.poison()
+}
+
+// recoverState repairs the engine after an aborted run — the barrier is
+// un-poisoned and the exchange board drained of any half-published
+// deliveries — so the engine is immediately reusable.
+func (e *Engine) recoverState() {
+	e.bar.reset()
+	for i := range e.board {
+		for j := range e.board[i] {
+			e.board[i][j] = delivery{}
+		}
+	}
+	e.aborting.Store(false)
+	e.abortErr = nil
+}
+
+// Run executes body once per processor, concurrently, SPMD style, and
+// aggregates the results. It is RunContext with a background context.
+func (e *Engine) Run(data [][]uint32, body func(p *Proc)) (Result, error) {
+	return e.RunContext(context.Background(), data, body)
+}
+
+// RunContext executes body once per processor, concurrently, SPMD
+// style, and aggregates the results. data[i] becomes processor i's
+// initial local memory (may be nil).
+//
+// Failure semantics: if a processor body panics, the panic is captured
+// with its stack into a *PanicError, every other processor is promptly
+// unwound (the barrier is poisoned, so nobody blocks forever on a dead
+// peer), and the error is returned — the panic does not propagate. If
+// ctx is canceled or its deadline expires mid-run, the run aborts the
+// same way and the returned error wraps ErrCanceled or ErrDeadline
+// (and the context's own error). After any failure the engine is
+// reusable; the processors' Data is unspecified.
+func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *Proc)) (Result, error) {
+	if data != nil && len(data) != e.p {
+		return Result{}, fmt.Errorf("spmd: Run got %d data slices for %d processors", len(data), e.p)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, ctxError(err)
+	}
+	e.aborting.Store(false)
+	e.abortErr = nil
+
+	// The watcher turns a context cancellation into an engine abort; it
+	// is torn down before RunContext returns so no goroutine outlives
+	// the call.
+	var watcher sync.WaitGroup
+	watchDone := make(chan struct{})
+	if ctx.Done() != nil {
+		watcher.Add(1)
+		go func() {
+			defer watcher.Done()
+			select {
+			case <-ctx.Done():
+				e.abort(ctxError(ctx.Err()))
+			case <-watchDone:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
-	panics := make(chan interface{}, e.p)
 	for i := range e.procs {
 		p := e.procs[i]
 		p.Clock = 0
@@ -124,8 +198,10 @@ func (e *Engine) Run(data [][]uint32, body func(p *Proc)) Result {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panics <- r
-					e.bar.poison()
+					if _, unwinding := r.(poisonPanic); unwinding {
+						return // abort propagation; the cause is already recorded
+					}
+					e.abort(&PanicError{Proc: p.ID, Value: r, Stack: debug.Stack()})
 				}
 			}()
 			e.charge.Start(p)
@@ -133,11 +209,17 @@ func (e *Engine) Run(data [][]uint32, body func(p *Proc)) Result {
 		}()
 	}
 	wg.Wait()
-	select {
-	case r := <-panics:
-		e.bar.reset()
-		panic(fmt.Sprintf("spmd: processor panicked: %v", r))
-	default:
+	close(watchDone)
+	watcher.Wait()
+
+	// All goroutines are joined: abortErr is stable without the mutex,
+	// but take it anyway to keep the race detector's model exact.
+	e.abortMu.Lock()
+	err := e.abortErr
+	e.abortMu.Unlock()
+	if err != nil {
+		e.recoverState()
+		return Result{}, err
 	}
 
 	var res Result
@@ -158,7 +240,7 @@ func (e *Engine) Run(data [][]uint32, body func(p *Proc)) Result {
 	res.Mean.PackTime /= f
 	res.Mean.TransferTime /= f
 	res.Mean.UnpackTime /= f
-	return res
+	return res, nil
 }
 
 // Data returns the final local data of every processor after a Run.
@@ -181,12 +263,30 @@ func (p *Proc) Costs() CostModel { return p.e.costs }
 // Long reports whether the runtime uses long messages.
 func (p *Proc) Long() bool { return p.e.long }
 
+// Aborting reports whether the current run is being torn down (a peer
+// panicked or the context was canceled). It is a single atomic load —
+// cheap enough for long local-computation loops to poll as a
+// cooperative cancellation point; collectives check it implicitly.
+func (p *Proc) Aborting() bool { return p.e.aborting.Load() }
+
+// checkAbort unwinds the calling processor if the run is aborting. The
+// fast path is one atomic load.
+func (p *Proc) checkAbort() {
+	if p.e.aborting.Load() {
+		panic(poisonPanic{})
+	}
+}
+
 // ChargeCompute accounts for local computation whose modelled cost is
 // t model µs.
-func (p *Proc) ChargeCompute(t float64) { p.e.charge.Compute(p, t) }
+func (p *Proc) ChargeCompute(t float64) {
+	p.checkAbort()
+	p.e.charge.Compute(p, t)
+}
 
 // ChargeRadixSort charges a full local radix sort of n keys.
 func (p *Proc) ChargeRadixSort(n int) {
+	p.checkAbort()
 	c := p.e.costs
 	p.e.charge.Compute(p, c.RadixPass*float64(c.RadixPasses)*float64(n)*c.CacheFactor(n))
 }
@@ -194,12 +294,14 @@ func (p *Proc) ChargeRadixSort(n int) {
 // ChargeMerge charges linear merge work over n keys (bitonic merge
 // sort, two-way or p-way merging — all O(n) routines of Chapter 4).
 func (p *Proc) ChargeMerge(n int) {
+	p.checkAbort()
 	c := p.e.costs
 	p.e.charge.Compute(p, c.Merge*float64(n)*c.CacheFactor(n))
 }
 
 // ChargeCompareExchange charges one simulated network step over n keys.
 func (p *Proc) ChargeCompareExchange(n int) {
+	p.checkAbort()
 	c := p.e.costs
 	p.e.charge.Compute(p, c.CompareExchange*float64(n)*c.CacheFactor(n))
 }

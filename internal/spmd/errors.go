@@ -1,0 +1,49 @@
+package spmd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is wrapped by the error RunContext returns when the
+// context is canceled before the run completes. Match with
+// errors.Is(err, spmd.ErrCanceled).
+var ErrCanceled = errors.New("spmd: run canceled")
+
+// ErrDeadline is wrapped by the error RunContext returns when the
+// context's deadline expires before the run completes. Match with
+// errors.Is(err, spmd.ErrDeadline).
+var ErrDeadline = errors.New("spmd: run deadline exceeded")
+
+// ctxError converts a non-nil context error into the runtime's typed
+// cancellation errors, keeping the context cause in the chain so
+// errors.Is works against both the spmd sentinel and the context one.
+func ctxError(cause error) error {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadline, cause)
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// PanicError reports a processor body that panicked during a run. The
+// engine recovers the panic on the processor's own goroutine, unblocks
+// every other processor by poisoning the barrier, and returns the
+// failure as this error — the panic never escapes Run. Match with
+// errors.As.
+type PanicError struct {
+	Proc  int    // ID of the processor that panicked
+	Value any    // the recovered panic value, verbatim
+	Stack []byte // the panicking goroutine's stack at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("spmd: processor %d panicked: %v", e.Proc, e.Value)
+}
+
+// poisonPanic is the sentinel thrown through processor bodies to
+// unwind them when the run aborts (peer panic or context
+// cancellation). The worker recovery swallows it — the abort cause has
+// already been recorded by whoever initiated the abort — so it is
+// never visible to callers.
+type poisonPanic struct{}

@@ -8,8 +8,11 @@ import (
 
 // Barrier synchronizes all processors and advances every clock to the
 // maximum (the runtime is bulk-synchronous between phases, like the
-// barrier-separated phases of the Split-C implementation).
+// barrier-separated phases of the Split-C implementation). If the run
+// is aborting (peer panic, canceled context), Barrier unwinds instead
+// of blocking; the abort check is a single atomic load.
 func (p *Proc) Barrier() {
+	p.checkAbort()
 	p.e.bar.maxClock(p)
 }
 
@@ -21,6 +24,7 @@ func (p *Proc) Barrier() {
 // Transfer time is charged per the backend's policy and all clocks
 // synchronize afterwards.
 func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
+	p.checkAbort()
 	e := p.e
 	if len(out) != e.p {
 		panic(fmt.Sprintf("spmd: Exchange wants %d destination slices, got %d", e.p, len(out)))
@@ -50,6 +54,7 @@ func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
 // the round (processors pair up mutually). Used by the Blocked-Merge
 // baseline, whose remote steps exchange full halves between pairs.
 func (p *Proc) PairExchange(partner int, out []uint32) []uint32 {
+	p.checkAbort()
 	e := p.e
 	if partner < 0 || partner >= e.p || partner == p.ID {
 		panic(fmt.Sprintf("spmd: bad partner %d for processor %d", partner, p.ID))

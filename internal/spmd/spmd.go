@@ -20,6 +20,12 @@
 // touching algorithm code.
 package spmd
 
+import (
+	"context"
+
+	"parbitonic/internal/intbits"
+)
+
 // CostModel gives the virtual cost, in model microseconds per element,
 // of each local-computation routine. The defaults are calibrated so the
 // simulated per-key times land in the same regime as the paper's Meiko
@@ -71,10 +77,7 @@ func (c CostModel) CacheFactor(n int) float64 {
 	if c.CacheAlpha == 0 {
 		return 1
 	}
-	lg := 0
-	for 1<<uint(lg) < n {
-		lg++
-	}
+	lg := intbits.Log2(n)
 	if lg <= c.LgCacheKeys {
 		return 1
 	}
@@ -152,13 +155,25 @@ type Charger interface {
 // core.Sort and the psort sorters accept any Backend; internal/machine
 // (LogGP simulation) and internal/native (wall-clock execution)
 // provide the two implementations.
+//
+// Both run methods share the engine's fail-safe semantics: a processor
+// panic is contained and returned as a *PanicError (never re-panicked),
+// and a canceled or expired context aborts the run promptly — blocked
+// processors are released through the poisoned barrier — with an error
+// wrapping ErrCanceled or ErrDeadline. The backend remains usable
+// after any failure.
 type Backend interface {
 	// P returns the processor count.
 	P() int
 	// Run executes body once per processor, concurrently, SPMD style,
 	// and aggregates the results. data[i] becomes processor i's initial
-	// local memory (may be nil).
-	Run(data [][]uint32, body func(p *Proc)) Result
+	// local memory (may be nil). Equivalent to RunContext with a
+	// background context.
+	Run(data [][]uint32, body func(p *Proc)) (Result, error)
+	// RunContext is Run under a context: cancellation or deadline
+	// expiry aborts the run and returns a typed error instead of
+	// hanging at the next barrier.
+	RunContext(ctx context.Context, data [][]uint32, body func(p *Proc)) (Result, error)
 	// Data returns the final local data of every processor after a Run.
 	Data() [][]uint32
 }

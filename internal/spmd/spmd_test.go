@@ -18,20 +18,31 @@ func (c *countCharger) Unpack(*Proc, int)        { c.unpack++ }
 func (c *countCharger) Transfer(*Proc, int, int) { c.transfer++ }
 func (c *countCharger) Synced(*Proc)             { c.synced++ }
 
+func mustEngine(t testing.TB, cfg EngineConfig) *Engine {
+	t.Helper()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
 func TestChargerHooksFire(t *testing.T) {
 	ch := &countCharger{}
-	e := NewEngine(EngineConfig{P: 1, Long: true, Charge: ch})
-	e.Run(nil, func(p *Proc) {
+	e := mustEngine(t, EngineConfig{P: 1, Long: true, Charge: ch})
+	if _, err := e.Run(nil, func(p *Proc) {
 		p.ChargeCompute(1)
 		p.Barrier()
-	})
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if ch.start != 1 || ch.compute != 1 || ch.synced != 1 {
 		t.Fatalf("hook counts start=%d compute=%d synced=%d, want 1 each", ch.start, ch.compute, ch.synced)
 	}
 }
 
 func TestBufPoolRoundTrip(t *testing.T) {
-	e := NewEngine(EngineConfig{P: 1, Charge: &countCharger{}})
+	e := mustEngine(t, EngineConfig{P: 1, Charge: &countCharger{}})
 	p := e.procs[0]
 	b := p.GetBuf(64)
 	if len(b) != 64 {
@@ -54,21 +65,12 @@ func TestBufPoolRoundTrip(t *testing.T) {
 
 func TestNewEngineValidation(t *testing.T) {
 	for _, p := range []int{0, 3, -4} {
-		func() {
-			defer func() {
-				if r := recover(); r == nil || !strings.Contains(r.(string), "power of two") {
-					t.Fatalf("P=%d: expected power-of-two panic, got %v", p, r)
-				}
-			}()
-			NewEngine(EngineConfig{P: p, Charge: &countCharger{}})
-		}()
+		_, err := NewEngine(EngineConfig{P: p, Charge: &countCharger{}})
+		if err == nil || !strings.Contains(err.Error(), "power of two") {
+			t.Fatalf("P=%d: expected power-of-two error, got %v", p, err)
+		}
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("nil Charge did not panic")
-			}
-		}()
-		NewEngine(EngineConfig{P: 2})
-	}()
+	if _, err := NewEngine(EngineConfig{P: 2}); err == nil || !strings.Contains(err.Error(), "Charge") {
+		t.Fatalf("nil Charge: expected Charge error, got %v", err)
+	}
 }

@@ -1,0 +1,104 @@
+// Package verify implements the post-sort result verification behind
+// parbitonic's Config.Verify — the discipline production sorters like
+// AlphaSort ship with: never report a sort as done without checking
+// the output. Three invariants are checked over the distributed
+// output, cheapest first:
+//
+//  1. local-sorted — every processor's local keys are ascending;
+//  2. boundary-order — the last key of processor q does not exceed the
+//     first key of the next non-empty processor (with 1, this makes
+//     the concatenated output globally sorted);
+//  3. multiset — the output is a permutation of the input, witnessed
+//     by an O(n) checksum (count, xor, and sum of all keys) taken of
+//     the input before the sort ran.
+//
+// The checksum is a witness, not a proof — a corruption that preserves
+// count, xor and sum simultaneously passes — but a single flipped bit,
+// a lost message, or a duplicated key always changes at least one of
+// the three.
+package verify
+
+import "fmt"
+
+// Checksum is an order-independent fingerprint of a key multiset.
+type Checksum struct {
+	Count int    // number of keys
+	Xor   uint32 // xor of all keys
+	Sum   uint64 // sum of all keys (mod 2^64)
+}
+
+// Sum fingerprints keys.
+func Sum(keys []uint32) Checksum {
+	c := Checksum{Count: len(keys)}
+	for _, k := range keys {
+		c.Xor ^= k
+		c.Sum += uint64(k)
+	}
+	return c
+}
+
+// Add folds another slice into the checksum (for distributed inputs).
+func (c Checksum) Add(keys []uint32) Checksum {
+	d := Sum(keys)
+	return Checksum{Count: c.Count + d.Count, Xor: c.Xor ^ d.Xor, Sum: c.Sum + d.Sum}
+}
+
+// Error names the first violated invariant of a failed verification.
+type Error struct {
+	Invariant string // "local-sorted", "boundary-order" or "multiset"
+	Proc      int    // processor at fault; -1 when not attributable
+	Detail    string
+}
+
+func (e *Error) Error() string {
+	if e.Proc >= 0 {
+		return fmt.Sprintf("verify: invariant %q violated at processor %d: %s", e.Invariant, e.Proc, e.Detail)
+	}
+	return fmt.Sprintf("verify: invariant %q violated: %s", e.Invariant, e.Detail)
+}
+
+// Distributed checks the three output invariants over the final
+// per-processor data of a run against the input fingerprint. It
+// returns nil when the output is a correctly sorted permutation of the
+// fingerprinted input, or an *Error naming the first violated
+// invariant.
+func Distributed(data [][]uint32, want Checksum) *Error {
+	// 1. local-sorted, per processor.
+	for p, d := range data {
+		for i := 1; i < len(d); i++ {
+			if d[i-1] > d[i] {
+				return &Error{
+					Invariant: "local-sorted", Proc: p,
+					Detail: fmt.Sprintf("keys[%d]=%d > keys[%d]=%d", i-1, d[i-1], i, d[i]),
+				}
+			}
+		}
+	}
+	// 2. boundary-order between consecutive non-empty processors.
+	last, lastProc, seen := uint32(0), -1, false
+	for p, d := range data {
+		if len(d) == 0 {
+			continue
+		}
+		if seen && last > d[0] {
+			return &Error{
+				Invariant: "boundary-order", Proc: p,
+				Detail: fmt.Sprintf("processor %d ends at %d but processor %d starts at %d", lastProc, last, p, d[0]),
+			}
+		}
+		last, lastProc, seen = d[len(d)-1], p, true
+	}
+	// 3. multiset preservation via the checksum witness.
+	got := Checksum{}
+	for _, d := range data {
+		got = got.Add(d)
+	}
+	if got != want {
+		return &Error{
+			Invariant: "multiset", Proc: -1,
+			Detail: fmt.Sprintf("output (count=%d xor=%#x sum=%d) is not a permutation of the input (count=%d xor=%#x sum=%d)",
+				got.Count, got.Xor, got.Sum, want.Count, want.Xor, want.Sum),
+		}
+	}
+	return nil
+}

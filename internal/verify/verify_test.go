@@ -1,0 +1,72 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChecksumOrderIndependent(t *testing.T) {
+	a := Sum([]uint32{1, 2, 3, 4, 5})
+	b := Sum([]uint32{5, 3, 1, 4, 2})
+	if a != b {
+		t.Fatalf("checksum is order-dependent: %+v vs %+v", a, b)
+	}
+	if c := Sum([]uint32{1, 2}).Add([]uint32{3, 4, 5}); c != a {
+		t.Fatalf("Add-folded checksum %+v, want %+v", c, a)
+	}
+}
+
+func TestChecksumDetectsSingleBitFlip(t *testing.T) {
+	keys := []uint32{10, 20, 30, 40}
+	want := Sum(keys)
+	keys[2] ^= 1 << 31
+	if Sum(keys) == want {
+		t.Fatal("flipped bit not detected")
+	}
+}
+
+func TestDistributedOK(t *testing.T) {
+	data := [][]uint32{{1, 2}, {2, 3}, nil, {3, 9}}
+	sum := Checksum{}
+	for _, d := range data {
+		sum = sum.Add(d)
+	}
+	if err := Distributed(data, sum); err != nil {
+		t.Fatalf("valid output rejected: %v", err)
+	}
+}
+
+func TestDistributedViolations(t *testing.T) {
+	cases := []struct {
+		name      string
+		data      [][]uint32
+		invariant string
+		proc      int
+	}{
+		{"local unsorted", [][]uint32{{1, 2}, {5, 4}}, "local-sorted", 1},
+		{"boundary inversion", [][]uint32{{5, 6}, {1, 2}}, "boundary-order", 1},
+		{"boundary across empty", [][]uint32{{5, 6}, nil, {1, 2}}, "boundary-order", 2},
+	}
+	for _, tc := range cases {
+		sum := Checksum{}
+		for _, d := range tc.data {
+			sum = sum.Add(d)
+		}
+		err := Distributed(tc.data, sum)
+		if err == nil || err.Invariant != tc.invariant || err.Proc != tc.proc {
+			t.Errorf("%s: got %v, want invariant %q at proc %d", tc.name, err, tc.invariant, tc.proc)
+		}
+	}
+}
+
+func TestDistributedMultiset(t *testing.T) {
+	data := [][]uint32{{1, 2}, {3, 4}}
+	sum := Sum([]uint32{1, 2, 3, 5}) // 4 swapped for 5 relative to the output
+	err := Distributed(data, sum)
+	if err == nil || err.Invariant != "multiset" || err.Proc != -1 {
+		t.Fatalf("got %v, want multiset violation with Proc=-1", err)
+	}
+	if !strings.Contains(err.Error(), "multiset") {
+		t.Fatalf("error text %q does not name the invariant", err.Error())
+	}
+}

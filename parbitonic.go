@@ -29,7 +29,9 @@
 package parbitonic
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"parbitonic/internal/bitseq"
 	"parbitonic/internal/core"
@@ -41,6 +43,7 @@ import (
 	"parbitonic/internal/schedule"
 	"parbitonic/internal/spmd"
 	"parbitonic/internal/trace"
+	"parbitonic/internal/verify"
 )
 
 // Backend selects the execution backend the algorithms run on.
@@ -157,7 +160,22 @@ type Config struct {
 	// its Timeline method to render a Gantt view. The zero value of
 	// TraceRecorder is ready to use.
 	Trace *TraceRecorder
+
+	// Verify runs a post-sort invariant check over the output: every
+	// processor's keys ascending, processor boundaries in order, and
+	// multiset preservation against an input checksum taken before the
+	// sort. A violation is returned as a *VerifyError naming the first
+	// broken invariant. Costs one extra O(N) pass over input and
+	// output.
+	Verify bool
 }
+
+// VerifyError reports a failed Config.Verify check: the sort returned,
+// but its output violates a result invariant (Invariant is
+// "local-sorted", "boundary-order" or "multiset"). Match with
+// errors.As. When verification fails the input slice's contents are
+// the corrupted output — do not use them.
+type VerifyError = verify.Error
 
 // TraceRecorder collects per-processor virtual-time events; see
 // Config.Trace.
@@ -240,8 +258,19 @@ func (r Result) CommTime() float64 { return r.PackTime + r.TransferTime + r.Unpa
 // cfg.Processors processors and returns the modelled execution
 // statistics. len(keys) must be a multiple of Processors with a
 // power-of-two per-processor share (the bitonic network sorts
-// power-of-two sizes; the paper assumes the same).
+// power-of-two sizes; the paper assumes the same). It is SortContext
+// with a background context.
 func Sort(keys []uint32, cfg Config) (Result, error) {
+	return SortContext(context.Background(), keys, cfg)
+}
+
+// SortContext is Sort under a context. Cancellation or deadline expiry
+// aborts the run promptly — blocked processors are released rather
+// than left hanging at a barrier — and the returned error wraps
+// spmd.ErrCanceled or spmd.ErrDeadline; a panicking processor surfaces
+// as a *spmd.PanicError instead of a panic. After any failure the
+// contents of keys are unspecified.
+func SortContext(ctx context.Context, keys []uint32, cfg Config) (Result, error) {
 	p := cfg.Processors
 	if p < 1 || p&(p-1) != 0 {
 		return Result{}, fmt.Errorf("parbitonic: Processors must be a positive power of two, got %d", p)
@@ -253,29 +282,38 @@ func Sort(keys []uint32, cfg Config) (Result, error) {
 	if n&(n-1) != 0 {
 		return Result{}, fmt.Errorf("parbitonic: keys per processor (%d) must be a power of two", n)
 	}
+	if err := validateOverrides(cfg); err != nil {
+		return Result{}, err
+	}
+
+	var sum verify.Checksum
+	if cfg.Verify {
+		sum = verify.Sum(keys)
+	}
 
 	var m spmd.Backend
+	var err error
 	switch cfg.Backend {
 	case Native:
 		nc := native.Config{P: p, Trace: cfg.Trace}
 		if cfg.Costs != nil {
 			nc.Costs = *cfg.Costs
 		}
-		m = native.New(nc)
+		m, err = native.New(nc)
 	case Simulated:
-		m = machine.New(machineConfig(cfg))
+		m, err = machine.New(machineConfig(cfg))
 	default:
 		return Result{}, fmt.Errorf("parbitonic: unknown backend %v", cfg.Backend)
+	}
+	if err != nil {
+		return Result{}, err
 	}
 	data := make([][]uint32, p)
 	for i := range data {
 		data[i] = append([]uint32(nil), keys[i*n:(i+1)*n]...)
 	}
 
-	var (
-		res spmd.Result
-		err error
-	)
+	var res spmd.Result
 	switch cfg.Algorithm {
 	case SmartBitonic, CyclicBlockedBitonic, BlockedMergeBitonic:
 		opts := core.Options{Fused: cfg.FusePackUnpack}
@@ -302,18 +340,24 @@ func Sort(keys []uint32, cfg Config) (Result, error) {
 				opts.Compute = core.FullSort
 			}
 		}
-		res, err = core.Sort(m, data, opts)
+		res, err = core.SortContext(ctx, m, data, opts)
 	case SampleSort:
 		var sres psort.SampleSortResult
-		sres, err = psort.SampleSort(m, data)
+		sres, err = psort.SampleSortContext(ctx, m, data)
 		res = sres.Result
 	case RadixSort:
-		res, err = psort.RadixSort(m, data)
+		res, err = psort.RadixSortContext(ctx, m, data)
 	default:
 		err = fmt.Errorf("parbitonic: unknown algorithm %v", cfg.Algorithm)
 	}
 	if err != nil {
 		return Result{}, err
+	}
+
+	if cfg.Verify {
+		if verr := verify.Distributed(m.Data(), sum); verr != nil {
+			return Result{}, verr
+		}
 	}
 
 	pos := 0
@@ -336,6 +380,44 @@ func Sort(keys []uint32, cfg Config) (Result, error) {
 		TransferTime: res.Mean.TransferTime,
 		UnpackTime:   res.Mean.UnpackTime,
 	}, nil
+}
+
+// validateOverrides rejects non-finite or negative Model and Costs
+// overrides before they can poison a run: a NaN model parameter makes
+// every virtual time NaN, and a negative cost runs clocks backwards —
+// both previously surfaced only as absurd Results.
+func validateOverrides(cfg Config) error {
+	if m := cfg.Model; m != nil {
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{{"L", m.L}, {"O", m.O}, {"Gap", m.Gap}, {"GKey", m.GKey}, {"ShortKey", m.ShortKey}} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+				return fmt.Errorf("parbitonic: Model.%s = %v must be finite and non-negative", f.name, f.v)
+			}
+		}
+	}
+	if c := cfg.Costs; c != nil {
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"RadixPass", c.RadixPass}, {"Merge", c.Merge},
+			{"CompareExchange", c.CompareExchange}, {"Pack", c.Pack},
+			{"Unpack", c.Unpack}, {"CacheAlpha", c.CacheAlpha},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+				return fmt.Errorf("parbitonic: Costs.%s = %v must be finite and non-negative", f.name, f.v)
+			}
+		}
+		if c.RadixPasses < 0 {
+			return fmt.Errorf("parbitonic: Costs.RadixPasses = %d must be non-negative", c.RadixPasses)
+		}
+		if c.LgCacheKeys < 0 {
+			return fmt.Errorf("parbitonic: Costs.LgCacheKeys = %d must be non-negative", c.LgCacheKeys)
+		}
+	}
+	return nil
 }
 
 func machineConfig(cfg Config) machine.Config {
