@@ -185,6 +185,7 @@ func BenchmarkNativeVsStdlib(b *testing.B) {
 		buf := make([]uint32, total)
 
 		b.Run(sizeName(total)+"/native-smart", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				copy(buf, src)
 				if _, err := parbitonic.Sort(buf, parbitonic.Config{
@@ -194,20 +195,31 @@ func BenchmarkNativeVsStdlib(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			reportNsPerKey(b, total)
 		})
 		b.Run(sizeName(total)+"/slices.Sort", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				copy(buf, src)
 				slices.Sort(buf)
 			}
+			reportNsPerKey(b, total)
 		})
 		b.Run(sizeName(total)+"/sort.Slice", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				copy(buf, src)
 				sortSlice(buf)
 			}
+			reportNsPerKey(b, total)
 		})
 	}
+}
+
+// reportNsPerKey normalizes the measured wall time to a per-key figure
+// so differently-sized runs compare directly.
+func reportNsPerKey(b *testing.B, keys int) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(keys), "ns/key")
 }
 
 func sizeName(total int) string {

@@ -31,6 +31,7 @@ func runConfig(b *testing.B, p, n int, cfg parbitonic.Config) parbitonic.Result 
 	var res parbitonic.Result
 	var err error
 	b.SetBytes(int64(len(base) * 4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(keys, base)
@@ -41,6 +42,7 @@ func runConfig(b *testing.B, p, n int, cfg parbitonic.Config) parbitonic.Result 
 	}
 	b.StopTimer()
 	b.ReportMetric(res.TimePerKey()*1000, "model-ns/key")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(base)), "ns/key")
 	return res
 }
 

@@ -9,6 +9,21 @@
 //	bitonic-sort [-p procs] [-n keys-per-proc] [-alg name] [-dist name]
 //	             [-backend simulated|native] [-short] [-simulate]
 //	             [-fused] [-seed S] [-timeout D] [-verify] [-v]
+//
+// Observability (see internal/obs):
+//
+//	-trace-out FILE        write a Chrome trace-event JSON of the run
+//	                       (load in chrome://tracing or ui.perfetto.dev)
+//	-metrics-addr ADDR     serve Prometheus /metrics and expvar
+//	                       /debug/vars on ADDR for the process lifetime
+//	                       (":0" picks a free port; the bound address is
+//	                       printed)
+//	-metrics-snapshot FILE after the sort, scrape the metrics endpoint
+//	                       and save the exposition ("-" = stdout)
+//	-drift                 print the model-drift report: measured
+//	                       remaps/volume/messages/comm-time vs the §3.4
+//	                       closed forms
+//	-slog                  structured run logs (log/slog) on stderr
 package main
 
 import (
@@ -16,9 +31,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 
 	"parbitonic"
+	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
 	"parbitonic/internal/workload"
 )
@@ -55,6 +75,11 @@ func main() {
 	doVerify := flag.Bool("verify", false, "verify the output: per-processor order, boundaries, multiset checksum")
 	verbose := flag.Bool("v", false, "print the first and last few output keys")
 	showTrace := flag.Bool("trace", false, "print a per-processor virtual-time timeline")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars on this address (\":0\" = any free port)")
+	metricsSnapshot := flag.String("metrics-snapshot", "", "after the sort, scrape the metrics endpoint into this file (\"-\" = stdout; requires -metrics-addr)")
+	drift := flag.Bool("drift", false, "print the model-drift report (measured vs §3.4 closed-form predictions)")
+	logRuns := flag.Bool("slog", false, "emit structured run logs (log/slog) on stderr")
 	flag.Parse()
 
 	alg, ok := algorithms[*algName]
@@ -83,6 +108,55 @@ func main() {
 	if *showTrace {
 		rec = new(parbitonic.TraceRecorder)
 	}
+
+	// Assemble the observability pipeline from the requested sinks;
+	// obs.Multi skips nil entries, so unused sinks cost nothing.
+	var chrome *obs.ChromeTrace
+	if *traceOut != "" {
+		chrome = obs.NewChromeTrace()
+	}
+	var metrics *obs.Metrics
+	var metricsURL string
+	if *metricsAddr != "" {
+		metrics = obs.NewMetrics()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		metricsURL = "http://" + ln.Addr().String()
+		fmt.Printf("metrics          %s/metrics (expvar at /debug/vars)\n", metricsURL)
+		srv := &http.Server{Handler: metrics.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+	} else if *metricsSnapshot != "" {
+		fmt.Fprintln(os.Stderr, "-metrics-snapshot requires -metrics-addr")
+		os.Exit(2)
+	}
+	var logs *obs.SlogSink
+	if *logRuns {
+		logs = obs.NewSlogSink(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	var sinks []obs.Sink
+	if chrome != nil {
+		sinks = append(sinks, chrome)
+	}
+	if metrics != nil {
+		sinks = append(sinks, metrics)
+	}
+	if logs != nil {
+		sinks = append(sinks, logs)
+	}
+	var sink parbitonic.Sink
+	if len(sinks) > 0 {
+		sink = obs.Multi(sinks...)
+	}
+	var observe func(parbitonic.SortReport)
+	var report parbitonic.SortReport
+	if *drift {
+		observe = func(r parbitonic.SortReport) { report = r }
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -98,6 +172,8 @@ func main() {
 		FusePackUnpack: *fused,
 		Trace:          rec,
 		Verify:         *doVerify,
+		Obs:            sink,
+		Observe:        observe,
 	})
 	if err != nil {
 		switch {
@@ -138,6 +214,35 @@ func main() {
 		fmt.Print(rec.Timeline(100))
 		fmt.Printf("barrier-wait share: %.1f%%\n", rec.WaitShare()*100)
 	}
+	if *drift {
+		fmt.Print(report)
+	}
+	if chrome != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := chrome.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace            %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metricsSnapshot != "" {
+		if err := scrapeMetrics(metricsURL+"/metrics", *metricsSnapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if *metricsSnapshot != "-" {
+			fmt.Printf("metrics snapshot %s\n", *metricsSnapshot)
+		}
+	}
 	if *verbose {
 		k := 5
 		if len(keys) < 2*k {
@@ -152,4 +257,29 @@ func msgMode(short bool) string {
 		return "short"
 	}
 	return "long"
+}
+
+// scrapeMetrics fetches the Prometheus exposition over the process's
+// own HTTP listener — exercising the same path an external scraper
+// would — and writes it to path ("-" = stdout).
+func scrapeMetrics(url, path string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var out io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	_, err = io.Copy(out, resp.Body)
+	return err
 }

@@ -1,7 +1,10 @@
 package parbitonic_test
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,6 +46,71 @@ func TestE2ECommands(t *testing.T) {
 			out := runGo(t, "./cmd/bitonic-sort", "-p", "4", "-n", "512", "-alg", alg)
 			wantAll(t, out, "model time")
 		}
+	})
+	t.Run("bitonic-sort-observability", func(t *testing.T) {
+		// One CLI run with the full telemetry pipeline: trace file,
+		// metrics endpoint + snapshot, drift report, structured logs.
+		dir := t.TempDir()
+		tracePath := filepath.Join(dir, "trace.json")
+		snapPath := filepath.Join(dir, "metrics.prom")
+		out := runGo(t, "./cmd/bitonic-sort",
+			"-p", "8", "-n", "1024", "-backend", "native",
+			"-metrics-addr", ":0", "-metrics-snapshot", snapPath,
+			"-trace-out", tracePath, "-drift", "-slog", "-verify")
+		wantAll(t, out,
+			"metrics          http://", "/metrics",
+			"model-drift report: smart-bitonic on native",
+			"remaps", "1.0000",
+			"trace            "+tracePath,
+			"metrics snapshot "+snapPath,
+			"sort run started", "sort run finished", // slog on stderr
+			"verify           ok")
+
+		// The trace must be valid Chrome trace-event JSON with one
+		// named track per processor and complete spans carrying rounds.
+		raw, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string         `json:"name"`
+				Ph   string         `json:"ph"`
+				Tid  int            `json:"tid"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("trace is not valid JSON: %v", err)
+		}
+		tracks, spanProcs := map[int]bool{}, map[int]bool{}
+		for _, e := range doc.TraceEvents {
+			switch {
+			case e.Ph == "M" && e.Name == "thread_name":
+				tracks[e.Tid] = true
+			case e.Ph == "X":
+				spanProcs[e.Tid] = true
+				if _, ok := e.Args["round"]; !ok {
+					t.Fatalf("span %+v missing round arg", e)
+				}
+			}
+		}
+		if len(tracks) != 8 || len(spanProcs) != 8 {
+			t.Errorf("trace has %d tracks and %d processors with spans, want 8 and 8", len(tracks), len(spanProcs))
+		}
+
+		// The scrape must carry the counters and histograms.
+		snap, err := os.ReadFile(snapPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAll(t, string(snap),
+			`parbitonic_runs_total{outcome="ok"} 1`,
+			`parbitonic_events_total{kind="fault"} 0`,
+			`parbitonic_events_total{kind="verify-failure"} 0`,
+			"parbitonic_keys_sorted_total 8192",
+			"parbitonic_phase_seconds_bucket",
+			`parbitonic_phase_seconds_count{phase="compute"}`)
 	})
 	t.Run("layout-viz", func(t *testing.T) {
 		out := runGo(t, "./cmd/layout-viz")

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
 )
 
@@ -114,6 +115,7 @@ type Injector struct {
 	plan  Plan
 	inner spmd.Charger
 	fired atomic.Bool
+	sink  obs.Sink
 }
 
 // NewInjector creates an injector for one planned fault. Bind it to a
@@ -121,6 +123,16 @@ type Injector struct {
 // native.Config.WrapCharger).
 func NewInjector(plan Plan) *Injector {
 	return &Injector{plan: plan}
+}
+
+// Observe routes a telemetry event to sink when the fault fires,
+// tagging the injection with the target processor, round, and clock so
+// it shows up alongside the run's spans. Returns the injector for
+// chaining. Sinks must tolerate concurrent Emit calls (all obs sinks
+// do).
+func (f *Injector) Observe(sink obs.Sink) *Injector {
+	f.sink = sink
+	return f
 }
 
 // Wrap installs the injector around a backend's charger.
@@ -145,6 +157,16 @@ func (f *Injector) maybeFire(p *spmd.Proc) {
 	}
 	if !f.fired.CompareAndSwap(false, true) {
 		return
+	}
+	if f.sink != nil {
+		f.sink.Emit(obs.Event{
+			Kind:   obs.EventFault,
+			Proc:   p.ID,
+			Round:  p.Stats.Remaps,
+			Clock:  p.Clock,
+			Detail: f.plan.String(),
+			Wall:   time.Now().UnixNano(),
+		})
 	}
 	switch f.plan.Kind {
 	case Crash:

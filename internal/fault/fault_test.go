@@ -3,11 +3,13 @@ package fault
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
 	"parbitonic/internal/machine"
 	"parbitonic/internal/native"
+	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
 )
 
@@ -126,6 +128,49 @@ func TestDelayInjectionYieldsToDeadline(t *testing.T) {
 	// loop polls Proc.Aborting and bails out within a slice or two.
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Fatalf("RunContext held %v by a delay fault, want prompt abort", elapsed)
+	}
+}
+
+// TestInjectionEmitsObsEvent wires an observed injector and a metrics
+// sink into the same run: the injection must show up exactly once in
+// the telemetry stream, tagged with the target's plan, and the crash
+// it causes must additionally surface as a panic event from the
+// engine's abort path.
+func TestInjectionEmitsObsEvent(t *testing.T) {
+	plan := Plan{Kind: Crash, Proc: 1, Round: 0}
+	mx := obs.NewMetrics()
+	ct := obs.NewChromeTrace()
+	sink := obs.Multi(mx, ct)
+	inj := NewInjector(plan).Observe(sink)
+	cfg := machine.DefaultConfig(2)
+	cfg.WrapCharger = inj.Wrap
+	cfg.Sink = sink
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(nil, func(p *spmd.Proc) { p.Barrier() })
+	var pe *spmd.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *spmd.PanicError", err)
+	}
+	if got := mx.EventCount(obs.EventFault); got != 1 {
+		t.Fatalf("fault events = %v, want 1", got)
+	}
+	if got := mx.EventCount(obs.EventPanic); got != 1 {
+		t.Fatalf("panic events = %v, want 1", got)
+	}
+	found := false
+	for _, e := range ct.Events() {
+		if e.Kind == obs.EventFault {
+			found = true
+			if e.Proc != plan.Proc || !strings.Contains(e.Detail, plan.String()) {
+				t.Fatalf("fault event %+v does not carry the plan %v", e, plan)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Chrome trace sink saw no fault event")
 	}
 }
 

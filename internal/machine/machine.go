@@ -17,6 +17,7 @@ package machine
 
 import (
 	"parbitonic/internal/logp"
+	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
 	"parbitonic/internal/trace"
 )
@@ -53,6 +54,15 @@ type Config struct {
 	// barrier waits) for timeline rendering. Adds some overhead.
 	Trace *trace.Recorder
 
+	// Sink, when non-nil, receives the observability stream (spans,
+	// run lifecycle, abort events) and enables pprof goroutine labels;
+	// see spmd.EngineConfig.Sink.
+	Sink obs.Sink
+
+	// Labels are static telemetry labels ("alg", "backend", ...) for
+	// run metadata and pprof labels.
+	Labels map[string]string
+
 	// WrapCharger, when non-nil, wraps the virtual-time charger before
 	// the engine is built. This is the seam fault injection
 	// (internal/fault) hooks into: the wrapper observes every phase
@@ -84,7 +94,6 @@ func New(cfg Config) (*Machine, error) {
 		model: cfg.Model,
 		costs: cfg.Costs,
 		long:  cfg.Long,
-		rec:   cfg.Trace,
 	}
 	if cfg.WrapCharger != nil {
 		charge = cfg.WrapCharger(charge)
@@ -95,6 +104,8 @@ func New(cfg Config) (*Machine, error) {
 		Long:   cfg.Long,
 		Charge: charge,
 		Trace:  cfg.Trace,
+		Sink:   cfg.Sink,
+		Labels: cfg.Labels,
 	})
 	if err != nil {
 		return nil, err
@@ -107,20 +118,19 @@ func (m *Machine) Config() Config { return m.cfg }
 
 // simCharger advances the virtual clocks: every phase costs what the
 // LogGP formulas (communication) and the calibrated per-element cost
-// model (computation) say it would on the modelled machine.
+// model (computation) say it would on the modelled machine. Spans go
+// through Proc.Span, which feeds both the trace recorder and the
+// observability sink.
 type simCharger struct {
 	model logp.Params
 	costs CostModel
 	long  bool
-	rec   *trace.Recorder
 }
 
 // span records a phase of duration t starting at the processor's
 // current virtual clock.
 func (c *simCharger) span(p *Proc, ph trace.Phase, t float64) {
-	if c.rec != nil {
-		c.rec.Add(trace.Event{Proc: p.ID, Phase: ph, Start: p.Clock, End: p.Clock + t})
-	}
+	p.Span(ph, p.Clock, p.Clock+t)
 }
 
 func (c *simCharger) Start(*Proc) {}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"time"
 
+	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
 	"parbitonic/internal/trace"
 )
@@ -37,6 +38,15 @@ type Config struct {
 	// Trace, when non-nil, records measured wall-clock spans per phase
 	// (including barrier waits). Adds some overhead.
 	Trace *trace.Recorder
+
+	// Sink, when non-nil, receives the observability stream (spans,
+	// run lifecycle, abort events) and enables pprof goroutine labels;
+	// see spmd.EngineConfig.Sink.
+	Sink obs.Sink
+
+	// Labels are static telemetry labels ("alg", "backend", ...) for
+	// run metadata and pprof labels.
+	Labels map[string]string
 
 	// WrapCharger, when non-nil, wraps the wall-clock charger before
 	// the engine is built. This is the seam fault injection
@@ -57,7 +67,7 @@ type Engine struct {
 // host's core count — the algorithms are bulk-synchronous, so
 // oversubscription costs only scheduling overhead.
 func New(cfg Config) (*Engine, error) {
-	ch := &wallCharger{rec: cfg.Trace}
+	ch := &wallCharger{}
 	var charge spmd.Charger = ch
 	if cfg.WrapCharger != nil {
 		charge = cfg.WrapCharger(charge)
@@ -68,6 +78,8 @@ func New(cfg Config) (*Engine, error) {
 		Long:   true, // long-message code paths; pack cost is real copying here
 		Charge: charge,
 		Trace:  cfg.Trace,
+		Sink:   cfg.Sink,
+		Labels: cfg.Labels,
 	})
 	if err != nil {
 		return nil, err
@@ -100,9 +112,10 @@ func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *s
 // wallCharger implements spmd.Charger by measuring, not modelling: each
 // hook attributes the wall time elapsed since the processor's previous
 // phase boundary to the phase that just ended. marks is indexed by
-// processor ID; each goroutine touches only its own slot.
+// processor ID; each goroutine touches only its own slot. Spans go
+// through Proc.Span, which feeds both the trace recorder and the
+// observability sink.
 type wallCharger struct {
-	rec   *trace.Recorder
 	marks []time.Time
 }
 
@@ -119,9 +132,7 @@ func (c *wallCharger) lap(p *spmd.Proc) float64 {
 }
 
 func (c *wallCharger) span(p *spmd.Proc, ph trace.Phase, dt float64) {
-	if c.rec != nil {
-		c.rec.Add(trace.Event{Proc: p.ID, Phase: ph, Start: p.Clock, End: p.Clock + dt})
-	}
+	p.Span(ph, p.Clock, p.Clock+dt)
 }
 
 func (c *wallCharger) Start(p *spmd.Proc) { c.marks[p.ID] = time.Now() }

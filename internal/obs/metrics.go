@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// histBuckets are the upper bounds, in seconds, of the phase- and
+// run-time histograms: log-spaced from 1 µs (a single short phase) to
+// 10 s (a large native sort), which covers both the simulator's
+// virtual microseconds and native wall times.
+var histBuckets = [...]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+const numHistBuckets = 8 // len(histBuckets); array lengths must be constants
+
+// histogram is a fixed-bucket cumulative histogram in the Prometheus
+// sense: counts[i] counts observations <= histBuckets[i]; overflow
+// lands only in the implicit +Inf bucket (count).
+type histogram struct {
+	counts [numHistBuckets + 1]uint64 // last slot = +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(histBuckets[:], v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// knownEventKinds are pre-registered so a scrape always exposes the
+// fault/verify/cancel counter families at zero — Prometheus treats an
+// absent series and a zero series very differently for alerting.
+var knownEventKinds = []string{
+	EventFault, EventVerifyFailure, EventCancel, EventDeadline, EventPanic, EventAbort,
+}
+
+// Metrics is a Sink that aggregates the telemetry stream into
+// Prometheus-style counters and histograms, exposed three ways: the
+// text exposition format (WriteProm / ServeHTTP, scrapeable at
+// /metrics), an expvar.Func for /debug/vars, and direct accessor
+// methods for tests and programmatic inspection.
+type Metrics struct {
+	mu       sync.Mutex
+	runs     map[string]float64 // outcome ("ok"/"error") -> runs
+	events   map[string]float64 // event kind -> count
+	keys     float64            // keys sorted, successful runs
+	remaps   float64            // per-processor remap rounds, summed
+	volume   float64            // keys sent between processors
+	messages float64
+
+	phase    [NumPhases]histogram // span durations by phase, seconds
+	makespan histogram            // run makespan, backend-clock seconds
+	wall     histogram            // run wall duration, seconds
+}
+
+// NewMetrics returns a Metrics sink with all known counter families
+// pre-registered at zero.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		runs:   map[string]float64{"ok": 0, "error": 0},
+		events: map[string]float64{},
+	}
+	for _, k := range knownEventKinds {
+		m.events[k] = 0
+	}
+	return m
+}
+
+func (m *Metrics) RunStart(RunMeta) {}
+
+func (m *Metrics) FlushSpans(_ int, spans []Span) {
+	m.mu.Lock()
+	for _, s := range spans {
+		if s.Phase < NumPhases {
+			m.phase[s.Phase].observe(s.Duration() / 1e6) // µs -> s
+		}
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) Emit(e Event) {
+	m.mu.Lock()
+	m.events[e.Kind]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) RunEnd(s RunSummary) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s.Err != "" {
+		m.runs["error"]++
+		return
+	}
+	m.runs["ok"]++
+	m.keys += float64(s.Keys)
+	m.remaps += float64(s.Remaps)
+	m.volume += float64(s.Volume)
+	m.messages += float64(s.Messages)
+	m.makespan.observe(s.Makespan / 1e6)
+	m.wall.observe(s.WallSeconds)
+}
+
+// EventCount returns the count of one event kind.
+func (m *Metrics) EventCount(kind string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events[kind]
+}
+
+// RunCount returns the number of runs with the given outcome
+// ("ok" or "error").
+func (m *Metrics) RunCount(outcome string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runs[outcome]
+}
+
+// PhaseSeconds returns the total observed time of one phase, in
+// seconds, and the number of spans observed.
+func (m *Metrics) PhaseSeconds(p Phase) (seconds float64, spans uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p >= NumPhases {
+		return 0, 0
+	}
+	return m.phase[p].sum, m.phase[p].count
+}
+
+// WriteProm writes the metrics in the Prometheus text exposition
+// format (version 0.0.4).
+func (m *Metrics) WriteProm(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP parbitonic_runs_total Completed sort runs by outcome.\n")
+	p("# TYPE parbitonic_runs_total counter\n")
+	for _, outcome := range sortedKeys(m.runs) {
+		p("parbitonic_runs_total{outcome=%q} %v\n", outcome, m.runs[outcome])
+	}
+
+	p("# HELP parbitonic_events_total Runtime events by kind: injected faults, verification failures, cancellations, deadlines, panics, aborts.\n")
+	p("# TYPE parbitonic_events_total counter\n")
+	for _, kind := range sortedKeys(m.events) {
+		p("parbitonic_events_total{kind=%q} %v\n", kind, m.events[kind])
+	}
+
+	p("# HELP parbitonic_keys_sorted_total Keys sorted by successful runs.\n")
+	p("# TYPE parbitonic_keys_sorted_total counter\n")
+	p("parbitonic_keys_sorted_total %v\n", m.keys)
+
+	p("# HELP parbitonic_remaps_total Remap rounds participated in, summed over processors (the paper's R).\n")
+	p("# TYPE parbitonic_remaps_total counter\n")
+	p("parbitonic_remaps_total %v\n", m.remaps)
+
+	p("# HELP parbitonic_volume_keys_total Keys sent between processors (the paper's V).\n")
+	p("# TYPE parbitonic_volume_keys_total counter\n")
+	p("parbitonic_volume_keys_total %v\n", m.volume)
+
+	p("# HELP parbitonic_messages_total Messages sent between processors (the paper's M).\n")
+	p("# TYPE parbitonic_messages_total counter\n")
+	p("parbitonic_messages_total %v\n", m.messages)
+
+	p("# HELP parbitonic_phase_seconds Span durations by phase, backend-clock seconds.\n")
+	p("# TYPE parbitonic_phase_seconds histogram\n")
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		writeHist(p, "parbitonic_phase_seconds", fmt.Sprintf("phase=%q", ph), &m.phase[ph])
+	}
+
+	p("# HELP parbitonic_run_makespan_seconds Run makespan on the backend clock, seconds.\n")
+	p("# TYPE parbitonic_run_makespan_seconds histogram\n")
+	writeHist(p, "parbitonic_run_makespan_seconds", "", &m.makespan)
+
+	p("# HELP parbitonic_run_wall_seconds Measured wall duration of runs, seconds.\n")
+	p("# TYPE parbitonic_run_wall_seconds histogram\n")
+	writeHist(p, "parbitonic_run_wall_seconds", "", &m.wall)
+
+	return err
+}
+
+func writeHist(p func(string, ...any), name, label string, h *histogram) {
+	sep := ""
+	if label != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, ub := range histBuckets {
+		cum += h.counts[i]
+		p("%s_bucket{%s%sle=\"%g\"} %d\n", name, label, sep, ub, cum)
+	}
+	p("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, label, sep, h.count)
+	if label != "" {
+		label = "{" + label + "}"
+	}
+	p("%s_sum%s %v\n", name, label, h.sum)
+	p("%s_count%s %d\n", name, label, h.count)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP serves the Prometheus exposition — mount at /metrics.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = m.WriteProm(w)
+}
+
+// ExpvarFunc returns an expvar.Func exposing a snapshot of all
+// counters and per-phase totals, suitable for expvar.Publish or a
+// /debug/vars handler.
+func (m *Metrics) ExpvarFunc() expvar.Func {
+	return func() any {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		phases := map[string]any{}
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			phases[ph.String()] = map[string]any{
+				"seconds": sanitize(m.phase[ph].sum),
+				"spans":   m.phase[ph].count,
+			}
+		}
+		return map[string]any{
+			"runs":        copyMap(m.runs),
+			"events":      copyMap(m.events),
+			"keys_sorted": m.keys,
+			"remaps":      m.remaps,
+			"volume_keys": m.volume,
+			"messages":    m.messages,
+			"phase":       phases,
+		}
+	}
+}
+
+func copyMap(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Handler returns an http.Handler serving the Prometheus exposition at
+// /metrics and the expvar JSON dump at /debug/vars (the metrics appear
+// under the "parbitonic" key, without touching the process-global
+// expvar registry).
+func (m *Metrics) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m)
+	vars := m.ExpvarFunc()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n%q: %s\n}\n", "parbitonic", vars.String())
+	})
+	return mux
+}

@@ -1,0 +1,189 @@
+// Package obs is the observability layer of the SPMD runtime: a
+// stdlib-only telemetry fabric the execution engine (internal/spmd)
+// streams span, counter and run-lifecycle data into, and a set of
+// exporters that turn the stream into the formats operators actually
+// consume — Chrome trace-event JSON (Perfetto), Prometheus text
+// exposition + expvar, and log/slog structured run logs.
+//
+// The design goal is that the paper's quantitative argument — remap
+// count R, volume V, messages M, and the LogGP remap time
+// T = (L+2o-g)R + GV + (g-G)M (§3.4) — stays observable in production:
+// every phase of every remap round of every processor becomes a Span,
+// every failure (fault injection, verification, cancellation, panic)
+// becomes a counted Event, and every run opens and closes with
+// RunStart/RunEnd carrying the aggregate counters the closed-form
+// model predicts.
+//
+// Overhead discipline: the engine buffers spans per processor and
+// flushes at barriers, so a Sink sees batched FlushSpans calls rather
+// than per-span calls and the hot path takes no locks. Sinks must
+// therefore be safe for concurrent use (flushes arrive from all
+// processor goroutines); the spans slice passed to FlushSpans is
+// reused by the caller and must be copied if retained. A nil sink (or
+// the Nop sink) disables everything.
+package obs
+
+import "time"
+
+// Phase identifies what a processor was doing during a span. The
+// values mirror the phase taxonomy of the runtime (and of the paper's
+// Figures 5.4/5.6 phase breakdowns), plus Abort for unwound work.
+type Phase uint8
+
+const (
+	PhaseCompute Phase = iota
+	PhasePack
+	PhaseTransfer
+	PhaseUnpack
+	PhaseWait
+	PhaseAbort
+	NumPhases // count of phase values, for dense per-phase tables
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseCompute:
+		return "compute"
+	case PhasePack:
+		return "pack"
+	case PhaseTransfer:
+		return "transfer"
+	case PhaseUnpack:
+		return "unpack"
+	case PhaseWait:
+		return "wait"
+	case PhaseAbort:
+		return "abort"
+	}
+	return "unknown"
+}
+
+// Span is one completed phase of one processor. Start and End are on
+// the backend clock in microseconds — virtual model time under the
+// simulator, measured wall time under the native backend — so a span
+// stream from either backend renders on one consistent timeline. Wall
+// is the wall-clock instant (unix nanoseconds) the span was recorded,
+// which under the simulator is the only real-time anchor.
+type Span struct {
+	Proc  int
+	Round int // remap rounds completed by the processor when the span ended
+	Phase Phase
+	Start float64 // backend clock, µs
+	End   float64 // backend clock, µs
+	Wall  int64   // wall clock at record time, unix nanoseconds
+}
+
+// Duration returns the span length in backend-clock microseconds.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Event kinds emitted by the runtime. Sinks should treat unknown kinds
+// as opaque counters — the set may grow.
+const (
+	EventFault         = "fault"          // an injected fault fired (internal/fault)
+	EventVerifyFailure = "verify-failure" // post-sort verification rejected the output
+	EventCancel        = "cancel"         // run aborted by context cancellation
+	EventDeadline      = "deadline"       // run aborted by context deadline
+	EventPanic         = "panic"          // a processor body panicked
+	EventAbort         = "abort"          // generic abort (cause in Detail)
+)
+
+// Event is a discrete runtime occurrence worth counting and alerting
+// on: faults firing, verification failures, cancellations, panics.
+type Event struct {
+	Kind   string
+	Proc   int     // processor at fault; -1 when not attributable
+	Round  int     // remap round, when meaningful
+	Clock  float64 // backend clock at emission, µs; 0 when unknown
+	Detail string
+	Wall   int64 // unix nanoseconds
+}
+
+// RunMeta opens a run: machine size, total keys, and the static labels
+// (algorithm, backend, ...) the caller attached.
+type RunMeta struct {
+	P      int
+	Keys   int
+	Labels map[string]string // read-only; shared across calls
+	Start  time.Time
+}
+
+// RunSummary closes a run with the aggregate counters of the
+// completed (or failed) execution. Counter fields are summed over all
+// processors; time fields are backend-clock microseconds.
+type RunSummary struct {
+	Err         string  // "" on success
+	Makespan    float64 // maximum final processor clock, µs
+	WallSeconds float64 // measured wall duration of the run
+	Keys        int
+	Remaps      int
+	Volume      int // keys sent to other processors
+	Messages    int
+
+	ComputeTime  float64
+	PackTime     float64
+	TransferTime float64
+	UnpackTime   float64
+}
+
+// Sink receives the telemetry stream of one or more runs. All methods
+// must be safe for concurrent use: FlushSpans and Emit arrive from
+// processor goroutines running in parallel.
+type Sink interface {
+	// RunStart is called once when a run begins.
+	RunStart(m RunMeta)
+	// FlushSpans delivers a processor's buffered spans, typically at a
+	// barrier. The slice is reused by the caller after return — copy to
+	// retain.
+	FlushSpans(proc int, spans []Span)
+	// Emit delivers a discrete event.
+	Emit(e Event)
+	// RunEnd is called once when the run completes or fails.
+	RunEnd(s RunSummary)
+}
+
+// Nop is the disabled sink: every method is an empty function. The
+// engine also treats a nil Sink as disabled without calling it; Nop
+// exists for call sites that want a non-nil default.
+type Nop struct{}
+
+func (Nop) RunStart(RunMeta)       {}
+func (Nop) FlushSpans(int, []Span) {}
+func (Nop) Emit(Event)             {}
+func (Nop) RunEnd(RunSummary)      {}
+
+// Multi fans the stream out to several sinks; nil entries are skipped.
+func Multi(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	return multi(live)
+}
+
+type multi []Sink
+
+func (m multi) RunStart(meta RunMeta) {
+	for _, s := range m {
+		s.RunStart(meta)
+	}
+}
+
+func (m multi) FlushSpans(proc int, spans []Span) {
+	for _, s := range m {
+		s.FlushSpans(proc, spans)
+	}
+}
+
+func (m multi) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+func (m multi) RunEnd(sum RunSummary) {
+	for _, s := range m {
+		s.RunEnd(sum)
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"log/slog"
+	"sort"
+	"sync"
+)
+
+// SlogSink is a Sink that writes structured run logs through log/slog:
+// one record per run start, one per run end (with the full counter and
+// phase-time summary), and one per runtime event. Span flushes are
+// deliberately not logged — a 16-processor sort produces thousands of
+// spans per second, which belongs in the Chrome trace, not in logs.
+type SlogSink struct {
+	log *slog.Logger
+
+	mu    sync.Mutex
+	metas []RunMeta // open runs, matched FIFO to RunEnd calls
+}
+
+// NewSlogSink wraps a logger; nil uses slog.Default().
+func NewSlogSink(l *slog.Logger) *SlogSink {
+	if l == nil {
+		l = slog.Default()
+	}
+	return &SlogSink{log: l}
+}
+
+func (s *SlogSink) RunStart(m RunMeta) {
+	s.mu.Lock()
+	s.metas = append(s.metas, m)
+	s.mu.Unlock()
+	args := []any{slog.Int("procs", m.P), slog.Int("keys", m.Keys)}
+	args = append(args, labelAttrs(m.Labels)...)
+	s.log.Info("sort run started", args...)
+}
+
+func (s *SlogSink) FlushSpans(int, []Span) {}
+
+func (s *SlogSink) Emit(e Event) {
+	s.log.Warn("runtime event",
+		slog.String("kind", e.Kind),
+		slog.Int("proc", e.Proc),
+		slog.Int("round", e.Round),
+		slog.String("detail", e.Detail),
+	)
+}
+
+func (s *SlogSink) RunEnd(sum RunSummary) {
+	s.mu.Lock()
+	var meta RunMeta
+	if len(s.metas) > 0 {
+		meta = s.metas[0]
+		s.metas = s.metas[1:]
+	}
+	s.mu.Unlock()
+
+	args := []any{
+		slog.Float64("makespan_us", sum.Makespan),
+		slog.Float64("wall_s", sum.WallSeconds),
+		slog.Int("keys", sum.Keys),
+		slog.Int("remaps", sum.Remaps),
+		slog.Int("volume_keys", sum.Volume),
+		slog.Int("messages", sum.Messages),
+		slog.Float64("compute_us", sum.ComputeTime),
+		slog.Float64("pack_us", sum.PackTime),
+		slog.Float64("transfer_us", sum.TransferTime),
+		slog.Float64("unpack_us", sum.UnpackTime),
+	}
+	args = append(args, labelAttrs(meta.Labels)...)
+	if sum.Err != "" {
+		args = append(args, slog.String("err", sum.Err))
+		s.log.Error("sort run failed", args...)
+		return
+	}
+	s.log.Info("sort run finished", args...)
+}
+
+func labelAttrs(labels map[string]string) []any {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]any, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, slog.String(k, labels[k]))
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package spmd
 import (
 	"sync"
 
+	"parbitonic/internal/obs"
 	"parbitonic/internal/trace"
 )
 
@@ -31,8 +32,14 @@ func newBarrier(p int) *barrier {
 }
 
 // maxClock enters the barrier with the processor's clock; on release
-// every participant's clock is the maximum entered this round.
+// every participant's clock is the maximum entered this round. On the
+// way through it also serves the observability layer: the idle gap up
+// to the round maximum becomes a wait span, the processor's buffered
+// spans are flushed to the sink (outside the barrier lock), and the
+// goroutine's pprof phase label reads "wait" while blocked.
 func (b *barrier) maxClock(pr *Proc) {
+	prevTag := pr.curTag
+	pr.tag(int(obs.PhaseWait))
 	b.mu.Lock()
 	if b.broken {
 		b.mu.Unlock()
@@ -49,27 +56,23 @@ func (b *barrier) maxClock(pr *Proc) {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
-		if rec := pr.e.rec; rec != nil && b.prevMax > pr.Clock {
-			rec.Add(trace.Event{Proc: pr.ID, Phase: trace.Wait, Start: pr.Clock, End: b.prevMax})
+	} else {
+		gen := b.gen
+		for gen == b.gen && !b.broken {
+			b.cond.Wait()
 		}
-		pr.Clock = b.prevMax
-		b.mu.Unlock()
-		pr.e.charge.Synced(pr)
-		return
+		if b.broken {
+			b.mu.Unlock()
+			panic(poisonPanic{})
+		}
 	}
-	gen := b.gen
-	for gen == b.gen && !b.broken {
-		b.cond.Wait()
-	}
-	if b.broken {
-		b.mu.Unlock()
-		panic(poisonPanic{})
-	}
-	if rec := pr.e.rec; rec != nil && b.prevMax > pr.Clock {
-		rec.Add(trace.Event{Proc: pr.ID, Phase: trace.Wait, Start: pr.Clock, End: b.prevMax})
+	if b.prevMax > pr.Clock {
+		pr.Span(trace.Wait, pr.Clock, b.prevMax)
 	}
 	pr.Clock = b.prevMax
 	b.mu.Unlock()
+	pr.flushObs()
+	pr.tag(prevTag)
 	pr.e.charge.Synced(pr)
 }
 

@@ -2,12 +2,17 @@ package spmd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parbitonic/internal/intbits"
+	"parbitonic/internal/obs"
 	"parbitonic/internal/trace"
 )
 
@@ -21,6 +26,20 @@ type EngineConfig struct {
 	// Trace, when non-nil, receives barrier-wait spans from the engine;
 	// chargers add the busy-phase spans. Adds some overhead.
 	Trace *trace.Recorder
+
+	// Sink, when non-nil, receives the observability stream: run
+	// lifecycle, per-processor phase spans (buffered per processor and
+	// flushed at barriers — no hot-path locks), and abort events. The
+	// engine also applies runtime/pprof labels (proc, phase, plus
+	// Labels) to every processor goroutine so CPU profiles attribute
+	// samples to bitonic phases. Nil disables all of it at the cost of
+	// one pointer check per phase boundary.
+	Sink obs.Sink
+
+	// Labels are static telemetry labels ("alg", "backend", ...)
+	// attached to run metadata and pprof goroutine labels. Read-only
+	// after NewEngine.
+	Labels map[string]string
 }
 
 // Engine is the concrete runtime both backends share: the processor
@@ -33,7 +52,9 @@ type Engine struct {
 	costs  CostModel
 	charge Charger
 	rec    *trace.Recorder
-	board  [][]delivery // board[src][dst], rewritten every exchange round
+	sink   obs.Sink          // nil = observability disabled
+	labels map[string]string // static telemetry labels
+	board  [][]delivery      // board[src][dst], rewritten every exchange round
 	bar    *barrier
 	procs  []*Proc
 
@@ -75,6 +96,13 @@ type Proc struct {
 	dest, off []int32
 	nl        []int32
 	outs      [][]uint32
+
+	// Observability state, touched only by the owning goroutine: spans
+	// buffer between barrier flushes, and the precomputed pprof label
+	// contexts (one per phase tag; nil when profiling is off).
+	obsBuf   []obs.Span
+	labelCtx []context.Context
+	curTag   int
 }
 
 // NewEngine creates the substrate. P must be a power of two and at
@@ -95,6 +123,8 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		costs:  cfg.Costs,
 		charge: cfg.Charge,
 		rec:    cfg.Trace,
+		sink:   cfg.Sink,
+		labels: cfg.Labels,
 		bar:    newBarrier(cfg.P),
 	}
 	e.board = make([][]delivery, cfg.P)
@@ -116,12 +146,37 @@ func (e *Engine) P() int { return e.p }
 // notice at their next phase boundary.
 func (e *Engine) abort(cause error) {
 	e.abortMu.Lock()
-	if e.abortErr == nil {
+	first := e.abortErr == nil
+	if first {
 		e.abortErr = cause
 	}
 	e.abortMu.Unlock()
 	e.aborting.Store(true)
 	e.bar.poison()
+	if first && e.sink != nil {
+		e.sink.Emit(abortEvent(cause))
+	}
+}
+
+// abortEvent classifies an abort cause into a typed observability
+// event so operators can count cancellations, deadline expiries and
+// panics separately.
+func abortEvent(cause error) obs.Event {
+	ev := obs.Event{Kind: obs.EventAbort, Proc: -1, Wall: time.Now().UnixNano()}
+	if cause != nil {
+		ev.Detail = cause.Error()
+	}
+	var pe *PanicError
+	switch {
+	case errors.Is(cause, ErrCanceled):
+		ev.Kind = obs.EventCancel
+	case errors.Is(cause, ErrDeadline):
+		ev.Kind = obs.EventDeadline
+	case errors.As(cause, &pe):
+		ev.Kind = obs.EventPanic
+		ev.Proc = pe.Proc
+	}
+	return ev
 }
 
 // recoverState repairs the engine after an aborted run — the barrier is
@@ -166,6 +221,15 @@ func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *P
 	e.aborting.Store(false)
 	e.abortErr = nil
 
+	runStart := time.Now()
+	if e.sink != nil {
+		keys := 0
+		for _, d := range data {
+			keys += len(d)
+		}
+		e.sink.RunStart(obs.RunMeta{P: e.p, Keys: keys, Labels: e.labels, Start: runStart})
+	}
+
 	// The watcher turns a context cancellation into an engine abort; it
 	// is torn down before RunContext returns so no goroutine outlives
 	// the call.
@@ -199,11 +263,14 @@ func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *P
 			defer func() {
 				if r := recover(); r != nil {
 					if _, unwinding := r.(poisonPanic); unwinding {
+						p.abortSpan()
 						return // abort propagation; the cause is already recorded
 					}
+					p.abortSpan()
 					e.abort(&PanicError{Proc: p.ID, Value: r, Stack: debug.Stack()})
 				}
 			}()
+			p.initObs()
 			e.charge.Start(p)
 			body(p)
 		}()
@@ -217,7 +284,20 @@ func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *P
 	e.abortMu.Lock()
 	err := e.abortErr
 	e.abortMu.Unlock()
+	if e.sink != nil {
+		// Residual spans recorded since the last barrier (single-threaded
+		// here: all workers are joined).
+		for _, p := range e.procs {
+			p.flushObs()
+		}
+	}
 	if err != nil {
+		if e.sink != nil {
+			e.sink.RunEnd(obs.RunSummary{
+				Err:         err.Error(),
+				WallSeconds: time.Since(runStart).Seconds(),
+			})
+		}
 		e.recoverState()
 		return Result{}, err
 	}
@@ -240,6 +320,24 @@ func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *P
 	res.Mean.PackTime /= f
 	res.Mean.TransferTime /= f
 	res.Mean.UnpackTime /= f
+	if e.sink != nil {
+		keys := 0
+		for _, p := range e.procs {
+			keys += len(p.Data)
+		}
+		e.sink.RunEnd(obs.RunSummary{
+			Makespan:     res.Time,
+			WallSeconds:  time.Since(runStart).Seconds(),
+			Keys:         keys,
+			Remaps:       res.Sum.Remaps,
+			Volume:       res.Sum.VolumeSent,
+			Messages:     res.Sum.MessagesSent,
+			ComputeTime:  res.Sum.ComputeTime,
+			PackTime:     res.Sum.PackTime,
+			TransferTime: res.Sum.TransferTime,
+			UnpackTime:   res.Sum.UnpackTime,
+		})
+	}
 	return res, nil
 }
 
@@ -360,4 +458,116 @@ func (p *Proc) clearOuts() {
 	for i := range p.outs {
 		p.outs[i] = nil
 	}
+}
+
+// ---- observability services ----
+
+// obsPhase maps the trace recorder's phase letters onto the
+// observability layer's dense phase enum.
+func obsPhase(ph trace.Phase) obs.Phase {
+	switch ph {
+	case trace.Compute:
+		return obs.PhaseCompute
+	case trace.Pack:
+		return obs.PhasePack
+	case trace.Transfer:
+		return obs.PhaseTransfer
+	case trace.Unpack:
+		return obs.PhaseUnpack
+	case trace.Wait:
+		return obs.PhaseWait
+	}
+	return obs.PhaseAbort
+}
+
+// Span records one completed phase span [start, end) on the
+// processor's backend clock. It feeds both consumers at once: the
+// trace recorder (if configured) for timeline rendering, and the
+// observability sink (if configured) via the processor's private span
+// buffer, stamped with the current remap round and a wall-clock
+// timestamp. Chargers call it at every phase boundary; with neither
+// consumer configured it is two pointer checks.
+func (p *Proc) Span(ph trace.Phase, start, end float64) {
+	if r := p.e.rec; r != nil {
+		r.Add(trace.Event{Proc: p.ID, Phase: ph, Start: start, End: end})
+	}
+	if p.e.sink != nil && end > start {
+		p.obsBuf = append(p.obsBuf, obs.Span{
+			Proc:  p.ID,
+			Round: p.Stats.Remaps,
+			Phase: obsPhase(ph),
+			Start: start,
+			End:   end,
+			Wall:  time.Now().UnixNano(),
+		})
+	}
+}
+
+// flushObs hands the processor's buffered spans to the sink. Called at
+// every barrier release (each processor flushes its own buffer, so the
+// sink's lock is taken once per processor per barrier, never per span)
+// and once more when the run ends.
+func (p *Proc) flushObs() {
+	if p.e.sink == nil || len(p.obsBuf) == 0 {
+		return
+	}
+	p.e.sink.FlushSpans(p.ID, p.obsBuf)
+	p.obsBuf = p.obsBuf[:0]
+}
+
+// abortSpan records a zero-advance abort marker when the processor
+// unwinds, so aborted work is visible in the span stream.
+func (p *Proc) abortSpan() {
+	if p.e.sink == nil {
+		return
+	}
+	p.obsBuf = append(p.obsBuf, obs.Span{
+		Proc:  p.ID,
+		Round: p.Stats.Remaps,
+		Phase: obs.PhaseAbort,
+		Start: p.Clock,
+		End:   p.Clock,
+		Wall:  time.Now().UnixNano(),
+	})
+}
+
+// phaseTagNames order must match the obs.Phase constants; abort never
+// becomes a goroutine label.
+var phaseTagNames = [...]string{"compute", "pack", "transfer", "unpack", "wait"}
+
+// initObs prepares the processor's observability state at run start:
+// the span buffer is cleared and, when a sink is configured, one pprof
+// label context per phase is prebuilt (proc, phase, plus the engine's
+// static labels) and the goroutine labeled as computing — from here on
+// a phase change is a single SetGoroutineLabels call with no
+// allocation.
+func (p *Proc) initObs() {
+	p.obsBuf = p.obsBuf[:0]
+	if p.e.sink == nil {
+		p.labelCtx = nil
+		return
+	}
+	if p.labelCtx == nil {
+		kv := make([]string, 0, 2*(2+len(p.e.labels)))
+		kv = append(kv, "proc", strconv.Itoa(p.ID))
+		for k, v := range p.e.labels {
+			kv = append(kv, k, v)
+		}
+		p.labelCtx = make([]context.Context, len(phaseTagNames))
+		for i, name := range phaseTagNames {
+			args := append(kv[:len(kv):len(kv)], "phase", name)
+			p.labelCtx[i] = pprof.WithLabels(context.Background(), pprof.Labels(args...))
+		}
+	}
+	p.tag(int(obs.PhaseCompute))
+}
+
+// tag switches the goroutine's pprof phase label; no-op when profiling
+// is off.
+func (p *Proc) tag(t int) {
+	if p.labelCtx == nil {
+		return
+	}
+	p.curTag = t
+	pprof.SetGoroutineLabels(p.labelCtx[t])
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"parbitonic/internal/addr"
+	"parbitonic/internal/obs"
 )
 
 // Barrier synchronizes all processors and advances every clock to the
@@ -25,6 +26,7 @@ func (p *Proc) Barrier() {
 // synchronize afterwards.
 func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
 	p.checkAbort()
+	p.tag(int(obs.PhaseTransfer))
 	e := p.e
 	if len(out) != e.p {
 		panic(fmt.Sprintf("spmd: Exchange wants %d destination slices, got %d", e.p, len(out)))
@@ -46,6 +48,7 @@ func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
 	}
 	e.charge.Transfer(p, vol, msgs)
 	e.bar.maxClock(p) // everyone has read; board reusable, clocks synced
+	p.tag(int(obs.PhaseCompute))
 	return in
 }
 
@@ -55,6 +58,7 @@ func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
 // baseline, whose remote steps exchange full halves between pairs.
 func (p *Proc) PairExchange(partner int, out []uint32) []uint32 {
 	p.checkAbort()
+	p.tag(int(obs.PhaseTransfer))
 	e := p.e
 	if partner < 0 || partner >= e.p || partner == p.ID {
 		panic(fmt.Sprintf("spmd: bad partner %d for processor %d", partner, p.ID))
@@ -66,6 +70,7 @@ func (p *Proc) PairExchange(partner int, out []uint32) []uint32 {
 	in := e.board[partner][p.ID].data
 	e.charge.Transfer(p, len(out), 1)
 	e.bar.maxClock(p)
+	p.tag(int(obs.PhaseCompute))
 	return in
 }
 
@@ -106,6 +111,7 @@ func (p *Proc) RemapExchange(plan *addr.RemapPlan, fused bool) {
 	if len(p.Data) != n {
 		panic(fmt.Sprintf("spmd: processor %d holds %d keys, plan wants %d", p.ID, len(p.Data), n))
 	}
+	p.tag(int(obs.PhasePack))
 	out := p.pack(plan, n)
 	if e.long && !fused {
 		e.charge.Pack(p, n)
@@ -113,6 +119,7 @@ func (p *Proc) RemapExchange(plan *addr.RemapPlan, fused bool) {
 	in := p.Exchange(out)
 	p.clearOuts()
 	// Unpack into the new local order.
+	p.tag(int(obs.PhaseUnpack))
 	next := make([]uint32, n)
 	nl := p.nlScratch(plan.MsgLen)
 	for src, msg := range in {
@@ -129,6 +136,7 @@ func (p *Proc) RemapExchange(plan *addr.RemapPlan, fused bool) {
 	if e.long && !fused {
 		e.charge.Unpack(p, n)
 	}
+	p.tag(int(obs.PhaseCompute))
 	p.Stats.Remaps++
 }
 
@@ -146,6 +154,7 @@ func (p *Proc) RemapExchangeRuns(plan *addr.RemapPlan, fusedPack bool) [][]uint3
 	if len(p.Data) != n {
 		panic(fmt.Sprintf("spmd: processor %d holds %d keys, plan wants %d", p.ID, len(p.Data), n))
 	}
+	p.tag(int(obs.PhasePack))
 	out := p.pack(plan, n)
 	if e.long && !fusedPack {
 		e.charge.Pack(p, n)

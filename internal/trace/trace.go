@@ -87,16 +87,21 @@ func (r *Recorder) Reset() {
 }
 
 // PhaseTotals sums the recorded time by phase across all processors.
+// It aggregates in a single pass under the lock — no copy, no sort —
+// so it is cheap enough to poll mid-run.
 func (r *Recorder) PhaseTotals() map[Phase]float64 {
 	totals := map[Phase]float64{}
-	for _, e := range r.Events() {
+	r.mu.Lock()
+	for _, e := range r.events {
 		totals[e.Phase] += e.End - e.Start
 	}
+	r.mu.Unlock()
 	return totals
 }
 
 // WaitShare returns the fraction of total recorded time spent idling at
-// barriers — a direct load-imbalance measure.
+// barriers — a direct load-imbalance measure. It reuses PhaseTotals'
+// single aggregation pass.
 func (r *Recorder) WaitShare() float64 {
 	totals := r.PhaseTotals()
 	var all float64

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -64,6 +65,96 @@ func TestTimelineEmptyAndReset(t *testing.T) {
 	r.Reset()
 	if len(r.Events()) != 0 {
 		t.Error("reset should clear")
+	}
+}
+
+// An event ending exactly at the makespan lands in the last bucket —
+// the b1 == width clamp must not drop it or index out of range.
+func TestTimelineEventAtMakespanBoundary(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Proc: 0, Phase: Compute, Start: 0, End: 100})
+	r.Add(Event{Proc: 0, Phase: Transfer, Start: 90, End: 100}) // End == makespan
+	out := r.Timeline(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	row := lines[1][strings.Index(lines[1], "|")+1:]
+	if len(row) < 10 {
+		t.Fatalf("row too short: %q", row)
+	}
+	// The last bucket holds 10µs of compute and 10µs of transfer; the
+	// fixed-order tie-break keeps compute, but the bucket must be
+	// non-blank either way.
+	if row[9] == ' ' {
+		t.Errorf("bucket at makespan boundary is blank: %q", row)
+	}
+}
+
+// Zero and negative widths fall back to 80 buckets instead of
+// panicking or dividing by zero.
+func TestTimelineWidthFallback(t *testing.T) {
+	var r Recorder
+	r.Add(Event{Proc: 0, Phase: Compute, Start: 0, End: 10})
+	for _, w := range []int{0, -5} {
+		out := r.Timeline(w)
+		if !strings.Contains(out, "80 buckets") {
+			t.Errorf("Timeline(%d) did not fall back to 80 buckets:\n%s", w, out)
+		}
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		row := lines[1][strings.Index(lines[1], "|")+1:]
+		if got := strings.LastIndex(row, "|"); got != 80 {
+			t.Errorf("Timeline(%d) row is %d buckets wide, want 80: %q", w, got, row)
+		}
+	}
+}
+
+// When two phases split a bucket exactly evenly the winner is the one
+// earlier in the fixed phase order (C, P, T, U, .), independent of map
+// iteration order — render twice and demand byte equality as well.
+func TestTimelineBucketTieBreak(t *testing.T) {
+	var r Recorder
+	// One bucket (width 1) with a perfect 50/50 split of wait and
+	// compute; compute precedes wait in the fixed order and must win.
+	r.Add(Event{Proc: 0, Phase: Wait, Start: 0, End: 5})
+	r.Add(Event{Proc: 0, Phase: Compute, Start: 5, End: 10})
+	out := r.Timeline(1)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	row := lines[1][strings.Index(lines[1], "|")+1:]
+	if row[0] != 'C' {
+		t.Errorf("tie broke to %q, want C (fixed phase order)", row[0])
+	}
+	for i := 0; i < 10; i++ {
+		if again := r.Timeline(1); again != out {
+			t.Fatalf("rendering is not deterministic:\n%s\nvs\n%s", out, again)
+		}
+	}
+}
+
+// Concurrent Add from many goroutines (the recorder's production
+// use: one goroutine per processor) must be race-free and lose
+// nothing. Run with -race to make this bite.
+func TestConcurrentAdd(t *testing.T) {
+	var r Recorder
+	const procs, events = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				start := float64(i)
+				r.Add(Event{Proc: p, Phase: Compute, Start: start, End: start + 1})
+				if i%10 == 0 {
+					r.PhaseTotals() // aggregate while writers are active
+					r.WaitShare()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != procs*events {
+		t.Errorf("recorded %d events, want %d", got, procs*events)
+	}
+	if tot := r.PhaseTotals()[Compute]; tot != procs*events {
+		t.Errorf("compute total %v, want %d", tot, procs*events)
 	}
 }
 

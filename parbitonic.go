@@ -32,6 +32,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"parbitonic/internal/bitseq"
 	"parbitonic/internal/core"
@@ -39,6 +40,7 @@ import (
 	"parbitonic/internal/logp"
 	"parbitonic/internal/machine"
 	"parbitonic/internal/native"
+	"parbitonic/internal/obs"
 	"parbitonic/internal/psort"
 	"parbitonic/internal/schedule"
 	"parbitonic/internal/spmd"
@@ -168,7 +170,28 @@ type Config struct {
 	// broken invariant. Costs one extra O(N) pass over input and
 	// output.
 	Verify bool
+
+	// Obs, when non-nil, receives the run's full observability stream:
+	// run metadata at start, per-processor phase spans flushed at every
+	// barrier, runtime events (aborts, injected faults, verification
+	// failures), and a run summary at the end. It also enables pprof
+	// goroutine labels (proc/phase/alg/backend) on the worker
+	// goroutines. Ready-made sinks live in internal/obs: ChromeTrace
+	// (Perfetto-loadable trace JSON), Metrics (Prometheus/expvar
+	// export), SlogSink (structured logs); combine with obs.Multi. Nil
+	// costs nothing on the hot path.
+	Obs Sink
+
+	// Observe, when non-nil, is called after a successful sort with the
+	// model-drift report: the run's measured communication metrics
+	// paired against the paper's §3.4 closed-form predictions. See
+	// SortReport.
+	Observe func(SortReport)
 }
+
+// Sink is the observability consumer interface; see Config.Obs and
+// internal/obs.
+type Sink = obs.Sink
 
 // VerifyError reports a failed Config.Verify check: the sort returned,
 // but its output violates a result invariant (Invariant is
@@ -291,17 +314,27 @@ func SortContext(ctx context.Context, keys []uint32, cfg Config) (Result, error)
 		sum = verify.Sum(keys)
 	}
 
+	var labels map[string]string
+	if cfg.Obs != nil {
+		labels = map[string]string{
+			"alg":     cfg.Algorithm.String(),
+			"backend": cfg.Backend.String(),
+		}
+	}
 	var m spmd.Backend
 	var err error
 	switch cfg.Backend {
 	case Native:
-		nc := native.Config{P: p, Trace: cfg.Trace}
+		nc := native.Config{P: p, Trace: cfg.Trace, Sink: cfg.Obs, Labels: labels}
 		if cfg.Costs != nil {
 			nc.Costs = *cfg.Costs
 		}
 		m, err = native.New(nc)
 	case Simulated:
-		m, err = machine.New(machineConfig(cfg))
+		mc := machineConfig(cfg)
+		mc.Sink = cfg.Obs
+		mc.Labels = labels
+		m, err = machine.New(mc)
 	default:
 		return Result{}, fmt.Errorf("parbitonic: unknown backend %v", cfg.Backend)
 	}
@@ -356,6 +389,14 @@ func SortContext(ctx context.Context, keys []uint32, cfg Config) (Result, error)
 
 	if cfg.Verify {
 		if verr := verify.Distributed(m.Data(), sum); verr != nil {
+			if cfg.Obs != nil {
+				cfg.Obs.Emit(obs.Event{
+					Kind:   obs.EventVerifyFailure,
+					Clock:  res.Time,
+					Detail: verr.Error(),
+					Wall:   time.Now().UnixNano(),
+				})
+			}
 			return Result{}, verr
 		}
 	}
@@ -368,7 +409,7 @@ func SortContext(ctx context.Context, keys []uint32, cfg Config) (Result, error)
 		return Result{}, fmt.Errorf("parbitonic: internal error, %d of %d keys returned", pos, len(keys))
 	}
 
-	return Result{
+	result := Result{
 		Algorithm:    cfg.Algorithm,
 		Keys:         len(keys),
 		Time:         res.Time,
@@ -379,7 +420,11 @@ func SortContext(ctx context.Context, keys []uint32, cfg Config) (Result, error)
 		PackTime:     res.Mean.PackTime,
 		TransferTime: res.Mean.TransferTime,
 		UnpackTime:   res.Mean.UnpackTime,
-	}, nil
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(buildReport(cfg, len(keys), result))
+	}
+	return result, nil
 }
 
 // validateOverrides rejects non-finite or negative Model and Costs
