@@ -1,0 +1,224 @@
+// Command commentlint enforces the repo's godoc contract: every
+// exported identifier — package, top-level func, type, const, var,
+// method, struct field, and interface method — must carry a doc
+// comment, and declaration comments must start with the identifier
+// they document (standard godoc style).
+//
+// Usage:
+//
+//	commentlint ./internal/spmd ./internal/serve ...
+//
+// With no arguments it lints the package directories named in the CI
+// lint job. Exits 1 and prints one "file:line: message" per violation
+// when any exported identifier is undocumented. Test files are
+// skipped. Grouped const/var specs may share the group's doc comment;
+// struct fields and interface methods may use a trailing line comment
+// instead of a leading one.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// defaultDirs is the lint scope when no arguments are given: the
+// packages the ISSUE-4 godoc audit covers, plus the serve layer it
+// introduced.
+var defaultDirs = []string{
+	"./internal/spmd", "./internal/machine", "./internal/native",
+	"./internal/obs", "./internal/fault", "./internal/verify",
+	"./internal/core", "./internal/addr", "./internal/serve",
+}
+
+// violation is one undocumented (or mis-documented) exported
+// identifier, carrying the position to report.
+type violation struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	var all []violation
+	for _, dir := range dirs {
+		vs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		all = append(all, vs...)
+	}
+	for _, v := range all {
+		fmt.Printf("%s:%d: %s\n", v.pos.Filename, v.pos.Line, v.msg)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "commentlint: %d undocumented exported identifiers\n", len(all))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses every non-test Go file in dir and returns the doc
+// violations of its exported declarations.
+func lintDir(dir string) ([]violation, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("commentlint: %s: %w", dir, err)
+	}
+	var vs []violation
+	for _, pkg := range pkgs {
+		docd := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				docd = true
+			}
+			for _, decl := range f.Decls {
+				vs = append(vs, lintDecl(fset, decl)...)
+			}
+		}
+		if !docd {
+			vs = append(vs, violation{
+				pos: token.Position{Filename: dir},
+				msg: fmt.Sprintf("package %s has no package doc comment", pkg.Name),
+			})
+		}
+	}
+	return vs, nil
+}
+
+// lintDecl checks one top-level declaration, descending into struct
+// fields and interface methods of exported types.
+func lintDecl(fset *token.FileSet, decl ast.Decl) []violation {
+	var vs []violation
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if exportedRecv(d) && d.Doc == nil {
+			vs = append(vs, undoc(fset, d.Pos(), "func", d.Name.Name))
+		} else if d.Doc != nil {
+			vs = append(vs, checkStart(fset, d.Doc, d.Name.Name)...)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				if s.Doc == nil && d.Doc == nil {
+					vs = append(vs, undoc(fset, s.Pos(), "type", s.Name.Name))
+				}
+				vs = append(vs, lintTypeBody(fset, s)...)
+			case *ast.ValueSpec:
+				// A const/var group's doc covers its specs.
+				if s.Doc != nil || s.Comment != nil || d.Doc != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						vs = append(vs, undoc(fset, name.Pos(), kindOf(d.Tok), name.Name))
+					}
+				}
+			}
+		}
+	}
+	return vs
+}
+
+// lintTypeBody checks the exported fields of a struct type and the
+// exported methods of an interface type. A trailing same-line comment
+// counts as documentation for either.
+func lintTypeBody(fset *token.FileSet, s *ast.TypeSpec) []violation {
+	var vs []violation
+	var fields *ast.FieldList
+	kind := "field"
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		fields = t.Fields
+	case *ast.InterfaceType:
+		fields = t.Methods
+		kind = "interface method"
+	default:
+		return nil
+	}
+	for _, f := range fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.IsExported() {
+				vs = append(vs, undoc(fset, name.Pos(),
+					kind, s.Name.Name+"."+name.Name))
+			}
+		}
+	}
+	return vs
+}
+
+// exportedRecv reports whether a func decl is part of the exported
+// API surface: a top-level function, or a method on an exported
+// receiver type.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[K]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// checkStart enforces the godoc convention that a declaration comment
+// begins with the name it documents (allowing the "A"/"An"/"The"
+// article prefixes gofmt tolerates).
+func checkStart(fset *token.FileSet, doc *ast.CommentGroup, name string) []violation {
+	text := strings.TrimSpace(doc.Text())
+	if text == "" {
+		return []violation{undoc(fset, doc.Pos(), "func", name)}
+	}
+	for _, prefix := range []string{"", "A ", "An ", "The "} {
+		if strings.HasPrefix(text, prefix+name) {
+			return nil
+		}
+	}
+	// Deprecated markers and build-tag style comments are left alone.
+	if strings.HasPrefix(text, "Deprecated:") {
+		return nil
+	}
+	return []violation{{
+		pos: fset.Position(doc.Pos()),
+		msg: fmt.Sprintf("doc comment for %s should start with %q", name, name),
+	}}
+}
+
+// undoc builds the standard "exported X is undocumented" violation.
+func undoc(fset *token.FileSet, pos token.Pos, kind, name string) violation {
+	return violation{
+		pos: fset.Position(pos),
+		msg: fmt.Sprintf("exported %s %s has no doc comment", kind, name),
+	}
+}
+
+// kindOf names a GenDecl token for the violation message.
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

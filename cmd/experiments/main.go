@@ -5,9 +5,14 @@
 // Usage:
 //
 //	experiments [-scale N] [-seed S] [-only id-substring]
+//	experiments -load-url http://host:8357 [-load-reqs N]
 //
 // -scale divides the paper's key counts by 2^N (default 6; 0 runs the
 // paper's full sizes, up to 32M keys, which takes a few minutes).
+//
+// With -load-url the command becomes an HTTP load generator instead:
+// it sweeps client concurrency against a running sort-server (see
+// cmd/sort-server) and prints throughput and latency percentiles.
 package main
 
 import (
@@ -43,7 +48,15 @@ func main() {
 	only := flag.String("only", "", "run only experiments whose ID contains this substring")
 	charts := flag.Bool("charts", true, "render figures as ASCII charts below their tables")
 	svgDir := flag.String("svg", "", "also write each figure as an SVG file into this directory")
+	loadURL := flag.String("load-url", "", "load-generator mode: drive a running sort-server at this base URL instead of the reproduction suite")
+	loadReqs := flag.Int("load-reqs", 64, "load-generator mode: requests per client")
 	flag.Parse()
+
+	if *loadURL != "" {
+		tab := experiments.LoadHTTP(*loadURL, *loadReqs, *seed)
+		tab.Render(os.Stdout)
+		return
+	}
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
@@ -60,6 +73,7 @@ func main() {
 		experiments.Table53, experiments.Table54, experiments.Fig57, experiments.Fig58,
 		experiments.AnalysisRVM, experiments.AblationShift, experiments.AblationCompute,
 		experiments.FutureWorkOverlap, experiments.NativeThroughput,
+		experiments.ServeLoad,
 	}
 	ran := 0
 	for _, run := range runners {

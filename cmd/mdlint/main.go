@@ -1,0 +1,133 @@
+// Command mdlint checks that every relative link in the repo's
+// markdown files resolves to an existing file. External links
+// (http/https/mailto) and pure-anchor links (#section) are skipped —
+// the check must work offline in CI — but a #fragment on a relative
+// link is verified to point at a real heading in the target file.
+//
+// Usage:
+//
+//	mdlint README.md DESIGN.md ...
+//	mdlint            # lints every *.md at the repo root
+//
+// Links inside fenced code blocks are ignored. Exits 1 with one
+// "file:line: message" per broken link.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target).
+// Targets with spaces or nested parens are out of scope — the repo
+// doesn't use them.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)\)`)
+
+// fenceRE matches the opening/closing line of a fenced code block.
+var fenceRE = regexp.MustCompile("^\\s*(```|~~~)")
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("*.md")
+		if err != nil || len(files) == 0 {
+			fmt.Fprintln(os.Stderr, "mdlint: no markdown files found")
+			os.Exit(2)
+		}
+	}
+	broken := 0
+	for _, f := range files {
+		broken += lintFile(f)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d broken links\n", broken)
+		os.Exit(1)
+	}
+}
+
+// lintFile reports the number of broken relative links in one
+// markdown file, printing each as file:line: message.
+func lintFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlint:", err)
+		return 1
+	}
+	broken := 0
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if fenceRE.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			if msg := checkTarget(path, m[1]); msg != "" {
+				fmt.Printf("%s:%d: %s\n", path, i+1, msg)
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+// checkTarget validates one link target relative to the file that
+// contains it; an empty return means the link is fine.
+func checkTarget(from, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return ""
+	case strings.HasPrefix(target, "#"):
+		return "" // same-file anchor; heading drift is not worth a CI gate
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := filepath.Join(filepath.Dir(from), file)
+	if _, err := os.Stat(resolved); err != nil {
+		return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+	}
+	if frag != "" && strings.HasSuffix(file, ".md") && !hasHeading(resolved, frag) {
+		return fmt.Sprintf("broken anchor %q: no heading matches #%s in %s", target, frag, resolved)
+	}
+	return ""
+}
+
+// hasHeading reports whether a markdown file contains a heading whose
+// GitHub-style slug equals frag.
+func hasHeading(path, frag string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		if slug(strings.TrimLeft(line, "# ")) == strings.ToLower(frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// slug approximates GitHub's heading-anchor algorithm: lowercase,
+// spaces to dashes, punctuation dropped.
+func slug(heading string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r == ' ' || r == '-':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+// Command sort-server runs the parallel bitonic sort as an HTTP
+// service: pooled engines, request batching, and bounded-queue
+// backpressure (internal/serve), with Prometheus metrics and optional
+// chaos injection.
+//
+// Usage:
+//
+//	sort-server [-addr :8357] [-p procs] [-alg name] [-backend name]
+//	            [-verify] [-max-batch N] [-max-batch-keys N]
+//	            [-max-delay dur] [-queue N] [-parallel N]
+//	            [-chaos-every N] [-chaos-seed S]
+//
+// Endpoints: POST /sort (JSON {"keys":[...]} or application/octet-stream
+// little-endian uint32s; optional ?timeout_ms=N), GET /healthz,
+// GET /stats, GET /metrics (Prometheus), GET /debug/vars (expvar).
+// See OPERATIONS.md for the runbook.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parbitonic"
+	"parbitonic/internal/fault"
+	"parbitonic/internal/obs"
+	"parbitonic/internal/serve"
+)
+
+var algorithms = map[string]parbitonic.Algorithm{
+	"smart":          parbitonic.SmartBitonic,
+	"cyclic-blocked": parbitonic.CyclicBlockedBitonic,
+	"blocked-merge":  parbitonic.BlockedMergeBitonic,
+	"sample":         parbitonic.SampleSort,
+	"radix":          parbitonic.RadixSort,
+}
+
+func main() {
+	addr := flag.String("addr", ":8357", "listen address")
+	p := flag.Int("p", 4, "processors per engine (power of two)")
+	algName := flag.String("alg", "smart", "algorithm: smart, cyclic-blocked, blocked-merge, sample, radix")
+	backendName := flag.String("backend", "native", "execution backend: native (wall-clock) or simulated (model time)")
+	verifyFlag := flag.Bool("verify", false, "verify every run's output (sortedness + checksum) before responding")
+	maxBatch := flag.Int("max-batch", 16, "most requests coalesced into one engine run (1 disables batching)")
+	maxBatchKeys := flag.Int("max-batch-keys", 1<<20, "summed key cap of a batch; longer requests run solo")
+	maxDelay := flag.Duration("max-delay", 200*time.Microsecond, "batching window: how long to hold a batch open for companions")
+	queue := flag.Int("queue", 256, "admission queue depth; a full queue rejects with 429")
+	parallel := flag.Int("parallel", 0, "concurrent engine runs (0 = GOMAXPROCS/p)")
+	chaosEvery := flag.Int("chaos-every", 0, "inject a fault on every Nth engine run (0 disables chaos)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "chaos plan seed (replayable)")
+	flag.Parse()
+
+	alg, ok := algorithms[*algName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+	var backend parbitonic.Backend
+	switch *backendName {
+	case "native":
+		backend = parbitonic.Native
+	case "simulated":
+		backend = parbitonic.Simulated
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backendName)
+		os.Exit(2)
+	}
+
+	runMetrics := obs.NewMetrics()
+	engine := parbitonic.Config{
+		Processors: *p,
+		Algorithm:  alg,
+		Backend:    backend,
+		Verify:     *verifyFlag,
+		Obs:        runMetrics,
+	}
+	var injected func() uint64
+	if *chaosEvery > 0 {
+		engine.WrapCharger, injected = fault.ChaosWrapper(fault.ChaosConfig{
+			P:     *p,
+			Every: *chaosEvery,
+			Seed:  *chaosSeed,
+			Sink:  runMetrics,
+		})
+		fmt.Fprintf(os.Stderr, "sort-server: CHAOS ON — a fault every %d runs, seed %d\n", *chaosEvery, *chaosSeed)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Engine:       engine,
+		MaxBatch:     *maxBatch,
+		MaxBatchKeys: *maxBatchKeys,
+		MaxDelay:     *maxDelay,
+		QueueDepth:   *queue,
+		Parallel:     *parallel,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv, runMetrics)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "sort-server: draining...")
+		hs.Close()
+		srv.Close()
+		if injected != nil {
+			fmt.Fprintf(os.Stderr, "sort-server: %d faults injected\n", injected())
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "sort-server: listening on %s (P=%d, %s, %s backend, batch<=%d/%v, queue %d)\n",
+		*addr, *p, *algName, *backendName, *maxBatch, *maxDelay, *queue)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	<-done
+}

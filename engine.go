@@ -1,0 +1,294 @@
+package parbitonic
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"parbitonic/internal/core"
+	"parbitonic/internal/intbits"
+	"parbitonic/internal/machine"
+	"parbitonic/internal/native"
+	"parbitonic/internal/obs"
+	"parbitonic/internal/psort"
+	"parbitonic/internal/schedule"
+	"parbitonic/internal/spmd"
+	"parbitonic/internal/verify"
+)
+
+// Engine is a reusable sorting engine: the expensive construction a
+// Sort call pays — worker setup, the P×P exchange board, barrier,
+// message-buffer pool — happens once in NewEngine, and every
+// subsequent Sort call on the engine reuses it, along with the
+// engine's recycled input-staging and padding buffers. Repeated sorts
+// of similar sizes on one Engine therefore allocate almost nothing
+// beyond what the algorithms themselves churn.
+//
+// The package-level Sort functions construct a throwaway Engine per
+// call; a server that sorts many requests should hold Engines instead
+// (internal/serve pools them keyed by shape).
+//
+// An Engine is NOT safe for concurrent use: at most one Sort call may
+// be in flight at a time. It remains usable after any failure —
+// cancellation, deadline, contained panic, or verification failure —
+// exactly like the underlying spmd.Backend.
+type Engine struct {
+	cfg Config
+	m   spmd.Backend
+
+	// staging holds the previous run's final per-processor slices,
+	// recycled as the next run's input staging. They are dropped after a
+	// failed run (ownership is unspecified mid-abort) and whenever their
+	// lengths no longer fit.
+	staging [][]uint32
+
+	// padBuf is the recycled SortPadded staging buffer. Results are
+	// always copied out of it before returning, so no caller ever holds
+	// a reference into it across reuse (see TestSortPaddedNoRetention).
+	padBuf []uint32
+}
+
+// NewEngine validates cfg, builds its execution backend once, and
+// returns the reusable engine. Everything in cfg except the per-call
+// key slice is fixed for the engine's lifetime: processor count,
+// algorithm, backend, model overrides, telemetry sinks.
+func NewEngine(cfg Config) (*Engine, error) {
+	p := cfg.Processors
+	if p < 1 || p&(p-1) != 0 {
+		return nil, fmt.Errorf("parbitonic: Processors must be a positive power of two, got %d", p)
+	}
+	if err := validateOverrides(cfg); err != nil {
+		return nil, err
+	}
+	var labels map[string]string
+	if cfg.Obs != nil {
+		labels = map[string]string{
+			"alg":     cfg.Algorithm.String(),
+			"backend": cfg.Backend.String(),
+		}
+	}
+	var m spmd.Backend
+	var err error
+	switch cfg.Backend {
+	case Native:
+		nc := native.Config{P: p, Trace: cfg.Trace, Sink: cfg.Obs, Labels: labels, WrapCharger: cfg.WrapCharger}
+		if cfg.Costs != nil {
+			nc.Costs = *cfg.Costs
+		}
+		m, err = native.New(nc)
+	case Simulated:
+		mc := machineConfig(cfg)
+		mc.Sink = cfg.Obs
+		mc.Labels = labels
+		mc.WrapCharger = cfg.WrapCharger
+		m, err = machine.New(mc)
+	default:
+		return nil, fmt.Errorf("parbitonic: unknown backend %v", cfg.Backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, m: m}, nil
+}
+
+// P returns the engine's processor count.
+func (e *Engine) P() int { return e.cfg.Processors }
+
+// Config returns a copy of the configuration the engine was built with.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Sort sorts keys in place (ascending) and returns the run statistics;
+// see the package-level Sort for the shape requirements. It is
+// SortContext with a background context.
+func (e *Engine) Sort(keys []uint32) (Result, error) {
+	return e.SortContext(context.Background(), keys)
+}
+
+// SortContext sorts keys in place under ctx, reusing the engine's
+// backend and staging buffers. len(keys) must divide into
+// power-of-two per-processor shares exactly as for the package-level
+// Sort; failure semantics are those of the package-level SortContext.
+func (e *Engine) SortContext(ctx context.Context, keys []uint32) (Result, error) {
+	cfg := e.cfg
+	p := cfg.Processors
+	if len(keys) == 0 || len(keys)%p != 0 {
+		return Result{}, fmt.Errorf("parbitonic: %d keys cannot be divided over %d processors", len(keys), p)
+	}
+	n := len(keys) / p
+	if n&(n-1) != 0 {
+		return Result{}, fmt.Errorf("parbitonic: keys per processor (%d) must be a power of two", n)
+	}
+
+	var sum verify.Checksum
+	if cfg.Verify {
+		sum = verify.Sum(keys)
+	}
+
+	data := e.stage(keys, p, n)
+
+	var res spmd.Result
+	var err error
+	switch cfg.Algorithm {
+	case SmartBitonic, CyclicBlockedBitonic, BlockedMergeBitonic:
+		opts := core.Options{Fused: cfg.FusePackUnpack}
+		switch cfg.Algorithm {
+		case CyclicBlockedBitonic:
+			opts.Algorithm = core.CyclicBlocked
+		case BlockedMergeBitonic:
+			opts.Algorithm = core.BlockedMerge
+		default:
+			opts.Algorithm = core.Smart
+		}
+		opts.Strategy = cfg.Strategy.schedule()
+		if cfg.SimulateSteps || opts.Strategy != schedule.Head {
+			opts.Compute = core.Simulated
+		}
+		if cfg.Backend == Native && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
+			// Natively the fused path is simply the fast one — there is
+			// no model-ablation reason to keep pack/unpack separate.
+			opts.Fused = true
+		}
+		if opts.Fused && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
+			lgn, lgP := intbits.Log2(n), intbits.Log2(p)
+			if p == 1 || lgP*(lgP+1)/2 <= lgn {
+				opts.Compute = core.FullSort
+			}
+		}
+		res, err = core.SortContext(ctx, e.m, data, opts)
+	case SampleSort:
+		var sres psort.SampleSortResult
+		sres, err = psort.SampleSortContext(ctx, e.m, data)
+		res = sres.Result
+	case RadixSort:
+		res, err = psort.RadixSortContext(ctx, e.m, data)
+	default:
+		err = fmt.Errorf("parbitonic: unknown algorithm %v", cfg.Algorithm)
+	}
+	if err != nil {
+		// After an abort the processors' slices are unspecified — they
+		// may alias buffers the backend has already reclaimed — so they
+		// must not seed the next run's staging.
+		e.staging = nil
+		return Result{}, err
+	}
+
+	final := e.m.Data()
+	if cfg.Verify {
+		if verr := verify.Distributed(final, sum); verr != nil {
+			if cfg.Obs != nil {
+				cfg.Obs.Emit(obs.Event{
+					Kind:   obs.EventVerifyFailure,
+					Clock:  res.Time,
+					Detail: verr.Error(),
+					Wall:   time.Now().UnixNano(),
+				})
+			}
+			e.staging = final // the run completed; the slices are owned
+			return Result{}, verr
+		}
+	}
+
+	pos := 0
+	for _, d := range final {
+		pos += copy(keys[pos:], d)
+	}
+	// The completed run's output slices become the next run's staging.
+	e.staging = final
+	if pos != len(keys) {
+		return Result{}, fmt.Errorf("parbitonic: internal error, %d of %d keys returned", pos, len(keys))
+	}
+
+	result := Result{
+		Algorithm:    cfg.Algorithm,
+		Keys:         len(keys),
+		Time:         res.Time,
+		Remaps:       res.Mean.Remaps,
+		VolumeSent:   res.Mean.VolumeSent,
+		MessagesSent: res.Mean.MessagesSent,
+		ComputeTime:  res.Mean.ComputeTime,
+		PackTime:     res.Mean.PackTime,
+		TransferTime: res.Mean.TransferTime,
+		UnpackTime:   res.Mean.UnpackTime,
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(buildReport(cfg, len(keys), result))
+	}
+	return result, nil
+}
+
+// stage copies keys into p per-processor slices of n keys each,
+// recycling the previous run's output slices when they are long
+// enough. Recycled slices are resliced by length, never by capacity:
+// a slice's backing array is owned outright only up to its length
+// once it has passed through the backend's buffer churn.
+func (e *Engine) stage(keys []uint32, p, n int) [][]uint32 {
+	data := e.staging
+	if len(data) != p {
+		data = make([][]uint32, p)
+	}
+	for i := range data {
+		if len(data[i]) >= n {
+			data[i] = data[i][:n]
+		} else {
+			data[i] = make([]uint32, n)
+		}
+		copy(data[i], keys[i*n:(i+1)*n])
+	}
+	// The engine run consumes the slices; forget them until the run
+	// hands back its output set.
+	e.staging = nil
+	return data
+}
+
+// SortPadded sorts keys of arbitrary length by padding with maximal
+// keys to the next valid shape, exactly like the package-level
+// SortPadded, but staging the padded run in a buffer the engine
+// recycles across calls. The sorted result is always copied back into
+// keys — the caller never receives a view into the recycled buffer.
+// It is SortPaddedContext with a background context.
+func (e *Engine) SortPadded(keys []uint32) (Result, error) {
+	return e.SortPaddedContext(context.Background(), keys)
+}
+
+// SortPaddedContext is SortPadded under a context; see SortContext for
+// failure semantics.
+func (e *Engine) SortPaddedContext(ctx context.Context, keys []uint32) (Result, error) {
+	p := e.cfg.Processors
+	if len(keys) == 0 {
+		return Result{}, fmt.Errorf("parbitonic: no keys")
+	}
+	total := PaddedSize(len(keys), p)
+	if total == len(keys) {
+		return e.SortContext(ctx, keys)
+	}
+	if cap(e.padBuf) < total {
+		e.padBuf = make([]uint32, total)
+	}
+	padded := e.padBuf[:total]
+	copy(padded, keys)
+	for i := len(keys); i < total; i++ {
+		padded[i] = ^uint32(0)
+	}
+	res, err := e.SortContext(ctx, padded)
+	if err != nil {
+		return Result{}, err
+	}
+	// All padding keys are maximal, so they occupy the tail (possibly
+	// interleaved with genuine maximal keys, which is harmless: the
+	// kept prefix is still the sorted multiset of the input).
+	copy(keys, padded[:len(keys)])
+	return res, nil
+}
+
+// PaddedSize returns the padded key count a SortPadded run of `keys`
+// keys uses on p processors: the smallest total that divides into
+// power-of-two per-processor shares of at least 2 keys (for p > 1) and
+// holds the input. It is what batching layers must size their padded
+// buffers to.
+func PaddedSize(keys, p int) int {
+	n := intbits.CeilPow2((keys + p - 1) / p)
+	if p > 1 && n < 2 {
+		n = 2 // the bitonic algorithms need at least two keys per processor
+	}
+	return n * p
+}

@@ -31,11 +31,11 @@ import (
 // bit i is absolute-address bit LocalBits[i] (both 0-indexed, LSB first).
 // Together ProcBits and LocalBits must partition 0..LgN-1.
 type Layout struct {
-	LgN       int   // lg of the total number of keys
-	LgP       int   // lg of the number of processors
-	ProcBits  []int // len LgP; ProcBits[i] = abs bit giving proc bit i
-	LocalBits []int // len LgN-LgP; LocalBits[i] = abs bit giving local bit i
-	Name      string
+	LgN       int    // lg of the total number of keys
+	LgP       int    // lg of the number of processors
+	ProcBits  []int  // len LgP; ProcBits[i] = abs bit giving proc bit i
+	LocalBits []int  // len LgN-LgP; LocalBits[i] = abs bit giving local bit i
+	Name      string // human-readable label for traces and figures
 }
 
 // LgLocal returns lg n, the number of local-address bits.

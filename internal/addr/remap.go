@@ -23,7 +23,7 @@ func gather(word int, moves []bitMove) int {
 // mask" of Figure 3.19). Because all layouts are bit permutations the
 // plan is a set of bit-routing tables independent of the data.
 type RemapPlan struct {
-	Old, New *Layout
+	Old, New *Layout // source and destination layouts
 
 	// Changed is N_BitsChanged of Lemma 3: the number of absolute-address
 	// bits that are local under Old but select the processor under New.

@@ -36,6 +36,7 @@ const (
 	BlockedMerge
 )
 
+// String returns the CLI/metrics name of the algorithm.
 func (a Algorithm) String() string {
 	switch a {
 	case Smart:
@@ -69,6 +70,7 @@ const (
 	FullSort
 )
 
+// String returns the CLI/metrics name of the compute mode.
 func (c Compute) String() string {
 	switch c {
 	case Optimized:
@@ -83,8 +85,8 @@ func (c Compute) String() string {
 
 // Options configures a sort.
 type Options struct {
-	Algorithm Algorithm
-	Compute   Compute
+	Algorithm Algorithm // which parallel sort to run
+	Compute   Compute   // how the local phases between remaps execute
 	// Strategy shifts the smart remaps per Lemma 5. Optimized
 	// computation requires Head (the default); other strategies run
 	// with Simulated compute.

@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"parbitonic/internal/obs"
+	"parbitonic/internal/spmd"
+)
+
+// Chaos drives repeated fault injection through a long-lived engine.
+// An Injector fires exactly once, which fits a throwaway engine but
+// not a pooled one (internal/serve reuses engines across requests —
+// one planned fault would poison only the first run and then go
+// silent). Chaos detects run boundaries and arms a fresh Injector,
+// with a deterministically derived plan, for every Every-th run.
+//
+// Run boundaries are counted at Start: every processor calls Start
+// exactly once per run, runs on one engine are serial, so the
+// (starts / P)-th run begins when starts%P == 0. The armed plan for
+// run r is RandomPlan(Seed+r, P, Rounds) — replayable from the seed
+// alone, like everything else in this package.
+//
+// Wire it like an Injector:
+//
+//	ch := fault.NewChaos(fault.ChaosConfig{P: 8, Every: 10, Seed: 42})
+//	cfg.WrapCharger = ch.Wrap
+type Chaos struct {
+	cfg   ChaosConfig
+	inner spmd.Charger
+	cur   atomic.Pointer[Injector] // armed injector for the current run; nil = fault-free run
+
+	mu       sync.Mutex
+	starts   uint64 // Start calls seen; starts/P = runs begun
+	injected uint64 // armed injectors that actually fired
+}
+
+// ChaosConfig configures a Chaos wrapper.
+type ChaosConfig struct {
+	// P is the engine's processor count (used to detect run
+	// boundaries); required.
+	P int
+	// Every arms a fault on every Every-th run (run 0, Every, 2*Every,
+	// ...); 0 means every run.
+	Every int
+	// Seed derives each run's plan (Seed + run index); replay a chaos
+	// session by reusing it.
+	Seed uint64
+	// Rounds bounds the target remap round of derived plans; 0 means 4.
+	// A plan targeting a round the run never reaches simply never
+	// fires.
+	Rounds int
+	// Sink, when non-nil, receives an obs.EventFault when an armed
+	// fault fires.
+	Sink obs.Sink
+}
+
+// NewChaos creates a repeating fault driver; bind it to a backend with
+// Wrap. One Chaos tracks ONE engine — its run-boundary counting
+// assumes serial runs. When the same configuration builds several
+// engines (an engine pool), use ChaosWrapper instead, which hands each
+// engine its own Chaos.
+func NewChaos(cfg ChaosConfig) *Chaos {
+	if cfg.Every < 1 {
+		cfg.Every = 1
+	}
+	if cfg.Rounds < 1 {
+		cfg.Rounds = 4
+	}
+	return &Chaos{cfg: cfg}
+}
+
+// ChaosWrapper returns a WrapCharger seam that creates a fresh Chaos
+// per engine it wraps (engine pools construct engines on demand and
+// run them concurrently; a shared Chaos would miscount run
+// boundaries). Each engine's seed is salted with its construction
+// index, so a pool under chaos stays replayable from cfg.Seed. The
+// returned Injected func sums fired faults across all engines.
+func ChaosWrapper(cfg ChaosConfig) (wrap func(spmd.Charger) spmd.Charger, injected func() uint64) {
+	var mu sync.Mutex
+	var all []*Chaos
+	var engines uint64
+	wrap = func(inner spmd.Charger) spmd.Charger {
+		mu.Lock()
+		c := cfg
+		c.Seed += engines << 32
+		engines++
+		ch := NewChaos(c)
+		all = append(all, ch)
+		mu.Unlock()
+		return ch.Wrap(inner)
+	}
+	injected = func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		var n uint64
+		for _, ch := range all {
+			n += ch.Injected()
+		}
+		return n
+	}
+	return wrap, injected
+}
+
+// Wrap installs the chaos driver around a backend's charger.
+func (c *Chaos) Wrap(inner spmd.Charger) spmd.Charger {
+	c.inner = inner
+	return c
+}
+
+// Injected returns how many armed faults have actually fired so far.
+func (c *Chaos) Injected() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.injected
+	if cur := c.cur.Load(); cur != nil && cur.Fired() {
+		n++
+	}
+	return n
+}
+
+// boundary runs under mu on every Start call; on the first Start of a
+// run it retires the previous run's injector and arms (or clears) the
+// current one.
+func (c *Chaos) boundary() {
+	c.mu.Lock()
+	run := c.starts / uint64(c.cfg.P)
+	if c.starts%uint64(c.cfg.P) == 0 {
+		if prev := c.cur.Load(); prev != nil && prev.Fired() {
+			c.injected++
+		}
+		if run%uint64(c.cfg.Every) == 0 {
+			inj := NewInjector(RandomPlan(c.cfg.Seed+run, c.cfg.P, c.cfg.Rounds))
+			if c.cfg.Sink != nil {
+				inj.Observe(c.cfg.Sink)
+			}
+			inj.inner = c.inner
+			c.cur.Store(inj)
+		} else {
+			c.cur.Store(nil)
+		}
+	}
+	c.starts++
+	c.mu.Unlock()
+}
+
+// ---- spmd.Charger, delegating through the armed injector ----
+
+// Start advances the run-boundary counter, then delegates to the
+// armed injector (or straight to the inner charger between chaos
+// runs).
+func (c *Chaos) Start(p *spmd.Proc) {
+	c.boundary()
+	if cur := c.cur.Load(); cur != nil {
+		cur.Start(p)
+		return
+	}
+	c.inner.Start(p)
+}
+
+// Compute delegates to the armed injector or the inner charger.
+func (c *Chaos) Compute(p *spmd.Proc, t float64) {
+	if cur := c.cur.Load(); cur != nil {
+		cur.Compute(p, t)
+		return
+	}
+	c.inner.Compute(p, t)
+}
+
+// Pack delegates to the armed injector or the inner charger.
+func (c *Chaos) Pack(p *spmd.Proc, n int) {
+	if cur := c.cur.Load(); cur != nil {
+		cur.Pack(p, n)
+		return
+	}
+	c.inner.Pack(p, n)
+}
+
+// Unpack delegates to the armed injector or the inner charger.
+func (c *Chaos) Unpack(p *spmd.Proc, n int) {
+	if cur := c.cur.Load(); cur != nil {
+		cur.Unpack(p, n)
+		return
+	}
+	c.inner.Unpack(p, n)
+}
+
+// Transfer delegates to the armed injector or the inner charger.
+func (c *Chaos) Transfer(p *spmd.Proc, volume, msgs int) {
+	if cur := c.cur.Load(); cur != nil {
+		cur.Transfer(p, volume, msgs)
+		return
+	}
+	c.inner.Transfer(p, volume, msgs)
+}
+
+// Synced delegates to the armed injector or the inner charger.
+func (c *Chaos) Synced(p *spmd.Proc) {
+	if cur := c.cur.Load(); cur != nil {
+		cur.Synced(p)
+		return
+	}
+	c.inner.Synced(p)
+}

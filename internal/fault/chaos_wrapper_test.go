@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"testing"
+
+	"parbitonic/internal/machine"
+	"parbitonic/internal/spmd"
+)
+
+// wrapBody is a 4-remap-round stand-in workload with local data for
+// Corrupt plans to chew on.
+func wrapBody(p *spmd.Proc) {
+	for i := 0; i < 4; i++ {
+		p.Stats.Remaps++
+		p.Barrier()
+	}
+}
+
+func wrapData() [][]uint32 {
+	return [][]uint32{{1, 2, 3, 4}, {5, 6, 7, 8}}
+}
+
+// TestChaosRearmsAcrossRuns: unlike the one-shot Injector, a Chaos
+// wrapper must fire on EVERY armed run of a long-lived engine, and the
+// engine must stay usable across the injected failures.
+func TestChaosRearmsAcrossRuns(t *testing.T) {
+	ch := NewChaos(ChaosConfig{P: 2, Every: 2, Seed: 7, Rounds: 4})
+	cfg := machine.DefaultConfig(2)
+	cfg.WrapCharger = ch.Wrap
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 8
+	for i := 0; i < runs; i++ {
+		// Armed runs may fail (Crash) or not (Delay, Corrupt); either way
+		// the engine must accept the next run.
+		_, _ = m.Run(wrapData(), wrapBody)
+	}
+	// Every=2 arms runs 0,2,4,6; each derived plan targets a round < 4
+	// on a processor with data, so each armed injector fires.
+	if got := ch.Injected(); got != runs/2 {
+		t.Fatalf("Injected() = %d after %d runs with Every=2, want %d", got, runs, runs/2)
+	}
+}
+
+// TestChaosReplayable: the same seed must drive the same fault
+// sequence.
+func TestChaosReplayable(t *testing.T) {
+	trial := func() []error {
+		ch := NewChaos(ChaosConfig{P: 2, Every: 1, Seed: 99, Rounds: 4})
+		cfg := machine.DefaultConfig(2)
+		cfg.WrapCharger = ch.Wrap
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var errs []error
+		for i := 0; i < 6; i++ {
+			_, err := m.Run(wrapData(), wrapBody)
+			errs = append(errs, err)
+		}
+		return errs
+	}
+	a, b := trial(), trial()
+	for i := range a {
+		if (a[i] == nil) != (b[i] == nil) {
+			t.Fatalf("run %d: outcomes diverge under the same seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestChaosWrapperPerEngine: the pool-facing wrapper must hand each
+// wrapped engine its own Chaos (independent run counting) and sum
+// fired faults across them.
+func TestChaosWrapperPerEngine(t *testing.T) {
+	wrap, injected := ChaosWrapper(ChaosConfig{P: 2, Every: 1, Seed: 3, Rounds: 4})
+	mk := func() *machine.Machine {
+		cfg := machine.DefaultConfig(2)
+		cfg.WrapCharger = wrap
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1, m2 := mk(), mk()
+	for i := 0; i < 3; i++ {
+		_, _ = m1.Run(wrapData(), wrapBody)
+		_, _ = m2.Run(wrapData(), wrapBody)
+	}
+	if got := injected(); got != 6 {
+		t.Fatalf("injected() = %d across two engines × 3 armed runs, want 6", got)
+	}
+}

@@ -45,6 +45,8 @@ const (
 	Corrupt
 )
 
+// String returns the lowercase fault name ("crash", "delay",
+// "corrupt").
 func (k Kind) String() string {
 	switch k {
 	case Crash:
@@ -61,13 +63,14 @@ func (k Kind) String() string {
 // boundary after it has completed Round remaps (Round 0 = before its
 // first remap).
 type Plan struct {
-	Kind  Kind
-	Proc  int
-	Round int
+	Kind  Kind // what the fault does
+	Proc  int  // target processor
+	Round int  // remaps the target must complete before the fault fires
 	// Delay is the stall duration for Delay faults; 0 means 10ms.
 	Delay time.Duration
 }
 
+// String formats the plan as "kind@procN/roundR".
 func (p Plan) String() string {
 	return fmt.Sprintf("%v@proc%d/round%d", p.Kind, p.Proc, p.Round)
 }
@@ -76,9 +79,10 @@ func (p Plan) String() string {
 // tests can tell an injected failure apart from a genuine bug: the
 // *spmd.PanicError's Value must be exactly this.
 type Crashed struct {
-	Plan Plan
+	Plan Plan // the plan whose Crash fired
 }
 
+// Error formats the crash as "fault: injected kind@procN/roundR".
 func (c *Crashed) Error() string { return fmt.Sprintf("fault: injected %v", c.Plan) }
 
 // RandomPlan derives a deterministic plan from seed for a machine of p
@@ -192,12 +196,23 @@ func (f *Injector) maybeFire(p *spmd.Proc) {
 
 // ---- spmd.Charger, delegating after the injection check ----
 
-func (f *Injector) Start(p *spmd.Proc)              { f.maybeFire(p); f.inner.Start(p) }
+// Start checks for injection, then delegates to the inner charger.
+func (f *Injector) Start(p *spmd.Proc) { f.maybeFire(p); f.inner.Start(p) }
+
+// Compute checks for injection, then delegates to the inner charger.
 func (f *Injector) Compute(p *spmd.Proc, t float64) { f.maybeFire(p); f.inner.Compute(p, t) }
-func (f *Injector) Pack(p *spmd.Proc, n int)        { f.maybeFire(p); f.inner.Pack(p, n) }
-func (f *Injector) Unpack(p *spmd.Proc, n int)      { f.maybeFire(p); f.inner.Unpack(p, n) }
+
+// Pack checks for injection, then delegates to the inner charger.
+func (f *Injector) Pack(p *spmd.Proc, n int) { f.maybeFire(p); f.inner.Pack(p, n) }
+
+// Unpack checks for injection, then delegates to the inner charger.
+func (f *Injector) Unpack(p *spmd.Proc, n int) { f.maybeFire(p); f.inner.Unpack(p, n) }
+
+// Transfer checks for injection, then delegates to the inner charger.
 func (f *Injector) Transfer(p *spmd.Proc, volume, msgs int) {
 	f.maybeFire(p)
 	f.inner.Transfer(p, volume, msgs)
 }
+
+// Synced checks for injection, then delegates to the inner charger.
 func (f *Injector) Synced(p *spmd.Proc) { f.maybeFire(p); f.inner.Synced(p) }

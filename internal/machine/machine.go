@@ -47,8 +47,8 @@ func DefaultCosts() CostModel { return spmd.DefaultCosts() }
 type Config struct {
 	P     int         // number of processors (power of two)
 	Model logp.Params // LogGP communication parameters
-	Costs CostModel
-	Long  bool // use long messages (LogGP) rather than per-key short messages (LogP)
+	Costs CostModel   // per-key local computation costs (see DefaultCosts)
+	Long  bool        // use long messages (LogGP) rather than per-key short messages (LogP)
 
 	// Trace, when non-nil, records every virtual-time span (including
 	// barrier waits) for timeline rendering. Adds some overhead.

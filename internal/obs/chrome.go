@@ -26,6 +26,8 @@ type ChromeTrace struct {
 // NewChromeTrace returns an empty collector.
 func NewChromeTrace() *ChromeTrace { return &ChromeTrace{} }
 
+// RunStart implements Sink: it records the run's metadata for the
+// trace header.
 func (c *ChromeTrace) RunStart(m RunMeta) {
 	c.mu.Lock()
 	c.meta = m
@@ -33,18 +35,22 @@ func (c *ChromeTrace) RunStart(m RunMeta) {
 	c.mu.Unlock()
 }
 
+// FlushSpans implements Sink: it copies the spans into the trace.
 func (c *ChromeTrace) FlushSpans(_ int, spans []Span) {
 	c.mu.Lock()
 	c.spans = append(c.spans, spans...)
 	c.mu.Unlock()
 }
 
+// Emit implements Sink: events become instant markers on the trace.
 func (c *ChromeTrace) Emit(e Event) {
 	c.mu.Lock()
 	c.events = append(c.events, e)
 	c.mu.Unlock()
 }
 
+// RunEnd implements Sink as a no-op; the trace is rendered on demand
+// by WriteTo.
 func (c *ChromeTrace) RunEnd(RunSummary) {}
 
 // Reset discards everything collected so far.

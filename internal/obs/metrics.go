@@ -39,6 +39,7 @@ func (h *histogram) observe(v float64) {
 // absent series and a zero series very differently for alerting.
 var knownEventKinds = []string{
 	EventFault, EventVerifyFailure, EventCancel, EventDeadline, EventPanic, EventAbort,
+	EventOverload,
 }
 
 // Metrics is a Sink that aggregates the telemetry stream into
@@ -73,8 +74,11 @@ func NewMetrics() *Metrics {
 	return m
 }
 
+// RunStart implements Sink as a no-op; runs are counted at RunEnd.
 func (m *Metrics) RunStart(RunMeta) {}
 
+// FlushSpans implements Sink: span durations feed the per-phase
+// histograms (converted µs -> seconds).
 func (m *Metrics) FlushSpans(_ int, spans []Span) {
 	m.mu.Lock()
 	for _, s := range spans {
@@ -85,12 +89,15 @@ func (m *Metrics) FlushSpans(_ int, spans []Span) {
 	m.mu.Unlock()
 }
 
+// Emit implements Sink: events bump the per-kind counters.
 func (m *Metrics) Emit(e Event) {
 	m.mu.Lock()
 	m.events[e.Kind]++
 	m.mu.Unlock()
 }
 
+// RunEnd implements Sink: it counts the run by outcome and folds the
+// summary into the cumulative totals.
 func (m *Metrics) RunEnd(s RunSummary) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

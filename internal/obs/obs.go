@@ -30,6 +30,8 @@ import "time"
 // Figures 5.4/5.6 phase breakdowns), plus Abort for unwound work.
 type Phase uint8
 
+// The phases, in the order a remap round passes through them; Wait is
+// barrier idle time and Abort is work unwound by a failed run.
 const (
 	PhaseCompute Phase = iota
 	PhasePack
@@ -40,6 +42,8 @@ const (
 	NumPhases // count of phase values, for dense per-phase tables
 )
 
+// String returns the lowercase phase name used in metric labels and
+// trace tracks.
 func (p Phase) String() string {
 	switch p {
 	case PhaseCompute:
@@ -65,9 +69,9 @@ func (p Phase) String() string {
 // is the wall-clock instant (unix nanoseconds) the span was recorded,
 // which under the simulator is the only real-time anchor.
 type Span struct {
-	Proc  int
-	Round int // remap rounds completed by the processor when the span ended
-	Phase Phase
+	Proc  int     // processor that executed the phase
+	Round int     // remap rounds completed by the processor when the span ended
+	Phase Phase   // what the processor was doing
 	Start float64 // backend clock, µs
 	End   float64 // backend clock, µs
 	Wall  int64   // wall clock at record time, unix nanoseconds
@@ -85,26 +89,27 @@ const (
 	EventDeadline      = "deadline"       // run aborted by context deadline
 	EventPanic         = "panic"          // a processor body panicked
 	EventAbort         = "abort"          // generic abort (cause in Detail)
+	EventOverload      = "overload"       // a request was shed at admission (internal/serve)
 )
 
 // Event is a discrete runtime occurrence worth counting and alerting
 // on: faults firing, verification failures, cancellations, panics.
 type Event struct {
-	Kind   string
+	Kind   string  // one of the Event* constants
 	Proc   int     // processor at fault; -1 when not attributable
 	Round  int     // remap round, when meaningful
 	Clock  float64 // backend clock at emission, µs; 0 when unknown
-	Detail string
-	Wall   int64 // unix nanoseconds
+	Detail string  // human-readable cause, e.g. the error string
+	Wall   int64   // unix nanoseconds
 }
 
 // RunMeta opens a run: machine size, total keys, and the static labels
 // (algorithm, backend, ...) the caller attached.
 type RunMeta struct {
-	P      int
-	Keys   int
+	P      int               // processor count
+	Keys   int               // total key count
 	Labels map[string]string // read-only; shared across calls
-	Start  time.Time
+	Start  time.Time         // wall-clock start of the run
 }
 
 // RunSummary closes a run with the aggregate counters of the
@@ -114,15 +119,15 @@ type RunSummary struct {
 	Err         string  // "" on success
 	Makespan    float64 // maximum final processor clock, µs
 	WallSeconds float64 // measured wall duration of the run
-	Keys        int
-	Remaps      int
-	Volume      int // keys sent to other processors
-	Messages    int
+	Keys        int     // total keys sorted
+	Remaps      int     // collective remap rounds, summed over processors
+	Volume      int     // keys sent to other processors
+	Messages    int     // messages sent to other processors
 
-	ComputeTime  float64
-	PackTime     float64
-	TransferTime float64
-	UnpackTime   float64
+	ComputeTime  float64 // summed local computation
+	PackTime     float64 // summed long-message packing
+	TransferTime float64 // summed exchange time
+	UnpackTime   float64 // summed unpacking
 }
 
 // Sink receives the telemetry stream of one or more runs. All methods
@@ -146,10 +151,17 @@ type Sink interface {
 // exists for call sites that want a non-nil default.
 type Nop struct{}
 
-func (Nop) RunStart(RunMeta)       {}
+// RunStart implements Sink as a no-op.
+func (Nop) RunStart(RunMeta) {}
+
+// FlushSpans implements Sink as a no-op.
 func (Nop) FlushSpans(int, []Span) {}
-func (Nop) Emit(Event)             {}
-func (Nop) RunEnd(RunSummary)      {}
+
+// Emit implements Sink as a no-op.
+func (Nop) Emit(Event) {}
+
+// RunEnd implements Sink as a no-op.
+func (Nop) RunEnd(RunSummary) {}
 
 // Multi fans the stream out to several sinks; nil entries are skipped.
 func Multi(sinks ...Sink) Sink {

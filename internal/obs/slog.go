@@ -26,6 +26,7 @@ func NewSlogSink(l *slog.Logger) *SlogSink {
 	return &SlogSink{log: l}
 }
 
+// RunStart implements Sink: one Info line per run start.
 func (s *SlogSink) RunStart(m RunMeta) {
 	s.mu.Lock()
 	s.metas = append(s.metas, m)
@@ -35,8 +36,11 @@ func (s *SlogSink) RunStart(m RunMeta) {
 	s.log.Info("sort run started", args...)
 }
 
+// FlushSpans implements Sink as a no-op — per-span logging would be
+// far too chatty for a log stream.
 func (s *SlogSink) FlushSpans(int, []Span) {}
 
+// Emit implements Sink: one Warn line per runtime event.
 func (s *SlogSink) Emit(e Event) {
 	s.log.Warn("runtime event",
 		slog.String("kind", e.Kind),
@@ -46,6 +50,7 @@ func (s *SlogSink) Emit(e Event) {
 	)
 }
 
+// RunEnd implements Sink: one Info (or Error) line per completed run.
 func (s *SlogSink) RunEnd(sum RunSummary) {
 	s.mu.Lock()
 	var meta RunMeta

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"parbitonic"
+)
+
+// runBatch executes one batch on a pooled engine and delivers every
+// member's result. slab is the worker's recycled staging buffer.
+//
+// Solo requests (len(batch) == 1) run untagged under the request's own
+// context, riding the runtime's fail-safe cancellation directly.
+// Multi-request batches are tag-encoded (see packBatch), run under a
+// joint context that aborts only when every member has given up, and
+// sliced back out with splitBatch — which copies results out of the
+// slab, so nothing a caller holds aliases pooled memory.
+func (s *Server) runBatch(batch []*request, slab *[]uint32) {
+	s.m.observeBatch(len(batch))
+	if len(batch) == 1 {
+		s.runSolo(batch[0])
+		return
+	}
+
+	ctx, stop := s.jointContext(batch)
+	defer stop()
+
+	total := 0
+	for _, r := range batch {
+		total += len(r.keys)
+	}
+	shift := tagShift(len(batch))
+	padded := parbitonic.PaddedSize(total, s.cfg.Engine.Processors)
+	if cap(*slab) < padded {
+		*slab = make([]uint32, padded)
+	}
+	buf := (*slab)[:padded]
+	packBatch(buf, batch, shift, total)
+
+	eng, err := s.pool.Get(s.cfg.Engine, padded)
+	if err == nil {
+		_, err = eng.SortContext(ctx, buf)
+		s.pool.Put(eng, padded)
+	}
+	if err != nil {
+		for _, r := range batch {
+			r.finish(s.m, nil, err)
+		}
+		return
+	}
+	splitBatch(buf, batch, shift, s.m)
+}
+
+// runSolo sorts one request on a pooled engine under its own context.
+func (s *Server) runSolo(r *request) {
+	out := append([]uint32(nil), r.keys...)
+	padded := parbitonic.PaddedSize(len(out), s.cfg.Engine.Processors)
+	eng, err := s.pool.Get(s.cfg.Engine, padded)
+	if err == nil {
+		_, err = eng.SortPaddedContext(r.ctx, out)
+		s.pool.Put(eng, padded)
+	}
+	if err != nil {
+		r.finish(s.m, nil, err)
+		return
+	}
+	r.finish(s.m, out, nil)
+}
+
+// jointContext derives the context a multi-request batch runs under:
+// it is canceled when the server closes, when every member's context
+// is done (no one is left to collect the result), or — when every
+// member carries a deadline — at the latest of those deadlines.
+func (s *Server) jointContext(batch []*request) (context.Context, func()) {
+	base := s.ctx
+	latest := time.Time{}
+	allDeadlines := true
+	for _, r := range batch {
+		d, ok := r.ctx.Deadline()
+		if !ok {
+			allDeadlines = false
+			break
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if allDeadlines {
+		ctx, cancel = context.WithDeadline(base, latest)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	remaining := int32(len(batch))
+	stops := make([]func() bool, 0, len(batch))
+	for _, r := range batch {
+		stops = append(stops, context.AfterFunc(r.ctx, func() {
+			if atomic.AddInt32(&remaining, -1) == 0 {
+				cancel()
+			}
+		}))
+	}
+	return ctx, func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+	}
+}
+
+// tagShift returns the bit position the request tag occupies for a
+// k-request batch: tags need b = bits.Len(k-1) high bits, keys keep
+// the low 32-b. The dispatcher's fits() guarantees every member's
+// keys clear the shift.
+func tagShift(k int) uint {
+	return 32 - uint(bits.Len(uint(k-1)))
+}
+
+// packBatch writes the tag-encoded concatenation of the batch into
+// buf[:total] — request j's key x becomes j<<shift | x — and fills
+// buf[total:] with maximal padding. Because tags occupy the high bits,
+// sorting buf groups it by request in submission order, each group
+// internally sorted; padding (all ones) sorts to the very end (it is
+// ≥ every tagged value, including ties within the last group, which
+// are value-identical and therefore interchangeable).
+func packBatch(buf []uint32, batch []*request, shift uint, total int) {
+	pos := 0
+	for j, r := range batch {
+		tag := uint32(j) << shift
+		for _, k := range r.keys {
+			buf[pos] = tag | k
+			pos++
+		}
+	}
+	for i := total; i < len(buf); i++ {
+		buf[i] = ^uint32(0)
+	}
+}
+
+// splitBatch slices the sorted tagged buffer back into per-request
+// results: request j's sorted keys are the len(r.keys) entries
+// starting at the prefix sum of earlier members, with the tag masked
+// off. Results are COPIED out — buf is pooled worker memory and must
+// not escape (see TestBatchNoRetention).
+func splitBatch(buf []uint32, batch []*request, shift uint, m *Metrics) {
+	mask := uint32(1)<<shift - 1
+	pos := 0
+	for _, r := range batch {
+		out := make([]uint32, len(r.keys))
+		for i := range out {
+			out[i] = buf[pos+i] & mask
+		}
+		pos += len(r.keys)
+		r.finish(m, out, nil)
+	}
+}

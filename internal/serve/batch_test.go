@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func mkReq(keys []uint32) *request {
+	var mx uint32
+	for _, k := range keys {
+		if k > mx {
+			mx = k
+		}
+	}
+	return &request{
+		keys:   keys,
+		maxKey: mx,
+		ctx:    context.Background(),
+		enq:    time.Now(),
+		res:    make(chan response, 1),
+	}
+}
+
+func TestTagShift(t *testing.T) {
+	cases := []struct {
+		k     int
+		shift uint
+	}{
+		{2, 31}, {3, 30}, {4, 30}, {5, 29}, {8, 29}, {9, 28}, {16, 28}, {17, 27},
+	}
+	for _, c := range cases {
+		if got := tagShift(c.k); got != c.shift {
+			t.Errorf("tagShift(%d) = %d, want %d", c.k, got, c.shift)
+		}
+	}
+}
+
+// TestFitsTagHeadroom pins the admission rule at its bit boundaries:
+// two requests using all 31 low bits batch together (1 tag bit), but a
+// third member needs 2 tag bits, which those keys no longer clear.
+func TestFitsTagHeadroom(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	big := mkReq([]uint32{1<<31 - 1}) // max key that is batchable at all
+	if !batchable(big, cfg) {
+		t.Fatal("1<<31-1 must be batchable")
+	}
+	if !fits([]*request{big}, 1, big.maxKey, mkReq([]uint32{1<<31 - 1}), cfg) {
+		t.Error("two 31-bit requests must fit (1 tag bit)")
+	}
+	batch2 := []*request{big, big}
+	if fits(batch2, 2, big.maxKey, mkReq([]uint32{7}), cfg) {
+		t.Error("a third member needs 2 tag bits; 31-bit keys in the batch must block it")
+	}
+	small := mkReq([]uint32{1<<30 - 1})
+	if !fits([]*request{small, small}, 2, small.maxKey, mkReq([]uint32{5}), cfg) {
+		t.Error("three 30-bit requests must fit (2 tag bits)")
+	}
+	if batchable(mkReq([]uint32{1 << 31}), cfg) {
+		t.Error("a key using bit 31 leaves no tag headroom and must not be batchable")
+	}
+
+	// Size cap: summed keys beyond MaxBatchKeys must not fit.
+	cfg.MaxBatchKeys = 4
+	a := mkReq([]uint32{1, 2, 3})
+	if fits([]*request{a}, 3, a.maxKey, mkReq([]uint32{4, 5}), cfg) {
+		t.Error("batch exceeding MaxBatchKeys must not fit")
+	}
+}
+
+// TestPackSplitRoundTrip drives packBatch -> sort -> splitBatch
+// directly (no server) and checks every member gets exactly its own
+// sorted multiset back, duplicates across requests included.
+func TestPackSplitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	batch := []*request{
+		mkReq([]uint32{5, 1, 5, 0, 9}),
+		mkReq([]uint32{5, 5, 5}), // duplicates shared with member 0
+		mkReq(randKeys(rng, 100, 1<<20)),
+		mkReq([]uint32{0}),
+	}
+	total := 0
+	for _, r := range batch {
+		total += len(r.keys)
+	}
+	shift := tagShift(len(batch))
+	buf := make([]uint32, 128) // > total, exercises padding
+	packBatch(buf, batch, shift, total)
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+
+	m := newMetrics(func() int { return 0 }, NewPool(1))
+	splitBatch(buf, batch, shift, m)
+	for j, r := range batch {
+		got := (<-r.res).sorted
+		want := sortedRef(r.keys)
+		if len(got) != len(want) {
+			t.Fatalf("member %d: got %d keys, want %d", j, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("member %d: wrong key at %d: got %d want %d", j, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchNoRetention is the regression test for the pooled-buffer
+// aliasing bug class: after splitBatch delivers results, scribbling
+// over the shared sort buffer must not disturb what callers received —
+// results must be copies, never views into pooled memory.
+func TestBatchNoRetention(t *testing.T) {
+	batch := []*request{
+		mkReq([]uint32{3, 1, 2}),
+		mkReq([]uint32{6, 4, 5}),
+	}
+	shift := tagShift(len(batch))
+	buf := make([]uint32, 8)
+	packBatch(buf, batch, shift, 6)
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	m := newMetrics(func() int { return 0 }, NewPool(1))
+	splitBatch(buf, batch, shift, m)
+
+	outs := [][]uint32{(<-batch[0].res).sorted, (<-batch[1].res).sorted}
+	for i := range buf {
+		buf[i] = 0xDEADBEEF // pooled buffer reused by the next batch
+	}
+	want := [][]uint32{{1, 2, 3}, {4, 5, 6}}
+	for j := range want {
+		for i := range want[j] {
+			if outs[j][i] != want[j][i] {
+				t.Fatalf("member %d result corrupted by buffer reuse at %d: %v", j, i, outs[j])
+			}
+		}
+	}
+}
+
+// TestJointContextCancelsWhenAllAbandon: the batch context must stay
+// live while any member still waits, and die once every member's
+// context is done.
+func TestJointContextCancelsWhenAllAbandon(t *testing.T) {
+	s := &Server{ctx: context.Background()}
+	c1, cancel1 := context.WithCancel(context.Background())
+	c2, cancel2 := context.WithCancel(context.Background())
+	batch := []*request{mkReq(nil), mkReq(nil)}
+	batch[0].ctx, batch[1].ctx = c1, c2
+	ctx, stop := s.jointContext(batch)
+	defer stop()
+
+	cancel1()
+	select {
+	case <-ctx.Done():
+		t.Fatal("joint context died while a member still waits")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel2()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("joint context survived all members abandoning")
+	}
+}
+
+// TestJointContextDeadline: when every member has a deadline the joint
+// context carries the LATEST one (no member is cut short; the batch
+// dies when no one is left waiting anyway).
+func TestJointContextDeadline(t *testing.T) {
+	s := &Server{ctx: context.Background()}
+	near, cancelN := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	far, cancelF := context.WithDeadline(context.Background(), time.Now().Add(10*time.Second))
+	defer cancelN()
+	defer cancelF()
+	batch := []*request{mkReq(nil), mkReq(nil)}
+	batch[0].ctx, batch[1].ctx = near, far
+	ctx, stop := s.jointContext(batch)
+	defer stop()
+	d, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("joint context of all-deadline members must carry a deadline")
+	}
+	fd, _ := far.Deadline()
+	if !d.Equal(fd) {
+		t.Fatalf("joint deadline %v, want the latest member deadline %v", d, fd)
+	}
+
+	// A mixed batch (one member without a deadline) must not have one.
+	batch[1].ctx = context.Background()
+	ctx2, stop2 := s.jointContext(batch)
+	defer stop2()
+	if _, ok := ctx2.Deadline(); ok {
+		t.Fatal("joint context must drop the deadline when a member has none")
+	}
+}

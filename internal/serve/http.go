@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"parbitonic/internal/obs"
+	"parbitonic/internal/spmd"
+	"parbitonic/internal/verify"
+)
+
+// MaxBodyBytes caps a POST /sort body (64 MiB ≈ 16M binary keys);
+// larger requests get 413.
+const MaxBodyBytes = 64 << 20
+
+// sortRequest / sortResponse are the JSON wire shapes of POST /sort.
+type sortRequest struct {
+	Keys []uint32 `json:"keys"`
+}
+
+type sortResponse struct {
+	Keys []uint32 `json:"keys"`
+}
+
+// errorResponse is the JSON error shape of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the service's HTTP front end:
+//
+//	POST /sort        sort keys; application/json {"keys":[...]} or
+//	                  application/octet-stream (little-endian uint32s),
+//	                  response in the request's content type; optional
+//	                  ?timeout_ms=N per-request deadline
+//	GET  /healthz     liveness: 200 "ok"
+//	GET  /stats       JSON snapshot of server + pool counters
+//	GET  /metrics     Prometheus text: serve metrics plus, when
+//	                  runMetrics is non-nil, the engine-run metrics
+//	GET  /debug/vars  expvar JSON (engine-run metrics; requires
+//	                  runMetrics)
+//
+// Status mapping for /sort: 200 ok, 400 malformed input, 413 oversize
+// body, 429 ErrOverloaded (with Retry-After), 499 client-canceled,
+// 503 ErrClosed, 504 deadline exceeded, 500 anything else.
+func NewHandler(s *Server, runMetrics *obs.Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sort", func(w http.ResponseWriter, r *http.Request) { handleSort(s, w, r) })
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		m := s.Metrics()
+		batches, batched := m.BatchCount()
+		ps := s.Pool().Stats()
+		json.NewEncoder(w).Encode(map[string]any{
+			"requests": map[string]float64{
+				"ok":         m.RequestCount("ok"),
+				"overloaded": m.RequestCount("overloaded"),
+				"canceled":   m.RequestCount("canceled"),
+				"deadline":   m.RequestCount("deadline"),
+				"error":      m.RequestCount("error"),
+			},
+			"batches":          batches,
+			"batched_requests": batched,
+			"queue_depth":      m.queueDepth(),
+			"pool":             ps,
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Metrics().WriteProm(w)
+		if runMetrics != nil {
+			_ = runMetrics.WriteProm(w)
+		}
+	})
+	if runMetrics != nil {
+		vars := runMetrics.ExpvarFunc()
+		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			fmt.Fprintf(w, "{\n%q: %s\n}\n", "parbitonic", vars.String())
+		})
+	}
+	return mux
+}
+
+func handleSort(s *Server, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	binaryIn := r.Header.Get("Content-Type") == "application/octet-stream"
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	var keys []uint32
+	var err error
+	if binaryIn {
+		keys, err = readBinaryKeys(body)
+	} else {
+		var req sortRequest
+		if derr := json.NewDecoder(body).Decode(&req); derr != nil {
+			err = derr
+		}
+		keys = req.Keys
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", MaxBodyBytes))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+
+	ctx := r.Context()
+	if tm := r.URL.Query().Get("timeout_ms"); tm != "" {
+		ms, perr := strconv.Atoi(tm)
+		if perr != nil || ms <= 0 {
+			httpError(w, http.StatusBadRequest, "timeout_ms must be a positive integer")
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+
+	sorted, err := s.Sort(ctx, keys)
+	if err != nil {
+		status, msg := sortStatus(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, status, msg)
+		return
+	}
+	if binaryIn {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		writeBinaryKeys(w, sorted)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(sortResponse{Keys: sorted})
+}
+
+// sortStatus maps a Server.Sort error onto an HTTP status: overload
+// and shutdown are the service saying "not now" (429/503), deadline
+// and cancellation are the request's own context (504/499), anything
+// else — contained panics, verification failures — is a 500.
+func sortStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, err.Error()
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, err.Error()
+	case errors.Is(err, spmd.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, err.Error()
+	case errors.Is(err, spmd.ErrCanceled), errors.Is(err, context.Canceled):
+		return 499, err.Error() // client closed request (nginx convention)
+	}
+	var verr *verify.Error
+	if errors.As(err, &verr) {
+		return http.StatusInternalServerError, "result verification failed: " + err.Error()
+	}
+	return http.StatusInternalServerError, err.Error()
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// readBinaryKeys decodes a little-endian uint32 stream.
+func readBinaryKeys(r io.Reader) ([]uint32, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("binary body length %d is not a multiple of 4", len(raw))
+	}
+	keys := make([]uint32, len(raw)/4)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	return keys, nil
+}
+
+// writeBinaryKeys encodes keys as a little-endian uint32 stream.
+func writeBinaryKeys(w io.Writer, keys []uint32) {
+	buf := make([]byte, 4*len(keys))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint32(buf[4*i:], k)
+	}
+	w.Write(buf)
+}

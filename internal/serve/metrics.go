@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"parbitonic/internal/spmd"
+	"parbitonic/internal/verify"
+)
+
+// latencyBuckets are the request-latency histogram upper bounds in
+// seconds: log-spaced from 100µs (a pooled in-memory hit) to 10s.
+var latencyBuckets = [...]float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1, 10}
+
+// sizeBuckets are the batch-size histogram upper bounds in requests.
+var sizeBuckets = [...]float64{1, 2, 4, 8, 16, 32, 64}
+
+// hist is a fixed-bucket cumulative histogram (Prometheus semantics):
+// counts[i] counts observations ≤ bounds[i], overflow lands only in
+// the implicit +Inf bucket.
+type hist struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func newHist(bounds []float64) *hist {
+	return &hist{bounds: bounds, counts: make([]uint64, len(bounds))}
+}
+
+func (h *hist) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.counts) {
+		h.counts[i]++
+	}
+	h.sum += v
+	h.count++
+}
+
+// Metrics aggregates the serve layer's operational signals — the ones
+// engine-run telemetry (internal/obs) cannot see because they live in
+// front of the runtime: admission rejections, queue depth, batch
+// sizes, end-to-end request latency. Scrape via WriteProm (the HTTP
+// handler merges it into /metrics). All methods are safe for
+// concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]float64 // outcome -> count
+	batches  float64
+	batched  float64 // requests that shared a run with >= 1 companion
+	latency  *hist   // seconds, admission to response
+	size     *hist   // requests per batch
+
+	queueDepth func() int // sampled at scrape time
+	pool       *Pool
+}
+
+func newMetrics(queueDepth func() int, pool *Pool) *Metrics {
+	return &Metrics{
+		requests: map[string]float64{
+			"ok": 0, "overloaded": 0, "canceled": 0, "deadline": 0,
+			"verify-failure": 0, "error": 0,
+		},
+		latency:    newHist(latencyBuckets[:]),
+		size:       newHist(sizeBuckets[:]),
+		queueDepth: queueDepth,
+		pool:       pool,
+	}
+}
+
+// outcome classifies a completed request's error for the counter
+// label set (pre-registered at zero in newMetrics so absent series
+// never alias to zero series in alerts).
+func outcome(err error) string {
+	var verr *verify.Error
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, spmd.ErrCanceled), errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, spmd.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.As(err, &verr):
+		return "verify-failure"
+	default:
+		return "error"
+	}
+}
+
+func (m *Metrics) observeRequest(d time.Duration, err error) {
+	m.mu.Lock()
+	m.requests[outcome(err)]++
+	m.latency.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+func (m *Metrics) reject() {
+	m.mu.Lock()
+	m.requests["overloaded"]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) observeBatch(size int) {
+	m.mu.Lock()
+	m.batches++
+	if size > 1 {
+		m.batched += float64(size)
+	}
+	m.size.observe(float64(size))
+	m.mu.Unlock()
+}
+
+// RequestCount returns the count of requests with the given outcome
+// ("ok", "overloaded", "canceled", "deadline", "verify-failure",
+// "error").
+func (m *Metrics) RequestCount(outcome string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests[outcome]
+}
+
+// BatchCount returns (batches executed, requests that shared a batch).
+func (m *Metrics) BatchCount() (batches, batchedRequests float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batches, m.batched
+}
+
+// WriteProm writes the serve metrics in the Prometheus text exposition
+// format (version 0.0.4).
+func (m *Metrics) WriteProm(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP parbitonic_serve_requests_total Sort requests by outcome.\n")
+	p("# TYPE parbitonic_serve_requests_total counter\n")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p("parbitonic_serve_requests_total{outcome=%q} %v\n", k, m.requests[k])
+	}
+
+	p("# HELP parbitonic_serve_queue_depth Requests waiting in the admission queue (sampled at scrape).\n")
+	p("# TYPE parbitonic_serve_queue_depth gauge\n")
+	p("parbitonic_serve_queue_depth %d\n", m.queueDepth())
+
+	p("# HELP parbitonic_serve_batches_total Engine runs executed (a batch of size 1 is a solo run).\n")
+	p("# TYPE parbitonic_serve_batches_total counter\n")
+	p("parbitonic_serve_batches_total %v\n", m.batches)
+
+	p("# HELP parbitonic_serve_batched_requests_total Requests that shared a run with at least one companion.\n")
+	p("# TYPE parbitonic_serve_batched_requests_total counter\n")
+	p("parbitonic_serve_batched_requests_total %v\n", m.batched)
+
+	p("# HELP parbitonic_serve_batch_requests Requests coalesced per engine run.\n")
+	p("# TYPE parbitonic_serve_batch_requests histogram\n")
+	writeServeHist(p, "parbitonic_serve_batch_requests", m.size)
+
+	p("# HELP parbitonic_serve_request_seconds End-to-end request latency, admission to response.\n")
+	p("# TYPE parbitonic_serve_request_seconds histogram\n")
+	writeServeHist(p, "parbitonic_serve_request_seconds", m.latency)
+
+	ps := m.pool.Stats()
+	p("# HELP parbitonic_serve_pool_gets_total Engine checkouts from the pool.\n")
+	p("# TYPE parbitonic_serve_pool_gets_total counter\n")
+	p("parbitonic_serve_pool_gets_total %d\n", ps.Gets)
+	p("# HELP parbitonic_serve_pool_hits_total Checkouts served without constructing an engine.\n")
+	p("# TYPE parbitonic_serve_pool_hits_total counter\n")
+	p("parbitonic_serve_pool_hits_total %d\n", ps.Hits)
+	p("# HELP parbitonic_serve_pool_idle_engines Engines currently parked in the pool.\n")
+	p("# TYPE parbitonic_serve_pool_idle_engines gauge\n")
+	p("parbitonic_serve_pool_idle_engines %d\n", ps.Idle)
+
+	return err
+}
+
+func writeServeHist(p func(string, ...any), name string, h *hist) {
+	cum := uint64(0)
+	for i, ub := range h.bounds {
+		cum += h.counts[i]
+		p("%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+	}
+	p("%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+	p("%s_sum %v\n", name, h.sum)
+	p("%s_count %d\n", name, h.count)
+}

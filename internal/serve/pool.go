@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"sync"
+
+	"parbitonic"
+)
+
+// poolKey is the engine shape: engines are interchangeable exactly
+// when processor count, backend, algorithm and the padded
+// keys-per-processor share agree (share keeps staging and message
+// buffers right-sized for the traffic that produced them).
+type poolKey struct {
+	p       int
+	backend parbitonic.Backend
+	alg     parbitonic.Algorithm
+	share   int
+}
+
+// keyFor buckets a request size into the engine shape it needs.
+func keyFor(cfg parbitonic.Config, totalKeys int) poolKey {
+	p := cfg.Processors
+	return poolKey{
+		p:       p,
+		backend: cfg.Backend,
+		alg:     cfg.Algorithm,
+		share:   parbitonic.PaddedSize(totalKeys, p) / p,
+	}
+}
+
+// Pool recycles parbitonic Engines keyed by shape. Get hands out an
+// idle engine of the right shape or builds one; Put returns it. Each
+// engine is used by one goroutine at a time (engines are not
+// concurrency-safe); the pool itself is safe for concurrent use.
+// Idle engines per shape are capped — extras are dropped to the GC,
+// so a traffic spike does not pin its high-water memory forever.
+type Pool struct {
+	mu     sync.Mutex
+	idle   map[poolKey][]*parbitonic.Engine
+	perKey int
+	gets   uint64
+	hits   uint64
+}
+
+// NewPool creates a pool keeping at most perKey idle engines per
+// shape (perKey < 1 means 4).
+func NewPool(perKey int) *Pool {
+	if perKey < 1 {
+		perKey = 4
+	}
+	return &Pool{idle: make(map[poolKey][]*parbitonic.Engine), perKey: perKey}
+}
+
+// Get returns an engine built from cfg and sized for totalKeys keys,
+// reusing an idle one when the shape matches. The caller must hand it
+// back with Put (with the same totalKeys) when the run completes —
+// including after a failed run; engines survive failures.
+func (pl *Pool) Get(cfg parbitonic.Config, totalKeys int) (*parbitonic.Engine, error) {
+	k := keyFor(cfg, totalKeys)
+	pl.mu.Lock()
+	pl.gets++
+	if free := pl.idle[k]; len(free) > 0 {
+		e := free[len(free)-1]
+		pl.idle[k] = free[:len(free)-1]
+		pl.hits++
+		pl.mu.Unlock()
+		return e, nil
+	}
+	pl.mu.Unlock()
+	return parbitonic.NewEngine(cfg)
+}
+
+// Put returns an engine to the pool under the shape it was fetched
+// for. Beyond the per-shape cap the engine is simply dropped.
+func (pl *Pool) Put(e *parbitonic.Engine, totalKeys int) {
+	if e == nil {
+		return
+	}
+	k := keyFor(e.Config(), totalKeys)
+	pl.mu.Lock()
+	if len(pl.idle[k]) < pl.perKey {
+		pl.idle[k] = append(pl.idle[k], e)
+	}
+	pl.mu.Unlock()
+}
+
+// PoolStats is a snapshot of pool effectiveness counters.
+type PoolStats struct {
+	Gets uint64 // total Get calls
+	Hits uint64 // Gets served by an idle engine (no construction)
+	Idle int    // engines currently parked, all shapes
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (pl *Pool) Stats() PoolStats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	idle := 0
+	for _, free := range pl.idle {
+		idle += len(free)
+	}
+	return PoolStats{Gets: pl.gets, Hits: pl.hits, Idle: idle}
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"testing"
+
+	"parbitonic"
+)
+
+func TestPoolReusesByShape(t *testing.T) {
+	pl := NewPool(2)
+	cfg := parbitonic.Config{Processors: 2, Backend: parbitonic.Native}
+
+	e1, err := pl.Get(cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Put(e1, 1024)
+	e2, err := pl.Get(cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != e1 {
+		t.Error("same shape must reuse the idle engine")
+	}
+	if st := pl.Stats(); st.Gets != 2 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want Gets=2 Hits=1", st)
+	}
+
+	// A different padded share is a different shape: no reuse.
+	pl.Put(e2, 1024)
+	e3, err := pl.Get(cfg, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 == e2 {
+		t.Error("different share must not reuse the idle engine")
+	}
+	// Sizes that pad to the same share do share engines.
+	pl.Put(e3, 4096)
+	e4, err := pl.Get(cfg, 3000) // PaddedSize(3000,2) == PaddedSize(4096,2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4 != e3 {
+		t.Error("sizes padding to the same share must reuse the engine")
+	}
+}
+
+func TestPoolCapsIdle(t *testing.T) {
+	pl := NewPool(1)
+	cfg := parbitonic.Config{Processors: 2, Backend: parbitonic.Native}
+	e1, _ := pl.Get(cfg, 64)
+	e2, _ := pl.Get(cfg, 64)
+	pl.Put(e1, 64)
+	pl.Put(e2, 64) // over the cap: dropped
+	if st := pl.Stats(); st.Idle != 1 {
+		t.Errorf("idle = %d, want 1 (per-shape cap)", st.Idle)
+	}
+	pl.Put(nil, 64) // must be a no-op
+	if st := pl.Stats(); st.Idle != 1 {
+		t.Errorf("idle after Put(nil) = %d, want 1", st.Idle)
+	}
+}
+
+func TestPoolPropagatesConfigErrors(t *testing.T) {
+	pl := NewPool(1)
+	if _, err := pl.Get(parbitonic.Config{Processors: 3}, 64); err == nil {
+		t.Fatal("expected an engine-construction error for P=3")
+	}
+}

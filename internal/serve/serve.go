@@ -1,0 +1,380 @@
+// Package serve turns the sorting library into a concurrent service:
+// a front door that accepts many small independent Sort requests,
+// coalesces them into the large runs the machinery is efficient at,
+// and pushes back when it is full — the paper's coarse-grained
+// N >> P regime (Ch. 3) applied to request traffic.
+//
+// Three mechanisms, layered:
+//
+//   - Pooling (Pool): engines are expensive to build — P workers, a
+//     P×P exchange board, message-buffer pools — and cheap to reuse.
+//     The pool keys engines by shape (P, backend, algorithm,
+//     keys-per-processor share) and recycles them across requests, so
+//     steady-state traffic pays construction ~never.
+//
+//   - Batching (Server): requests arriving within a window
+//     (Config.MaxDelay, up to Config.MaxBatch) are coalesced into ONE
+//     padded sort. Each request's keys are tagged with a request index
+//     in the high bits, the concatenation is sorted once, and results
+//     are sliced back out per request (the sorted stream is grouped by
+//     tag) and copied out of the shared buffer. The LogGP rationale
+//     (§3.4): remap time is T = (L+2o−g)R + G·V + (g−G)M, so B
+//     requests sorted separately pay the per-remap latency term R
+//     B times over; one batched run pays it once while V grows only
+//     linearly — exactly the bulk-transfer regime LogGP rewards. See
+//     DESIGN.md §10 for the tag-bit scheme and its correctness
+//     argument.
+//
+//   - Backpressure (Server): admission is a bounded queue. A full
+//     queue rejects immediately with ErrOverloaded (typed; HTTP 429)
+//     instead of queueing unboundedly, per-request contexts ride the
+//     runtime's fail-safe paths (cancellation and deadlines abort
+//     in-flight runs promptly), and Close drains gracefully.
+//
+// Observability threads through internal/obs: engine runs stream
+// spans/events into the configured sink, and the serve layer adds
+// queue-depth, batch-size, request-latency and rejection metrics
+// (Metrics, Prometheus text). Chaos testing threads through
+// internal/fault via the Config.Engine.WrapCharger seam; per-batch
+// result verification via Config.Engine.Verify.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"time"
+
+	"parbitonic"
+	"parbitonic/internal/obs"
+)
+
+// ErrOverloaded is returned (and mapped to HTTP 429) when the
+// admission queue is full: the server is saturated and the caller
+// should back off and retry. It is the load-shedding half of the
+// backpressure design — requests are rejected at the door, never
+// queued without bound.
+var ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+
+// ErrClosed is returned for requests submitted after Close; in-flight
+// and already-queued requests still complete (graceful drain).
+var ErrClosed = errors.New("serve: server closed")
+
+// Config configures a Server. The zero value of every field except
+// Engine.Processors is usable: defaults are applied by New.
+type Config struct {
+	// Engine is the template every pooled engine is built from:
+	// Processors (required), Algorithm, Backend, Verify (per-batch
+	// result verification), Obs (telemetry sink for every run),
+	// WrapCharger (fault-injection seam), and the model overrides.
+	Engine parbitonic.Config
+
+	// MaxBatch is the most requests coalesced into one sort run.
+	// 1 disables batching; 0 means the default 16.
+	MaxBatch int
+
+	// MaxBatchKeys caps the summed key count of a batch (pre-padding);
+	// a request longer than this always runs solo. 0 means 1<<20.
+	MaxBatchKeys int
+
+	// MaxDelay is the batching window: how long the dispatcher holds
+	// the first request of a batch open for companions. 0 means 200µs.
+	// Latency cost is at most MaxDelay; throughput gain is the
+	// amortized remap/setup cost (see the package comment).
+	MaxDelay time.Duration
+
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// ErrOverloaded. 0 means 256.
+	QueueDepth int
+
+	// Parallel is the number of batch executors — concurrent engine
+	// runs. 0 means max(1, GOMAXPROCS / Engine.Processors).
+	Parallel int
+
+	// PoolPerKey caps idle engines kept per (P, backend, algorithm,
+	// share) shape. 0 means Parallel.
+	PoolPerKey int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxBatchKeys == 0 {
+		c.MaxBatchKeys = 1 << 20
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.Parallel == 0 {
+		p := c.Engine.Processors
+		if p < 1 {
+			p = 1
+		}
+		c.Parallel = runtime.GOMAXPROCS(0) / p
+		if c.Parallel < 1 {
+			c.Parallel = 1
+		}
+	}
+	if c.PoolPerKey == 0 {
+		c.PoolPerKey = c.Parallel
+	}
+	return c
+}
+
+// request is one queued Sort call.
+type request struct {
+	keys   []uint32 // caller-owned; read-only until the response is sent
+	maxKey uint32
+	ctx    context.Context
+	enq    time.Time
+	res    chan response // buffered 1: delivery never blocks a worker
+}
+
+// response carries a request's outcome; sorted is always freshly
+// allocated (never a view into a pooled buffer).
+type response struct {
+	sorted []uint32
+	err    error
+}
+
+// finish delivers the outcome and records the request's latency.
+func (r *request) finish(m *Metrics, sorted []uint32, err error) {
+	m.observeRequest(time.Since(r.enq), err)
+	r.res <- response{sorted: sorted, err: err}
+}
+
+// Server is the concurrent sort service: bounded admission queue, a
+// batching dispatcher, Parallel executor workers drawing pooled
+// engines. Create with New, submit with Sort, shut down with Close.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	m     *Metrics
+	queue chan *request
+	exec  chan []*request
+
+	ctx    context.Context // canceled on Close: aborts in-flight runs' joint contexts
+	cancel context.CancelFunc
+
+	mu     sync.RWMutex // guards closed vs queue sends
+	closed bool
+	wg     sync.WaitGroup // dispatcher + workers
+}
+
+// New validates cfg, applies defaults, and starts the service's
+// dispatcher and executor goroutines. The returned server is ready;
+// stop it with Close.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	p := cfg.Engine.Processors
+	if p < 1 || p&(p-1) != 0 {
+		return nil, fmt.Errorf("serve: Engine.Processors must be a positive power of two, got %d", p)
+	}
+	// Fail configuration errors (bad model overrides, unknown backend)
+	// at startup, not on the first request.
+	if _, err := parbitonic.NewEngine(cfg.Engine); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		pool:   NewPool(cfg.PoolPerKey),
+		queue:  make(chan *request, cfg.QueueDepth),
+		exec:   make(chan []*request),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	s.m = newMetrics(func() int { return len(s.queue) }, s.pool)
+	s.wg.Add(1 + cfg.Parallel)
+	go s.dispatch()
+	for i := 0; i < cfg.Parallel; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Metrics returns the server's serve-level metrics (queue depth,
+// batch sizes, request latency, rejections) for mounting or scraping.
+func (s *Server) Metrics() *Metrics { return s.m }
+
+// Pool returns the server's engine pool (for stats inspection).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Sort sorts keys through the service and returns a freshly allocated
+// sorted slice; keys itself is only read, never mutated. The call
+// blocks until the result is ready, ctx is done, or admission is
+// refused: a full queue returns ErrOverloaded immediately and a closed
+// server returns ErrClosed. ctx cancellation and deadlines follow the
+// request into the runtime — an in-flight solo run is aborted through
+// the fail-safe paths, and a batched run is aborted once every member
+// has given up.
+func (s *Server) Sort(ctx context.Context, keys []uint32) ([]uint32, error) {
+	if len(keys) == 0 {
+		return []uint32{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var mx uint32
+	for _, k := range keys {
+		if k > mx {
+			mx = k
+		}
+	}
+	req := &request{
+		keys:   keys,
+		maxKey: mx,
+		ctx:    ctx,
+		enq:    time.Now(),
+		res:    make(chan response, 1),
+	}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.m.reject()
+		if sink := s.cfg.Engine.Obs; sink != nil {
+			sink.Emit(obs.Event{Kind: obs.EventOverload, Proc: -1, Detail: "admission queue full", Wall: time.Now().UnixNano()})
+		}
+		return nil, ErrOverloaded
+	}
+
+	select {
+	case r := <-req.res:
+		return r.sorted, r.err
+	case <-ctx.Done():
+		// The request stays in the pipeline; the worker's send into the
+		// buffered res channel cannot block, and its result is dropped.
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops admission (new Sorts get ErrClosed), drains requests
+// already queued — they complete normally — waits for in-flight runs,
+// and releases the workers. Safe to call once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.cancel()
+	return nil
+}
+
+// dispatch is the batching loop: it pulls the head request, holds the
+// window open for compatible companions, and hands the batch to an
+// executor. Executor handoff is an unbuffered send, so when every
+// executor is busy the dispatcher blocks and arriving requests pile
+// into the bounded queue — which is where overload becomes visible as
+// ErrOverloaded at the door.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	defer close(s.exec)
+	var pending *request // head of the NEXT batch, parked by incompatibility
+	for {
+		var first *request
+		if pending != nil {
+			first, pending = pending, nil
+		} else {
+			r, ok := <-s.queue
+			if !ok {
+				return
+			}
+			first = r
+		}
+		if first.ctx.Err() != nil {
+			first.finish(s.m, nil, first.ctx.Err())
+			continue
+		}
+		batch := []*request{first}
+		if s.cfg.MaxBatch > 1 && batchable(first, s.cfg) {
+			timer := time.NewTimer(s.cfg.MaxDelay)
+			total := len(first.keys)
+			mx := first.maxKey
+			drained := false
+		collect:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						drained = true
+						break collect
+					}
+					if r.ctx.Err() != nil {
+						r.finish(s.m, nil, r.ctx.Err())
+						continue
+					}
+					if !fits(batch, total, mx, r, s.cfg) {
+						pending = r
+						break collect
+					}
+					batch = append(batch, r)
+					total += len(r.keys)
+					if r.maxKey > mx {
+						mx = r.maxKey
+					}
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+			s.exec <- batch
+			if drained {
+				return
+			}
+			continue
+		}
+		s.exec <- batch
+	}
+}
+
+// batchable reports whether a request may share a run at all: its tag
+// needs at least one high bit of headroom and its size must fit under
+// the batch cap.
+func batchable(r *request, cfg Config) bool {
+	return r.maxKey < 1<<31 && len(r.keys) <= cfg.MaxBatchKeys
+}
+
+// fits reports whether adding r to batch keeps the tag-bit scheme
+// sound: with k members, tags need b = bits.Len(k-1) high bits, so
+// every member's keys must fit in the remaining 32-b bits, and the
+// summed size must stay under MaxBatchKeys.
+func fits(batch []*request, total int, mx uint32, r *request, cfg Config) bool {
+	if !batchable(r, cfg) || total+len(r.keys) > cfg.MaxBatchKeys {
+		return false
+	}
+	k := len(batch) + 1
+	b := bits.Len(uint(k - 1))
+	if r.maxKey > mx {
+		mx = r.maxKey
+	}
+	return uint64(mx) < 1<<(32-b)
+}
+
+// worker executes batches until the dispatcher closes the feed.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	var slab []uint32 // per-worker batch staging, grow-only
+	for batch := range s.exec {
+		s.runBatch(batch, &slab)
+	}
+}

@@ -81,14 +81,14 @@ type delivery struct {
 // Proc is one processor of the runtime, owned by exactly one goroutine
 // during Run.
 type Proc struct {
-	ID   int
+	ID   int      // processor index in [0, P)
 	Data []uint32 // local keys; algorithms read and replace freely
 
 	// Clock is the processor's accumulated time in µs: virtual model
 	// time under the simulator, measured wall time under the native
 	// backend. Barriers advance it to the round maximum either way.
 	Clock float64
-	Stats Stats
+	Stats Stats // counters and per-phase time accumulated this run
 
 	e *Engine
 
@@ -180,14 +180,20 @@ func abortEvent(cause error) obs.Event {
 }
 
 // recoverState repairs the engine after an aborted run — the barrier is
-// un-poisoned and the exchange board drained of any half-published
-// deliveries — so the engine is immediately reusable.
+// un-poisoned, the exchange board drained of any half-published
+// deliveries, and every processor's pack-destination scratch cleared
+// (an abort between pack and clearOuts leaves stale out-slices that
+// the NEXT run's exchange would deliver as phantom messages) — so the
+// engine is immediately reusable.
 func (e *Engine) recoverState() {
 	e.bar.reset()
 	for i := range e.board {
 		for j := range e.board[i] {
 			e.board[i][j] = delivery{}
 		}
+	}
+	for _, p := range e.procs {
+		p.clearOuts()
 	}
 	e.aborting.Store(false)
 	e.abortErr = nil

@@ -37,6 +37,7 @@ type PanicError struct {
 	Stack []byte // the panicking goroutine's stack at recovery
 }
 
+// Error formats the failure as "spmd: processor N panicked: value".
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("spmd: processor %d panicked: %v", e.Proc, e.Value)
 }

@@ -47,8 +47,8 @@ type CostModel struct {
 	// computation phases... due to cache misses", §5.3). Every
 	// computation charge is multiplied by
 	// 1 + CacheAlpha * max(0, lg n - LgCacheKeys).
-	CacheAlpha  float64
-	LgCacheKeys int
+	CacheAlpha  float64 // relative penalty per doubling past the cache size
+	LgCacheKeys int     // lg of the local key count that still fits in cache
 }
 
 // DefaultCosts returns the calibrated cost model. The per-key values
@@ -93,9 +93,9 @@ type Stats struct {
 	VolumeSent   int // keys sent to other processors
 
 	ComputeTime  float64 // local sorts, merges, compare-exchange steps
-	PackTime     float64
-	TransferTime float64
-	UnpackTime   float64
+	PackTime     float64 // packing keys into long messages
+	TransferTime float64 // collective exchanges (the LogGP wire term)
+	UnpackTime   float64 // unpacking received messages into place
 }
 
 // CommTime returns the communication portion of the time: packing,
@@ -118,9 +118,9 @@ func (s *Stats) add(o Stats) {
 // Result is what a completed SPMD run reports.
 type Result struct {
 	Time    float64 // makespan: the maximum final processor clock, µs
-	PerProc []Stats
-	Sum     Stats // per-processor stats summed over all processors
-	Mean    Stats // per-processor averages (the machine is symmetric)
+	PerProc []Stats // per-processor stats, indexed by Proc.ID
+	Sum     Stats   // per-processor stats summed over all processors
+	Mean    Stats   // per-processor averages (the machine is symmetric)
 }
 
 // TimePerKey returns Time divided by the total key count, the paper's
@@ -138,9 +138,9 @@ type Charger interface {
 	// Compute charges local computation whose modelled cost is t model
 	// µs (wall-clock chargers ignore t and measure instead).
 	Compute(p *Proc, t float64)
-	// Pack and Unpack charge the long-message pack/unpack passes over n
-	// local keys.
+	// Pack charges the long-message packing pass over n local keys.
 	Pack(p *Proc, n int)
+	// Unpack charges the long-message unpacking pass over n local keys.
 	Unpack(p *Proc, n int)
 	// Transfer charges one collective exchange round in which the
 	// processor sent `volume` keys in `msgs` messages to other

@@ -47,9 +47,10 @@ func (c Checksum) Add(keys []uint32) Checksum {
 type Error struct {
 	Invariant string // "local-sorted", "boundary-order" or "multiset"
 	Proc      int    // processor at fault; -1 when not attributable
-	Detail    string
+	Detail    string // what was observed, e.g. the offending pair of keys
 }
 
+// Error formats the failure naming the invariant and the processor.
 func (e *Error) Error() string {
 	if e.Proc >= 0 {
 		return fmt.Sprintf("verify: invariant %q violated at processor %d: %s", e.Invariant, e.Proc, e.Detail)

@@ -32,16 +32,11 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"parbitonic/internal/bitseq"
-	"parbitonic/internal/core"
-	"parbitonic/internal/intbits"
 	"parbitonic/internal/logp"
 	"parbitonic/internal/machine"
-	"parbitonic/internal/native"
 	"parbitonic/internal/obs"
-	"parbitonic/internal/psort"
 	"parbitonic/internal/schedule"
 	"parbitonic/internal/spmd"
 	"parbitonic/internal/trace"
@@ -187,6 +182,15 @@ type Config struct {
 	// paired against the paper's §3.4 closed-form predictions. See
 	// SortReport.
 	Observe func(SortReport)
+
+	// WrapCharger, when non-nil, wraps the backend's phase charger
+	// before the engine is built — the seam deterministic fault
+	// injection (internal/fault) hooks into, so chaos can be driven
+	// through the public API and through long-lived pooled engines
+	// (internal/serve). The parameter types live in an internal
+	// package: this field is for module-internal tooling; external
+	// callers leave it nil.
+	WrapCharger func(spmd.Charger) spmd.Charger
 }
 
 // Sink is the observability consumer interface; see Config.Obs and
@@ -293,138 +297,16 @@ func Sort(keys []uint32, cfg Config) (Result, error) {
 // spmd.ErrCanceled or spmd.ErrDeadline; a panicking processor surfaces
 // as a *spmd.PanicError instead of a panic. After any failure the
 // contents of keys are unspecified.
+//
+// Each call constructs a fresh execution engine; callers that sort
+// repeatedly should build one with NewEngine (or pool them, see
+// internal/serve) to amortize the setup.
 func SortContext(ctx context.Context, keys []uint32, cfg Config) (Result, error) {
-	p := cfg.Processors
-	if p < 1 || p&(p-1) != 0 {
-		return Result{}, fmt.Errorf("parbitonic: Processors must be a positive power of two, got %d", p)
-	}
-	if len(keys) == 0 || len(keys)%p != 0 {
-		return Result{}, fmt.Errorf("parbitonic: %d keys cannot be divided over %d processors", len(keys), p)
-	}
-	n := len(keys) / p
-	if n&(n-1) != 0 {
-		return Result{}, fmt.Errorf("parbitonic: keys per processor (%d) must be a power of two", n)
-	}
-	if err := validateOverrides(cfg); err != nil {
-		return Result{}, err
-	}
-
-	var sum verify.Checksum
-	if cfg.Verify {
-		sum = verify.Sum(keys)
-	}
-
-	var labels map[string]string
-	if cfg.Obs != nil {
-		labels = map[string]string{
-			"alg":     cfg.Algorithm.String(),
-			"backend": cfg.Backend.String(),
-		}
-	}
-	var m spmd.Backend
-	var err error
-	switch cfg.Backend {
-	case Native:
-		nc := native.Config{P: p, Trace: cfg.Trace, Sink: cfg.Obs, Labels: labels}
-		if cfg.Costs != nil {
-			nc.Costs = *cfg.Costs
-		}
-		m, err = native.New(nc)
-	case Simulated:
-		mc := machineConfig(cfg)
-		mc.Sink = cfg.Obs
-		mc.Labels = labels
-		m, err = machine.New(mc)
-	default:
-		return Result{}, fmt.Errorf("parbitonic: unknown backend %v", cfg.Backend)
-	}
+	e, err := NewEngine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	data := make([][]uint32, p)
-	for i := range data {
-		data[i] = append([]uint32(nil), keys[i*n:(i+1)*n]...)
-	}
-
-	var res spmd.Result
-	switch cfg.Algorithm {
-	case SmartBitonic, CyclicBlockedBitonic, BlockedMergeBitonic:
-		opts := core.Options{Fused: cfg.FusePackUnpack}
-		switch cfg.Algorithm {
-		case CyclicBlockedBitonic:
-			opts.Algorithm = core.CyclicBlocked
-		case BlockedMergeBitonic:
-			opts.Algorithm = core.BlockedMerge
-		default:
-			opts.Algorithm = core.Smart
-		}
-		opts.Strategy = cfg.Strategy.schedule()
-		if cfg.SimulateSteps || opts.Strategy != schedule.Head {
-			opts.Compute = core.Simulated
-		}
-		if cfg.Backend == Native && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
-			// Natively the fused path is simply the fast one — there is
-			// no model-ablation reason to keep pack/unpack separate.
-			opts.Fused = true
-		}
-		if opts.Fused && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
-			lgn, lgP := intbits.Log2(n), intbits.Log2(p)
-			if p == 1 || lgP*(lgP+1)/2 <= lgn {
-				opts.Compute = core.FullSort
-			}
-		}
-		res, err = core.SortContext(ctx, m, data, opts)
-	case SampleSort:
-		var sres psort.SampleSortResult
-		sres, err = psort.SampleSortContext(ctx, m, data)
-		res = sres.Result
-	case RadixSort:
-		res, err = psort.RadixSortContext(ctx, m, data)
-	default:
-		err = fmt.Errorf("parbitonic: unknown algorithm %v", cfg.Algorithm)
-	}
-	if err != nil {
-		return Result{}, err
-	}
-
-	if cfg.Verify {
-		if verr := verify.Distributed(m.Data(), sum); verr != nil {
-			if cfg.Obs != nil {
-				cfg.Obs.Emit(obs.Event{
-					Kind:   obs.EventVerifyFailure,
-					Clock:  res.Time,
-					Detail: verr.Error(),
-					Wall:   time.Now().UnixNano(),
-				})
-			}
-			return Result{}, verr
-		}
-	}
-
-	pos := 0
-	for _, d := range m.Data() {
-		pos += copy(keys[pos:], d)
-	}
-	if pos != len(keys) {
-		return Result{}, fmt.Errorf("parbitonic: internal error, %d of %d keys returned", pos, len(keys))
-	}
-
-	result := Result{
-		Algorithm:    cfg.Algorithm,
-		Keys:         len(keys),
-		Time:         res.Time,
-		Remaps:       res.Mean.Remaps,
-		VolumeSent:   res.Mean.VolumeSent,
-		MessagesSent: res.Mean.MessagesSent,
-		ComputeTime:  res.Mean.ComputeTime,
-		PackTime:     res.Mean.PackTime,
-		TransferTime: res.Mean.TransferTime,
-		UnpackTime:   res.Mean.UnpackTime,
-	}
-	if cfg.Observe != nil {
-		cfg.Observe(buildReport(cfg, len(keys), result))
-	}
-	return result, nil
+	return e.SortContext(ctx, keys)
 }
 
 // validateOverrides rejects non-finite or negative Model and Costs
@@ -483,38 +365,14 @@ func machineConfig(cfg Config) machine.Config {
 
 // SortPadded sorts keys of arbitrary length: the input is padded with
 // maximal keys up to the next length divisible into power-of-two
-// per-processor shares, sorted with Sort, and the padding stripped.
-// Result statistics refer to the padded run.
+// per-processor shares (PaddedSize), sorted with Sort, and the padding
+// stripped. Result statistics refer to the padded run.
 func SortPadded(keys []uint32, cfg Config) (Result, error) {
-	p := cfg.Processors
-	if p < 1 || p&(p-1) != 0 {
-		return Result{}, fmt.Errorf("parbitonic: Processors must be a positive power of two, got %d", p)
-	}
-	if len(keys) == 0 {
-		return Result{}, fmt.Errorf("parbitonic: no keys")
-	}
-	n := intbits.CeilPow2((len(keys) + p - 1) / p)
-	if p > 1 && n < 2 {
-		n = 2 // the bitonic algorithms need at least two keys per processor
-	}
-	total := n * p
-	if total == len(keys) {
-		return Sort(keys, cfg)
-	}
-	padded := make([]uint32, total)
-	copy(padded, keys)
-	for i := len(keys); i < total; i++ {
-		padded[i] = ^uint32(0)
-	}
-	res, err := Sort(padded, cfg)
+	e, err := NewEngine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	// All padding keys are maximal, so they occupy the tail (possibly
-	// interleaved with genuine maximal keys, which is harmless: the
-	// kept prefix is still the sorted multiset of the input).
-	copy(keys, padded[:len(keys)])
-	return res, nil
+	return e.SortPaddedContext(context.Background(), keys)
 }
 
 // ---- re-exported bitonic-sequence utilities (Chapter 4 primitives) ----
