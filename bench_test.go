@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"parbitonic"
+	"parbitonic/element"
 	"parbitonic/internal/experiments"
 	"parbitonic/internal/schedule"
 	"parbitonic/internal/workload"
@@ -137,6 +138,53 @@ func benchCompare(b *testing.B, p int) {
 	}
 }
 
+// runConfigOf is runConfig for any element type: the same uniform key
+// stream carried into E's key space, so ns/key is comparable across
+// element types (and, for uint32, directly against runConfig — the
+// monomorphized u32 path must stay within noise of the pre-generics
+// numbers; EXPERIMENTS.md records the comparison).
+func runConfigOf[E element.Elem](b *testing.B, p, n int, cfg parbitonic.Config) parbitonic.Result {
+	b.Helper()
+	cfg.Processors = p
+	base := workload.Elems[E](workload.Uniform31, p*n, 1996)
+	keys := make([]E, len(base))
+	var res parbitonic.Result
+	var err error
+	b.SetBytes(int64(len(base) * element.Width[E]()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, base)
+		res, err = parbitonic.Sort(keys, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(res.TimePerKey()*1000, "model-ns/key")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(base)), "ns/key")
+	return res
+}
+
+// BenchmarkElemTypes: the smart bitonic sort across the non-u32
+// element types on both backends (the u32 baselines are the Table 5.1
+// benchmarks above). Simulated variants report width-scaled model
+// time; Native variants report real wall-clock ns/key and allocations,
+// which is where a slow generic kernel would show up.
+func BenchmarkElemTypes(b *testing.B) {
+	const p = 16
+	for _, backend := range []parbitonic.Backend{parbitonic.Simulated, parbitonic.Native} {
+		name := "simulated"
+		if backend == parbitonic.Native {
+			name = "native"
+		}
+		cfg := parbitonic.Config{Algorithm: parbitonic.SmartBitonic, Backend: backend}
+		b.Run(name+"/u64", func(b *testing.B) { runConfigOf[uint64](b, p, benchN, cfg) })
+		b.Run(name+"/f64", func(b *testing.B) { runConfigOf[float64](b, p, benchN, cfg) })
+		b.Run(name+"/kv64", func(b *testing.B) { runConfigOf[parbitonic.KV64](b, p, benchN, cfg) })
+	}
+}
+
 // BenchmarkAnalysis_Volume: the §3.2.1 analytic volume/remap counters
 // (pure computation, no simulation).
 func BenchmarkAnalysis_Volume(b *testing.B) {
@@ -196,8 +244,8 @@ func BenchmarkAblation_Compute(b *testing.B) {
 func BenchmarkExperimentSuite(b *testing.B) {
 	cfg := experiments.Config{Seed: 1996, Scale: 9}
 	for i := 0; i < b.N; i++ {
-		if tabs := experiments.All(cfg); len(tabs) != 13 {
-			b.Fatalf("expected 13 tables, got %d", len(tabs))
+		if tabs := experiments.All(cfg); len(tabs) != 14 {
+			b.Fatalf("expected 14 tables, got %d", len(tabs))
 		}
 	}
 }

@@ -7,8 +7,9 @@
 // Usage:
 //
 //	bitonic-sort [-p procs] [-n keys-per-proc] [-alg name] [-dist name]
-//	             [-backend simulated|native] [-short] [-simulate]
-//	             [-fused] [-seed S] [-timeout D] [-verify] [-v]
+//	             [-keytype u32|u64|f32|f64|kv64] [-backend simulated|native]
+//	             [-short] [-simulate] [-fused] [-seed S] [-timeout D]
+//	             [-verify] [-v]
 //
 // Observability (see internal/obs):
 //
@@ -38,6 +39,7 @@ import (
 	"os"
 
 	"parbitonic"
+	"parbitonic/element"
 	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
 	"parbitonic/internal/workload"
@@ -67,6 +69,7 @@ func main() {
 	algName := flag.String("alg", "smart", "algorithm: smart, cyclic-blocked, blocked-merge, sample, radix")
 	backendName := flag.String("backend", "simulated", "execution backend: simulated (model time) or native (wall-clock)")
 	distName := flag.String("dist", "uniform", "distribution: uniform, fullrange, sorted, reverse, fewdistinct, gaussian, allequal")
+	keytypeName := flag.String("keytype", "u32", "element type: u32, u64, f32, f64, kv64 (kv64 = 64-bit key + 64-bit payload)")
 	short := flag.Bool("short", false, "use short (elementwise) messages")
 	simulate := flag.Bool("simulate", false, "simulate every network step instead of optimized local sorts")
 	fused := flag.Bool("fused", false, "fuse pack/unpack into local computation (§4.3)")
@@ -92,6 +95,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *distName)
 		os.Exit(2)
 	}
+	keytype, kerr := element.ParseType(*keytypeName)
+	if kerr != nil {
+		fmt.Fprintln(os.Stderr, kerr)
+		os.Exit(2)
+	}
 	var backend parbitonic.Backend
 	switch *backendName {
 	case "simulated":
@@ -103,7 +111,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	keys := workload.Keys(dist, *p**n, *seed)
 	var rec *parbitonic.TraceRecorder
 	if *showTrace {
 		rec = new(parbitonic.TraceRecorder)
@@ -163,7 +170,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := parbitonic.SortContext(ctx, keys, parbitonic.Config{
+	ecfg := parbitonic.Config{
 		Processors:     *p,
 		Algorithm:      alg,
 		Backend:        backend,
@@ -174,7 +181,25 @@ func main() {
 		Verify:         *doVerify,
 		Obs:            sink,
 		Observe:        observe,
-	})
+	}
+	headTail := 0
+	if *verbose {
+		headTail = 5
+	}
+	var out sortOutcome
+	var err error
+	switch keytype {
+	case element.TU32:
+		out, err = runSort[uint32](ctx, dist, *p, *n, *seed, ecfg, headTail)
+	case element.TU64:
+		out, err = runSort[uint64](ctx, dist, *p, *n, *seed, ecfg, headTail)
+	case element.TF32:
+		out, err = runSort[float32](ctx, dist, *p, *n, *seed, ecfg, headTail)
+	case element.TF64:
+		out, err = runSort[float64](ctx, dist, *p, *n, *seed, ecfg, headTail)
+	case element.TKV64:
+		out, err = runSort[element.KV64](ctx, dist, *p, *n, *seed, ecfg, headTail)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, spmd.ErrDeadline):
@@ -186,17 +211,12 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	for i := 1; i < len(keys); i++ {
-		if keys[i-1] > keys[i] {
-			fmt.Fprintf(os.Stderr, "OUTPUT NOT SORTED at %d\n", i)
-			os.Exit(1)
-		}
-	}
+	res := out.res
 
 	if backend == parbitonic.Native {
-		fmt.Printf("algorithm        %s (%s keys, native backend)\n", res.Algorithm, *distName)
+		fmt.Printf("algorithm        %s (%s %s keys, native backend)\n", res.Algorithm, *distName, keytype)
 	} else {
-		fmt.Printf("algorithm        %s (%s keys, %s messages)\n", res.Algorithm, *distName, msgMode(*short))
+		fmt.Printf("algorithm        %s (%s %s keys, %s messages)\n", res.Algorithm, *distName, keytype, msgMode(*short))
 	}
 	fmt.Printf("keys             %d total = %d procs x %d\n", res.Keys, *p, *n)
 	if backend == parbitonic.Native {
@@ -244,12 +264,40 @@ func main() {
 		}
 	}
 	if *verbose {
-		k := 5
+		fmt.Printf("head %s ... tail %s\n", out.head, out.tail)
+	}
+}
+
+// sortOutcome carries a finished run's statistics plus rendered
+// head/tail samples of the sorted output (for -v).
+type sortOutcome struct {
+	res        parbitonic.Result
+	head, tail string
+}
+
+// runSort generates the workload for one element type, sorts it, and
+// checks global sortedness (by key, for record elements).
+func runSort[E element.Elem](ctx context.Context, dist workload.Dist, p, n int, seed uint64, cfg parbitonic.Config, headTail int) (sortOutcome, error) {
+	keys := workload.Elems[E](dist, p*n, seed)
+	res, err := parbitonic.SortContext(ctx, keys, cfg)
+	if err != nil {
+		return sortOutcome{}, err
+	}
+	for i := 1; i < len(keys); i++ {
+		if element.Less(keys[i], keys[i-1]) {
+			return sortOutcome{}, fmt.Errorf("OUTPUT NOT SORTED at %d", i)
+		}
+	}
+	out := sortOutcome{res: res}
+	if headTail > 0 {
+		k := headTail
 		if len(keys) < 2*k {
 			k = len(keys) / 2
 		}
-		fmt.Printf("head %v ... tail %v\n", keys[:k], keys[len(keys)-k:])
+		out.head = fmt.Sprintf("%v", keys[:k])
+		out.tail = fmt.Sprintf("%v", keys[len(keys)-k:])
 	}
+	return out, nil
 }
 
 func msgMode(short bool) string {

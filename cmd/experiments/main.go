@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"parbitonic/element"
 	"parbitonic/internal/experiments"
 )
 
@@ -46,6 +47,7 @@ func main() {
 	scale := flag.Int("scale", 6, "divide the paper's key counts by 2^scale")
 	seed := flag.Uint64("seed", 1996, "workload seed")
 	only := flag.String("only", "", "run only experiments whose ID contains this substring")
+	keytype := flag.String("keytype", "u32", "element type for the element-parameterized experiments: u32, u64, f32, f64, kv64")
 	charts := flag.Bool("charts", true, "render figures as ASCII charts below their tables")
 	svgDir := flag.String("svg", "", "also write each figure as an SVG file into this directory")
 	loadURL := flag.String("load-url", "", "load-generator mode: drive a running sort-server at this base URL instead of the reproduction suite")
@@ -65,7 +67,12 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	elem, err := element.ParseType(*keytype)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Elem: elem}
 	fmt.Printf("# Reproduction run (scale 1/2^%d of paper sizes, seed %d)\n\n", *scale, *seed)
 	start := time.Now()
 	runners := []func(experiments.Config) *experiments.Table{
@@ -73,7 +80,7 @@ func main() {
 		experiments.Table53, experiments.Table54, experiments.Fig57, experiments.Fig58,
 		experiments.AnalysisRVM, experiments.AblationShift, experiments.AblationCompute,
 		experiments.FutureWorkOverlap, experiments.NativeThroughput,
-		experiments.ServeLoad,
+		experiments.ElemWidth, experiments.ServeLoad,
 	}
 	ran := 0
 	for _, run := range runners {

@@ -10,10 +10,14 @@
 //	            [-max-delay dur] [-queue N] [-parallel N]
 //	            [-chaos-every N] [-chaos-seed S]
 //
-// Endpoints: POST /sort (JSON {"keys":[...]} or application/octet-stream
-// little-endian uint32s; optional ?timeout_ms=N), GET /healthz,
+// Endpoints: POST /sort (JSON {"keys":[...]} or
+// application/octet-stream — a legacy little-endian uint32 stream or
+// a versioned binary frame whose header names the element type: u32,
+// u64, f32, f64 or kv64; optional ?timeout_ms=N), GET /healthz,
 // GET /stats, GET /metrics (Prometheus), GET /debug/vars (expvar).
-// See OPERATIONS.md for the runbook.
+// Every element type is served; each gets its own engine pool and
+// batcher behind one gateway. See README.md for the frame layout and
+// OPERATIONS.md for the runbook.
 package main
 
 import (
@@ -89,7 +93,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sort-server: CHAOS ON — a fault every %d runs, seed %d\n", *chaosEvery, *chaosSeed)
 	}
 
-	srv, err := serve.New(serve.Config{
+	gw, err := serve.NewGateway(serve.Config{
 		Engine:       engine,
 		MaxBatch:     *maxBatch,
 		MaxBatchKeys: *maxBatchKeys,
@@ -102,7 +106,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv, runMetrics)}
+	hs := &http.Server{Addr: *addr, Handler: serve.NewGatewayHandler(gw, runMetrics)}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -111,7 +115,7 @@ func main() {
 		<-sig
 		fmt.Fprintln(os.Stderr, "sort-server: draining...")
 		hs.Close()
-		srv.Close()
+		gw.Close()
 		if injected != nil {
 			fmt.Fprintf(os.Stderr, "sort-server: %d faults injected\n", injected())
 		}

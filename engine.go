@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"parbitonic/element"
 	"parbitonic/internal/core"
 	"parbitonic/internal/intbits"
 	"parbitonic/internal/machine"
@@ -16,43 +17,48 @@ import (
 	"parbitonic/internal/verify"
 )
 
-// Engine is a reusable sorting engine: the expensive construction a
-// Sort call pays — worker setup, the P×P exchange board, barrier,
-// message-buffer pool — happens once in NewEngine, and every
-// subsequent Sort call on the engine reuses it, along with the
-// engine's recycled input-staging and padding buffers. Repeated sorts
-// of similar sizes on one Engine therefore allocate almost nothing
-// beyond what the algorithms themselves churn.
+// EngineOf is a reusable sorting engine over element type E: the
+// expensive construction a Sort call pays — worker setup, the P×P
+// exchange board, barrier, message-buffer pool — happens once in
+// NewEngineOf, and every subsequent Sort call on the engine reuses it,
+// along with the engine's recycled input-staging and padding buffers.
+// Repeated sorts of similar sizes on one engine therefore allocate
+// almost nothing beyond what the algorithms themselves churn.
 //
-// The package-level Sort functions construct a throwaway Engine per
-// call; a server that sorts many requests should hold Engines instead
+// The package-level Sort functions construct a throwaway engine per
+// call; a server that sorts many requests should hold engines instead
 // (internal/serve pools them keyed by shape).
 //
-// An Engine is NOT safe for concurrent use: at most one Sort call may
+// An engine is NOT safe for concurrent use: at most one Sort call may
 // be in flight at a time. It remains usable after any failure —
 // cancellation, deadline, contained panic, or verification failure —
-// exactly like the underlying spmd.Backend.
-type Engine struct {
+// exactly like the underlying spmd.BackendOf.
+type EngineOf[E element.Elem] struct {
 	cfg Config
-	m   spmd.Backend
+	m   spmd.BackendOf[E]
 
 	// staging holds the previous run's final per-processor slices,
 	// recycled as the next run's input staging. They are dropped after a
 	// failed run (ownership is unspecified mid-abort) and whenever their
 	// lengths no longer fit.
-	staging [][]uint32
+	staging [][]E
 
 	// padBuf is the recycled SortPadded staging buffer. Results are
 	// always copied out of it before returning, so no caller ever holds
 	// a reference into it across reuse (see TestSortPaddedNoRetention).
-	padBuf []uint32
+	padBuf []E
 }
 
-// NewEngine validates cfg, builds its execution backend once, and
-// returns the reusable engine. Everything in cfg except the per-call
-// key slice is fixed for the engine's lifetime: processor count,
-// algorithm, backend, model overrides, telemetry sinks.
-func NewEngine(cfg Config) (*Engine, error) {
+// Engine is the uint32 engine, the element type of the paper's
+// experiments and of the original single-type API.
+type Engine = EngineOf[uint32]
+
+// NewEngineOf validates cfg, builds its execution backend once, and
+// returns the reusable engine for element type E. Everything in cfg
+// except the per-call key slice is fixed for the engine's lifetime:
+// processor count, algorithm, backend, model overrides, telemetry
+// sinks.
+func NewEngineOf[E element.Elem](cfg Config) (*EngineOf[E], error) {
 	p := cfg.Processors
 	if p < 1 || p&(p-1) != 0 {
 		return nil, fmt.Errorf("parbitonic: Processors must be a positive power of two, got %d", p)
@@ -65,9 +71,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		labels = map[string]string{
 			"alg":     cfg.Algorithm.String(),
 			"backend": cfg.Backend.String(),
+			"elem":    element.TypeOf[E]().String(),
 		}
 	}
-	var m spmd.Backend
+	var m spmd.BackendOf[E]
 	var err error
 	switch cfg.Backend {
 	case Native:
@@ -75,40 +82,60 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if cfg.Costs != nil {
 			nc.Costs = *cfg.Costs
 		}
-		m, err = native.New(nc)
+		m, err = native.NewOf[E](nc)
 	case Simulated:
 		mc := machineConfig(cfg)
 		mc.Sink = cfg.Obs
 		mc.Labels = labels
 		mc.WrapCharger = cfg.WrapCharger
-		m, err = machine.New(mc)
+		m, err = machine.NewOf[E](mc)
 	default:
 		return nil, fmt.Errorf("parbitonic: unknown backend %v", cfg.Backend)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, m: m}, nil
+	return &EngineOf[E]{cfg: cfg, m: m}, nil
 }
 
+// NewEngine builds a uint32 engine; see NewEngineOf.
+func NewEngine(cfg Config) (*Engine, error) { return NewEngineOf[uint32](cfg) }
+
 // P returns the engine's processor count.
-func (e *Engine) P() int { return e.cfg.Processors }
+func (e *EngineOf[E]) P() int { return e.cfg.Processors }
 
 // Config returns a copy of the configuration the engine was built with.
-func (e *Engine) Config() Config { return e.cfg }
+func (e *EngineOf[E]) Config() Config { return e.cfg }
 
-// Sort sorts keys in place (ascending) and returns the run statistics;
-// see the package-level Sort for the shape requirements. It is
-// SortContext with a background context.
-func (e *Engine) Sort(keys []uint32) (Result, error) {
+// Sort sorts keys in place (ascending by key) and returns the run
+// statistics; see the package-level Sort for the shape requirements.
+// It is SortContext with a background context.
+func (e *EngineOf[E]) Sort(keys []E) (Result, error) {
 	return e.SortContext(context.Background(), keys)
+}
+
+// rejectNaN returns an error when a float workload contains a NaN key.
+// The bitonic networks (and the radix order images) give NaN a
+// well-defined place after +Inf, but "sorted" output containing NaN
+// violates the transitivity callers expect of float comparisons, so
+// the API refuses it up front. Non-float element types scan nothing.
+func rejectNaN[E element.Elem](keys []E) error {
+	switch any(*new(E)).(type) {
+	case float32, float64:
+		for i, k := range keys {
+			if element.IsNaN(k) {
+				return fmt.Errorf("parbitonic: keys[%d] is NaN; NaN keys are not sortable", i)
+			}
+		}
+	}
+	return nil
 }
 
 // SortContext sorts keys in place under ctx, reusing the engine's
 // backend and staging buffers. len(keys) must divide into
 // power-of-two per-processor shares exactly as for the package-level
 // Sort; failure semantics are those of the package-level SortContext.
-func (e *Engine) SortContext(ctx context.Context, keys []uint32) (Result, error) {
+func (e *EngineOf[E]) SortContext(ctx context.Context, keys []E) (Result, error) {
 	cfg := e.cfg
 	p := cfg.Processors
 	if len(keys) == 0 || len(keys)%p != 0 {
@@ -117,6 +144,9 @@ func (e *Engine) SortContext(ctx context.Context, keys []uint32) (Result, error)
 	n := len(keys) / p
 	if n&(n-1) != 0 {
 		return Result{}, fmt.Errorf("parbitonic: keys per processor (%d) must be a power of two", n)
+	}
+	if err := rejectNaN(keys); err != nil {
+		return Result{}, err
 	}
 
 	var sum verify.Checksum
@@ -211,7 +241,7 @@ func (e *Engine) SortContext(ctx context.Context, keys []uint32) (Result, error)
 		UnpackTime:   res.Mean.UnpackTime,
 	}
 	if cfg.Observe != nil {
-		cfg.Observe(buildReport(cfg, len(keys), result))
+		cfg.Observe(buildReport(cfg, len(keys), element.Words[E](), result))
 	}
 	return result, nil
 }
@@ -221,16 +251,16 @@ func (e *Engine) SortContext(ctx context.Context, keys []uint32) (Result, error)
 // enough. Recycled slices are resliced by length, never by capacity:
 // a slice's backing array is owned outright only up to its length
 // once it has passed through the backend's buffer churn.
-func (e *Engine) stage(keys []uint32, p, n int) [][]uint32 {
+func (e *EngineOf[E]) stage(keys []E, p, n int) [][]E {
 	data := e.staging
 	if len(data) != p {
-		data = make([][]uint32, p)
+		data = make([][]E, p)
 	}
 	for i := range data {
 		if len(data[i]) >= n {
 			data[i] = data[i][:n]
 		} else {
-			data[i] = make([]uint32, n)
+			data[i] = make([]E, n)
 		}
 		copy(data[i], keys[i*n:(i+1)*n])
 	}
@@ -246,13 +276,13 @@ func (e *Engine) stage(keys []uint32, p, n int) [][]uint32 {
 // recycles across calls. The sorted result is always copied back into
 // keys — the caller never receives a view into the recycled buffer.
 // It is SortPaddedContext with a background context.
-func (e *Engine) SortPadded(keys []uint32) (Result, error) {
+func (e *EngineOf[E]) SortPadded(keys []E) (Result, error) {
 	return e.SortPaddedContext(context.Background(), keys)
 }
 
 // SortPaddedContext is SortPadded under a context; see SortContext for
 // failure semantics.
-func (e *Engine) SortPaddedContext(ctx context.Context, keys []uint32) (Result, error) {
+func (e *EngineOf[E]) SortPaddedContext(ctx context.Context, keys []E) (Result, error) {
 	p := e.cfg.Processors
 	if len(keys) == 0 {
 		return Result{}, fmt.Errorf("parbitonic: no keys")
@@ -262,21 +292,40 @@ func (e *Engine) SortPaddedContext(ctx context.Context, keys []uint32) (Result, 
 		return e.SortContext(ctx, keys)
 	}
 	if cap(e.padBuf) < total {
-		e.padBuf = make([]uint32, total)
+		e.padBuf = make([]E, total)
 	}
 	padded := e.padBuf[:total]
 	copy(padded, keys)
+	pad := element.Max[E]()
 	for i := len(keys); i < total; i++ {
-		padded[i] = ^uint32(0)
+		padded[i] = pad
 	}
 	res, err := e.SortContext(ctx, padded)
 	if err != nil {
 		return Result{}, err
 	}
-	// All padding keys are maximal, so they occupy the tail (possibly
-	// interleaved with genuine maximal keys, which is harmless: the
-	// kept prefix is still the sorted multiset of the input).
-	copy(keys, padded[:len(keys)])
+	// All padding elements are the maximal element, so they sort to the
+	// tail — possibly interleaved with genuine elements that equal the
+	// maximum. Strip exactly the pad count of sentinel-valued elements
+	// from the tail; everything else (including genuine maximal-key
+	// records, whose payloads differ from the sentinel's) is kept, so
+	// the result is exactly the sorted input multiset.
+	padCount := total - len(keys)
+	j := len(keys) - 1
+	for i := total - 1; i >= 0; i-- {
+		if padCount > 0 && padded[i] == pad {
+			padCount--
+			continue
+		}
+		if j < 0 {
+			return Result{}, fmt.Errorf("parbitonic: internal error, padding strip found too many keys")
+		}
+		keys[j] = padded[i]
+		j--
+	}
+	if j != -1 || padCount != 0 {
+		return Result{}, fmt.Errorf("parbitonic: internal error, padding strip lost keys (%d left, %d pads unmatched)", j+1, padCount)
+	}
 	return res, nil
 }
 

@@ -43,6 +43,51 @@ func FuzzSortPadded(f *testing.F) {
 	})
 }
 
+// FuzzPayloadPermutation feeds arbitrary key bytes through the padded
+// sort as key+payload records, with each record's payload set to its
+// input position. The output must be a permutation of the input: keys
+// sorted, every payload seen exactly once, and each payload still
+// naming a position whose original key equals the record's key — a
+// record whose payload was detached from its key fails the last check.
+func FuzzPayloadPermutation(f *testing.F) {
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0}, uint8(1))
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255}, uint8(2))
+	f.Add(make([]byte, 128), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, lgP uint8) {
+		n := len(data) / 8
+		if n == 0 || n > 1<<12 {
+			t.Skip()
+		}
+		orig := make([]uint64, n)
+		recs := make([]parbitonic.KV64, n)
+		for i := range recs {
+			orig[i] = binary.LittleEndian.Uint64(data[i*8:])
+			recs[i] = parbitonic.KV64{K: orig[i], V: uint64(i)}
+		}
+		p := 1 << (lgP % 4)
+		if _, err := parbitonic.SortPadded(recs, parbitonic.Config{Processors: p}); err != nil {
+			t.Fatalf("SortPadded: %v", err)
+		}
+		seen := make([]bool, n)
+		for i, r := range recs {
+			if i > 0 && recs[i-1].K > r.K {
+				t.Fatalf("p=%d: keys out of order at %d: %d > %d", p, i, recs[i-1].K, r.K)
+			}
+			if r.V >= uint64(n) {
+				t.Fatalf("p=%d: record %d has foreign payload %d (n=%d)", p, i, r.V, n)
+			}
+			if seen[r.V] {
+				t.Fatalf("p=%d: payload %d delivered twice", p, r.V)
+			}
+			seen[r.V] = true
+			if orig[r.V] != r.K {
+				t.Fatalf("p=%d: record %d: key %d paired with payload %d, which belonged to key %d",
+					p, i, r.K, r.V, orig[r.V])
+			}
+		}
+	})
+}
+
 // FuzzMinIndexBitonic builds a bitonic sequence from arbitrary values
 // and checks Algorithm 2 returns a true minimum.
 func FuzzMinIndexBitonic(f *testing.F) {

@@ -8,12 +8,21 @@
 // monotonically increases and then monotonically decreases. Viewed on a
 // circle (Figure 4.6 of the paper) a bitonic sequence has a single
 // "rising" arc and a single "falling" arc.
+//
+// Every routine is generic over the element layer. The hot kernels
+// (Split, SortBitonic and the Algorithm 2 search) dispatch on the
+// element kind once per call and run monomorphic bodies — native <
+// over the scalar types, key comparison for KV64 records — so the
+// uint32 instantiation compiles to exactly the loops the paper's
+// analysis counts.
 package bitseq
 
+import "parbitonic/element"
+
 // IsSortedAsc reports whether s is monotonically non-decreasing.
-func IsSortedAsc(s []uint32) bool {
+func IsSortedAsc[E element.Elem](s []E) bool {
 	for i := 1; i < len(s); i++ {
-		if s[i-1] > s[i] {
+		if element.Less(s[i], s[i-1]) {
 			return false
 		}
 	}
@@ -21,9 +30,9 @@ func IsSortedAsc(s []uint32) bool {
 }
 
 // IsSortedDesc reports whether s is monotonically non-increasing.
-func IsSortedDesc(s []uint32) bool {
+func IsSortedDesc[E element.Elem](s []E) bool {
 	for i := 1; i < len(s); i++ {
-		if s[i-1] < s[i] {
+		if element.Less(s[i-1], s[i]) {
 			return false
 		}
 	}
@@ -31,7 +40,7 @@ func IsSortedDesc(s []uint32) bool {
 }
 
 // IsSorted reports whether s is monotonic in the direction given by asc.
-func IsSorted(s []uint32, asc bool) bool {
+func IsSorted[E element.Elem](s []E, asc bool) bool {
 	if asc {
 		return IsSortedAsc(s)
 	}
@@ -43,8 +52,8 @@ func IsSorted(s []uint32, asc bool) bool {
 // decreases. Equivalently, walking the circular sequence of strict
 // comparisons between neighbours, the direction changes at most twice.
 // Sequences with duplicates are handled: runs of equal elements carry no
-// direction of their own.
-func IsBitonic(s []uint32) bool {
+// direction of their own (for records, equal means equal keys).
+func IsBitonic[E element.Elem](s []E) bool {
 	n := len(s)
 	if n <= 2 {
 		return true
@@ -55,9 +64,9 @@ func IsBitonic(s []uint32) bool {
 		a, b := s[i], s[(i+1)%n]
 		var sign int
 		switch {
-		case a < b:
+		case element.Less(a, b):
 			sign = 1
-		case a > b:
+		case element.Less(b, a):
 			sign = -1
 		default:
 			continue
@@ -77,12 +86,26 @@ func IsBitonic(s []uint32) bool {
 // s[n/2:] holds max(a_i, a_{i+n/2}). If s was bitonic, both halves are
 // bitonic and every element of the first half is <= every element of the
 // second half.
-func Split(s []uint32) {
-	n := len(s)
-	if n%2 != 0 {
+func Split[E element.Elem](s []E) {
+	if len(s)%2 != 0 {
 		panic("bitseq: Split on odd-length sequence")
 	}
-	h := n / 2
+	switch any(*new(E)).(type) {
+	case uint32:
+		ordSplit(element.Cast[uint32](s))
+	case uint64:
+		ordSplit(element.Cast[uint64](s))
+	case float32:
+		ordSplit(element.Cast[float32](s))
+	case float64:
+		ordSplit(element.Cast[float64](s))
+	default:
+		kvSplit(element.Cast[element.KV64](s))
+	}
+}
+
+func ordSplit[T element.Ord](s []T) {
+	h := len(s) / 2
 	for i := 0; i < h; i++ {
 		if s[i] > s[i+h] {
 			s[i], s[i+h] = s[i+h], s[i]
@@ -90,16 +113,48 @@ func Split(s []uint32) {
 	}
 }
 
+func kvSplit(s []element.KV64) {
+	h := len(s) / 2
+	for i := 0; i < h; i++ {
+		if s[i].K > s[i+h].K {
+			s[i], s[i+h] = s[i+h], s[i]
+		}
+	}
+}
+
 // SplitDesc is Split with the comparison reversed: the first half
 // receives the maxima and the second half the minima.
-func SplitDesc(s []uint32) {
-	n := len(s)
-	if n%2 != 0 {
+func SplitDesc[E element.Elem](s []E) {
+	if len(s)%2 != 0 {
 		panic("bitseq: SplitDesc on odd-length sequence")
 	}
-	h := n / 2
+	switch any(*new(E)).(type) {
+	case uint32:
+		ordSplitDesc(element.Cast[uint32](s))
+	case uint64:
+		ordSplitDesc(element.Cast[uint64](s))
+	case float32:
+		ordSplitDesc(element.Cast[float32](s))
+	case float64:
+		ordSplitDesc(element.Cast[float64](s))
+	default:
+		kvSplitDesc(element.Cast[element.KV64](s))
+	}
+}
+
+func ordSplitDesc[T element.Ord](s []T) {
+	h := len(s) / 2
 	for i := 0; i < h; i++ {
 		if s[i] < s[i+h] {
+			s[i], s[i+h] = s[i+h], s[i]
+		}
+	}
+}
+
+func kvSplitDesc(s []element.KV64) {
+	h := len(s) / 2
+	for i := 0; i < h; i++ {
+		if s[i].K < s[i+h].K {
 			s[i], s[i+h] = s[i+h], s[i]
 		}
 	}
@@ -110,7 +165,7 @@ func SplitDesc(s []uint32) {
 // length of s must be a power of two. Cost is O(n log n) comparisons;
 // SortBitonic is the O(n) alternative used by the optimized local
 // computation.
-func Merge(s []uint32, asc bool) {
+func Merge[E element.Elem](s []E, asc bool) {
 	n := len(s)
 	if n&(n-1) != 0 {
 		panic("bitseq: Merge requires power-of-two length")
@@ -129,9 +184,9 @@ func Merge(s []uint32, asc bool) {
 // Rotate returns a copy of s cyclically shifted left by k positions
 // (element k becomes element 0). Rotating a bitonic sequence yields a
 // bitonic sequence.
-func Rotate(s []uint32, k int) []uint32 {
+func Rotate[E element.Elem](s []E, k int) []E {
 	n := len(s)
-	out := make([]uint32, n)
+	out := make([]E, n)
 	if n == 0 {
 		return out
 	}
@@ -145,8 +200,37 @@ func Rotate(s []uint32, k int) []uint32 {
 // sequence s. For duplicate-free input it runs Algorithm 2 of the paper
 // in O(log n) time; whenever two splitters compare equal it falls back
 // to a linear scan of the remaining arc, as §4.2 prescribes. The answer
-// is always an index of a true minimum.
-func MinIndex(s []uint32) int {
+// is always an index of a true minimum (minimum key, for records).
+func MinIndex[E element.Elem](s []E) int {
+	return minIndex(s, false)
+}
+
+// MaxIndex returns the index of a maximum element of the bitonic
+// sequence s, with the same complexity contract as MinIndex. It runs
+// Algorithm 2 under the reversed order.
+func MaxIndex[E element.Elem](s []E) int {
+	return minIndex(s, true)
+}
+
+// minIndex dispatches Algorithm 2 by element kind; rev runs it under
+// the reversed order (turning the minimum search into a maximum
+// search — order-isomorphic, so Lemma 8 applies unchanged).
+func minIndex[E element.Elem](s []E, rev bool) int {
+	switch any(*new(E)).(type) {
+	case uint32:
+		return ordMinIndex(element.Cast[uint32](s), rev)
+	case uint64:
+		return ordMinIndex(element.Cast[uint64](s), rev)
+	case float32:
+		return ordMinIndex(element.Cast[float32](s), rev)
+	case float64:
+		return ordMinIndex(element.Cast[float64](s), rev)
+	default:
+		return kvMinIndex(element.Cast[element.KV64](s), rev)
+	}
+}
+
+func ordMinIndex[T element.Ord](s []T, rev bool) int {
 	n := len(s)
 	switch n {
 	case 0:
@@ -154,26 +238,35 @@ func MinIndex(s []uint32) int {
 	case 1:
 		return 0
 	case 2:
-		if s[1] < s[0] {
+		if (s[1] < s[0]) != rev && s[1] != s[0] {
+			return 1
+		}
+		if rev && s[1] > s[0] {
 			return 1
 		}
 		return 0
+	}
+	lt := func(a, b T) bool {
+		if rev {
+			return b < a
+		}
+		return a < b
 	}
 
 	// Step 1: three splitters breaking the circle into three arcs.
 	a, b, c := 0, n/3, 2*n/3
 	va, vb, vc := s[a], s[b], s[c]
 	if va == vb || vb == vc || va == vc {
-		return linearMinArc(s, 0, n)
+		return ordLinearMinArc(s, 0, n, rev)
 	}
 	// lo..mid..hi is a clockwise arc known to contain the minimum, with
 	// s[mid] < s[lo] and s[mid] < s[hi] maintained as the invariant
 	// (strictness holds because ties divert to the linear scan).
 	var lo, mid, hi int
 	switch {
-	case va < vb && va < vc:
+	case lt(va, vb) && lt(va, vc):
 		lo, mid, hi = c, a+n, b+n // arc c -> a -> b (wrapping)
-	case vb < va && vb < vc:
+	case lt(vb, va) && lt(vb, vc):
 		lo, mid, hi = a, b, c
 	default:
 		lo, mid, hi = b, c, a+n
@@ -186,25 +279,36 @@ func MinIndex(s []uint32) int {
 		// Equal splitters void the uniqueness argument of Lemma 8:
 		// switch to the linear search on the remaining arc.
 		if vx == vm || vm == vy || (x != mid && y != mid && vx == vy) {
-			return linearMinArc(s, lo, hi-lo+1)
+			return ordLinearMinArc(s, lo, hi-lo+1, rev)
 		}
 		switch {
-		case vx < vm && vx < vy:
+		case lt(vx, vm) && lt(vx, vy):
 			mid, hi = x, mid
-		case vm < vx && vm < vy:
+		case lt(vm, vx) && lt(vm, vy):
 			lo, hi = x, y
 		default:
 			lo, mid = mid, y
 		}
 	}
-	return linearMinArc(s, lo, hi-lo+1)
+	return ordLinearMinArc(s, lo, hi-lo+1, rev)
 }
 
-// linearMinArc scans the circular arc of length count starting at start
-// and returns the index (mod len(s)) of its minimum.
-func linearMinArc(s []uint32, start, count int) int {
+// ordLinearMinArc scans the circular arc of length count starting at
+// start and returns the index (mod len(s)) of its minimum (maximum
+// when rev). The two loops are kept separate so each compiles to the
+// direct compare the paper's linear fallback costs out.
+func ordLinearMinArc[T element.Ord](s []T, start, count int, rev bool) int {
 	n := len(s)
 	best := start % n
+	if rev {
+		for i := 1; i < count; i++ {
+			idx := (start + i) % n
+			if s[idx] > s[best] {
+				best = idx
+			}
+		}
+		return best
+	}
 	for i := 1; i < count; i++ {
 		idx := (start + i) % n
 		if s[idx] < s[best] {
@@ -214,15 +318,82 @@ func linearMinArc(s []uint32, start, count int) int {
 	return best
 }
 
-// MaxIndex returns the index of a maximum element of the bitonic
-// sequence s, with the same complexity contract as MinIndex. It runs
-// Algorithm 2 on the complemented keys.
-func MaxIndex(s []uint32) int {
-	inv := make([]uint32, len(s))
-	for i, v := range s {
-		inv[i] = ^v
+func kvMinIndex(s []element.KV64, rev bool) int {
+	n := len(s)
+	switch n {
+	case 0:
+		panic("bitseq: MinIndex of empty sequence")
+	case 1:
+		return 0
+	case 2:
+		if (s[1].K < s[0].K) != rev && s[1].K != s[0].K {
+			return 1
+		}
+		if rev && s[1].K > s[0].K {
+			return 1
+		}
+		return 0
 	}
-	return MinIndex(inv)
+	lt := func(a, b uint64) bool {
+		if rev {
+			return b < a
+		}
+		return a < b
+	}
+
+	a, b, c := 0, n/3, 2*n/3
+	va, vb, vc := s[a].K, s[b].K, s[c].K
+	if va == vb || vb == vc || va == vc {
+		return kvLinearMinArc(s, 0, n, rev)
+	}
+	var lo, mid, hi int
+	switch {
+	case lt(va, vb) && lt(va, vc):
+		lo, mid, hi = c, a+n, b+n
+	case lt(vb, va) && lt(vb, vc):
+		lo, mid, hi = a, b, c
+	default:
+		lo, mid, hi = b, c, a+n
+	}
+
+	for hi-lo > 3 {
+		x := (lo + mid) / 2
+		y := (mid + hi) / 2
+		vx, vm, vy := s[x%n].K, s[mid%n].K, s[y%n].K
+		if vx == vm || vm == vy || (x != mid && y != mid && vx == vy) {
+			return kvLinearMinArc(s, lo, hi-lo+1, rev)
+		}
+		switch {
+		case lt(vx, vm) && lt(vx, vy):
+			mid, hi = x, mid
+		case lt(vm, vx) && lt(vm, vy):
+			lo, hi = x, y
+		default:
+			lo, mid = mid, y
+		}
+	}
+	return kvLinearMinArc(s, lo, hi-lo+1, rev)
+}
+
+func kvLinearMinArc(s []element.KV64, start, count int, rev bool) int {
+	n := len(s)
+	best := start % n
+	if rev {
+		for i := 1; i < count; i++ {
+			idx := (start + i) % n
+			if s[idx].K > s[best].K {
+				best = idx
+			}
+		}
+		return best
+	}
+	for i := 1; i < count; i++ {
+		idx := (start + i) % n
+		if s[idx].K < s[best].K {
+			best = idx
+		}
+	}
+	return best
 }
 
 // SortBitonic sorts the bitonic sequence src into dst (which must have
@@ -231,15 +402,30 @@ func MaxIndex(s []uint32) int {
 // two monotonic circular runs that meet there.
 //
 // src and dst must not overlap. src is left unchanged.
-func SortBitonic(dst, src []uint32, asc bool) {
-	n := len(src)
-	if len(dst) != n {
+func SortBitonic[E element.Elem](dst, src []E, asc bool) {
+	if len(dst) != len(src) {
 		panic("bitseq: SortBitonic length mismatch")
 	}
+	switch any(*new(E)).(type) {
+	case uint32:
+		ordSortBitonic(element.Cast[uint32](dst), element.Cast[uint32](src), asc)
+	case uint64:
+		ordSortBitonic(element.Cast[uint64](dst), element.Cast[uint64](src), asc)
+	case float32:
+		ordSortBitonic(element.Cast[float32](dst), element.Cast[float32](src), asc)
+	case float64:
+		ordSortBitonic(element.Cast[float64](dst), element.Cast[float64](src), asc)
+	default:
+		kvSortBitonic(element.Cast[element.KV64](dst), element.Cast[element.KV64](src), asc)
+	}
+}
+
+func ordSortBitonic[T element.Ord](dst, src []T, asc bool) {
+	n := len(src)
 	if n == 0 {
 		return
 	}
-	m := MinIndex(src)
+	m := ordMinIndex(src, false)
 	// Walking clockwise from the minimum the circular sequence rises to
 	// the maximum and then falls back. The unconsumed elements always
 	// form a contiguous circular arc [fi..bj]; that arc is bitonic with
@@ -247,8 +433,33 @@ func SortBitonic(dst, src []uint32, asc bool) {
 	fi := m               // forward cursor (clockwise)
 	bj := (m - 1 + n) % n // backward cursor (counterclockwise)
 	for emitted := 0; emitted < n; emitted++ {
-		var v uint32
+		var v T
 		if src[fi] <= src[bj] {
+			v = src[fi]
+			fi = (fi + 1) % n
+		} else {
+			v = src[bj]
+			bj = (bj - 1 + n) % n
+		}
+		if asc {
+			dst[emitted] = v
+		} else {
+			dst[n-1-emitted] = v
+		}
+	}
+}
+
+func kvSortBitonic(dst, src []element.KV64, asc bool) {
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	m := kvMinIndex(src, false)
+	fi := m
+	bj := (m - 1 + n) % n
+	for emitted := 0; emitted < n; emitted++ {
+		var v element.KV64
+		if src[fi].K <= src[bj].K {
 			v = src[fi]
 			fi = (fi + 1) % n
 		} else {

@@ -220,7 +220,7 @@ func TestRotate(t *testing.T) {
 	if got := Rotate(s, 5); got[0] != 0 {
 		t.Errorf("Rotate(n) should be identity, got %v", got)
 	}
-	if got := Rotate(nil, 3); len(got) != 0 {
+	if got := Rotate[uint32](nil, 3); len(got) != 0 {
 		t.Errorf("Rotate(nil) = %v", got)
 	}
 }
@@ -471,7 +471,7 @@ func TestQuickSortBitonicMatchesMerge(t *testing.T) {
 }
 
 func TestSortBitonicEmptyAndMismatch(t *testing.T) {
-	SortBitonic(nil, nil, true) // must not panic
+	SortBitonic[uint32](nil, nil, true) // must not panic
 	defer func() {
 		if recover() == nil {
 			t.Fatal("length mismatch should panic")

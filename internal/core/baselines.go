@@ -1,6 +1,7 @@
 package core
 
 import (
+	"parbitonic/element"
 	"parbitonic/internal/addr"
 	"parbitonic/internal/intbits"
 	"parbitonic/internal/localsort"
@@ -12,7 +13,7 @@ import (
 // last lg P stages, remap blocked->cyclic, execute the first k steps
 // locally (bitonic-split sweeps), remap back to blocked, and finish the
 // stage with a local sort. Requires n >= P.
-func cyclicBlockedSort(pr *spmd.Proc, toCyclic, toBlocked *addr.RemapPlan, opts Options) {
+func cyclicBlockedSort[E element.Elem](pr *spmd.ProcOf[E], toCyclic, toBlocked *addr.RemapPlan, opts Options) {
 	n := len(pr.Data)
 	lgn, lgP := intbits.Log2(n), intbits.Log2(pr.P())
 	lgN := lgn + lgP
@@ -26,7 +27,7 @@ func cyclicBlockedSort(pr *spmd.Proc, toCyclic, toBlocked *addr.RemapPlan, opts 
 	blocked := toBlocked.New
 	cyclic := toCyclic.New
 
-	scratch := make([]uint32, 2*(1<<uint(lgP)))
+	scratch := make([]E, 2*(1<<uint(lgP)))
 	for k := 1; k <= lgP; k++ {
 		stage := lgn + k
 		pr.RemapExchange(toCyclic, false)
@@ -71,11 +72,69 @@ func cyclicBlockedSort(pr *spmd.Proc, toCyclic, toBlocked *addr.RemapPlan, opts 
 	}
 }
 
+// compareSplit fills out with the element-wise minima (keepMin) or
+// maxima of mine and theirs — the remote compare-split kept half of a
+// [BLM+91] step. Dispatches to a monomorphic kernel per element kind.
+func compareSplit[E element.Elem](out, mine, theirs []E, keepMin bool) {
+	switch any(*new(E)).(type) {
+	case uint32:
+		ordCompareSplit(element.Cast[uint32](out), element.Cast[uint32](mine), element.Cast[uint32](theirs), keepMin)
+	case uint64:
+		ordCompareSplit(element.Cast[uint64](out), element.Cast[uint64](mine), element.Cast[uint64](theirs), keepMin)
+	case float32:
+		ordCompareSplit(element.Cast[float32](out), element.Cast[float32](mine), element.Cast[float32](theirs), keepMin)
+	case float64:
+		ordCompareSplit(element.Cast[float64](out), element.Cast[float64](mine), element.Cast[float64](theirs), keepMin)
+	default:
+		kvCompareSplit(element.Cast[element.KV64](out), element.Cast[element.KV64](mine), element.Cast[element.KV64](theirs), keepMin)
+	}
+}
+
+func ordCompareSplit[T element.Ord](out, mine, theirs []T, keepMin bool) {
+	if keepMin {
+		for i, m := range mine {
+			if other := theirs[i]; other < m {
+				out[i] = other
+			} else {
+				out[i] = m
+			}
+		}
+	} else {
+		for i, m := range mine {
+			if other := theirs[i]; other > m {
+				out[i] = other
+			} else {
+				out[i] = m
+			}
+		}
+	}
+}
+
+func kvCompareSplit(out, mine, theirs []element.KV64, keepMin bool) {
+	if keepMin {
+		for i, m := range mine {
+			if other := theirs[i]; other.K < m.K {
+				out[i] = other
+			} else {
+				out[i] = m
+			}
+		}
+	} else {
+		for i, m := range mine {
+			if other := theirs[i]; other.K > m.K {
+				out[i] = other
+			} else {
+				out[i] = m
+			}
+		}
+	}
+}
+
 // blockedMergeSort is the [BLM+91] baseline of §5.3: a fixed blocked
 // layout. For stage lg n + k the first k steps pair processors that
 // exchange their full n keys and keep the element-wise minima or maxima
 // (a remote compare-split); the remaining lg n steps are a local sort.
-func blockedMergeSort(pr *spmd.Proc) {
+func blockedMergeSort[E element.Elem](pr *spmd.ProcOf[E]) {
 	n := len(pr.Data)
 	lgn, lgP := intbits.Log2(n), intbits.Log2(pr.P())
 	lgN := lgn + lgP
@@ -100,24 +159,8 @@ func blockedMergeSort(pr *spmd.Proc) {
 			// merge is ascending (Definition 3).
 			iAmLow := pr.ID>>uint(procBit)&1 == 0
 			keepMin := iAmLow == asc
-			out := make([]uint32, n)
-			if keepMin {
-				for i, mine := range pr.Data {
-					if other := theirs[i]; other < mine {
-						out[i] = other
-					} else {
-						out[i] = mine
-					}
-				}
-			} else {
-				for i, mine := range pr.Data {
-					if other := theirs[i]; other > mine {
-						out[i] = other
-					} else {
-						out[i] = mine
-					}
-				}
-			}
+			out := make([]E, n)
+			compareSplit(out, pr.Data, theirs, keepMin)
 			pr.Data = out
 			// The [BLM+91] step "simulates a merge step" over both the
 			// local and the received keys: 2n elements of linear work.

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 
+	"parbitonic/element"
 	"parbitonic/internal/addr"
 	"parbitonic/internal/intbits"
 	"parbitonic/internal/schedule"
@@ -129,7 +130,7 @@ func (o Options) Validate(p, n int) error {
 // n keys per processor, blocked layout). It takes ownership of data —
 // the slices are consumed. On return the machine's processors hold the
 // globally sorted keys in blocked layout; retrieve them with m.Data().
-func Sort(m spmd.Backend, data [][]uint32, opts Options) (spmd.Result, error) {
+func Sort[E element.Elem](m spmd.BackendOf[E], data [][]E, opts Options) (spmd.Result, error) {
 	return SortContext(context.Background(), m, data, opts)
 }
 
@@ -138,7 +139,7 @@ func Sort(m spmd.Backend, data [][]uint32, opts Options) (spmd.Result, error) {
 // instead of blocking until completion; a processor panic surfaces as
 // a *spmd.PanicError. The machine's data is unspecified after a
 // failure.
-func SortContext(ctx context.Context, m spmd.Backend, data [][]uint32, opts Options) (spmd.Result, error) {
+func SortContext[E element.Elem](ctx context.Context, m spmd.BackendOf[E], data [][]E, opts Options) (spmd.Result, error) {
 	p := m.P()
 	if len(data) != p {
 		return spmd.Result{}, fmt.Errorf("core: %d data slices for %d processors", len(data), p)
@@ -152,7 +153,7 @@ func SortContext(ctx context.Context, m spmd.Backend, data [][]uint32, opts Opti
 	if err := opts.Validate(p, n); err != nil {
 		return spmd.Result{}, err
 	}
-	var body func(*spmd.Proc)
+	var body func(*spmd.ProcOf[E])
 	switch opts.Algorithm {
 	case Smart:
 		// Build the schedule (layouts + remap plans) once; it is shared
@@ -161,7 +162,7 @@ func SortContext(ctx context.Context, m spmd.Backend, data [][]uint32, opts Opti
 		if p > 1 {
 			sched = schedule.New(intbits.Log2(n)+intbits.Log2(p), intbits.Log2(p), opts.Strategy)
 		}
-		body = func(pr *spmd.Proc) { smartSort(pr, sched, opts) }
+		body = func(pr *spmd.ProcOf[E]) { smartSort(pr, sched, opts) }
 	case CyclicBlocked:
 		var toCyclic, toBlocked *addr.RemapPlan
 		if p > 1 {
@@ -169,9 +170,9 @@ func SortContext(ctx context.Context, m spmd.Backend, data [][]uint32, opts Opti
 			toCyclic = addr.NewRemapPlan(addr.Blocked(lgN, lgP), addr.Cyclic(lgN, lgP))
 			toBlocked = addr.NewRemapPlan(addr.Cyclic(lgN, lgP), addr.Blocked(lgN, lgP))
 		}
-		body = func(pr *spmd.Proc) { cyclicBlockedSort(pr, toCyclic, toBlocked, opts) }
+		body = func(pr *spmd.ProcOf[E]) { cyclicBlockedSort(pr, toCyclic, toBlocked, opts) }
 	case BlockedMerge:
-		body = func(pr *spmd.Proc) { blockedMergeSort(pr) }
+		body = func(pr *spmd.ProcOf[E]) { blockedMergeSort(pr) }
 	default:
 		return spmd.Result{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
 	}
@@ -198,7 +199,7 @@ func ascFor(l *addr.Layout, proc, stage int) bool {
 // under layout l: compare-exchange every local pair whose absolute
 // addresses differ in st.Bit, which must be a local bit of l. This is
 // the unoptimized local computation (and the oracle for Chapter 4).
-func simulateStep(pr *spmd.Proc, l *addr.Layout, st schedule.Step) {
+func simulateStep[E element.Elem](pr *spmd.ProcOf[E], l *addr.Layout, st schedule.Step) {
 	localBit := -1
 	for i, b := range l.LocalBits {
 		if b == st.Bit {
@@ -209,26 +210,54 @@ func simulateStep(pr *spmd.Proc, l *addr.Layout, st schedule.Step) {
 	if localBit == -1 {
 		panic(fmt.Sprintf("core: step bit %d is not local under %s", st.Bit, l.Name))
 	}
-	data := pr.Data
 	mask := 1 << uint(localBit)
+	switch any(*new(E)).(type) {
+	case uint32:
+		ordSimulateStep(element.Cast[uint32](pr.Data), pr.ID, l, st, mask)
+	case uint64:
+		ordSimulateStep(element.Cast[uint64](pr.Data), pr.ID, l, st, mask)
+	case float32:
+		ordSimulateStep(element.Cast[float32](pr.Data), pr.ID, l, st, mask)
+	case float64:
+		ordSimulateStep(element.Cast[float64](pr.Data), pr.ID, l, st, mask)
+	default:
+		kvSimulateStep(element.Cast[element.KV64](pr.Data), pr.ID, l, st, mask)
+	}
+	pr.ChargeCompareExchange(len(pr.Data))
+}
+
+func ordSimulateStep[T element.Ord](data []T, id int, l *addr.Layout, st schedule.Step, mask int) {
 	for lo := range data {
 		if lo&mask != 0 {
 			continue
 		}
 		hi := lo | mask
-		abs := l.Abs(pr.ID, lo)
+		abs := l.Abs(id, lo)
 		asc := st.Ascending(abs)
 		if (data[lo] > data[hi]) == asc {
 			data[lo], data[hi] = data[hi], data[lo]
 		}
 	}
-	pr.ChargeCompareExchange(len(data))
+}
+
+func kvSimulateStep(data []element.KV64, id int, l *addr.Layout, st schedule.Step, mask int) {
+	for lo := range data {
+		if lo&mask != 0 {
+			continue
+		}
+		hi := lo | mask
+		abs := l.Abs(id, lo)
+		asc := st.Ascending(abs)
+		if (data[lo].K > data[hi].K) == asc {
+			data[lo], data[hi] = data[hi], data[lo]
+		}
+	}
 }
 
 // Flatten reassembles the machine's final blocked-layout data into one
 // global slice.
-func Flatten(data [][]uint32) []uint32 {
-	var out []uint32
+func Flatten[E element.Elem](data [][]E) []E {
+	var out []E
 	for _, d := range data {
 		out = append(out, d...)
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"parbitonic/element"
+
 	"parbitonic/internal/bitseq"
 	"parbitonic/internal/intbits"
 	"parbitonic/internal/localsort"
@@ -16,7 +18,7 @@ import (
 //
 // The schedule (with its remap plans) is precomputed once by Sort and
 // shared read-only by all processors.
-func smartSort(pr *spmd.Proc, sched []schedule.Remap, opts Options) {
+func smartSort[E element.Elem](pr *spmd.ProcOf[E], sched []schedule.Remap, opts Options) {
 	n := len(pr.Data)
 	lgn, lgP := intbits.Log2(n), intbits.Log2(pr.P())
 	lgN := lgn + lgP
@@ -59,7 +61,7 @@ func smartSort(pr *spmd.Proc, sched []schedule.Remap, opts Options) {
 //     the next remap needs (§4.1, Figures 4.3-4.5);
 //   - packing for the next remap is the merge's emission pass, so no
 //     separate pack or unpack pass is charged (§4.3, Figure 4.8).
-func fullSortRun(pr *spmd.Proc, sched []schedule.Remap, lgn, lgP int) {
+func fullSortRun[E element.Elem](pr *spmd.ProcOf[E], sched []schedule.Remap, lgn, lgP int) {
 	// dirAfter gives the direction processor q's keys are sorted in
 	// once remap i's local phase completed: the merge direction of the
 	// stage the phase ends in, which is processor-determined.
@@ -103,7 +105,7 @@ func fullSortRun(pr *spmd.Proc, sched []schedule.Remap, lgn, lgP int) {
 			i == len(sched)-1 && i > 0 && r.Kind != schedule.Last:
 			panic("core: unexpected schedule shape for FullSort")
 		}
-		runs := make([]localsort.Run, 0, len(in))
+		runs := make([]localsort.RunOf[E], 0, len(in))
 		total := 0
 		for src, msg := range in {
 			if len(msg) == 0 {
@@ -113,7 +115,7 @@ func fullSortRun(pr *spmd.Proc, sched []schedule.Remap, lgn, lgP int) {
 			if i > 0 {
 				srcAsc = dirAfter(i-1, src)
 			}
-			runs = append(runs, localsort.Run{Keys: msg, Desc: !srcAsc})
+			runs = append(runs, localsort.RunOf[E]{Keys: msg, Desc: !srcAsc})
 			total += len(msg)
 		}
 		if total != n {
@@ -123,7 +125,7 @@ func fullSortRun(pr *spmd.Proc, sched []schedule.Remap, lgn, lgP int) {
 		if i == len(sched)-1 {
 			// Final phase: the last remap's steps sort ascending; the
 			// merge materializes the finished local array.
-			merged := make([]uint32, total)
+			merged := make([]E, total)
 			localsort.MergeRuns(merged, runs)
 			pr.Data = merged
 			pr.ChargeMerge(total)
@@ -138,11 +140,11 @@ func fullSortRun(pr *spmd.Proc, sched []schedule.Remap, lgn, lgP int) {
 		out := pr.PackBuffers(next)
 		next.Route(pr.ID, dest, off)
 		if dirAfter(i, pr.ID) {
-			localsort.MergeRunsEmit(runs, total, func(rank int, v uint32) {
+			localsort.MergeRunsEmit(runs, total, func(rank int, v E) {
 				out[dest[rank]][off[rank]] = v
 			})
 		} else {
-			localsort.MergeRunsEmit(runs, total, func(rank int, v uint32) {
+			localsort.MergeRunsEmit(runs, total, func(rank int, v E) {
 				l := n - 1 - rank
 				out[dest[l]][off[l]] = v
 			})
@@ -156,7 +158,7 @@ func fullSortRun(pr *spmd.Proc, sched []schedule.Remap, lgn, lgP int) {
 
 // smartPhase runs the optimized local computation for the lg n (or, for
 // the last remap, S) steps following remap r, per Theorems 2 and 3.
-func smartPhase(pr *spmd.Proc, r schedule.Remap, lgn, lgP int) {
+func smartPhase[E element.Elem](pr *spmd.ProcOf[E], r schedule.Remap, lgn, lgP int) {
 	n := len(pr.Data)
 	switch r.Kind {
 	case schedule.Inside:
@@ -164,7 +166,7 @@ func smartPhase(pr *spmd.Proc, r schedule.Remap, lgn, lgP int) {
 		// steps sort it in the direction of stage lgn+K, which is
 		// processor-determined for an inside remap.
 		asc := ascFor(r.Layout, pr.ID, lgn+r.K)
-		out := make([]uint32, n)
+		out := make([]E, n)
 		bitseq.SortBitonic(out, pr.Data, asc)
 		pr.Data = out
 		pr.ChargeMerge(n)
@@ -176,7 +178,7 @@ func smartPhase(pr *spmd.Proc, r schedule.Remap, lgn, lgP int) {
 		// the top bit of the block index.
 		blockLen := 1 << uint(r.A)
 		topMask := 1 << uint(r.B-1)
-		scratch := make([]uint32, 2*max(blockLen, 1<<uint(r.B)))
+		scratch := make([]E, 2*max(blockLen, 1<<uint(r.B)))
 		localsort.SortBitonicBlocks(pr.Data, blockLen, func(blk int) bool {
 			return blk&topMask == 0
 		}, scratch)

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"parbitonic"
+	"parbitonic/element"
+	"parbitonic/internal/workload"
+)
+
+// ElemWidth is not a paper reproduction: it sweeps the element layer
+// across every supported key type on one configuration and shows how
+// the model's communication charges scale with element width — the
+// 8-byte and 16-byte types pay exactly their words multiple of the
+// uint32 Gap/gap volume terms, while the per-message and per-remap
+// fixed costs stay flat. The native wall-clock column is measured only
+// for the element type selected by Config.Elem (cmd/experiments
+// -keytype), since wall measurements are the expensive part.
+func ElemWidth(c Config) *Table {
+	const p = 16
+	n := c.keysPerProc(256)
+	t := &Table{
+		ID:    "Element width",
+		Title: fmt.Sprintf("smart bitonic across element types (P=%d, n=%d uniform keys per proc, simulated)", p, n),
+		Columns: []string{"elem", "width B", "words", "model us/key", "vs u32",
+			"native us/key"},
+		Notes: []string{
+			"words = element width / 4; transfer and pack/unpack charges scale by it, fixed per-remap and per-message costs do not. 64-bit keys also double the local radix pass count, so u64/f64/kv64 land slightly above their pure width ratio.",
+			"the native column is measured wall clock for the -keytype element only (\"-\" elsewhere).",
+		},
+	}
+	var base float64
+	for _, et := range element.Types() {
+		var model, native float64
+		switch et {
+		case element.TU32:
+			model, native = elemRun[uint32](c, p, n, et == c.Elem)
+		case element.TU64:
+			model, native = elemRun[uint64](c, p, n, et == c.Elem)
+		case element.TF32:
+			model, native = elemRun[float32](c, p, n, et == c.Elem)
+		case element.TF64:
+			model, native = elemRun[float64](c, p, n, et == c.Elem)
+		case element.TKV64:
+			model, native = elemRun[element.KV64](c, p, n, et == c.Elem)
+		}
+		if et == element.TU32 {
+			base = model
+		}
+		nat := "-"
+		if native > 0 {
+			nat = fmt.Sprintf("%.4f", native)
+		}
+		t.Rows = append(t.Rows, []string{
+			et.String(),
+			fmt.Sprintf("%d", et.Width()),
+			fmt.Sprintf("%d", et.Width()/4),
+			fmt.Sprintf("%.4f", model),
+			f2(model / base),
+			nat,
+		})
+	}
+	return t
+}
+
+// elemRun sorts one element type's workload on the simulated backend
+// (and, when asked, the native backend) and returns us/key for each.
+func elemRun[E element.Elem](c Config, p, n int, measureNative bool) (modelUSKey, nativeUSKey float64) {
+	data := workload.Elems[E](workload.Uniform31, p*n, c.Seed)
+	res, err := parbitonic.Sort(data, parbitonic.Config{
+		Processors: p,
+		Backend:    parbitonic.Simulated,
+		Verify:     true,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s simulated: %v", element.TypeOf[E](), err))
+	}
+	modelUSKey = res.TimePerKey()
+	if measureNative {
+		data = workload.Elems[E](workload.Uniform31, p*n, c.Seed)
+		nres, err := parbitonic.Sort(data, parbitonic.Config{
+			Processors: p,
+			Backend:    parbitonic.Native,
+			Verify:     true,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s native: %v", element.TypeOf[E](), err))
+		}
+		nativeUSKey = nres.TimePerKey()
+	}
+	return modelUSKey, nativeUSKey
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"parbitonic"
+	"parbitonic/element"
 	"parbitonic/internal/asciichart"
 	"parbitonic/internal/intbits"
 	"parbitonic/internal/logp"
@@ -26,6 +27,10 @@ import (
 type Config struct {
 	Seed  uint64
 	Scale int
+	// Elem selects the element type the element-parameterized
+	// experiments measure natively (cmd/experiments -keytype); the
+	// zero value is u32, the paper's key type.
+	Elem element.Type
 }
 
 // DefaultConfig runs at 1/64 of the paper's sizes — every shape
@@ -475,7 +480,7 @@ func All(c Config) []*Table {
 		Table51(c), Table52(c), Fig53(c), Fig54(c),
 		Table53(c), Table54(c), Fig57(c), Fig58(c),
 		AnalysisRVM(c), AblationShift(c), AblationCompute(c),
-		FutureWorkOverlap(c), NativeThroughput(c),
+		FutureWorkOverlap(c), NativeThroughput(c), ElemWidth(c),
 	}
 }
 

@@ -149,7 +149,7 @@ func (c *Chaos) boundary() {
 // Start advances the run-boundary counter, then delegates to the
 // armed injector (or straight to the inner charger between chaos
 // runs).
-func (c *Chaos) Start(p *spmd.Proc) {
+func (c *Chaos) Start(p *spmd.PC) {
 	c.boundary()
 	if cur := c.cur.Load(); cur != nil {
 		cur.Start(p)
@@ -159,7 +159,7 @@ func (c *Chaos) Start(p *spmd.Proc) {
 }
 
 // Compute delegates to the armed injector or the inner charger.
-func (c *Chaos) Compute(p *spmd.Proc, t float64) {
+func (c *Chaos) Compute(p *spmd.PC, t float64) {
 	if cur := c.cur.Load(); cur != nil {
 		cur.Compute(p, t)
 		return
@@ -168,7 +168,7 @@ func (c *Chaos) Compute(p *spmd.Proc, t float64) {
 }
 
 // Pack delegates to the armed injector or the inner charger.
-func (c *Chaos) Pack(p *spmd.Proc, n int) {
+func (c *Chaos) Pack(p *spmd.PC, n int) {
 	if cur := c.cur.Load(); cur != nil {
 		cur.Pack(p, n)
 		return
@@ -177,7 +177,7 @@ func (c *Chaos) Pack(p *spmd.Proc, n int) {
 }
 
 // Unpack delegates to the armed injector or the inner charger.
-func (c *Chaos) Unpack(p *spmd.Proc, n int) {
+func (c *Chaos) Unpack(p *spmd.PC, n int) {
 	if cur := c.cur.Load(); cur != nil {
 		cur.Unpack(p, n)
 		return
@@ -186,7 +186,7 @@ func (c *Chaos) Unpack(p *spmd.Proc, n int) {
 }
 
 // Transfer delegates to the armed injector or the inner charger.
-func (c *Chaos) Transfer(p *spmd.Proc, volume, msgs int) {
+func (c *Chaos) Transfer(p *spmd.PC, volume, msgs int) {
 	if cur := c.cur.Load(); cur != nil {
 		cur.Transfer(p, volume, msgs)
 		return
@@ -195,7 +195,7 @@ func (c *Chaos) Transfer(p *spmd.Proc, volume, msgs int) {
 }
 
 // Synced delegates to the armed injector or the inner charger.
-func (c *Chaos) Synced(p *spmd.Proc) {
+func (c *Chaos) Synced(p *spmd.PC) {
 	if cur := c.cur.Load(); cur != nil {
 		cur.Synced(p)
 		return

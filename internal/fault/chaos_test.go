@@ -50,7 +50,7 @@ var chaosAlgos = []chaosAlgo{
 		res, err := psort.SampleSortContext(ctx, m, data)
 		return res.Result, err
 	}},
-	{"radix", psort.RadixSortContext},
+	{"radix", psort.RadixSortContext[uint32]},
 }
 
 var chaosBackends = []string{"simulated", "native"}

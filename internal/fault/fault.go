@@ -152,11 +152,11 @@ func (f *Injector) Fired() bool { return f.fired.Load() }
 // maybeFire injects the planned fault if p is the target processor at
 // the target round. Called on every phase boundary of every processor;
 // non-target processors pay two compares.
-func (f *Injector) maybeFire(p *spmd.Proc) {
+func (f *Injector) maybeFire(p *spmd.PC) {
 	if p.ID != f.plan.Proc || p.Stats.Remaps < f.plan.Round {
 		return
 	}
-	if f.plan.Kind == Corrupt && len(p.Data) == 0 {
+	if f.plan.Kind == Corrupt && p.DataLen() == 0 {
 		return // nothing to corrupt yet; retry at a later boundary
 	}
 	if !f.fired.CompareAndSwap(false, true) {
@@ -189,30 +189,30 @@ func (f *Injector) maybeFire(p *spmd.Proc) {
 		}
 	case Corrupt:
 		r := rng{uint64(f.plan.Round)<<32 | uint64(f.plan.Proc)}
-		i := int(r.next() % uint64(len(p.Data)))
-		p.Data[i] ^= 1 << 31 // flip the top bit: breaks multiset, often order too
+		i := int(r.next() % uint64(p.DataLen()))
+		p.CorruptKey(i) // flip the top key bit: breaks multiset, often order too
 	}
 }
 
 // ---- spmd.Charger, delegating after the injection check ----
 
 // Start checks for injection, then delegates to the inner charger.
-func (f *Injector) Start(p *spmd.Proc) { f.maybeFire(p); f.inner.Start(p) }
+func (f *Injector) Start(p *spmd.PC) { f.maybeFire(p); f.inner.Start(p) }
 
 // Compute checks for injection, then delegates to the inner charger.
-func (f *Injector) Compute(p *spmd.Proc, t float64) { f.maybeFire(p); f.inner.Compute(p, t) }
+func (f *Injector) Compute(p *spmd.PC, t float64) { f.maybeFire(p); f.inner.Compute(p, t) }
 
 // Pack checks for injection, then delegates to the inner charger.
-func (f *Injector) Pack(p *spmd.Proc, n int) { f.maybeFire(p); f.inner.Pack(p, n) }
+func (f *Injector) Pack(p *spmd.PC, n int) { f.maybeFire(p); f.inner.Pack(p, n) }
 
 // Unpack checks for injection, then delegates to the inner charger.
-func (f *Injector) Unpack(p *spmd.Proc, n int) { f.maybeFire(p); f.inner.Unpack(p, n) }
+func (f *Injector) Unpack(p *spmd.PC, n int) { f.maybeFire(p); f.inner.Unpack(p, n) }
 
 // Transfer checks for injection, then delegates to the inner charger.
-func (f *Injector) Transfer(p *spmd.Proc, volume, msgs int) {
+func (f *Injector) Transfer(p *spmd.PC, volume, msgs int) {
 	f.maybeFire(p)
 	f.inner.Transfer(p, volume, msgs)
 }
 
 // Synced checks for injection, then delegates to the inner charger.
-func (f *Injector) Synced(p *spmd.Proc) { f.maybeFire(p); f.inner.Synced(p) }
+func (f *Injector) Synced(p *spmd.PC) { f.maybeFire(p); f.inner.Synced(p) }

@@ -5,9 +5,17 @@
 // (Theorems 2 and 3). All routines are O(n) or O(n · passes) and avoid
 // comparisons beyond what the input format requires, which is exactly
 // why the paper replaces the compare-exchange simulation with them.
+//
+// Every routine is generic over the element layer and dispatches once
+// per call to a monomorphic kernel: integer keys radix-sort directly,
+// float keys radix-sort their order images (a bijective bit transform,
+// so the passes stay pure integer loops), and KV64 records move whole
+// 16-byte elements keyed by K. The uint32 instantiation compiles to
+// exactly the pre-generic loops.
 package localsort
 
 import (
+	"parbitonic/element"
 	"parbitonic/internal/bitseq"
 )
 
@@ -17,20 +25,68 @@ const (
 	radixMask = radixSize - 1
 )
 
-// RadixPasses is the number of counting passes RadixSort performs on
-// 32-bit keys; exported so cost models can charge it faithfully.
+// RadixPasses is the number of counting passes RadixSort performs per
+// 32 bits of key; exported so cost models can charge it faithfully.
+// Keys wider than 32 bits take proportionally more passes (see
+// RadixPassesOf).
 const RadixPasses = 3
 
+// RadixPassesOf returns the number of counting passes RadixSort
+// performs for element type E: RadixPasses per 32 bits of key width
+// (3 for uint32/float32, 6 for uint64/float64/KV64).
+func RadixPassesOf[E element.Elem]() int {
+	return RadixPasses * element.KeyBits[E]() / 32
+}
+
 // RadixSort sorts keys in place, ascending, using least-significant-
-// digit radix sort with 11-bit digits (3 passes over 32-bit keys).
-func RadixSort(keys []uint32) {
-	n := len(keys)
-	if n < 2 {
+// digit radix sort with 11-bit digits (3 passes per 32 bits of key).
+// Floats sort via their order image, so NaNs order after +Inf and
+// -0 before +0; KV64 records sort by K (not stably).
+func RadixSort[E element.Elem](keys []E) {
+	if len(keys) < 2 {
 		return
 	}
-	scratch := make([]uint32, n)
+	switch any(*new(E)).(type) {
+	case uint32:
+		radixUint(element.Cast[uint32](keys), RadixPasses)
+	case uint64:
+		radixUint(element.Cast[uint64](keys), 2*RadixPasses)
+	case float32:
+		s := element.Cast[float32](keys)
+		u := element.Cast[uint32](keys)
+		for i, f := range s {
+			u[i] = uint32(element.Bits(f))
+		}
+		radixUint(u, RadixPasses)
+		for i, x := range u {
+			s[i] = element.FromBits[float32](uint64(x), 0)
+		}
+	case float64:
+		s := element.Cast[float64](keys)
+		u := element.Cast[uint64](keys)
+		for i, f := range s {
+			u[i] = element.Bits(f)
+		}
+		radixUint(u, 2*RadixPasses)
+		for i, x := range u {
+			s[i] = element.FromBits[float64](x, 0)
+		}
+	default:
+		radixKV(element.Cast[element.KV64](keys))
+	}
+}
+
+// uintKey are the unsigned widths radix passes run over; every element
+// kind reduces to one of them (floats via the order-image transform).
+type uintKey interface {
+	uint32 | uint64
+}
+
+func radixUint[T uintKey](keys []T, passes int) {
+	n := len(keys)
+	scratch := make([]T, n)
 	src, dst := keys, scratch
-	for pass := 0; pass < RadixPasses; pass++ {
+	for pass := 0; pass < passes; pass++ {
 		shift := uint(pass * radixBits)
 		var count [radixSize]int
 		for _, k := range src {
@@ -49,15 +105,44 @@ func RadixSort(keys []uint32) {
 		}
 		src, dst = dst, src
 	}
-	if RadixPasses%2 == 1 {
+	if passes%2 == 1 {
 		copy(keys, src)
+	}
+}
+
+func radixKV(recs []element.KV64) {
+	n := len(recs)
+	scratch := make([]element.KV64, n)
+	src, dst := recs, scratch
+	passes := 2 * RadixPasses
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * radixBits)
+		var count [radixSize]int
+		for _, r := range src {
+			count[(r.K>>shift)&radixMask]++
+		}
+		sum := 0
+		for d := 0; d < radixSize; d++ {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for _, r := range src {
+			d := (r.K >> shift) & radixMask
+			dst[count[d]] = r
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if passes%2 == 1 {
+		copy(recs, src)
 	}
 }
 
 // Sort sorts keys in place in the direction given by asc, using radix
 // sort (a descending sort is an ascending sort followed by a linear
 // reversal).
-func Sort(keys []uint32, asc bool) {
+func Sort[E element.Elem](keys []E, asc bool) {
 	RadixSort(keys)
 	if !asc {
 		Reverse(keys)
@@ -65,7 +150,7 @@ func Sort(keys []uint32, asc bool) {
 }
 
 // Reverse reverses keys in place.
-func Reverse(keys []uint32) {
+func Reverse[E element.Elem](keys []E) {
 	for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
 		keys[i], keys[j] = keys[j], keys[i]
 	}
@@ -73,12 +158,27 @@ func Reverse(keys []uint32) {
 
 // MergeTwo merges the ascending-sorted slices a and b into dst (whose
 // length must be len(a)+len(b)) in the direction given by asc.
-func MergeTwo(dst, a, b []uint32, asc bool) {
+func MergeTwo[E element.Elem](dst, a, b []E, asc bool) {
 	if len(dst) != len(a)+len(b) {
 		panic("localsort: MergeTwo length mismatch")
 	}
+	switch any(*new(E)).(type) {
+	case uint32:
+		ordMergeTwo(element.Cast[uint32](dst), element.Cast[uint32](a), element.Cast[uint32](b), asc)
+	case uint64:
+		ordMergeTwo(element.Cast[uint64](dst), element.Cast[uint64](a), element.Cast[uint64](b), asc)
+	case float32:
+		ordMergeTwo(element.Cast[float32](dst), element.Cast[float32](a), element.Cast[float32](b), asc)
+	case float64:
+		ordMergeTwo(element.Cast[float64](dst), element.Cast[float64](a), element.Cast[float64](b), asc)
+	default:
+		kvMergeTwo(element.Cast[element.KV64](dst), element.Cast[element.KV64](a), element.Cast[element.KV64](b), asc)
+	}
+}
+
+func ordMergeTwo[T element.Ord](dst, a, b []T, asc bool) {
 	i, j := 0, 0
-	put := func(pos int, v uint32) {
+	put := func(pos int, v T) {
 		if asc {
 			dst[pos] = v
 		} else {
@@ -103,18 +203,48 @@ func MergeTwo(dst, a, b []uint32, asc bool) {
 	}
 }
 
-// Run is one sorted input run for MergeRuns. Desc marks runs stored in
-// descending order (they are consumed from the tail), which is how the
-// long messages from the second half of a communication group arrive in
-// §4.3's unpack-fused merge.
-type Run struct {
-	Keys []uint32
+func kvMergeTwo(dst, a, b []element.KV64, asc bool) {
+	i, j := 0, 0
+	put := func(pos int, v element.KV64) {
+		if asc {
+			dst[pos] = v
+		} else {
+			dst[len(dst)-1-pos] = v
+		}
+	}
+	for k := 0; k < len(dst); k++ {
+		switch {
+		case i == len(a):
+			put(k, b[j])
+			j++
+		case j == len(b):
+			put(k, a[i])
+			i++
+		case a[i].K <= b[j].K:
+			put(k, a[i])
+			i++
+		default:
+			put(k, b[j])
+			j++
+		}
+	}
+}
+
+// RunOf is one sorted input run for MergeRuns. Desc marks runs stored
+// in descending order (they are consumed from the tail), which is how
+// the long messages from the second half of a communication group
+// arrive in §4.3's unpack-fused merge.
+type RunOf[E element.Elem] struct {
+	Keys []E
 	Desc bool
 }
 
-func (r Run) len() int { return len(r.Keys) }
+// Run is a uint32 run, the element type of the paper's experiments.
+type Run = RunOf[uint32]
 
-func (r Run) at(i int) uint32 {
+func (r RunOf[E]) len() int { return len(r.Keys) }
+
+func (r RunOf[E]) at(i int) E {
 	if r.Desc {
 		return r.Keys[len(r.Keys)-1-i]
 	}
@@ -125,7 +255,7 @@ func (r Run) at(i int) uint32 {
 // tournament (loser) tree: O(total · log p) comparisons for p runs.
 // This is the p-way merge the paper fuses with unpacking so the
 // separate unpack pass disappears (§4.3).
-func MergeRuns(dst []uint32, runs []Run) {
+func MergeRuns[E element.Elem](dst []E, runs []RunOf[E]) {
 	total := 0
 	for _, r := range runs {
 		total += r.len()
@@ -133,7 +263,7 @@ func MergeRuns(dst []uint32, runs []Run) {
 	if len(dst) != total {
 		panic("localsort: MergeRuns length mismatch")
 	}
-	MergeRunsEmit(runs, total, func(rank int, v uint32) { dst[rank] = v })
+	MergeRunsEmit(runs, total, func(rank int, v E) { dst[rank] = v })
 }
 
 // MergeRunsEmit is MergeRuns with a caller-supplied sink: emit is
@@ -141,7 +271,7 @@ func MergeRuns(dst []uint32, runs []Run) {
 // the packing for the next remap be the merge's own emission pass —
 // the thesis's "single local computation step" future work (Ch. 7).
 // total must equal the summed run lengths.
-func MergeRunsEmit(runs []Run, total int, emit func(rank int, v uint32)) {
+func MergeRunsEmit[E element.Elem](runs []RunOf[E], total int, emit func(rank int, v E)) {
 	check := 0
 	for _, r := range runs {
 		check += r.len()
@@ -158,20 +288,47 @@ func MergeRunsEmit(runs []Run, total int, emit func(rank int, v uint32)) {
 		}
 		return
 	}
+	// The tournament compares key views cast from the element storage
+	// (free reinterprets), so every comparison is a native compare while
+	// emission hands back the original elements — records keep their
+	// payloads without any per-element conversion.
+	switch any(*new(E)).(type) {
+	case uint32:
+		mergeRunsEmitOrd[E, uint32](runs, total, emit)
+	case uint64:
+		mergeRunsEmitOrd[E, uint64](runs, total, emit)
+	case float32:
+		mergeRunsEmitOrd[E, float32](runs, total, emit)
+	case float64:
+		mergeRunsEmitOrd[E, float64](runs, total, emit)
+	default:
+		mergeRunsEmitKV(runs, total, emit)
+	}
+}
 
-	// Tournament tree over run heads. size = next power of two >= p.
+// mergeRunsEmitOrd runs the tournament tree comparing []T views of the
+// runs' key storage. T is E's scalar view (identical width), so keyAt
+// indexes the same memory the emitted elements come from.
+func mergeRunsEmitOrd[E element.Elem, T element.Ord](runs []RunOf[E], total int, emit func(rank int, v E)) {
 	p := len(runs)
 	size := 1
 	for size < p {
 		size *= 2
 	}
-	const exhausted = ^uint32(0)
+	keys := make([][]T, p)
+	for r := range runs {
+		keys[r] = element.Cast[T](runs[r].Keys)
+	}
 	pos := make([]int, p) // cursor into each run
-	head := func(r int) (uint32, bool) {
-		if r >= p || pos[r] >= runs[r].len() {
-			return exhausted, false
+	head := func(r int) (T, bool) {
+		if r >= p || pos[r] >= len(keys[r]) {
+			var zero T
+			return zero, false
 		}
-		return runs[r].at(pos[r]), true
+		if runs[r].Desc {
+			return keys[r][len(keys[r])-1-pos[r]], true
+		}
+		return keys[r][pos[r]], true
 	}
 	// tree[i] holds the run index winning subtree i; leaves are
 	// tree[size-1+j] for run j.
@@ -198,13 +355,78 @@ func MergeRunsEmit(runs []Run, total int, emit func(rank int, v uint32)) {
 
 	for k := 0; k < total; k++ {
 		r := tree[0]
-		v, ok := head(r)
-		if !ok {
+		if _, ok := head(r); !ok {
 			panic("localsort: MergeRuns internal error (empty winner)")
 		}
-		emit(k, v)
+		emit(k, runs[r].at(pos[r]))
 		pos[r]++
 		// Replay the path from r's leaf to the root.
+		node := size - 1 + r
+		for node > 0 {
+			parent := (node - 1) / 2
+			l, rr := tree[2*parent+1], tree[2*parent+2]
+			lv, lok := head(l)
+			rv, rok := head(rr)
+			win := l
+			if !lok || (rok && rv < lv) {
+				win = rr
+			}
+			tree[parent] = win
+			node = parent
+		}
+	}
+}
+
+// mergeRunsEmitKV is the tournament over KV64 record runs, comparing
+// keys only.
+func mergeRunsEmitKV[E element.Elem](runs []RunOf[E], total int, emit func(rank int, v E)) {
+	p := len(runs)
+	size := 1
+	for size < p {
+		size *= 2
+	}
+	keys := make([][]element.KV64, p)
+	for r := range runs {
+		keys[r] = element.Cast[element.KV64](runs[r].Keys)
+	}
+	pos := make([]int, p)
+	head := func(r int) (uint64, bool) {
+		if r >= p || pos[r] >= len(keys[r]) {
+			return 0, false
+		}
+		if runs[r].Desc {
+			return keys[r][len(keys[r])-1-pos[r]].K, true
+		}
+		return keys[r][pos[r]].K, true
+	}
+	tree := make([]int, 2*size-1)
+	var build func(node int) int
+	build = func(node int) int {
+		if node >= size-1 {
+			r := node - (size - 1)
+			tree[node] = r
+			return r
+		}
+		l := build(2*node + 1)
+		r := build(2*node + 2)
+		lv, lok := head(l)
+		rv, rok := head(r)
+		win := l
+		if !lok || (rok && rv < lv) {
+			win = r
+		}
+		tree[node] = win
+		return win
+	}
+	build(0)
+
+	for k := 0; k < total; k++ {
+		r := tree[0]
+		if _, ok := head(r); !ok {
+			panic("localsort: MergeRuns internal error (empty winner)")
+		}
+		emit(k, runs[r].at(pos[r]))
+		pos[r]++
 		node := size - 1 + r
 		for node > 0 {
 			parent := (node - 1) / 2
@@ -225,12 +447,12 @@ func MergeRunsEmit(runs []Run, total int, emit func(rank int, v uint32)) {
 // block being a bitonic sequence, in the direction dir(block) returns.
 // scratch must be at least blockLen long (it is allocated when nil).
 // This is the Theorem 2/3 phase-one primitive.
-func SortBitonicBlocks(keys []uint32, blockLen int, dir func(block int) bool, scratch []uint32) {
+func SortBitonicBlocks[E element.Elem](keys []E, blockLen int, dir func(block int) bool, scratch []E) {
 	if blockLen <= 0 || len(keys)%blockLen != 0 {
 		panic("localsort: SortBitonicBlocks bad block length")
 	}
 	if len(scratch) < blockLen {
-		scratch = make([]uint32, blockLen)
+		scratch = make([]E, blockLen)
 	}
 	for b := 0; b*blockLen < len(keys); b++ {
 		blk := keys[b*blockLen : (b+1)*blockLen]
@@ -244,9 +466,9 @@ func SortBitonicBlocks(keys []uint32, blockLen int, dir func(block int) bool, sc
 // bitonic, in the direction given by asc. Used for the second phase of
 // a crossing remap (Theorem 3), where the blocks to sort are
 // interleaved in local memory. scratch needs 2*count capacity.
-func SortBitonicStrided(keys []uint32, start, stride, count int, asc bool, scratch []uint32) {
+func SortBitonicStrided[E element.Elem](keys []E, start, stride, count int, asc bool, scratch []E) {
 	if len(scratch) < 2*count {
-		scratch = make([]uint32, 2*count)
+		scratch = make([]E, 2*count)
 	}
 	in, out := scratch[:count], scratch[count:2*count]
 	for i := 0; i < count; i++ {

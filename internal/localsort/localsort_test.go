@@ -136,7 +136,7 @@ func TestMergeRuns(t *testing.T) {
 }
 
 func TestMergeRunsEdgeCases(t *testing.T) {
-	MergeRuns(nil, nil) // empty: no panic
+	MergeRuns[uint32](nil, nil) // empty: no panic
 	dst := make([]uint32, 3)
 	MergeRuns(dst, []Run{{Keys: []uint32{3, 2, 1}, Desc: true}})
 	if dst[0] != 1 || dst[2] != 3 {

@@ -16,6 +16,7 @@
 package machine
 
 import (
+	"parbitonic/element"
 	"parbitonic/internal/logp"
 	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
@@ -76,17 +77,23 @@ func DefaultConfig(p int) Config {
 	return Config{P: p, Model: logp.MeikoCS2(p), Costs: DefaultCosts(), Long: true}
 }
 
-// Machine is a simulated P-processor distributed-memory machine: the
-// shared SPMD engine driven by the virtual-time charger. It implements
-// spmd.Backend.
-type Machine struct {
-	*spmd.Engine
+// MachineOf is a simulated P-processor distributed-memory machine over
+// element type E: the shared SPMD engine driven by the virtual-time
+// charger. It implements spmd.BackendOf[E]. The charger's per-key
+// LogGP accounting is parameterized by the element width (see
+// simCharger), so a uint32 machine charges exactly the paper's model.
+type MachineOf[E element.Elem] struct {
+	*spmd.EngineOf[E]
 	cfg Config
 }
 
-// New creates a machine. P must be a power of two and at least 1;
-// invalid configurations are reported as errors.
-func New(cfg Config) (*Machine, error) {
+// Machine is the uint32 machine, the element type of the paper's
+// experiments.
+type Machine = MachineOf[uint32]
+
+// NewOf creates a machine over element type E. P must be a power of
+// two and at least 1; invalid configurations are reported as errors.
+func NewOf[E element.Elem](cfg Config) (*MachineOf[E], error) {
 	if cfg.Costs.RadixPasses <= 0 {
 		cfg.Costs = DefaultCosts()
 	}
@@ -98,7 +105,7 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.WrapCharger != nil {
 		charge = cfg.WrapCharger(charge)
 	}
-	eng, err := spmd.NewEngine(spmd.EngineConfig{
+	eng, err := spmd.NewEngineOf[E](spmd.EngineConfig{
 		P:      cfg.P,
 		Costs:  cfg.Costs,
 		Long:   cfg.Long,
@@ -110,17 +117,26 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{Engine: eng, cfg: cfg}, nil
+	return &MachineOf[E]{EngineOf: eng, cfg: cfg}, nil
 }
 
+// New creates a uint32 machine; see NewOf.
+func New(cfg Config) (*Machine, error) { return NewOf[uint32](cfg) }
+
 // Config returns the machine configuration.
-func (m *Machine) Config() Config { return m.cfg }
+func (m *MachineOf[E]) Config() Config { return m.cfg }
 
 // simCharger advances the virtual clocks: every phase costs what the
 // LogGP formulas (communication) and the calibrated per-element cost
 // model (computation) say it would on the modelled machine. Spans go
-// through Proc.Span, which feeds both the trace recorder and the
+// through PC.Span, which feeds both the trace recorder and the
 // observability sink.
+//
+// Element width enters through p.Words(): pack/unpack and wire volume
+// are memory-bound, so their per-element costs scale with the
+// element's size in the 4-byte keys the model was calibrated for.
+// Words() is 1 for uint32, making those runs bit-identical to the
+// pre-generic charger.
 type simCharger struct {
 	model logp.Params
 	costs CostModel
@@ -129,40 +145,42 @@ type simCharger struct {
 
 // span records a phase of duration t starting at the processor's
 // current virtual clock.
-func (c *simCharger) span(p *Proc, ph trace.Phase, t float64) {
+func (c *simCharger) span(p *spmd.PC, ph trace.Phase, t float64) {
 	p.Span(ph, p.Clock, p.Clock+t)
 }
 
-func (c *simCharger) Start(*Proc) {}
+func (c *simCharger) Start(*spmd.PC) {}
 
-func (c *simCharger) Synced(*Proc) {}
+func (c *simCharger) Synced(*spmd.PC) {}
 
-func (c *simCharger) Compute(p *Proc, t float64) {
+func (c *simCharger) Compute(p *spmd.PC, t float64) {
 	c.span(p, trace.Compute, t)
 	p.Clock += t
 	p.Stats.ComputeTime += t
 }
 
-func (c *simCharger) Pack(p *Proc, n int) {
-	t := c.costs.Pack * float64(n) * c.costs.CacheFactor(n)
+func (c *simCharger) Pack(p *spmd.PC, n int) {
+	w := n * p.Words()
+	t := c.costs.Pack * float64(w) * c.costs.CacheFactor(w)
 	c.span(p, trace.Pack, t)
 	p.Clock += t
 	p.Stats.PackTime += t
 }
 
-func (c *simCharger) Unpack(p *Proc, n int) {
-	t := c.costs.Unpack * float64(n) * c.costs.CacheFactor(n)
+func (c *simCharger) Unpack(p *spmd.PC, n int) {
+	w := n * p.Words()
+	t := c.costs.Unpack * float64(w) * c.costs.CacheFactor(w)
 	c.span(p, trace.Unpack, t)
 	p.Clock += t
 	p.Stats.UnpackTime += t
 }
 
-func (c *simCharger) Transfer(p *Proc, volume, msgs int) {
+func (c *simCharger) Transfer(p *spmd.PC, volume, msgs int) {
 	var t float64
 	if c.long {
-		t = c.model.LongRemapTime(volume, msgs)
+		t = c.model.LongRemapTime(volume*p.Words(), msgs)
 	} else {
-		t = c.model.ShortRemapTime(volume)
+		t = c.model.ShortRemapTime(volume * p.Words())
 	}
 	c.span(p, trace.Transfer, t)
 	p.Clock += t

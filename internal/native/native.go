@@ -21,6 +21,7 @@ import (
 	"context"
 	"time"
 
+	"parbitonic/element"
 	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
 	"parbitonic/internal/trace"
@@ -55,24 +56,28 @@ type Config struct {
 	WrapCharger func(spmd.Charger) spmd.Charger
 }
 
-// Engine is a P-worker shared-memory execution engine. It implements
-// spmd.Backend.
-type Engine struct {
-	*spmd.Engine
+// EngineOf is a P-worker shared-memory execution engine over element
+// type E. It implements spmd.BackendOf[E].
+type EngineOf[E element.Elem] struct {
+	*spmd.EngineOf[E]
 	ch *wallCharger
 }
 
-// New creates a native engine. P must be a power of two and at least 1;
-// invalid configurations are reported as errors. P may exceed the
-// host's core count — the algorithms are bulk-synchronous, so
-// oversubscription costs only scheduling overhead.
-func New(cfg Config) (*Engine, error) {
+// Engine is the uint32 native engine, the element type of the paper's
+// experiments.
+type Engine = EngineOf[uint32]
+
+// NewOf creates a native engine over element type E. P must be a power
+// of two and at least 1; invalid configurations are reported as
+// errors. P may exceed the host's core count — the algorithms are
+// bulk-synchronous, so oversubscription costs only scheduling overhead.
+func NewOf[E element.Elem](cfg Config) (*EngineOf[E], error) {
 	ch := &wallCharger{}
 	var charge spmd.Charger = ch
 	if cfg.WrapCharger != nil {
 		charge = cfg.WrapCharger(charge)
 	}
-	eng, err := spmd.NewEngine(spmd.EngineConfig{
+	eng, err := spmd.NewEngineOf[E](spmd.EngineConfig{
 		P:      cfg.P,
 		Costs:  cfg.Costs,
 		Long:   true, // long-message code paths; pack cost is real copying here
@@ -85,13 +90,16 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	ch.marks = make([]time.Time, cfg.P)
-	return &Engine{Engine: eng, ch: ch}, nil
+	return &EngineOf[E]{EngineOf: eng, ch: ch}, nil
 }
+
+// New creates a uint32 native engine; see NewOf.
+func New(cfg Config) (*Engine, error) { return NewOf[uint32](cfg) }
 
 // Run executes body once per processor at native speed. Result.Time is
 // the measured wall-clock duration of the whole run in microseconds;
 // per-processor Stats hold measured per-phase wall time.
-func (e *Engine) Run(data [][]uint32, body func(p *spmd.Proc)) (spmd.Result, error) {
+func (e *EngineOf[E]) Run(data [][]E, body func(p *spmd.ProcOf[E])) (spmd.Result, error) {
 	return e.RunContext(context.Background(), data, body)
 }
 
@@ -99,9 +107,9 @@ func (e *Engine) Run(data [][]uint32, body func(p *spmd.Proc)) (spmd.Result, err
 // aborts the run promptly with a typed error (see spmd.Backend), and
 // the worker goroutines are joined before it returns — a canceled
 // native sort leaks nothing.
-func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *spmd.Proc)) (spmd.Result, error) {
+func (e *EngineOf[E]) RunContext(ctx context.Context, data [][]E, body func(p *spmd.ProcOf[E])) (spmd.Result, error) {
 	start := time.Now()
-	res, err := e.Engine.RunContext(ctx, data, body)
+	res, err := e.EngineOf.RunContext(ctx, data, body)
 	if err != nil {
 		return spmd.Result{}, err
 	}
@@ -113,7 +121,7 @@ func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *s
 // hook attributes the wall time elapsed since the processor's previous
 // phase boundary to the phase that just ended. marks is indexed by
 // processor ID; each goroutine touches only its own slot. Spans go
-// through Proc.Span, which feeds both the trace recorder and the
+// through PC.Span, which feeds both the trace recorder and the
 // observability sink.
 type wallCharger struct {
 	marks []time.Time
@@ -121,7 +129,7 @@ type wallCharger struct {
 
 // lap returns the µs elapsed since the processor's last phase boundary
 // and advances the boundary.
-func (c *wallCharger) lap(p *spmd.Proc) float64 {
+func (c *wallCharger) lap(p *spmd.PC) float64 {
 	now := time.Now()
 	dt := now.Sub(c.marks[p.ID]).Seconds() * 1e6
 	c.marks[p.ID] = now
@@ -131,39 +139,39 @@ func (c *wallCharger) lap(p *spmd.Proc) float64 {
 	return dt
 }
 
-func (c *wallCharger) span(p *spmd.Proc, ph trace.Phase, dt float64) {
+func (c *wallCharger) span(p *spmd.PC, ph trace.Phase, dt float64) {
 	p.Span(ph, p.Clock, p.Clock+dt)
 }
 
-func (c *wallCharger) Start(p *spmd.Proc) { c.marks[p.ID] = time.Now() }
+func (c *wallCharger) Start(p *spmd.PC) { c.marks[p.ID] = time.Now() }
 
 // Synced resets the phase boundary after a barrier so time spent
 // waiting for peers (already folded into Clock by the barrier's
 // max-reduction) is not double-counted into the next busy phase.
-func (c *wallCharger) Synced(p *spmd.Proc) { c.marks[p.ID] = time.Now() }
+func (c *wallCharger) Synced(p *spmd.PC) { c.marks[p.ID] = time.Now() }
 
-func (c *wallCharger) Compute(p *spmd.Proc, _ float64) {
+func (c *wallCharger) Compute(p *spmd.PC, _ float64) {
 	dt := c.lap(p)
 	c.span(p, trace.Compute, dt)
 	p.Clock += dt
 	p.Stats.ComputeTime += dt
 }
 
-func (c *wallCharger) Pack(p *spmd.Proc, _ int) {
+func (c *wallCharger) Pack(p *spmd.PC, _ int) {
 	dt := c.lap(p)
 	c.span(p, trace.Pack, dt)
 	p.Clock += dt
 	p.Stats.PackTime += dt
 }
 
-func (c *wallCharger) Unpack(p *spmd.Proc, _ int) {
+func (c *wallCharger) Unpack(p *spmd.PC, _ int) {
 	dt := c.lap(p)
 	c.span(p, trace.Unpack, dt)
 	p.Clock += dt
 	p.Stats.UnpackTime += dt
 }
 
-func (c *wallCharger) Transfer(p *spmd.Proc, _, _ int) {
+func (c *wallCharger) Transfer(p *spmd.PC, _, _ int) {
 	dt := c.lap(p)
 	c.span(p, trace.Transfer, dt)
 	p.Clock += dt

@@ -3,19 +3,23 @@
 // on address bits k-1 .. 0 and the merge direction of row r is given by
 // bit k of r. It serves as the sequential reference implementation that
 // every parallel algorithm in this module is validated against, and
-// provides the data-format checkers for Lemma 6 and Lemma 7.
+// provides the data-format checkers for Lemma 6 and Lemma 7. All
+// entry points are generic over the element layer; as a reference
+// implementation they compare through element.Less rather than
+// dispatching to specialized kernels.
 package network
 
 import (
 	"fmt"
 
+	"parbitonic/element"
 	"parbitonic/internal/bitseq"
 	"parbitonic/internal/intbits"
 )
 
 // Sort runs the full bitonic sorting network on data in place. The
 // length must be a power of two. Complexity is O(n lg^2 n).
-func Sort(data []uint32) {
+func Sort[E element.Elem](data []E) {
 	n := len(data)
 	if n&(n-1) != 0 {
 		panic("network: length must be a power of two")
@@ -27,7 +31,7 @@ func Sort(data []uint32) {
 }
 
 // RunStage executes all steps of one stage (bits stage-1 down to 0).
-func RunStage(data []uint32, stage int) {
+func RunStage[E element.Elem](data []E, stage int) {
 	for bit := stage - 1; bit >= 0; bit-- {
 		RunStep(data, stage, bit)
 	}
@@ -38,7 +42,7 @@ func RunStage(data []uint32, stage int) {
 // the row is 0 and descending where it is 1 (Definition 3's
 // (r div 2^c) mod 2 = (r div 2^s) mod 2 rule). For the final stage
 // (stage == lg N) the direction is ascending everywhere.
-func RunStep(data []uint32, stage, bit int) {
+func RunStep[E element.Elem](data []E, stage, bit int) {
 	n := len(data)
 	for r := 0; r < n; r++ {
 		if r>>uint(bit)&1 != 0 {
@@ -46,7 +50,7 @@ func RunStep(data []uint32, stage, bit int) {
 		}
 		partner := r | 1<<uint(bit)
 		asc := r>>uint(stage)&1 == 0
-		if (data[r] > data[partner]) == asc {
+		if element.Less(data[partner], data[r]) == asc {
 			data[r], data[partner] = data[partner], data[r]
 		}
 	}
@@ -55,7 +59,7 @@ func RunStep(data []uint32, stage, bit int) {
 // CheckStageInput verifies Lemma 6: the input of stage k consists of
 // alternating increasing and decreasing sorted sequences of length
 // 2^(k-1).
-func CheckStageInput(data []uint32, stage int) error {
+func CheckStageInput[E element.Elem](data []E, stage int) error {
 	n := len(data)
 	run := 1 << uint(stage-1)
 	if run > n {
@@ -75,7 +79,7 @@ func CheckStageInput(data []uint32, stage int) error {
 // stage has executed its steps down to, but not including, step s) the
 // data consists of 2^(lgN-s) bitonic sequences of length 2^s, with the
 // bitonic-split dominance ordering inside each enclosing merge.
-func CheckColumn(data []uint32, col int) error {
+func CheckColumn[E element.Elem](data []E, col int) error {
 	n := len(data)
 	seq := 1 << uint(col)
 	if seq > n {
@@ -120,9 +124,9 @@ func Comparators(lgN int) []Comparator {
 }
 
 // ApplyComparators runs a comparator list over data in place.
-func ApplyComparators(data []uint32, cs []Comparator) {
+func ApplyComparators[E element.Elem](data []E, cs []Comparator) {
 	for _, c := range cs {
-		if (data[c.Low] > data[c.High]) == c.MinAtLow {
+		if element.Less(data[c.High], data[c.Low]) == c.MinAtLow {
 			data[c.Low], data[c.High] = data[c.High], data[c.Low]
 		}
 	}

@@ -3,12 +3,20 @@
 // machine and with the same long-message discipline as the bitonic
 // sorts, following the structure of the optimized Split-C
 // implementations of [AISS95] that the paper compares against.
+//
+// Both algorithms are generic over the element layer: radix sort runs
+// over the elements' order images (so floats sort by value and KV64
+// records by key), sample sort compares through element.Less. Charges
+// scale with the element width via PC.Words, so uint32 runs charge
+// exactly the paper's model.
 package psort
 
 import (
 	"context"
 	"fmt"
 
+	"parbitonic/element"
+	"parbitonic/internal/localsort"
 	"parbitonic/internal/spmd"
 )
 
@@ -16,27 +24,26 @@ const (
 	radixBits = 11
 	radixSize = 1 << radixBits
 	radixMask = radixSize - 1
-	passes    = 3
 )
 
-// RadixSort runs a parallel LSD radix sort: for each of the three
-// 11-bit digits, processors build local histograms, exchange them to
-// compute every key's global rank, and redistribute the keys so that
-// processor q receives global ranks [q*n, (q+1)*n). The output is
-// globally sorted and perfectly balanced. It takes ownership of data;
-// retrieve the output with m.Data().
+// RadixSort runs a parallel LSD radix sort: for each 11-bit digit of
+// the key (three per 32 bits of key width), processors build local
+// histograms, exchange them to compute every key's global rank, and
+// redistribute the keys so that processor q receives global ranks
+// [q*n, (q+1)*n). The output is globally sorted and perfectly balanced.
+// It takes ownership of data; retrieve the output with m.Data().
 //
 // The per-pass histogram exchange and scan is the fixed cost that makes
 // parallel radix sort expensive for small n — the source of the
 // bitonic-vs-radix crossover in Figures 5.7/5.8.
-func RadixSort(m spmd.Backend, data [][]uint32) (spmd.Result, error) {
+func RadixSort[E element.Elem](m spmd.BackendOf[E], data [][]E) (spmd.Result, error) {
 	return RadixSortContext(context.Background(), m, data)
 }
 
 // RadixSortContext is RadixSort under a context: cancellation or
 // deadline expiry aborts the run with a typed error (spmd.ErrCanceled
 // / ErrDeadline); a processor panic surfaces as a *spmd.PanicError.
-func RadixSortContext(ctx context.Context, m spmd.Backend, data [][]uint32) (spmd.Result, error) {
+func RadixSortContext[E element.Elem](ctx context.Context, m spmd.BackendOf[E], data [][]E) (spmd.Result, error) {
 	P := m.P()
 	if len(data) != P {
 		return spmd.Result{}, fmt.Errorf("psort: %d data slices for %d processors", len(data), P)
@@ -47,51 +54,56 @@ func RadixSortContext(ctx context.Context, m spmd.Backend, data [][]uint32) (spm
 			return spmd.Result{}, fmt.Errorf("psort: ragged data at processor %d", i)
 		}
 	}
-	return m.RunContext(ctx, data, func(pr *spmd.Proc) { radixBody(pr, n) })
+	return m.RunContext(ctx, data, func(pr *spmd.ProcOf[E]) { radixBody(pr, n) })
 }
 
-func radixBody(pr *spmd.Proc, n int) {
+func radixBody[E element.Elem](pr *spmd.ProcOf[E], n int) {
 	P := pr.P()
-	scratch := make([]uint32, n)
+	w := float64(pr.Words())
+	passes := localsort.RadixPassesOf[E]()
+	// Float elements run the whole sort in order-image space (a
+	// bijective, order-preserving bit transform): every counting pass is
+	// then a native integer loop and the images travel the exchanges
+	// unchanged. Integer and record elements are their own images.
+	imageIn(pr.Data)
+	scratch := make([]E, n)
 	for pass := 0; pass < passes; pass++ {
 		shift := uint(pass * radixBits)
-		digit := func(k uint32) int { return int(k>>shift) & radixMask }
 
 		// Local stable counting sort by this pass's digit; afterwards
 		// the local keys are in (digit, previous order) order, which is
 		// global-rank order within each digit.
 		var hist [radixSize]uint32
-		for _, k := range pr.Data {
-			hist[digit(k)]++
-		}
-		offs := make([]int, radixSize)
-		sum := 0
-		for d := 0; d < radixSize; d++ {
-			offs[d] = sum
-			sum += int(hist[d])
-		}
-		for _, k := range pr.Data {
-			d := digit(k)
-			scratch[offs[d]] = k
-			offs[d]++
-		}
+		countScatter(pr.Data, scratch, shift, &hist)
 		pr.Data, scratch = scratch, pr.Data
-		pr.ChargeCompute(pr.Costs().RadixPass * float64(n))
+		pr.ChargeCompute(pr.Costs().RadixPass * float64(n) * w)
 
 		// Exchange histograms so every processor can compute global
 		// ranks: senderStart[p][d] is the global rank of processor p's
-		// first digit-d key.
-		histIn := pr.AllGather(append([]uint32(nil), hist[:]...))
+		// first digit-d key. Counts travel as elements through their
+		// order images (lossless: they are far below any key width).
+		mine := make([]E, radixSize)
+		for d, c := range hist {
+			mine[d] = element.FromBits[E](uint64(c), 0)
+		}
+		histIn := pr.AllGather(mine)
 
 		senderStart := make([][]int, P)
 		for p := range senderStart {
 			senderStart[p] = make([]int, radixSize)
 		}
+		counts := make([][]int, P)
+		for p := range counts {
+			counts[p] = make([]int, radixSize)
+			for d, v := range histIn[p] {
+				counts[p][d] = int(element.Bits(v))
+			}
+		}
 		running := 0
 		for d := 0; d < radixSize; d++ {
 			for p := 0; p < P; p++ {
 				senderStart[p][d] = running
-				running += int(histIn[p][d])
+				running += counts[p][d]
 			}
 		}
 		pr.ChargeCompute(pr.Costs().RadixPass * float64(radixSize*P) / 4)
@@ -100,7 +112,7 @@ func radixBody(pr *spmd.Proc, n int) {
 		// [senderStart[me][d], +hist[d]); walking my digit-sorted keys
 		// assigns consecutive ranks per digit, so per-destination
 		// messages come out in (digit, rank) order automatically.
-		msgs := make([][]uint32, P)
+		msgs := make([][]E, P)
 		d := 0
 		remaining := int(hist[0])
 		rank := senderStart[pr.ID][0]
@@ -116,7 +128,7 @@ func radixBody(pr *spmd.Proc, n int) {
 			remaining--
 		}
 		if pr.Long() {
-			pr.ChargeCompute(pr.Costs().Pack * float64(n))
+			pr.ChargeCompute(pr.Costs().Pack * float64(n) * w)
 		}
 		in := pr.Exchange(msgs)
 
@@ -129,7 +141,7 @@ func radixBody(pr *spmd.Proc, n int) {
 			msg := in[p]
 			idx := 0
 			for d := 0; d < radixSize && idx < len(msg); d++ {
-				cnt := int(histIn[p][d])
+				cnt := counts[p][d]
 				if cnt == 0 {
 					continue
 				}
@@ -150,8 +162,99 @@ func radixBody(pr *spmd.Proc, n int) {
 		pr.Data = next
 		scratch = scratch[:n]
 		if pr.Long() {
-			pr.ChargeCompute(pr.Costs().Unpack * float64(n))
+			pr.ChargeCompute(pr.Costs().Unpack * float64(n) * w)
 		}
+	}
+	imageOut(pr.Data)
+}
+
+// imageIn replaces float elements by their integer order images in
+// place; other element kinds are untouched (they are their own image).
+func imageIn[E element.Elem](data []E) {
+	switch any(*new(E)).(type) {
+	case float32:
+		s := element.Cast[float32](data)
+		u := element.Cast[uint32](data)
+		for i, f := range s {
+			u[i] = uint32(element.Bits(f))
+		}
+	case float64:
+		s := element.Cast[float64](data)
+		u := element.Cast[uint64](data)
+		for i, f := range s {
+			u[i] = element.Bits(f)
+		}
+	}
+}
+
+// imageOut inverts imageIn.
+func imageOut[E element.Elem](data []E) {
+	switch any(*new(E)).(type) {
+	case float32:
+		s := element.Cast[float32](data)
+		u := element.Cast[uint32](data)
+		for i, x := range u {
+			s[i] = element.FromBits[float32](uint64(x), 0)
+		}
+	case float64:
+		s := element.Cast[float64](data)
+		u := element.Cast[uint64](data)
+		for i, x := range u {
+			s[i] = element.FromBits[float64](x, 0)
+		}
+	}
+}
+
+// countScatter performs one stable counting pass: it fills hist with
+// the digit histogram of src at the given shift and scatters src into
+// dst in digit order. Element kinds dispatch to monomorphic kernels
+// over their (image) key representation.
+func countScatter[E element.Elem](src, dst []E, shift uint, hist *[radixSize]uint32) {
+	switch any(*new(E)).(type) {
+	case uint32, float32:
+		countScatterUint(element.Cast[uint32](src), element.Cast[uint32](dst), shift, hist)
+	case uint64, float64:
+		countScatterUint(element.Cast[uint64](src), element.Cast[uint64](dst), shift, hist)
+	default:
+		countScatterKV(element.Cast[element.KV64](src), element.Cast[element.KV64](dst), shift, hist)
+	}
+}
+
+type uintKey interface {
+	uint32 | uint64
+}
+
+func countScatterUint[T uintKey](src, dst []T, shift uint, hist *[radixSize]uint32) {
+	for _, k := range src {
+		hist[(k>>shift)&radixMask]++
+	}
+	var offs [radixSize]int
+	sum := 0
+	for d := 0; d < radixSize; d++ {
+		offs[d] = sum
+		sum += int(hist[d])
+	}
+	for _, k := range src {
+		d := (k >> shift) & radixMask
+		dst[offs[d]] = k
+		offs[d]++
+	}
+}
+
+func countScatterKV(src, dst []element.KV64, shift uint, hist *[radixSize]uint32) {
+	for _, r := range src {
+		hist[(r.K>>shift)&radixMask]++
+	}
+	var offs [radixSize]int
+	sum := 0
+	for d := 0; d < radixSize; d++ {
+		offs[d] = sum
+		sum += int(hist[d])
+	}
+	for _, r := range src {
+		d := (r.K >> shift) & radixMask
+		dst[offs[d]] = r
+		offs[d]++
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"parbitonic/element"
 	"parbitonic/internal/localsort"
 	"parbitonic/internal/spmd"
 )
@@ -27,14 +28,14 @@ type SampleSortResult struct {
 // inputs concentrate keys on few processors, which is exactly the
 // sensitivity the paper contrasts with bitonic sort's obliviousness.
 // It takes ownership of data; retrieve the output with m.Data().
-func SampleSort(m spmd.Backend, data [][]uint32) (SampleSortResult, error) {
+func SampleSort[E element.Elem](m spmd.BackendOf[E], data [][]E) (SampleSortResult, error) {
 	return SampleSortContext(context.Background(), m, data)
 }
 
 // SampleSortContext is SampleSort under a context: cancellation or
 // deadline expiry aborts the run with a typed error (spmd.ErrCanceled
 // / ErrDeadline); a processor panic surfaces as a *spmd.PanicError.
-func SampleSortContext(ctx context.Context, m spmd.Backend, data [][]uint32) (SampleSortResult, error) {
+func SampleSortContext[E element.Elem](ctx context.Context, m spmd.BackendOf[E], data [][]E) (SampleSortResult, error) {
 	P := m.P()
 	if len(data) != P {
 		return SampleSortResult{}, fmt.Errorf("psort: %d data slices for %d processors", len(data), P)
@@ -45,7 +46,7 @@ func SampleSortContext(ctx context.Context, m spmd.Backend, data [][]uint32) (Sa
 			return SampleSortResult{}, fmt.Errorf("psort: ragged data at processor %d", i)
 		}
 	}
-	res, err := m.RunContext(ctx, data, func(pr *spmd.Proc) { sampleBody(pr, n) })
+	res, err := m.RunContext(ctx, data, func(pr *spmd.ProcOf[E]) { sampleBody(pr, n) })
 	if err != nil {
 		return SampleSortResult{}, err
 	}
@@ -58,7 +59,7 @@ func SampleSortContext(ctx context.Context, m spmd.Backend, data [][]uint32) (Sa
 	return out, nil
 }
 
-func sampleBody(pr *spmd.Proc, n int) {
+func sampleBody[E element.Elem](pr *spmd.ProcOf[E], n int) {
 	P := pr.P()
 	if P == 1 {
 		localsort.RadixSort(pr.Data)
@@ -74,17 +75,17 @@ func sampleBody(pr *spmd.Proc, n int) {
 	// an all-gather gives everyone the full P(P-1) sample set, from
 	// which each processor deterministically derives the same P-1
 	// splitters — no separate broadcast step needed.
-	samples := make([]uint32, 0, P-1)
+	samples := make([]E, 0, P-1)
 	for i := 1; i < P; i++ {
 		samples = append(samples, pr.Data[i*n/P])
 	}
 	gathered := pr.AllGather(samples)
-	all := make([]uint32, 0, P*(P-1))
+	all := make([]E, 0, P*(P-1))
 	for _, s := range gathered {
 		all = append(all, s...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	splitters := make([]uint32, P-1)
+	sort.Slice(all, func(i, j int) bool { return element.Less(all[i], all[j]) })
+	splitters := make([]E, P-1)
 	for i := 1; i < P; i++ {
 		splitters[i-1] = all[i*(P-1)]
 	}
@@ -93,36 +94,37 @@ func sampleBody(pr *spmd.Proc, n int) {
 	// Phase 3: partition the sorted local keys by the splitters (binary
 	// searches) and redistribute. Keys equal to a splitter go right, so
 	// duplicates of one value all land on one processor — the
-	// low-entropy hazard of §5.5.
+	// low-entropy hazard of §5.5. (For records "equal" means equal
+	// keys: all payloads of one key value land together.)
 	bounds := make([]int, P+1)
 	bounds[P] = n
 	for i, s := range splitters {
-		bounds[i+1] = sort.Search(n, func(j int) bool { return pr.Data[j] > s })
+		bounds[i+1] = sort.Search(n, func(j int) bool { return element.Less(s, pr.Data[j]) })
 	}
 	for i := 1; i < P; i++ { // bounds must be monotone even with duplicate splitters
 		if bounds[i] < bounds[i-1] {
 			bounds[i] = bounds[i-1]
 		}
 	}
-	msgs := make([][]uint32, P)
+	msgs := make([][]E, P)
 	for q := 0; q < P; q++ {
 		msgs[q] = pr.Data[bounds[q]:bounds[q+1]]
 	}
 	if pr.Long() {
-		pr.ChargeCompute(pr.Costs().Pack * float64(n))
+		pr.ChargeCompute(pr.Costs().Pack * float64(n*pr.Words()))
 	}
 	in := pr.Exchange(msgs)
 
 	// Phase 4: p-way merge of the received runs (each already sorted
 	// ascending). The merge replaces a separate unpack pass — the §4.3
 	// fusion applied to sample sort, as [AISS95] does.
-	runs := make([]localsort.Run, 0, P)
+	runs := make([]localsort.RunOf[E], 0, P)
 	total := 0
 	for _, msg := range in {
-		runs = append(runs, localsort.Run{Keys: msg})
+		runs = append(runs, localsort.RunOf[E]{Keys: msg})
 		total += len(msg)
 	}
-	merged := make([]uint32, total)
+	merged := make([]E, total)
 	localsort.MergeRuns(merged, runs)
 	pr.Data = merged
 	pr.ChargeMerge(total)

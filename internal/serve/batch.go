@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"parbitonic"
+	"parbitonic/element"
 )
 
 // runBatch executes one batch on a pooled engine and delivers every
@@ -18,7 +19,7 @@ import (
 // joint context that aborts only when every member has given up, and
 // sliced back out with splitBatch — which copies results out of the
 // slab, so nothing a caller holds aliases pooled memory.
-func (s *Server) runBatch(batch []*request, slab *[]uint32) {
+func (s *ServerOf[E]) runBatch(batch []*request[E], slab *[]E) {
 	s.m.observeBatch(len(batch))
 	if len(batch) == 1 {
 		s.runSolo(batch[0])
@@ -32,10 +33,10 @@ func (s *Server) runBatch(batch []*request, slab *[]uint32) {
 	for _, r := range batch {
 		total += len(r.keys)
 	}
-	shift := tagShift(len(batch))
+	shift := tagShift[E](len(batch))
 	padded := parbitonic.PaddedSize(total, s.cfg.Engine.Processors)
 	if cap(*slab) < padded {
-		*slab = make([]uint32, padded)
+		*slab = make([]E, padded)
 	}
 	buf := (*slab)[:padded]
 	packBatch(buf, batch, shift, total)
@@ -55,8 +56,8 @@ func (s *Server) runBatch(batch []*request, slab *[]uint32) {
 }
 
 // runSolo sorts one request on a pooled engine under its own context.
-func (s *Server) runSolo(r *request) {
-	out := append([]uint32(nil), r.keys...)
+func (s *ServerOf[E]) runSolo(r *request[E]) {
+	out := append([]E(nil), r.keys...)
 	padded := parbitonic.PaddedSize(len(out), s.cfg.Engine.Processors)
 	eng, err := s.pool.Get(s.cfg.Engine, padded)
 	if err == nil {
@@ -74,7 +75,7 @@ func (s *Server) runSolo(r *request) {
 // it is canceled when the server closes, when every member's context
 // is done (no one is left to collect the result), or — when every
 // member carries a deadline — at the latest of those deadlines.
-func (s *Server) jointContext(batch []*request) (context.Context, func()) {
+func (s *ServerOf[E]) jointContext(batch []*request[E]) (context.Context, func()) {
 	base := s.ctx
 	latest := time.Time{}
 	allDeadlines := true
@@ -113,48 +114,112 @@ func (s *Server) jointContext(batch []*request) (context.Context, func()) {
 }
 
 // tagShift returns the bit position the request tag occupies for a
-// k-request batch: tags need b = bits.Len(k-1) high bits, keys keep
-// the low 32-b. The dispatcher's fits() guarantees every member's
-// keys clear the shift.
-func tagShift(k int) uint {
-	return 32 - uint(bits.Len(uint(k-1)))
+// k-request batch: tags need b = bits.Len(k-1) high bits of the key
+// image, keys keep the low KeyBits-b. The dispatcher's fits()
+// guarantees every member's keys clear the shift.
+func tagShift[E element.Elem](k int) uint {
+	return uint(element.KeyBits[E]()) - uint(bits.Len(uint(k-1)))
 }
 
 // packBatch writes the tag-encoded concatenation of the batch into
-// buf[:total] — request j's key x becomes j<<shift | x — and fills
-// buf[total:] with maximal padding. Because tags occupy the high bits,
-// sorting buf groups it by request in submission order, each group
-// internally sorted; padding (all ones) sorts to the very end (it is
-// ≥ every tagged value, including ties within the last group, which
-// are value-identical and therefore interchangeable).
-func packBatch(buf []uint32, batch []*request, shift uint, total int) {
-	pos := 0
-	for j, r := range batch {
-		tag := uint32(j) << shift
-		for _, k := range r.keys {
-			buf[pos] = tag | k
-			pos++
+// buf[:total] — request j's key x becomes j<<shift | x (for records,
+// the tag lands in the key word; the payload travels untouched) — and
+// fills buf[total:] with maximal padding. Because tags occupy the high
+// bits, sorting buf groups it by request in submission order, each
+// group internally sorted; padding (all-ones key) sorts to the very
+// end (the dispatcher guarantees it is ≥ every tagged value — strictly
+// greater for records — and scalar ties with the last group are
+// value-identical and therefore interchangeable). Only integer-image
+// types reach here; the dispatcher never batches floats.
+func packBatch[E element.Elem](buf []E, batch []*request[E], shift uint, total int) {
+	switch element.TypeOf[E]() {
+	case element.TU32:
+		out := element.Cast[uint32](buf)
+		pos := 0
+		for j, r := range batch {
+			tag := uint32(j) << shift
+			for _, k := range element.Cast[uint32](r.keys) {
+				out[pos] = tag | k
+				pos++
+			}
 		}
+	case element.TU64:
+		out := element.Cast[uint64](buf)
+		pos := 0
+		for j, r := range batch {
+			tag := uint64(j) << shift
+			for _, k := range element.Cast[uint64](r.keys) {
+				out[pos] = tag | k
+				pos++
+			}
+		}
+	case element.TKV64:
+		out := element.Cast[element.KV64](buf)
+		pos := 0
+		for j, r := range batch {
+			tag := uint64(j) << shift
+			for _, k := range element.Cast[element.KV64](r.keys) {
+				out[pos] = element.KV64{K: tag | k.K, V: k.V}
+				pos++
+			}
+		}
+	default:
+		panic("serve: packBatch on an untaggable element type")
 	}
+	pad := element.Max[E]()
 	for i := total; i < len(buf); i++ {
-		buf[i] = ^uint32(0)
+		buf[i] = pad
 	}
 }
 
 // splitBatch slices the sorted tagged buffer back into per-request
 // results: request j's sorted keys are the len(r.keys) entries
 // starting at the prefix sum of earlier members, with the tag masked
-// off. Results are COPIED out — buf is pooled worker memory and must
-// not escape (see TestBatchNoRetention).
-func splitBatch(buf []uint32, batch []*request, shift uint, m *Metrics) {
-	mask := uint32(1)<<shift - 1
-	pos := 0
-	for _, r := range batch {
-		out := make([]uint32, len(r.keys))
-		for i := range out {
-			out[i] = buf[pos+i] & mask
+// off the key image (record payloads pass through untouched). Results
+// are COPIED out — buf is pooled worker memory and must not escape
+// (see TestBatchNoRetention).
+func splitBatch[E element.Elem](buf []E, batch []*request[E], shift uint, m *Metrics) {
+	switch element.TypeOf[E]() {
+	case element.TU32:
+		in := element.Cast[uint32](buf)
+		mask := uint32(1)<<shift - 1
+		pos := 0
+		for _, r := range batch {
+			out := make([]E, len(r.keys))
+			o := element.Cast[uint32](out)
+			for i := range o {
+				o[i] = in[pos+i] & mask
+			}
+			pos += len(r.keys)
+			r.finish(m, out, nil)
 		}
-		pos += len(r.keys)
-		r.finish(m, out, nil)
+	case element.TU64:
+		in := element.Cast[uint64](buf)
+		mask := uint64(1)<<shift - 1
+		pos := 0
+		for _, r := range batch {
+			out := make([]E, len(r.keys))
+			o := element.Cast[uint64](out)
+			for i := range o {
+				o[i] = in[pos+i] & mask
+			}
+			pos += len(r.keys)
+			r.finish(m, out, nil)
+		}
+	case element.TKV64:
+		in := element.Cast[element.KV64](buf)
+		mask := uint64(1)<<shift - 1
+		pos := 0
+		for _, r := range batch {
+			out := make([]E, len(r.keys))
+			o := element.Cast[element.KV64](out)
+			for i := range o {
+				o[i] = element.KV64{K: in[pos+i].K & mask, V: in[pos+i].V}
+			}
+			pos += len(r.keys)
+			r.finish(m, out, nil)
+		}
+	default:
+		panic("serve: splitBatch on an untaggable element type")
 	}
 }

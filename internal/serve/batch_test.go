@@ -8,19 +8,19 @@ import (
 	"time"
 )
 
-func mkReq(keys []uint32) *request {
+func mkReq(keys []uint32) *request[uint32] {
 	var mx uint32
 	for _, k := range keys {
 		if k > mx {
 			mx = k
 		}
 	}
-	return &request{
+	return &request[uint32]{
 		keys:   keys,
-		maxKey: mx,
+		maxKey: uint64(mx),
 		ctx:    context.Background(),
 		enq:    time.Now(),
-		res:    make(chan response, 1),
+		res:    make(chan response[uint32], 1),
 	}
 }
 
@@ -32,7 +32,7 @@ func TestTagShift(t *testing.T) {
 		{2, 31}, {3, 30}, {4, 30}, {5, 29}, {8, 29}, {9, 28}, {16, 28}, {17, 27},
 	}
 	for _, c := range cases {
-		if got := tagShift(c.k); got != c.shift {
+		if got := tagShift[uint32](c.k); got != c.shift {
 			t.Errorf("tagShift(%d) = %d, want %d", c.k, got, c.shift)
 		}
 	}
@@ -47,15 +47,15 @@ func TestFitsTagHeadroom(t *testing.T) {
 	if !batchable(big, cfg) {
 		t.Fatal("1<<31-1 must be batchable")
 	}
-	if !fits([]*request{big}, 1, big.maxKey, mkReq([]uint32{1<<31 - 1}), cfg) {
+	if !fits([]*request[uint32]{big}, 1, big.maxKey, mkReq([]uint32{1<<31 - 1}), cfg) {
 		t.Error("two 31-bit requests must fit (1 tag bit)")
 	}
-	batch2 := []*request{big, big}
+	batch2 := []*request[uint32]{big, big}
 	if fits(batch2, 2, big.maxKey, mkReq([]uint32{7}), cfg) {
 		t.Error("a third member needs 2 tag bits; 31-bit keys in the batch must block it")
 	}
 	small := mkReq([]uint32{1<<30 - 1})
-	if !fits([]*request{small, small}, 2, small.maxKey, mkReq([]uint32{5}), cfg) {
+	if !fits([]*request[uint32]{small, small}, 2, small.maxKey, mkReq([]uint32{5}), cfg) {
 		t.Error("three 30-bit requests must fit (2 tag bits)")
 	}
 	if batchable(mkReq([]uint32{1 << 31}), cfg) {
@@ -65,7 +65,7 @@ func TestFitsTagHeadroom(t *testing.T) {
 	// Size cap: summed keys beyond MaxBatchKeys must not fit.
 	cfg.MaxBatchKeys = 4
 	a := mkReq([]uint32{1, 2, 3})
-	if fits([]*request{a}, 3, a.maxKey, mkReq([]uint32{4, 5}), cfg) {
+	if fits([]*request[uint32]{a}, 3, a.maxKey, mkReq([]uint32{4, 5}), cfg) {
 		t.Error("batch exceeding MaxBatchKeys must not fit")
 	}
 }
@@ -75,7 +75,7 @@ func TestFitsTagHeadroom(t *testing.T) {
 // sorted multiset back, duplicates across requests included.
 func TestPackSplitRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	batch := []*request{
+	batch := []*request[uint32]{
 		mkReq([]uint32{5, 1, 5, 0, 9}),
 		mkReq([]uint32{5, 5, 5}), // duplicates shared with member 0
 		mkReq(randKeys(rng, 100, 1<<20)),
@@ -85,12 +85,12 @@ func TestPackSplitRoundTrip(t *testing.T) {
 	for _, r := range batch {
 		total += len(r.keys)
 	}
-	shift := tagShift(len(batch))
+	shift := tagShift[uint32](len(batch))
 	buf := make([]uint32, 128) // > total, exercises padding
 	packBatch(buf, batch, shift, total)
 	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
 
-	m := newMetrics(func() int { return 0 }, NewPool(1))
+	m := newMetrics("u32", func() int { return 0 }, NewPool(1))
 	splitBatch(buf, batch, shift, m)
 	for j, r := range batch {
 		got := (<-r.res).sorted
@@ -111,15 +111,15 @@ func TestPackSplitRoundTrip(t *testing.T) {
 // over the shared sort buffer must not disturb what callers received —
 // results must be copies, never views into pooled memory.
 func TestBatchNoRetention(t *testing.T) {
-	batch := []*request{
+	batch := []*request[uint32]{
 		mkReq([]uint32{3, 1, 2}),
 		mkReq([]uint32{6, 4, 5}),
 	}
-	shift := tagShift(len(batch))
+	shift := tagShift[uint32](len(batch))
 	buf := make([]uint32, 8)
 	packBatch(buf, batch, shift, 6)
 	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-	m := newMetrics(func() int { return 0 }, NewPool(1))
+	m := newMetrics("u32", func() int { return 0 }, NewPool(1))
 	splitBatch(buf, batch, shift, m)
 
 	outs := [][]uint32{(<-batch[0].res).sorted, (<-batch[1].res).sorted}
@@ -143,7 +143,7 @@ func TestJointContextCancelsWhenAllAbandon(t *testing.T) {
 	s := &Server{ctx: context.Background()}
 	c1, cancel1 := context.WithCancel(context.Background())
 	c2, cancel2 := context.WithCancel(context.Background())
-	batch := []*request{mkReq(nil), mkReq(nil)}
+	batch := []*request[uint32]{mkReq(nil), mkReq(nil)}
 	batch[0].ctx, batch[1].ctx = c1, c2
 	ctx, stop := s.jointContext(batch)
 	defer stop()
@@ -171,7 +171,7 @@ func TestJointContextDeadline(t *testing.T) {
 	far, cancelF := context.WithDeadline(context.Background(), time.Now().Add(10*time.Second))
 	defer cancelN()
 	defer cancelF()
-	batch := []*request{mkReq(nil), mkReq(nil)}
+	batch := []*request[uint32]{mkReq(nil), mkReq(nil)}
 	batch[0].ctx, batch[1].ctx = near, far
 	ctx, stop := s.jointContext(batch)
 	defer stop()

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"parbitonic/element"
 	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
 	"parbitonic/internal/verify"
@@ -30,16 +31,34 @@ type sortResponse struct {
 }
 
 // errorResponse is the JSON error shape of every non-2xx response.
+// Code is set for frame-level rejections (FrameError) so binary
+// clients can distinguish a width mismatch from a bad version.
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
-// NewHandler builds the service's HTTP front end:
+// front is what the /sort handler routes through: a u32 server for
+// JSON and legacy binary bodies, plus the per-element-type servers
+// reachable by versioned frames. NewHandler fronts a single u32
+// server; NewGatewayHandler fronts a full Gateway.
+type front struct {
+	u32     *Server
+	servers map[element.Type]elemServer
+	order   []element.Type
+	stats   func() map[string]any
+}
+
+// NewHandler builds the service's HTTP front end for a single uint32
+// server:
 //
 //	POST /sort        sort keys; application/json {"keys":[...]} or
-//	                  application/octet-stream (little-endian uint32s),
-//	                  response in the request's content type; optional
-//	                  ?timeout_ms=N per-request deadline
+//	                  application/octet-stream — either a legacy
+//	                  little-endian uint32 stream or a versioned
+//	                  binary frame (see the frame format in
+//	                  gateway.go; only element type u32 is enabled
+//	                  here, others get 501); optional ?timeout_ms=N
+//	                  per-request deadline
 //	GET  /healthz     liveness: 200 "ok"
 //	GET  /stats       JSON snapshot of server + pool counters
 //	GET  /metrics     Prometheus text: serve metrics plus, when
@@ -47,38 +66,63 @@ type errorResponse struct {
 //	GET  /debug/vars  expvar JSON (engine-run metrics; requires
 //	                  runMetrics)
 //
-// Status mapping for /sort: 200 ok, 400 malformed input, 413 oversize
-// body, 429 ErrOverloaded (with Retry-After), 499 client-canceled,
+// Status mapping for /sort: 200 ok, 400 malformed input (typed code
+// for bad frames), 413 oversize body, 429 ErrOverloaded (with
+// Retry-After), 499 client-canceled, 501 element type not enabled,
 // 503 ErrClosed, 504 deadline exceeded, 500 anything else.
 func NewHandler(s *Server, runMetrics *obs.Metrics) http.Handler {
+	f := &front{
+		u32:     s,
+		servers: map[element.Type]elemServer{element.TU32: s},
+		order:   []element.Type{element.TU32},
+		stats: func() map[string]any {
+			st := statsFor(s.Metrics(), s.poolStats())
+			st["queue_depth"] = s.Metrics().queueDepth()
+			return st
+		},
+	}
+	return newMux(f, runMetrics)
+}
+
+// NewGatewayHandler is NewHandler for a Gateway: versioned binary
+// frames of every element type are served by their typed server, and
+// /stats and /metrics aggregate across all of them (series are told
+// apart by the elem label / stats key).
+func NewGatewayHandler(g *Gateway, runMetrics *obs.Metrics) http.Handler {
+	f := &front{
+		u32:     g.u32,
+		servers: g.servers,
+		order:   g.order,
+		stats: func() map[string]any {
+			elems := make(map[string]any, len(g.order))
+			for _, t := range g.order {
+				s := g.servers[t]
+				st := statsFor(s.Metrics(), s.poolStats())
+				st["queue_depth"] = s.Metrics().queueDepth()
+				elems[t.String()] = st
+			}
+			return map[string]any{"elems": elems}
+		},
+	}
+	return newMux(f, runMetrics)
+}
+
+func newMux(f *front, runMetrics *obs.Metrics) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/sort", func(w http.ResponseWriter, r *http.Request) { handleSort(s, w, r) })
+	mux.HandleFunc("/sort", func(w http.ResponseWriter, r *http.Request) { handleSort(f, w, r) })
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		m := s.Metrics()
-		batches, batched := m.BatchCount()
-		ps := s.Pool().Stats()
-		json.NewEncoder(w).Encode(map[string]any{
-			"requests": map[string]float64{
-				"ok":         m.RequestCount("ok"),
-				"overloaded": m.RequestCount("overloaded"),
-				"canceled":   m.RequestCount("canceled"),
-				"deadline":   m.RequestCount("deadline"),
-				"error":      m.RequestCount("error"),
-			},
-			"batches":          batches,
-			"batched_requests": batched,
-			"queue_depth":      m.queueDepth(),
-			"pool":             ps,
-		})
+		json.NewEncoder(w).Encode(f.stats())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = s.Metrics().WriteProm(w)
+		for i, t := range f.order {
+			_ = f.servers[t].Metrics().writeProm(w, i == 0)
+		}
 		if runMetrics != nil {
 			_ = runMetrics.WriteProm(w)
 		}
@@ -93,33 +137,29 @@ func NewHandler(s *Server, runMetrics *obs.Metrics) http.Handler {
 	return mux
 }
 
-func handleSort(s *Server, w http.ResponseWriter, r *http.Request) {
+// statsFor renders one server's /stats section.
+func statsFor(m *Metrics, ps PoolStats) map[string]any {
+	batches, batched := m.BatchCount()
+	return map[string]any{
+		"requests": map[string]float64{
+			"ok":         m.RequestCount("ok"),
+			"overloaded": m.RequestCount("overloaded"),
+			"canceled":   m.RequestCount("canceled"),
+			"deadline":   m.RequestCount("deadline"),
+			"error":      m.RequestCount("error"),
+		},
+		"batches":          batches,
+		"batched_requests": batched,
+		"pool":             ps,
+	}
+}
+
+func handleSort(f *front, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	binaryIn := r.Header.Get("Content-Type") == "application/octet-stream"
 	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
-	var keys []uint32
-	var err error
-	if binaryIn {
-		keys, err = readBinaryKeys(body)
-	} else {
-		var req sortRequest
-		if derr := json.NewDecoder(body).Decode(&req); derr != nil {
-			err = derr
-		}
-		keys = req.Keys
-	}
-	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", MaxBodyBytes))
-			return
-		}
-		httpError(w, http.StatusBadRequest, "malformed request: "+err.Error())
-		return
-	}
 
 	ctx := r.Context()
 	if tm := r.URL.Query().Get("timeout_ms"); tm != "" {
@@ -133,28 +173,107 @@ func handleSort(s *Server, w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	sorted, err := s.Sort(ctx, keys)
-	if err != nil {
-		status, msg := sortStatus(err)
-		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
-		}
-		httpError(w, status, msg)
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		handleBinarySort(f, ctx, w, body)
 		return
 	}
-	if binaryIn {
-		w.Header().Set("Content-Type", "application/octet-stream")
-		writeBinaryKeys(w, sorted)
+
+	var req sortRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		if bodyTooLarge(w, err) {
+			return
+		}
+		httpError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+	sorted, err := f.u32.Sort(ctx, req.Keys)
+	if err != nil {
+		sortError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	json.NewEncoder(w).Encode(sortResponse{Keys: sorted})
 }
 
-// sortStatus maps a Server.Sort error onto an HTTP status: overload
-// and shutdown are the service saying "not now" (429/503), deadline
-// and cancellation are the request's own context (504/499), anything
-// else — contained panics, verification failures — is a 500.
+// handleBinarySort serves an octet-stream body: a versioned frame is
+// routed to the server of its element type and answered with a
+// matching frame; a legacy body is a bare u32 stream answered in kind.
+func handleBinarySort(f *front, ctx context.Context, w http.ResponseWriter, body io.Reader) {
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		if bodyTooLarge(w, err) {
+			return
+		}
+		httpError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+	t, payload, versioned, err := decodeFrame(raw)
+	if err != nil {
+		sortError(w, err)
+		return
+	}
+	if !versioned {
+		keys, err := decodeLegacyKeys(payload)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		sorted, err := f.u32.Sort(ctx, keys)
+		if err != nil {
+			sortError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		writeBinaryKeys(w, sorted)
+		return
+	}
+	s, ok := f.servers[t]
+	if !ok {
+		httpError(w, http.StatusNotImplemented, fmt.Sprintf("element type %s is not enabled on this server", t))
+		return
+	}
+	out, err := s.sortPayload(ctx, payload)
+	if err != nil {
+		sortError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(frameHeader(t))
+	w.Write(out)
+}
+
+// bodyTooLarge answers 413 when err is the MaxBytesReader limit.
+func bodyTooLarge(w http.ResponseWriter, err error) bool {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", MaxBodyBytes))
+		return true
+	}
+	return false
+}
+
+// sortError answers a failed sort, mapping the error to its status and
+// (for frame rejections) machine-readable code.
+func sortError(w http.ResponseWriter, err error) {
+	var ferr *FrameError
+	if errors.As(err, &ferr) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(errorResponse{Error: ferr.Error(), Code: ferr.Code})
+		return
+	}
+	status, msg := sortStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	httpError(w, status, msg)
+}
+
+// sortStatus maps a Sort error onto an HTTP status: overload and
+// shutdown are the service saying "not now" (429/503), deadline and
+// cancellation are the request's own context (504/499), anything else
+// — contained panics, verification failures, NaN rejections — is a
+// 500.
 func sortStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
@@ -179,12 +298,8 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 	json.NewEncoder(w).Encode(errorResponse{Error: msg})
 }
 
-// readBinaryKeys decodes a little-endian uint32 stream.
-func readBinaryKeys(r io.Reader) ([]uint32, error) {
-	raw, err := io.ReadAll(r)
-	if err != nil {
-		return nil, err
-	}
+// decodeLegacyKeys decodes an unversioned little-endian uint32 stream.
+func decodeLegacyKeys(raw []byte) ([]uint32, error) {
 	if len(raw)%4 != 0 {
 		return nil, fmt.Errorf("binary body length %d is not a multiple of 4", len(raw))
 	}
@@ -193,6 +308,15 @@ func readBinaryKeys(r io.Reader) ([]uint32, error) {
 		keys[i] = binary.LittleEndian.Uint32(raw[4*i:])
 	}
 	return keys, nil
+}
+
+// readBinaryKeys decodes a little-endian uint32 stream from r.
+func readBinaryKeys(r io.Reader) ([]uint32, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeLegacyKeys(raw)
 }
 
 // writeBinaryKeys encodes keys as a little-endian uint32 stream.

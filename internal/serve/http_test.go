@@ -217,7 +217,7 @@ func TestHTTPObsEndpoints(t *testing.T) {
 	text, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	for _, want := range []string{
-		`parbitonic_serve_requests_total{outcome="ok"} 1`,
+		`parbitonic_serve_requests_total{elem="u32",outcome="ok"} 1`,
 		"parbitonic_serve_queue_depth",
 		"parbitonic_serve_batches_total",
 		"parbitonic_serve_request_seconds_count",

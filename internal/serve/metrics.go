@@ -43,14 +43,23 @@ func (h *hist) observe(v float64) {
 	h.count++
 }
 
+// poolStatser decouples Metrics from the pool's element type: every
+// PoolOf instantiation satisfies it.
+type poolStatser interface {
+	Stats() PoolStats
+}
+
 // Metrics aggregates the serve layer's operational signals — the ones
 // engine-run telemetry (internal/obs) cannot see because they live in
 // front of the runtime: admission rejections, queue depth, batch
 // sizes, end-to-end request latency. Scrape via WriteProm (the HTTP
-// handler merges it into /metrics). All methods are safe for
+// handler merges it into /metrics); every series carries an elem label
+// naming the server's element type, so the per-type servers behind a
+// Gateway scrape as one valid exposition. All methods are safe for
 // concurrent use.
 type Metrics struct {
 	mu       sync.Mutex
+	elem     string             // element-type label value (u32, u64, ...)
 	requests map[string]float64 // outcome -> count
 	batches  float64
 	batched  float64 // requests that shared a run with >= 1 companion
@@ -58,11 +67,12 @@ type Metrics struct {
 	size     *hist   // requests per batch
 
 	queueDepth func() int // sampled at scrape time
-	pool       *Pool
+	pool       poolStatser
 }
 
-func newMetrics(queueDepth func() int, pool *Pool) *Metrics {
+func newMetrics(elem string, queueDepth func() int, pool poolStatser) *Metrics {
 	return &Metrics{
+		elem: elem,
 		requests: map[string]float64{
 			"ok": 0, "overloaded": 0, "canceled": 0, "deadline": 0,
 			"verify-failure": 0, "error": 0,
@@ -137,12 +147,29 @@ func (m *Metrics) BatchCount() (batches, batchedRequests float64) {
 // WriteProm writes the serve metrics in the Prometheus text exposition
 // format (version 0.0.4).
 func (m *Metrics) WriteProm(w io.Writer) error {
+	return m.writeProm(w, true)
+}
+
+// writeProm is WriteProm with the HELP/TYPE headers optional: when
+// several per-element servers scrape into one response (Gateway), only
+// the first may emit headers — a metric name must carry at most one
+// TYPE line per exposition.
+func (m *Metrics) writeProm(w io.Writer, headers bool) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var err error
 	p := func(format string, args ...any) {
 		if err == nil {
 			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	if !headers {
+		raw := p
+		p = func(format string, args ...any) {
+			if len(format) > 0 && format[0] == '#' {
+				return
+			}
+			raw(format, args...)
 		}
 	}
 
@@ -154,50 +181,50 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		p("parbitonic_serve_requests_total{outcome=%q} %v\n", k, m.requests[k])
+		p("parbitonic_serve_requests_total{elem=%q,outcome=%q} %v\n", m.elem, k, m.requests[k])
 	}
 
 	p("# HELP parbitonic_serve_queue_depth Requests waiting in the admission queue (sampled at scrape).\n")
 	p("# TYPE parbitonic_serve_queue_depth gauge\n")
-	p("parbitonic_serve_queue_depth %d\n", m.queueDepth())
+	p("parbitonic_serve_queue_depth{elem=%q} %d\n", m.elem, m.queueDepth())
 
 	p("# HELP parbitonic_serve_batches_total Engine runs executed (a batch of size 1 is a solo run).\n")
 	p("# TYPE parbitonic_serve_batches_total counter\n")
-	p("parbitonic_serve_batches_total %v\n", m.batches)
+	p("parbitonic_serve_batches_total{elem=%q} %v\n", m.elem, m.batches)
 
 	p("# HELP parbitonic_serve_batched_requests_total Requests that shared a run with at least one companion.\n")
 	p("# TYPE parbitonic_serve_batched_requests_total counter\n")
-	p("parbitonic_serve_batched_requests_total %v\n", m.batched)
+	p("parbitonic_serve_batched_requests_total{elem=%q} %v\n", m.elem, m.batched)
 
 	p("# HELP parbitonic_serve_batch_requests Requests coalesced per engine run.\n")
 	p("# TYPE parbitonic_serve_batch_requests histogram\n")
-	writeServeHist(p, "parbitonic_serve_batch_requests", m.size)
+	m.writeServeHist(p, "parbitonic_serve_batch_requests", m.size)
 
 	p("# HELP parbitonic_serve_request_seconds End-to-end request latency, admission to response.\n")
 	p("# TYPE parbitonic_serve_request_seconds histogram\n")
-	writeServeHist(p, "parbitonic_serve_request_seconds", m.latency)
+	m.writeServeHist(p, "parbitonic_serve_request_seconds", m.latency)
 
 	ps := m.pool.Stats()
 	p("# HELP parbitonic_serve_pool_gets_total Engine checkouts from the pool.\n")
 	p("# TYPE parbitonic_serve_pool_gets_total counter\n")
-	p("parbitonic_serve_pool_gets_total %d\n", ps.Gets)
+	p("parbitonic_serve_pool_gets_total{elem=%q} %d\n", m.elem, ps.Gets)
 	p("# HELP parbitonic_serve_pool_hits_total Checkouts served without constructing an engine.\n")
 	p("# TYPE parbitonic_serve_pool_hits_total counter\n")
-	p("parbitonic_serve_pool_hits_total %d\n", ps.Hits)
+	p("parbitonic_serve_pool_hits_total{elem=%q} %d\n", m.elem, ps.Hits)
 	p("# HELP parbitonic_serve_pool_idle_engines Engines currently parked in the pool.\n")
 	p("# TYPE parbitonic_serve_pool_idle_engines gauge\n")
-	p("parbitonic_serve_pool_idle_engines %d\n", ps.Idle)
+	p("parbitonic_serve_pool_idle_engines{elem=%q} %d\n", m.elem, ps.Idle)
 
 	return err
 }
 
-func writeServeHist(p func(string, ...any), name string, h *hist) {
+func (m *Metrics) writeServeHist(p func(string, ...any), name string, h *hist) {
 	cum := uint64(0)
 	for i, ub := range h.bounds {
 		cum += h.counts[i]
-		p("%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+		p("%s_bucket{elem=%q,le=\"%g\"} %d\n", name, m.elem, ub, cum)
 	}
-	p("%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
-	p("%s_sum %v\n", name, h.sum)
-	p("%s_count %d\n", name, h.count)
+	p("%s_bucket{elem=%q,le=\"+Inf\"} %d\n", name, m.elem, h.count)
+	p("%s_sum{elem=%q} %v\n", name, m.elem, h.sum)
+	p("%s_count{elem=%q} %d\n", name, m.elem, h.count)
 }

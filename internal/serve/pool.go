@@ -4,12 +4,14 @@ import (
 	"sync"
 
 	"parbitonic"
+	"parbitonic/element"
 )
 
 // poolKey is the engine shape: engines are interchangeable exactly
 // when processor count, backend, algorithm and the padded
 // keys-per-processor share agree (share keeps staging and message
-// buffers right-sized for the traffic that produced them).
+// buffers right-sized for the traffic that produced them). The element
+// type is fixed by the pool's type parameter, not the key.
 type poolKey struct {
 	p       int
 	backend parbitonic.Backend
@@ -28,34 +30,42 @@ func keyFor(cfg parbitonic.Config, totalKeys int) poolKey {
 	}
 }
 
-// Pool recycles parbitonic Engines keyed by shape. Get hands out an
-// idle engine of the right shape or builds one; Put returns it. Each
-// engine is used by one goroutine at a time (engines are not
-// concurrency-safe); the pool itself is safe for concurrent use.
-// Idle engines per shape are capped — extras are dropped to the GC,
-// so a traffic spike does not pin its high-water memory forever.
-type Pool struct {
+// PoolOf recycles parbitonic engines of one element type, keyed by
+// shape. Get hands out an idle engine of the right shape or builds
+// one; Put returns it. Each engine is used by one goroutine at a time
+// (engines are not concurrency-safe); the pool itself is safe for
+// concurrent use. Idle engines per shape are capped — extras are
+// dropped to the GC, so a traffic spike does not pin its high-water
+// memory forever.
+type PoolOf[E element.Elem] struct {
 	mu     sync.Mutex
-	idle   map[poolKey][]*parbitonic.Engine
+	idle   map[poolKey][]*parbitonic.EngineOf[E]
 	perKey int
 	gets   uint64
 	hits   uint64
 }
 
-// NewPool creates a pool keeping at most perKey idle engines per
-// shape (perKey < 1 means 4).
-func NewPool(perKey int) *Pool {
+// Pool is the uint32 engine pool, the shape existing callers use.
+type Pool = PoolOf[uint32]
+
+// NewPool creates a uint32 engine pool keeping at most perKey idle
+// engines per shape (perKey < 1 means 4).
+func NewPool(perKey int) *Pool { return NewPoolOf[uint32](perKey) }
+
+// NewPoolOf creates a pool of E-element engines keeping at most perKey
+// idle engines per shape (perKey < 1 means 4).
+func NewPoolOf[E element.Elem](perKey int) *PoolOf[E] {
 	if perKey < 1 {
 		perKey = 4
 	}
-	return &Pool{idle: make(map[poolKey][]*parbitonic.Engine), perKey: perKey}
+	return &PoolOf[E]{idle: make(map[poolKey][]*parbitonic.EngineOf[E]), perKey: perKey}
 }
 
 // Get returns an engine built from cfg and sized for totalKeys keys,
 // reusing an idle one when the shape matches. The caller must hand it
 // back with Put (with the same totalKeys) when the run completes —
 // including after a failed run; engines survive failures.
-func (pl *Pool) Get(cfg parbitonic.Config, totalKeys int) (*parbitonic.Engine, error) {
+func (pl *PoolOf[E]) Get(cfg parbitonic.Config, totalKeys int) (*parbitonic.EngineOf[E], error) {
 	k := keyFor(cfg, totalKeys)
 	pl.mu.Lock()
 	pl.gets++
@@ -67,12 +77,12 @@ func (pl *Pool) Get(cfg parbitonic.Config, totalKeys int) (*parbitonic.Engine, e
 		return e, nil
 	}
 	pl.mu.Unlock()
-	return parbitonic.NewEngine(cfg)
+	return parbitonic.NewEngineOf[E](cfg)
 }
 
 // Put returns an engine to the pool under the shape it was fetched
 // for. Beyond the per-shape cap the engine is simply dropped.
-func (pl *Pool) Put(e *parbitonic.Engine, totalKeys int) {
+func (pl *PoolOf[E]) Put(e *parbitonic.EngineOf[E], totalKeys int) {
 	if e == nil {
 		return
 	}
@@ -92,7 +102,7 @@ type PoolStats struct {
 }
 
 // Stats returns a snapshot of the pool's counters.
-func (pl *Pool) Stats() PoolStats {
+func (pl *PoolOf[E]) Stats() PoolStats {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	idle := 0

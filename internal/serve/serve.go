@@ -6,37 +6,42 @@
 //
 // Three mechanisms, layered:
 //
-//   - Pooling (Pool): engines are expensive to build — P workers, a
+//   - Pooling (PoolOf): engines are expensive to build — P workers, a
 //     P×P exchange board, message-buffer pools — and cheap to reuse.
 //     The pool keys engines by shape (P, backend, algorithm,
 //     keys-per-processor share) and recycles them across requests, so
 //     steady-state traffic pays construction ~never.
 //
-//   - Batching (Server): requests arriving within a window
+//   - Batching (ServerOf): requests arriving within a window
 //     (Config.MaxDelay, up to Config.MaxBatch) are coalesced into ONE
 //     padded sort. Each request's keys are tagged with a request index
-//     in the high bits, the concatenation is sorted once, and results
-//     are sliced back out per request (the sorted stream is grouped by
-//     tag) and copied out of the shared buffer. The LogGP rationale
-//     (§3.4): remap time is T = (L+2o−g)R + G·V + (g−G)M, so B
-//     requests sorted separately pay the per-remap latency term R
+//     in the high bits of the key, the concatenation is sorted once,
+//     and results are sliced back out per request (the sorted stream is
+//     grouped by tag) and copied out of the shared buffer. The LogGP
+//     rationale (§3.4): remap time is T = (L+2o−g)R + G·V + (g−G)M, so
+//     B requests sorted separately pay the per-remap latency term R
 //     B times over; one batched run pays it once while V grows only
 //     linearly — exactly the bulk-transfer regime LogGP rewards. See
 //     DESIGN.md §10 for the tag-bit scheme and its correctness
-//     argument.
+//     argument. Tagging requires integer key images — uint32, uint64
+//     and KV64 traffic batches; float requests always run solo (OR-ing
+//     a tag into a float's bits would reorder values).
 //
-//   - Backpressure (Server): admission is a bounded queue. A full
+//   - Backpressure (ServerOf): admission is a bounded queue. A full
 //     queue rejects immediately with ErrOverloaded (typed; HTTP 429)
 //     instead of queueing unboundedly, per-request contexts ride the
 //     runtime's fail-safe paths (cancellation and deadlines abort
 //     in-flight runs promptly), and Close drains gracefully.
 //
-// Observability threads through internal/obs: engine runs stream
-// spans/events into the configured sink, and the serve layer adds
-// queue-depth, batch-size, request-latency and rejection metrics
-// (Metrics, Prometheus text). Chaos testing threads through
-// internal/fault via the Config.Engine.WrapCharger seam; per-batch
-// result verification via Config.Engine.Verify.
+// Every server sorts ONE element type, fixed by its type parameter;
+// Server is the uint32 instantiation existing callers use, and Gateway
+// fronts one server per element type behind the versioned binary
+// protocol. Observability threads through internal/obs: engine runs
+// stream spans/events into the configured sink, and the serve layer
+// adds queue-depth, batch-size, request-latency and rejection metrics
+// (Metrics, Prometheus text, labeled by element type). Chaos testing
+// threads through internal/fault via the Config.Engine.WrapCharger
+// seam; per-batch result verification via Config.Engine.Verify.
 package serve
 
 import (
@@ -49,6 +54,7 @@ import (
 	"time"
 
 	"parbitonic"
+	"parbitonic/element"
 	"parbitonic/internal/obs"
 )
 
@@ -63,7 +69,7 @@ var ErrOverloaded = errors.New("serve: overloaded, admission queue full")
 // and already-queued requests still complete (graceful drain).
 var ErrClosed = errors.New("serve: server closed")
 
-// Config configures a Server. The zero value of every field except
+// Config configures a server. The zero value of every field except
 // Engine.Processors is usable: defaults are applied by New.
 type Config struct {
 	// Engine is the template every pooled engine is built from:
@@ -129,36 +135,37 @@ func (c Config) withDefaults() Config {
 }
 
 // request is one queued Sort call.
-type request struct {
-	keys   []uint32 // caller-owned; read-only until the response is sent
-	maxKey uint32
+type request[E element.Elem] struct {
+	keys   []E    // caller-owned; read-only until the response is sent
+	maxKey uint64 // largest key order image, for the tag headroom check
 	ctx    context.Context
 	enq    time.Time
-	res    chan response // buffered 1: delivery never blocks a worker
+	res    chan response[E] // buffered 1: delivery never blocks a worker
 }
 
 // response carries a request's outcome; sorted is always freshly
 // allocated (never a view into a pooled buffer).
-type response struct {
-	sorted []uint32
+type response[E element.Elem] struct {
+	sorted []E
 	err    error
 }
 
 // finish delivers the outcome and records the request's latency.
-func (r *request) finish(m *Metrics, sorted []uint32, err error) {
+func (r *request[E]) finish(m *Metrics, sorted []E, err error) {
 	m.observeRequest(time.Since(r.enq), err)
-	r.res <- response{sorted: sorted, err: err}
+	r.res <- response[E]{sorted: sorted, err: err}
 }
 
-// Server is the concurrent sort service: bounded admission queue, a
-// batching dispatcher, Parallel executor workers drawing pooled
-// engines. Create with New, submit with Sort, shut down with Close.
-type Server struct {
+// ServerOf is the concurrent sort service for one element type:
+// bounded admission queue, a batching dispatcher, Parallel executor
+// workers drawing pooled engines. Create with NewOf, submit with Sort,
+// shut down with Close.
+type ServerOf[E element.Elem] struct {
 	cfg   Config
-	pool  *Pool
+	pool  *PoolOf[E]
 	m     *Metrics
-	queue chan *request
-	exec  chan []*request
+	queue chan *request[E]
+	exec  chan []*request[E]
 
 	ctx    context.Context // canceled on Close: aborts in-flight runs' joint contexts
 	cancel context.CancelFunc
@@ -168,10 +175,17 @@ type Server struct {
 	wg     sync.WaitGroup // dispatcher + workers
 }
 
-// New validates cfg, applies defaults, and starts the service's
+// Server is the uint32 sort service, the shape existing callers use.
+type Server = ServerOf[uint32]
+
+// New validates cfg, applies defaults, and starts a uint32 service's
 // dispatcher and executor goroutines. The returned server is ready;
 // stop it with Close.
-func New(cfg Config) (*Server, error) {
+func New(cfg Config) (*Server, error) { return NewOf[uint32](cfg) }
+
+// NewOf is New for any element type: the returned server sorts []E
+// requests on pooled E-element engines.
+func NewOf[E element.Elem](cfg Config) (*ServerOf[E], error) {
 	cfg = cfg.withDefaults()
 	p := cfg.Engine.Processors
 	if p < 1 || p&(p-1) != 0 {
@@ -179,19 +193,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	// Fail configuration errors (bad model overrides, unknown backend)
 	// at startup, not on the first request.
-	if _, err := parbitonic.NewEngine(cfg.Engine); err != nil {
+	if _, err := parbitonic.NewEngineOf[E](cfg.Engine); err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{
+	s := &ServerOf[E]{
 		cfg:    cfg,
-		pool:   NewPool(cfg.PoolPerKey),
-		queue:  make(chan *request, cfg.QueueDepth),
-		exec:   make(chan []*request),
+		pool:   NewPoolOf[E](cfg.PoolPerKey),
+		queue:  make(chan *request[E], cfg.QueueDepth),
+		exec:   make(chan []*request[E]),
 		ctx:    ctx,
 		cancel: cancel,
 	}
-	s.m = newMetrics(func() int { return len(s.queue) }, s.pool)
+	s.m = newMetrics(element.TypeOf[E]().String(), func() int { return len(s.queue) }, s.pool)
 	s.wg.Add(1 + cfg.Parallel)
 	go s.dispatch()
 	for i := 0; i < cfg.Parallel; i++ {
@@ -202,10 +216,10 @@ func New(cfg Config) (*Server, error) {
 
 // Metrics returns the server's serve-level metrics (queue depth,
 // batch sizes, request latency, rejections) for mounting or scraping.
-func (s *Server) Metrics() *Metrics { return s.m }
+func (s *ServerOf[E]) Metrics() *Metrics { return s.m }
 
 // Pool returns the server's engine pool (for stats inspection).
-func (s *Server) Pool() *Pool { return s.pool }
+func (s *ServerOf[E]) Pool() *PoolOf[E] { return s.pool }
 
 // Sort sorts keys through the service and returns a freshly allocated
 // sorted slice; keys itself is only read, never mutated. The call
@@ -214,26 +228,27 @@ func (s *Server) Pool() *Pool { return s.pool }
 // server returns ErrClosed. ctx cancellation and deadlines follow the
 // request into the runtime — an in-flight solo run is aborted through
 // the fail-safe paths, and a batched run is aborted once every member
-// has given up.
-func (s *Server) Sort(ctx context.Context, keys []uint32) ([]uint32, error) {
+// has given up. Float NaN keys are rejected by the engine (they are
+// unordered); record elements sort by key with payloads carried along.
+func (s *ServerOf[E]) Sort(ctx context.Context, keys []E) ([]E, error) {
 	if len(keys) == 0 {
-		return []uint32{}, nil
+		return []E{}, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var mx uint32
+	var mx uint64
 	for _, k := range keys {
-		if k > mx {
-			mx = k
+		if b := element.Bits(k); b > mx {
+			mx = b
 		}
 	}
-	req := &request{
+	req := &request[E]{
 		keys:   keys,
 		maxKey: mx,
 		ctx:    ctx,
 		enq:    time.Now(),
-		res:    make(chan response, 1),
+		res:    make(chan response[E], 1),
 	}
 
 	s.mu.RLock()
@@ -266,7 +281,7 @@ func (s *Server) Sort(ctx context.Context, keys []uint32) ([]uint32, error) {
 // Close stops admission (new Sorts get ErrClosed), drains requests
 // already queued — they complete normally — waits for in-flight runs,
 // and releases the workers. Safe to call once.
-func (s *Server) Close() error {
+func (s *ServerOf[E]) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -286,12 +301,12 @@ func (s *Server) Close() error {
 // executor is busy the dispatcher blocks and arriving requests pile
 // into the bounded queue — which is where overload becomes visible as
 // ErrOverloaded at the door.
-func (s *Server) dispatch() {
+func (s *ServerOf[E]) dispatch() {
 	defer s.wg.Done()
 	defer close(s.exec)
-	var pending *request // head of the NEXT batch, parked by incompatibility
+	var pending *request[E] // head of the NEXT batch, parked by incompatibility
 	for {
-		var first *request
+		var first *request[E]
 		if pending != nil {
 			first, pending = pending, nil
 		} else {
@@ -305,7 +320,7 @@ func (s *Server) dispatch() {
 			first.finish(s.m, nil, first.ctx.Err())
 			continue
 		}
-		batch := []*request{first}
+		batch := []*request[E]{first}
 		if s.cfg.MaxBatch > 1 && batchable(first, s.cfg) {
 			timer := time.NewTimer(s.cfg.MaxDelay)
 			total := len(first.keys)
@@ -347,33 +362,57 @@ func (s *Server) dispatch() {
 	}
 }
 
-// batchable reports whether a request may share a run at all: its tag
-// needs at least one high bit of headroom and its size must fit under
-// the batch cap.
-func batchable(r *request, cfg Config) bool {
-	return r.maxKey < 1<<31 && len(r.keys) <= cfg.MaxBatchKeys
+// batchable reports whether a request may share a run at all: the
+// element type must admit tagging (an integer key image — floats never
+// batch, because OR-ing a tag into float bits reorders values), its
+// tag needs at least one high bit of headroom, and its size must fit
+// under the batch cap. KV64 needs strict headroom: its padding
+// sentinel is compared by key only, so no tagged key may ever equal
+// the all-ones padding key (see fits).
+func batchable[E element.Elem](r *request[E], cfg Config) bool {
+	if len(r.keys) > cfg.MaxBatchKeys {
+		return false
+	}
+	kb := uint(element.KeyBits[E]())
+	switch element.TypeOf[E]() {
+	case element.TF32, element.TF64:
+		return false
+	case element.TKV64:
+		return r.maxKey < 1<<(kb-1)-1
+	default:
+		return r.maxKey < 1<<(kb-1)
+	}
 }
 
 // fits reports whether adding r to batch keeps the tag-bit scheme
 // sound: with k members, tags need b = bits.Len(k-1) high bits, so
-// every member's keys must fit in the remaining 32-b bits, and the
-// summed size must stay under MaxBatchKeys.
-func fits(batch []*request, total int, mx uint32, r *request, cfg Config) bool {
+// every member's keys must fit in the remaining KeyBits-b bits, and
+// the summed size must stay under MaxBatchKeys. For KV64 the bound is
+// strict (maxKey < mask, not ≤): padding sorts by key alone, so a
+// tagged record whose key equaled the all-ones padding key could swap
+// places with padding under the unstable sort and leak a padding
+// record into the last request's result.
+func fits[E element.Elem](batch []*request[E], total int, mx uint64, r *request[E], cfg Config) bool {
 	if !batchable(r, cfg) || total+len(r.keys) > cfg.MaxBatchKeys {
 		return false
 	}
 	k := len(batch) + 1
-	b := bits.Len(uint(k - 1))
+	b := uint(bits.Len(uint(k - 1)))
+	kb := uint(element.KeyBits[E]())
 	if r.maxKey > mx {
 		mx = r.maxKey
 	}
-	return uint64(mx) < 1<<(32-b)
+	limit := uint64(1) << (kb - b)
+	if element.TypeOf[E]() == element.TKV64 {
+		limit-- // strict: stay below the padding key, not just the tag
+	}
+	return mx < limit
 }
 
 // worker executes batches until the dispatcher closes the feed.
-func (s *Server) worker() {
+func (s *ServerOf[E]) worker() {
 	defer s.wg.Done()
-	var slab []uint32 // per-worker batch staging, grow-only
+	var slab []E // per-worker batch staging, grow-only
 	for batch := range s.exec {
 		s.runBatch(batch, &slab)
 	}

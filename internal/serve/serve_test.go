@@ -171,7 +171,7 @@ type gateCharger struct {
 	once sync.Once
 }
 
-func (g *gateCharger) Start(p *spmd.Proc) {
+func (g *gateCharger) Start(p *spmd.PC) {
 	g.once.Do(func() { <-g.gate })
 	g.Charger.Start(p)
 }

@@ -37,7 +37,7 @@ func newBarrier(p int) *barrier {
 // to the round maximum becomes a wait span, the processor's buffered
 // spans are flushed to the sink (outside the barrier lock), and the
 // goroutine's pprof phase label reads "wait" while blocked.
-func (b *barrier) maxClock(pr *Proc) {
+func (b *barrier) maxClock(pr *PC) {
 	prevTag := pr.curTag
 	pr.tag(int(obs.PhaseWait))
 	b.mu.Lock()
@@ -73,7 +73,7 @@ func (b *barrier) maxClock(pr *Proc) {
 	b.mu.Unlock()
 	pr.flushObs()
 	pr.tag(prevTag)
-	pr.e.charge.Synced(pr)
+	pr.st.charge.Synced(pr)
 }
 
 // poison releases all waiters with the unwind sentinel so a failed

@@ -4,10 +4,12 @@ package spmd
 // bulk operations the paper's implementation uses. All of them are
 // collective: every processor must call them in the same round.
 
+import "parbitonic/element"
+
 // AllGather sends mine to every processor and returns all
 // contributions indexed by source (the local contribution included).
-func (p *Proc) AllGather(mine []uint32) [][]uint32 {
-	out := make([][]uint32, p.e.p)
+func (p *ProcOf[E]) AllGather(mine []E) [][]E {
+	out := make([][]E, p.e.p)
 	for q := range out {
 		out[q] = mine
 	}
@@ -16,8 +18,8 @@ func (p *Proc) AllGather(mine []uint32) [][]uint32 {
 
 // Broadcast distributes root's data to every processor; callers other
 // than root pass nil. Returns the broadcast data.
-func (p *Proc) Broadcast(root int, data []uint32) []uint32 {
-	out := make([][]uint32, p.e.p)
+func (p *ProcOf[E]) Broadcast(root int, data []E) []E {
+	out := make([][]E, p.e.p)
 	if p.ID == root {
 		for q := range out {
 			out[q] = data
@@ -29,17 +31,24 @@ func (p *Proc) Broadcast(root int, data []uint32) []uint32 {
 
 // AllReduceSum element-wise sums every processor's vector (vectors must
 // have equal length on all processors) and returns the total on every
-// processor.
-func (p *Proc) AllReduceSum(mine []uint32) []uint32 {
+// processor. The sum is over the elements' order images, folded back
+// modulo the key width — native unsigned addition for integer
+// elements (the primitive counting sorts need); float elements sum
+// their order images, which is rarely meaningful.
+func (p *ProcOf[E]) AllReduceSum(mine []E) []E {
 	in := p.AllGather(mine)
-	out := make([]uint32, len(mine))
+	acc := make([]uint64, len(mine))
 	for _, v := range in {
 		if len(v) != len(mine) {
 			panic("spmd: AllReduceSum length mismatch across processors")
 		}
 		for i, x := range v {
-			out[i] += x
+			acc[i] += element.Bits(x)
 		}
+	}
+	out := make([]E, len(mine))
+	for i, a := range acc {
+		out[i] = element.FromBits[E](a, 0)
 	}
 	return out
 }
@@ -47,18 +56,23 @@ func (p *Proc) AllReduceSum(mine []uint32) []uint32 {
 // ExclusiveScanSum returns, for each element position, the sum of the
 // vectors of all lower-ranked processors (an exclusive prefix sum
 // across processor rank, element-wise) — the primitive behind rank
-// computation in counting-based sorts.
-func (p *Proc) ExclusiveScanSum(mine []uint32) []uint32 {
+// computation in counting-based sorts. Sums are over order images,
+// like AllReduceSum.
+func (p *ProcOf[E]) ExclusiveScanSum(mine []E) []E {
 	in := p.AllGather(mine)
-	out := make([]uint32, len(mine))
+	acc := make([]uint64, len(mine))
 	for src := 0; src < p.ID; src++ {
 		v := in[src]
 		if len(v) != len(mine) {
 			panic("spmd: ExclusiveScanSum length mismatch across processors")
 		}
 		for i, x := range v {
-			out[i] += x
+			acc[i] += element.Bits(x)
 		}
+	}
+	out := make([]E, len(mine))
+	for i, a := range acc {
+		out[i] = element.FromBits[E](a, 0)
 	}
 	return out
 }

@@ -5,12 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
-	"runtime/pprof"
-	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"parbitonic/element"
 	"parbitonic/internal/intbits"
 	"parbitonic/internal/obs"
 	"parbitonic/internal/trace"
@@ -42,29 +40,14 @@ type EngineConfig struct {
 	Labels map[string]string
 }
 
-// Engine is the concrete runtime both backends share: the processor
-// set, the exchange board and the clock-reducing barrier. Backend
-// packages wrap it with their Charger and any backend-specific
-// reporting.
-type Engine struct {
-	p      int
-	long   bool
-	costs  CostModel
-	charge Charger
-	rec    *trace.Recorder
-	sink   obs.Sink          // nil = observability disabled
-	labels map[string]string // static telemetry labels
-	board  [][]delivery      // board[src][dst], rewritten every exchange round
-	bar    *barrier
-	procs  []*Proc
-
-	// aborting flips to true the moment a run starts failing (processor
-	// panic or context cancellation); blocked processors are unwound via
-	// the poisoned barrier and running ones notice at their next phase
-	// boundary with a single atomic load.
-	aborting atomic.Bool
-	abortErr error // first failure cause; written under abortMu
-	abortMu  sync.Mutex
+// EngineOf is the concrete runtime both backends share, over element
+// type E: the processor set, the exchange board and the clock-reducing
+// barrier. Backend packages wrap it with their Charger and any
+// backend-specific reporting.
+type EngineOf[E element.Elem] struct {
+	*state
+	board [][]delivery[E] // board[src][dst], rewritten every exchange round
+	procs []*ProcOf[E]
 
 	// bufs recycles long-message buffers between remap rounds: a
 	// receiver returns a message's backing array once it has unpacked
@@ -74,40 +57,32 @@ type Engine struct {
 	bufs sync.Pool
 }
 
-type delivery struct {
-	data []uint32
+// Engine is the uint32 engine, the element type of the paper's
+// experiments.
+type Engine = EngineOf[uint32]
+
+type delivery[E element.Elem] struct {
+	data []E
 }
 
-// Proc is one processor of the runtime, owned by exactly one goroutine
-// during Run.
-type Proc struct {
-	ID   int      // processor index in [0, P)
-	Data []uint32 // local keys; algorithms read and replace freely
+// ProcOf is one processor of the runtime over element type E, owned by
+// exactly one goroutine during Run. The embedded PC supplies identity,
+// clock, stats and the charge/observability services.
+type ProcOf[E element.Elem] struct {
+	PC
+	Data []E // local elements; algorithms read and replace freely
 
-	// Clock is the processor's accumulated time in µs: virtual model
-	// time under the simulator, measured wall time under the native
-	// backend. Barriers advance it to the round maximum either way.
-	Clock float64
-	Stats Stats // counters and per-phase time accumulated this run
-
-	e *Engine
-
-	// Per-processor routing scratch, reused across remap rounds.
-	dest, off []int32
-	nl        []int32
-	outs      [][]uint32
-
-	// Observability state, touched only by the owning goroutine: spans
-	// buffer between barrier flushes, and the precomputed pprof label
-	// contexts (one per phase tag; nil when profiling is off).
-	obsBuf   []obs.Span
-	labelCtx []context.Context
-	curTag   int
+	e    *EngineOf[E]
+	outs [][]E // pack-destination scratch, reused across remap rounds
 }
 
-// NewEngine creates the substrate. P must be a power of two and at
-// least 1; cfg.Charge must be non-nil.
-func NewEngine(cfg EngineConfig) (*Engine, error) {
+// Proc is the uint32 processor, the element type of the paper's
+// experiments.
+type Proc = ProcOf[uint32]
+
+// NewEngineOf creates the substrate for element type E. P must be a
+// power of two and at least 1; cfg.Charge must be non-nil.
+func NewEngineOf[E element.Elem](cfg EngineConfig) (*EngineOf[E], error) {
 	if !intbits.IsPow2(cfg.P) {
 		return nil, fmt.Errorf("spmd: P=%d must be a positive power of two", cfg.P)
 	}
@@ -117,44 +92,54 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Costs.RadixPasses <= 0 {
 		cfg.Costs = DefaultCosts()
 	}
-	e := &Engine{
-		p:      cfg.P,
-		long:   cfg.Long,
-		costs:  cfg.Costs,
-		charge: cfg.Charge,
-		rec:    cfg.Trace,
-		sink:   cfg.Sink,
-		labels: cfg.Labels,
-		bar:    newBarrier(cfg.P),
+	st := &state{
+		p:        cfg.P,
+		long:     cfg.Long,
+		costs:    cfg.Costs,
+		charge:   cfg.Charge,
+		rec:      cfg.Trace,
+		sink:     cfg.Sink,
+		labels:   cfg.Labels,
+		bar:      newBarrier(cfg.P),
+		words:    element.Words[E](),
+		keyScale: element.KeyBits[E]() / 32,
 	}
-	e.board = make([][]delivery, cfg.P)
+	e := &EngineOf[E]{state: st}
+	e.board = make([][]delivery[E], cfg.P)
 	for i := range e.board {
-		e.board[i] = make([]delivery, cfg.P)
+		e.board[i] = make([]delivery[E], cfg.P)
 	}
-	e.procs = make([]*Proc, cfg.P)
+	e.procs = make([]*ProcOf[E], cfg.P)
 	for i := range e.procs {
-		e.procs[i] = &Proc{ID: i, e: e}
+		p := &ProcOf[E]{PC: PC{ID: i, st: st}, e: e}
+		p.ops = p
+		e.procs[i] = p
 	}
 	return e, nil
 }
 
+// NewEngine creates a uint32 substrate; see NewEngineOf.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	return NewEngineOf[uint32](cfg)
+}
+
 // P returns the processor count.
-func (e *Engine) P() int { return e.p }
+func (e *EngineOf[E]) P() int { return e.p }
 
 // abort records the first failure cause and unwinds every processor:
 // blocked ones are released by the poisoned barrier, running ones
 // notice at their next phase boundary.
-func (e *Engine) abort(cause error) {
-	e.abortMu.Lock()
-	first := e.abortErr == nil
+func (st *state) abort(cause error) {
+	st.abortMu.Lock()
+	first := st.abortErr == nil
 	if first {
-		e.abortErr = cause
+		st.abortErr = cause
 	}
-	e.abortMu.Unlock()
-	e.aborting.Store(true)
-	e.bar.poison()
-	if first && e.sink != nil {
-		e.sink.Emit(abortEvent(cause))
+	st.abortMu.Unlock()
+	st.aborting.Store(true)
+	st.bar.poison()
+	if first && st.sink != nil {
+		st.sink.Emit(abortEvent(cause))
 	}
 }
 
@@ -185,11 +170,11 @@ func abortEvent(cause error) obs.Event {
 // (an abort between pack and clearOuts leaves stale out-slices that
 // the NEXT run's exchange would deliver as phantom messages) — so the
 // engine is immediately reusable.
-func (e *Engine) recoverState() {
+func (e *EngineOf[E]) recoverState() {
 	e.bar.reset()
 	for i := range e.board {
 		for j := range e.board[i] {
-			e.board[i][j] = delivery{}
+			e.board[i][j] = delivery[E]{}
 		}
 	}
 	for _, p := range e.procs {
@@ -201,7 +186,7 @@ func (e *Engine) recoverState() {
 
 // Run executes body once per processor, concurrently, SPMD style, and
 // aggregates the results. It is RunContext with a background context.
-func (e *Engine) Run(data [][]uint32, body func(p *Proc)) (Result, error) {
+func (e *EngineOf[E]) Run(data [][]E, body func(p *ProcOf[E])) (Result, error) {
 	return e.RunContext(context.Background(), data, body)
 }
 
@@ -217,7 +202,7 @@ func (e *Engine) Run(data [][]uint32, body func(p *Proc)) (Result, error) {
 // same way and the returned error wraps ErrCanceled or ErrDeadline
 // (and the context's own error). After any failure the engine is
 // reusable; the processors' Data is unspecified.
-func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *Proc)) (Result, error) {
+func (e *EngineOf[E]) RunContext(ctx context.Context, data [][]E, body func(p *ProcOf[E])) (Result, error) {
 	if data != nil && len(data) != e.p {
 		return Result{}, fmt.Errorf("spmd: Run got %d data slices for %d processors", len(data), e.p)
 	}
@@ -247,7 +232,7 @@ func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *P
 			defer watcher.Done()
 			select {
 			case <-ctx.Done():
-				e.abort(ctxError(ctx.Err()))
+				e.state.abort(ctxError(ctx.Err()))
 			case <-watchDone:
 			}
 		}()
@@ -273,11 +258,11 @@ func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *P
 						return // abort propagation; the cause is already recorded
 					}
 					p.abortSpan()
-					e.abort(&PanicError{Proc: p.ID, Value: r, Stack: debug.Stack()})
+					e.state.abort(&PanicError{Proc: p.ID, Value: r, Stack: debug.Stack()})
 				}
 			}()
 			p.initObs()
-			e.charge.Start(p)
+			e.charge.Start(&p.PC)
 			body(p)
 		}()
 	}
@@ -348,232 +333,63 @@ func (e *Engine) RunContext(ctx context.Context, data [][]uint32, body func(p *P
 }
 
 // Data returns the final local data of every processor after a Run.
-func (e *Engine) Data() [][]uint32 {
-	out := make([][]uint32, e.p)
+func (e *EngineOf[E]) Data() [][]E {
+	out := make([][]E, e.p)
 	for i, p := range e.procs {
 		out[i] = p.Data
 	}
 	return out
 }
 
-// ---- per-processor runtime services ----
+// ---- per-processor generic services ----
 
-// P returns the runtime's processor count.
-func (p *Proc) P() int { return p.e.p }
+// DataLen returns the processor's local element count (the procOps
+// seam the fault injector's corruption plans go through).
+func (p *ProcOf[E]) DataLen() int { return len(p.Data) }
 
-// Costs exposes the runtime's computation cost model.
-func (p *Proc) Costs() CostModel { return p.e.costs }
-
-// Long reports whether the runtime uses long messages.
-func (p *Proc) Long() bool { return p.e.long }
-
-// Aborting reports whether the current run is being torn down (a peer
-// panicked or the context was canceled). It is a single atomic load —
-// cheap enough for long local-computation loops to poll as a
-// cooperative cancellation point; collectives check it implicitly.
-func (p *Proc) Aborting() bool { return p.e.aborting.Load() }
-
-// checkAbort unwinds the calling processor if the run is aborting. The
-// fast path is one atomic load.
-func (p *Proc) checkAbort() {
-	if p.e.aborting.Load() {
-		panic(poisonPanic{})
-	}
+// CorruptKey flips the top key bit of local element i through the
+// element's order image, preserving any payload: the generic form of
+// Data[i] ^= 1<<31 on uint32 data.
+func (p *ProcOf[E]) CorruptKey(i int) {
+	v := p.Data[i]
+	bits := element.Bits(v) ^ 1<<(element.KeyBits[E]()-1)
+	p.Data[i] = element.FromBits[E](bits, element.Aux(v))
 }
 
-// ChargeCompute accounts for local computation whose modelled cost is
-// t model µs.
-func (p *Proc) ChargeCompute(t float64) {
-	p.checkAbort()
-	p.e.charge.Compute(p, t)
-}
-
-// ChargeRadixSort charges a full local radix sort of n keys.
-func (p *Proc) ChargeRadixSort(n int) {
-	p.checkAbort()
-	c := p.e.costs
-	p.e.charge.Compute(p, c.RadixPass*float64(c.RadixPasses)*float64(n)*c.CacheFactor(n))
-}
-
-// ChargeMerge charges linear merge work over n keys (bitonic merge
-// sort, two-way or p-way merging — all O(n) routines of Chapter 4).
-func (p *Proc) ChargeMerge(n int) {
-	p.checkAbort()
-	c := p.e.costs
-	p.e.charge.Compute(p, c.Merge*float64(n)*c.CacheFactor(n))
-}
-
-// ChargeCompareExchange charges one simulated network step over n keys.
-func (p *Proc) ChargeCompareExchange(n int) {
-	p.checkAbort()
-	c := p.e.costs
-	p.e.charge.Compute(p, c.CompareExchange*float64(n)*c.CacheFactor(n))
-}
-
-// GetBuf returns an n-key buffer, recycled from the engine's message
-// pool when one of sufficient capacity is available. Contents are
-// undefined; callers must overwrite every slot.
-func (p *Proc) GetBuf(n int) []uint32 {
+// GetBuf returns an n-element buffer, recycled from the engine's
+// message pool when one of sufficient capacity is available. Contents
+// are undefined; callers must overwrite every slot.
+func (p *ProcOf[E]) GetBuf(n int) []E {
 	if v := p.e.bufs.Get(); v != nil {
-		if b := v.([]uint32); cap(b) >= n {
+		if b := v.([]E); cap(b) >= n {
 			return b[:n]
 		}
 	}
-	return make([]uint32, n)
+	return make([]E, n)
 }
 
 // PutBuf returns a buffer to the message pool. Only hand back buffers
 // no other processor can still read — typically messages this
 // processor received and has fully consumed.
-func (p *Proc) PutBuf(b []uint32) {
+func (p *ProcOf[E]) PutBuf(b []E) {
 	if cap(b) == 0 {
 		return
 	}
 	p.e.bufs.Put(b[:cap(b)])
 }
 
-// routeScratch returns the per-processor dest/off routing tables sized
-// for n local keys.
-func (p *Proc) routeScratch(n int) (dest, off []int32) {
-	if cap(p.dest) < n {
-		p.dest = make([]int32, n)
-		p.off = make([]int32, n)
-	}
-	return p.dest[:n], p.off[:n]
-}
-
-// nlScratch returns the per-processor unpack table sized for msgLen.
-func (p *Proc) nlScratch(msgLen int) []int32 {
-	if cap(p.nl) < msgLen {
-		p.nl = make([]int32, msgLen)
-	}
-	return p.nl[:msgLen]
-}
-
 // outScratch returns the per-processor destination-slice table (all
 // entries nil). Callers must nil the entries they set once the round's
 // exchange has completed; clearOuts does that.
-func (p *Proc) outScratch() [][]uint32 {
+func (p *ProcOf[E]) outScratch() [][]E {
 	if p.outs == nil {
-		p.outs = make([][]uint32, p.e.p)
+		p.outs = make([][]E, p.e.p)
 	}
 	return p.outs
 }
 
-func (p *Proc) clearOuts() {
+func (p *ProcOf[E]) clearOuts() {
 	for i := range p.outs {
 		p.outs[i] = nil
 	}
-}
-
-// ---- observability services ----
-
-// obsPhase maps the trace recorder's phase letters onto the
-// observability layer's dense phase enum.
-func obsPhase(ph trace.Phase) obs.Phase {
-	switch ph {
-	case trace.Compute:
-		return obs.PhaseCompute
-	case trace.Pack:
-		return obs.PhasePack
-	case trace.Transfer:
-		return obs.PhaseTransfer
-	case trace.Unpack:
-		return obs.PhaseUnpack
-	case trace.Wait:
-		return obs.PhaseWait
-	}
-	return obs.PhaseAbort
-}
-
-// Span records one completed phase span [start, end) on the
-// processor's backend clock. It feeds both consumers at once: the
-// trace recorder (if configured) for timeline rendering, and the
-// observability sink (if configured) via the processor's private span
-// buffer, stamped with the current remap round and a wall-clock
-// timestamp. Chargers call it at every phase boundary; with neither
-// consumer configured it is two pointer checks.
-func (p *Proc) Span(ph trace.Phase, start, end float64) {
-	if r := p.e.rec; r != nil {
-		r.Add(trace.Event{Proc: p.ID, Phase: ph, Start: start, End: end})
-	}
-	if p.e.sink != nil && end > start {
-		p.obsBuf = append(p.obsBuf, obs.Span{
-			Proc:  p.ID,
-			Round: p.Stats.Remaps,
-			Phase: obsPhase(ph),
-			Start: start,
-			End:   end,
-			Wall:  time.Now().UnixNano(),
-		})
-	}
-}
-
-// flushObs hands the processor's buffered spans to the sink. Called at
-// every barrier release (each processor flushes its own buffer, so the
-// sink's lock is taken once per processor per barrier, never per span)
-// and once more when the run ends.
-func (p *Proc) flushObs() {
-	if p.e.sink == nil || len(p.obsBuf) == 0 {
-		return
-	}
-	p.e.sink.FlushSpans(p.ID, p.obsBuf)
-	p.obsBuf = p.obsBuf[:0]
-}
-
-// abortSpan records a zero-advance abort marker when the processor
-// unwinds, so aborted work is visible in the span stream.
-func (p *Proc) abortSpan() {
-	if p.e.sink == nil {
-		return
-	}
-	p.obsBuf = append(p.obsBuf, obs.Span{
-		Proc:  p.ID,
-		Round: p.Stats.Remaps,
-		Phase: obs.PhaseAbort,
-		Start: p.Clock,
-		End:   p.Clock,
-		Wall:  time.Now().UnixNano(),
-	})
-}
-
-// phaseTagNames order must match the obs.Phase constants; abort never
-// becomes a goroutine label.
-var phaseTagNames = [...]string{"compute", "pack", "transfer", "unpack", "wait"}
-
-// initObs prepares the processor's observability state at run start:
-// the span buffer is cleared and, when a sink is configured, one pprof
-// label context per phase is prebuilt (proc, phase, plus the engine's
-// static labels) and the goroutine labeled as computing — from here on
-// a phase change is a single SetGoroutineLabels call with no
-// allocation.
-func (p *Proc) initObs() {
-	p.obsBuf = p.obsBuf[:0]
-	if p.e.sink == nil {
-		p.labelCtx = nil
-		return
-	}
-	if p.labelCtx == nil {
-		kv := make([]string, 0, 2*(2+len(p.e.labels)))
-		kv = append(kv, "proc", strconv.Itoa(p.ID))
-		for k, v := range p.e.labels {
-			kv = append(kv, k, v)
-		}
-		p.labelCtx = make([]context.Context, len(phaseTagNames))
-		for i, name := range phaseTagNames {
-			args := append(kv[:len(kv):len(kv)], "phase", name)
-			p.labelCtx[i] = pprof.WithLabels(context.Background(), pprof.Labels(args...))
-		}
-	}
-	p.tag(int(obs.PhaseCompute))
-}
-
-// tag switches the goroutine's pprof phase label; no-op when profiling
-// is off.
-func (p *Proc) tag(t int) {
-	if p.labelCtx == nil {
-		return
-	}
-	p.curTag = t
-	pprof.SetGoroutineLabels(p.labelCtx[t])
 }

@@ -7,16 +7,6 @@ import (
 	"parbitonic/internal/obs"
 )
 
-// Barrier synchronizes all processors and advances every clock to the
-// maximum (the runtime is bulk-synchronous between phases, like the
-// barrier-separated phases of the Split-C implementation). If the run
-// is aborting (peer panic, canceled context), Barrier unwinds instead
-// of blocking; the abort check is a single atomic load.
-func (p *Proc) Barrier() {
-	p.checkAbort()
-	p.e.bar.maxClock(p)
-}
-
 // Exchange performs an all-to-all: out[q] is sent to processor q
 // (out[p.ID] is kept locally, nil entries send nothing) and the result
 // holds one slice per source processor (the local slice comes back in
@@ -24,7 +14,7 @@ func (p *Proc) Barrier() {
 // zero-copy; receivers read the sender's backing array directly.
 // Transfer time is charged per the backend's policy and all clocks
 // synchronize afterwards.
-func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
+func (p *ProcOf[E]) Exchange(out [][]E) [][]E {
 	p.checkAbort()
 	p.tag(int(obs.PhaseTransfer))
 	e := p.e
@@ -33,7 +23,7 @@ func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
 	}
 	vol, msgs := 0, 0
 	for q, msg := range out {
-		e.board[p.ID][q] = delivery{data: msg}
+		e.board[p.ID][q] = delivery[E]{data: msg}
 		if q != p.ID && len(msg) > 0 {
 			vol += len(msg)
 			msgs++
@@ -41,13 +31,13 @@ func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
 	}
 	p.Stats.VolumeSent += vol
 	p.Stats.MessagesSent += msgs
-	e.bar.maxClock(p) // publish sends
-	in := make([][]uint32, e.p)
+	e.bar.maxClock(&p.PC) // publish sends
+	in := make([][]E, e.p)
 	for src := 0; src < e.p; src++ {
 		in[src] = e.board[src][p.ID].data
 	}
-	e.charge.Transfer(p, vol, msgs)
-	e.bar.maxClock(p) // everyone has read; board reusable, clocks synced
+	e.charge.Transfer(&p.PC, vol, msgs)
+	e.bar.maxClock(&p.PC) // everyone has read; board reusable, clocks synced
 	p.tag(int(obs.PhaseCompute))
 	return in
 }
@@ -56,20 +46,20 @@ func (p *Proc) Exchange(out [][]uint32) [][]uint32 {
 // slice and receive the other's. Every processor must participate in
 // the round (processors pair up mutually). Used by the Blocked-Merge
 // baseline, whose remote steps exchange full halves between pairs.
-func (p *Proc) PairExchange(partner int, out []uint32) []uint32 {
+func (p *ProcOf[E]) PairExchange(partner int, out []E) []E {
 	p.checkAbort()
 	p.tag(int(obs.PhaseTransfer))
 	e := p.e
 	if partner < 0 || partner >= e.p || partner == p.ID {
 		panic(fmt.Sprintf("spmd: bad partner %d for processor %d", partner, p.ID))
 	}
-	e.board[p.ID][partner] = delivery{data: out}
+	e.board[p.ID][partner] = delivery[E]{data: out}
 	p.Stats.VolumeSent += len(out)
 	p.Stats.MessagesSent++
-	e.bar.maxClock(p)
+	e.bar.maxClock(&p.PC)
 	in := e.board[partner][p.ID].data
-	e.charge.Transfer(p, len(out), 1)
-	e.bar.maxClock(p)
+	e.charge.Transfer(&p.PC, len(out), 1)
+	e.bar.maxClock(&p.PC)
 	p.tag(int(obs.PhaseCompute))
 	return in
 }
@@ -78,7 +68,7 @@ func (p *Proc) PairExchange(partner int, out []uint32) []uint32 {
 // the plan. The returned slice is the per-processor out table; the
 // caller must run it through Exchange before touching p.Data again and
 // clear it afterwards.
-func (p *Proc) pack(plan *addr.RemapPlan, n int) [][]uint32 {
+func (p *ProcOf[E]) pack(plan *addr.RemapPlan, n int) [][]E {
 	out := p.outScratch()
 	for _, q := range plan.Dests(p.ID) {
 		out[q] = p.GetBuf(plan.MsgLen)
@@ -105,7 +95,7 @@ func (p *Proc) pack(plan *addr.RemapPlan, n int) [][]uint32 {
 // Message buffers come from the engine's pool: each received message's
 // backing array is recycled once unpacked, so steady-state remapping
 // allocates only the new local array.
-func (p *Proc) RemapExchange(plan *addr.RemapPlan, fused bool) {
+func (p *ProcOf[E]) RemapExchange(plan *addr.RemapPlan, fused bool) {
 	e := p.e
 	n := plan.Old.LocalN()
 	if len(p.Data) != n {
@@ -114,13 +104,13 @@ func (p *Proc) RemapExchange(plan *addr.RemapPlan, fused bool) {
 	p.tag(int(obs.PhasePack))
 	out := p.pack(plan, n)
 	if e.long && !fused {
-		e.charge.Pack(p, n)
+		e.charge.Pack(&p.PC, n)
 	}
 	in := p.Exchange(out)
 	p.clearOuts()
 	// Unpack into the new local order.
 	p.tag(int(obs.PhaseUnpack))
-	next := make([]uint32, n)
+	next := make([]E, n)
 	nl := p.nlScratch(plan.MsgLen)
 	for src, msg := range in {
 		if len(msg) == 0 {
@@ -134,7 +124,7 @@ func (p *Proc) RemapExchange(plan *addr.RemapPlan, fused bool) {
 	}
 	p.Data = next
 	if e.long && !fused {
-		e.charge.Unpack(p, n)
+		e.charge.Unpack(&p.PC, n)
 	}
 	p.tag(int(obs.PhaseCompute))
 	p.Stats.Remaps++
@@ -148,7 +138,7 @@ func (p *Proc) RemapExchange(plan *addr.RemapPlan, fused bool) {
 // time is charged, and pack time only when fusedPack is false. The
 // returned messages are pooled buffers — hand them back with PutBuf
 // once consumed.
-func (p *Proc) RemapExchangeRuns(plan *addr.RemapPlan, fusedPack bool) [][]uint32 {
+func (p *ProcOf[E]) RemapExchangeRuns(plan *addr.RemapPlan, fusedPack bool) [][]E {
 	e := p.e
 	n := plan.Old.LocalN()
 	if len(p.Data) != n {
@@ -157,7 +147,7 @@ func (p *Proc) RemapExchangeRuns(plan *addr.RemapPlan, fusedPack bool) [][]uint3
 	p.tag(int(obs.PhasePack))
 	out := p.pack(plan, n)
 	if e.long && !fusedPack {
-		e.charge.Pack(p, n)
+		e.charge.Pack(&p.PC, n)
 	}
 	in := p.Exchange(out)
 	p.clearOuts()
@@ -172,7 +162,7 @@ func (p *Proc) RemapExchangeRuns(plan *addr.RemapPlan, fusedPack bool) [][]uint3
 // directly into the message buffers — the thesis's "single local
 // computation step" future work — so neither pack nor unpack time is
 // charged. Returns the received messages by source; p.Data is set nil.
-func (p *Proc) RemapExchangePrepacked(plan *addr.RemapPlan, out [][]uint32) [][]uint32 {
+func (p *ProcOf[E]) RemapExchangePrepacked(plan *addr.RemapPlan, out [][]E) [][]E {
 	e := p.e
 	if len(out) != e.p {
 		panic(fmt.Sprintf("spmd: prepacked exchange wants %d slices, got %d", e.p, len(out)))
@@ -192,7 +182,7 @@ func (p *Proc) RemapExchangePrepacked(plan *addr.RemapPlan, out [][]uint32) [][]
 // of this processor under the plan, for use with
 // RemapExchangePrepacked. The caller owns nil-ing its table entries
 // after the exchange.
-func (p *Proc) PackBuffers(plan *addr.RemapPlan) [][]uint32 {
+func (p *ProcOf[E]) PackBuffers(plan *addr.RemapPlan) [][]E {
 	out := p.outScratch()
 	for _, q := range plan.Dests(p.ID) {
 		out[q] = p.GetBuf(plan.MsgLen)
@@ -202,4 +192,4 @@ func (p *Proc) PackBuffers(plan *addr.RemapPlan) [][]uint32 {
 
 // ClearPackBuffers nils the per-processor destination table filled by
 // PackBuffers once the exchange round has completed.
-func (p *Proc) ClearPackBuffers() { p.clearOuts() }
+func (p *ProcOf[E]) ClearPackBuffers() { p.clearOuts() }

@@ -12,12 +12,12 @@ import (
 // (countCharger's plain counters are for the P=1 contract tests only).
 type nopCharger struct{}
 
-func (nopCharger) Start(*Proc)              {}
-func (nopCharger) Compute(*Proc, float64)   {}
-func (nopCharger) Pack(*Proc, int)          {}
-func (nopCharger) Unpack(*Proc, int)        {}
-func (nopCharger) Transfer(*Proc, int, int) {}
-func (nopCharger) Synced(*Proc)             {}
+func (nopCharger) Start(*PC)              {}
+func (nopCharger) Compute(*PC, float64)   {}
+func (nopCharger) Pack(*PC, int)          {}
+func (nopCharger) Unpack(*PC, int)        {}
+func (nopCharger) Transfer(*PC, int, int) {}
+func (nopCharger) Synced(*PC)             {}
 
 // spin is a body that barriers forever; only an abort can unwind it.
 func spin(p *Proc) {

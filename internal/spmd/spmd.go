@@ -18,11 +18,20 @@
 // and Result shapes, so callers switch between "predict what the 1996
 // Meiko would do" and "sort as fast as this machine allows" without
 // touching algorithm code.
+//
+// The data plane is generic over the element layer: EngineOf[E] and
+// ProcOf[E] carry any parbitonic/element type through the exchange
+// board, buffer pool and remap phases, while the per-processor core
+// every Charger sees (PC) stays non-generic — time accounting never
+// depends on the element type beyond its width, which the engine
+// captures once at construction (see PC.Words). The Engine, Proc and
+// Backend aliases pin E = uint32, the paper's native element.
 package spmd
 
 import (
 	"context"
 
+	"parbitonic/element"
 	"parbitonic/internal/intbits"
 )
 
@@ -32,6 +41,13 @@ import (
 // CS-2 measurements (see DESIGN.md §2); only relative magnitudes carry
 // meaning. Wall-clock backends carry a CostModel for API compatibility
 // but never consult it.
+//
+// The per-element values are calibrated for the paper's 4-byte keys.
+// Wider elements charge proportionally more: every memory-bound charge
+// scales by the element's size in 32-bit words, and radix passes by
+// the key width in 32-bit units (see the PC charge helpers), so a
+// uint32 run is numerically unchanged while a uint64 run pays for
+// moving twice the bytes and digesting twice the key bits.
 type CostModel struct {
 	RadixPass       float64 // one counting pass of LSD radix sort, per key
 	RadixPasses     int     // passes needed for 32-bit keys
@@ -72,7 +88,9 @@ func DefaultCosts() CostModel {
 }
 
 // CacheFactor is the cache-miss multiplier for memory-bound work over n
-// local keys.
+// local keys. Callers working in wider elements pass the footprint in
+// 4-byte words (n times the element's word count), since LgCacheKeys
+// measures the cache in 4-byte keys.
 func (c CostModel) CacheFactor(n int) float64 {
 	if c.CacheAlpha == 0 {
 		return 1
@@ -90,7 +108,7 @@ func (c CostModel) CacheFactor(n int) float64 {
 type Stats struct {
 	Remaps       int // collective remap operations participated in
 	MessagesSent int // messages to *other* processors
-	VolumeSent   int // keys sent to other processors
+	VolumeSent   int // elements sent to other processors
 
 	ComputeTime  float64 // local sorts, merges, compare-exchange steps
 	PackTime     float64 // packing keys into long messages
@@ -132,29 +150,35 @@ func (r Result) TimePerKey(totalKeys int) float64 { return r.Time / float64(tota
 // charger timestamps phases with the real clock. Implementations own
 // the updates to p.Clock, p.Stats time fields and the trace recorder;
 // the runtime calls them at every phase boundary.
+//
+// Chargers see the element-independent processor core (*PC), never the
+// generic processor: counts are in elements, and width-dependent
+// scaling reads p.Words — one charger implementation serves every
+// element instantiation.
 type Charger interface {
 	// Start is called on the processor's own goroutine before the body.
-	Start(p *Proc)
+	Start(p *PC)
 	// Compute charges local computation whose modelled cost is t model
 	// µs (wall-clock chargers ignore t and measure instead).
-	Compute(p *Proc, t float64)
-	// Pack charges the long-message packing pass over n local keys.
-	Pack(p *Proc, n int)
-	// Unpack charges the long-message unpacking pass over n local keys.
-	Unpack(p *Proc, n int)
+	Compute(p *PC, t float64)
+	// Pack charges the long-message packing pass over n local elements.
+	Pack(p *PC, n int)
+	// Unpack charges the long-message unpacking pass over n local
+	// elements.
+	Unpack(p *PC, n int)
 	// Transfer charges one collective exchange round in which the
-	// processor sent `volume` keys in `msgs` messages to other
+	// processor sent `volume` elements in `msgs` messages to other
 	// processors.
-	Transfer(p *Proc, volume, msgs int)
+	Transfer(p *PC, volume, msgs int)
 	// Synced is called after every barrier release (the processor's
 	// clock has been advanced to the round maximum).
-	Synced(p *Proc)
+	Synced(p *PC)
 }
 
-// Backend is a complete execution engine for SPMD algorithm bodies.
-// core.Sort and the psort sorters accept any Backend; internal/machine
-// (LogGP simulation) and internal/native (wall-clock execution)
-// provide the two implementations.
+// BackendOf is a complete execution engine for SPMD algorithm bodies
+// over element type E. core.Sort and the psort sorters accept any
+// backend; internal/machine (LogGP simulation) and internal/native
+// (wall-clock execution) provide the two implementations.
 //
 // Both run methods share the engine's fail-safe semantics: a processor
 // panic is contained and returned as a *PanicError (never re-panicked),
@@ -162,18 +186,22 @@ type Charger interface {
 // processors are released through the poisoned barrier — with an error
 // wrapping ErrCanceled or ErrDeadline. The backend remains usable
 // after any failure.
-type Backend interface {
+type BackendOf[E element.Elem] interface {
 	// P returns the processor count.
 	P() int
 	// Run executes body once per processor, concurrently, SPMD style,
 	// and aggregates the results. data[i] becomes processor i's initial
 	// local memory (may be nil). Equivalent to RunContext with a
 	// background context.
-	Run(data [][]uint32, body func(p *Proc)) (Result, error)
+	Run(data [][]E, body func(p *ProcOf[E])) (Result, error)
 	// RunContext is Run under a context: cancellation or deadline
 	// expiry aborts the run and returns a typed error instead of
 	// hanging at the next barrier.
-	RunContext(ctx context.Context, data [][]uint32, body func(p *Proc)) (Result, error)
+	RunContext(ctx context.Context, data [][]E, body func(p *ProcOf[E])) (Result, error)
 	// Data returns the final local data of every processor after a Run.
-	Data() [][]uint32
+	Data() [][]E
 }
+
+// Backend is the uint32 backend interface, the element type of the
+// paper's experiments.
+type Backend = BackendOf[uint32]

@@ -11,12 +11,12 @@ type countCharger struct {
 	start, compute, pack, unpack, transfer, synced int
 }
 
-func (c *countCharger) Start(*Proc)              { c.start++ }
-func (c *countCharger) Compute(*Proc, float64)   { c.compute++ }
-func (c *countCharger) Pack(*Proc, int)          { c.pack++ }
-func (c *countCharger) Unpack(*Proc, int)        { c.unpack++ }
-func (c *countCharger) Transfer(*Proc, int, int) { c.transfer++ }
-func (c *countCharger) Synced(*Proc)             { c.synced++ }
+func (c *countCharger) Start(*PC)              { c.start++ }
+func (c *countCharger) Compute(*PC, float64)   { c.compute++ }
+func (c *countCharger) Pack(*PC, int)          { c.pack++ }
+func (c *countCharger) Unpack(*PC, int)        { c.unpack++ }
+func (c *countCharger) Transfer(*PC, int, int) { c.transfer++ }
+func (c *countCharger) Synced(*PC)             { c.synced++ }
 
 func mustEngine(t testing.TB, cfg EngineConfig) *Engine {
 	t.Helper()

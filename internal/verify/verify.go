@@ -9,38 +9,67 @@
 //     first key of the next non-empty processor (with 1, this makes
 //     the concatenated output globally sorted);
 //  3. multiset — the output is a permutation of the input, witnessed
-//     by an O(n) checksum (count, xor, and sum of all keys) taken of
-//     the input before the sort ran.
+//     by an O(n) checksum (count, xor, and sum of all elements) taken
+//     of the input before the sort ran.
 //
-// The checksum is a witness, not a proof — a corruption that preserves
-// count, xor and sum simultaneously passes — but a single flipped bit,
-// a lost message, or a duplicated key always changes at least one of
-// the three.
+// The checksum folds both the key's order image and the auxiliary
+// payload word (zero for scalar elements), so for key+payload records
+// a lost, duplicated, or corrupted payload is caught exactly like a
+// corrupted key. It is a witness, not a proof — a corruption that
+// preserves count, xor and sum simultaneously passes — but a single
+// flipped bit, a lost message, or a duplicated element always changes
+// at least one component.
 package verify
 
-import "fmt"
+import (
+	"fmt"
 
-// Checksum is an order-independent fingerprint of a key multiset.
+	"parbitonic/element"
+)
+
+// Checksum is an order-independent fingerprint of an element multiset.
+// Keys are folded through their order images; Aux folds the payload
+// words of record elements (both components stay zero for scalars with
+// no payload only when the keys themselves xor/sum to zero).
 type Checksum struct {
-	Count int    // number of keys
-	Xor   uint32 // xor of all keys
-	Sum   uint64 // sum of all keys (mod 2^64)
+	Count  int    // number of elements
+	Xor    uint64 // xor of all key images
+	Sum    uint64 // sum of all key images (mod 2^64)
+	AuxXor uint64 // xor of all payload words
+	AuxSum uint64 // sum of all payload words (mod 2^64)
 }
 
 // Sum fingerprints keys.
-func Sum(keys []uint32) Checksum {
+func Sum[E element.Elem](keys []E) Checksum {
 	c := Checksum{Count: len(keys)}
 	for _, k := range keys {
-		c.Xor ^= k
-		c.Sum += uint64(k)
+		b := element.Bits(k)
+		a := element.Aux(k)
+		c.Xor ^= b
+		c.Sum += b
+		c.AuxXor ^= a
+		c.AuxSum += a
 	}
 	return c
 }
 
-// Add folds another slice into the checksum (for distributed inputs).
+// Add folds another uint32 slice into the checksum (for distributed
+// inputs); Fold is the generic equivalent (Go methods cannot take type
+// parameters).
 func (c Checksum) Add(keys []uint32) Checksum {
+	return Fold(c, keys)
+}
+
+// Fold folds another slice of any element type into the checksum.
+func Fold[E element.Elem](c Checksum, keys []E) Checksum {
 	d := Sum(keys)
-	return Checksum{Count: c.Count + d.Count, Xor: c.Xor ^ d.Xor, Sum: c.Sum + d.Sum}
+	return Checksum{
+		Count:  c.Count + d.Count,
+		Xor:    c.Xor ^ d.Xor,
+		Sum:    c.Sum + d.Sum,
+		AuxXor: c.AuxXor ^ d.AuxXor,
+		AuxSum: c.AuxSum + d.AuxSum,
+	}
 }
 
 // Error names the first violated invariant of a failed verification.
@@ -62,29 +91,31 @@ func (e *Error) Error() string {
 // per-processor data of a run against the input fingerprint. It
 // returns nil when the output is a correctly sorted permutation of the
 // fingerprinted input, or an *Error naming the first violated
-// invariant.
-func Distributed(data [][]uint32, want Checksum) *Error {
+// invariant. For record elements "sorted" means sorted by key;
+// payloads are covered by the multiset invariant.
+func Distributed[E element.Elem](data [][]E, want Checksum) *Error {
 	// 1. local-sorted, per processor.
 	for p, d := range data {
 		for i := 1; i < len(d); i++ {
-			if d[i-1] > d[i] {
+			if element.Less(d[i], d[i-1]) {
 				return &Error{
 					Invariant: "local-sorted", Proc: p,
-					Detail: fmt.Sprintf("keys[%d]=%d > keys[%d]=%d", i-1, d[i-1], i, d[i]),
+					Detail: fmt.Sprintf("keys[%d]=%v > keys[%d]=%v", i-1, d[i-1], i, d[i]),
 				}
 			}
 		}
 	}
 	// 2. boundary-order between consecutive non-empty processors.
-	last, lastProc, seen := uint32(0), -1, false
+	var last E
+	lastProc, seen := -1, false
 	for p, d := range data {
 		if len(d) == 0 {
 			continue
 		}
-		if seen && last > d[0] {
+		if seen && element.Less(d[0], last) {
 			return &Error{
 				Invariant: "boundary-order", Proc: p,
-				Detail: fmt.Sprintf("processor %d ends at %d but processor %d starts at %d", lastProc, last, p, d[0]),
+				Detail: fmt.Sprintf("processor %d ends at %v but processor %d starts at %v", lastProc, last, p, d[0]),
 			}
 		}
 		last, lastProc, seen = d[len(d)-1], p, true
@@ -92,13 +123,13 @@ func Distributed(data [][]uint32, want Checksum) *Error {
 	// 3. multiset preservation via the checksum witness.
 	got := Checksum{}
 	for _, d := range data {
-		got = got.Add(d)
+		got = Fold(got, d)
 	}
 	if got != want {
 		return &Error{
 			Invariant: "multiset", Proc: -1,
-			Detail: fmt.Sprintf("output (count=%d xor=%#x sum=%d) is not a permutation of the input (count=%d xor=%#x sum=%d)",
-				got.Count, got.Xor, got.Sum, want.Count, want.Xor, want.Sum),
+			Detail: fmt.Sprintf("output (count=%d xor=%#x sum=%d auxxor=%#x auxsum=%d) is not a permutation of the input (count=%d xor=%#x sum=%d auxxor=%#x auxsum=%d)",
+				got.Count, got.Xor, got.Sum, got.AuxXor, got.AuxSum, want.Count, want.Xor, want.Sum, want.AuxXor, want.AuxSum),
 		}
 	}
 	return nil

@@ -6,7 +6,11 @@
 // inputs while bitonic sort is oblivious to the distribution.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"parbitonic/element"
+)
 
 // Dist selects a key distribution.
 type Dist int
@@ -140,6 +144,56 @@ func Keys(d Dist, n int, seed uint64) []uint32 {
 func PerProc(d Dist, p, n int, seed uint64) [][]uint32 {
 	all := Keys(d, p*n, seed)
 	out := make([][]uint32, p)
+	for i := range out {
+		out[i] = all[i*n : (i+1)*n : (i+1)*n]
+	}
+	return out
+}
+
+// Elems generates n elements of the given distribution for any element
+// type: the 32-bit key stream of Keys is carried into E's key space
+// through a monotone order-image conversion, so the distribution's
+// *structure* (orderings, duplicates, entropy) carries over to every
+// element type and an element workload sorts the same way its uint32
+// counterpart does. Float keys are spread across the finite image
+// window (the raw 32-bit image of a small key would be a NaN bit
+// pattern); for float32 the window is slightly narrower than 32 bits,
+// so distinct full-range keys can collide — harmless for sorting
+// workloads. Record elements (KV64) receive the element's position as
+// payload, making every record distinguishable — which is what
+// payload-permutation checks need.
+func Elems[E element.Elem](d Dist, n int, seed uint64) []E {
+	keys := Keys(d, n, seed)
+	out := make([]E, n)
+	switch any(*new(E)).(type) {
+	case float32:
+		// Order images of -Inf and +Inf: the valid float32 window.
+		const lo, hi = uint64(0x007FFFFF), uint64(0xFF800000)
+		for i, k := range keys {
+			out[i] = element.FromBits[E](lo+uint64(k)*(hi-lo)>>32, 0)
+		}
+	case float64:
+		// Order images of -Inf and +Inf for float64; the stride keeps
+		// the map injective over 32-bit keys.
+		const lo, hi = uint64(0x000FFFFFFFFFFFFF), uint64(0xFFF0000000000000)
+		step := (hi - lo) >> 32
+		for i, k := range keys {
+			out[i] = element.FromBits[E](lo+uint64(k)*step, 0)
+		}
+	default:
+		for i, k := range keys {
+			out[i] = element.FromBits[E](uint64(k), uint64(i))
+		}
+	}
+	return out
+}
+
+// PerProcOf is PerProc for any element type: N = n*P elements of the
+// distribution dealt blocked. Payload words (for record elements) are
+// globally unique across the whole input.
+func PerProcOf[E element.Elem](d Dist, p, n int, seed uint64) [][]E {
+	all := Elems[E](d, p*n, seed)
+	out := make([][]E, p)
 	for i := range out {
 		out[i] = all[i*n : (i+1)*n : (i+1)*n]
 	}

@@ -1,0 +1,90 @@
+package parbitonic_test
+
+import (
+	"sort"
+	"testing"
+
+	"parbitonic"
+	"parbitonic/element"
+	"parbitonic/internal/workload"
+)
+
+// TestPaddedMaxValueRoundTrip pins the padding contract for every
+// element type: SortPadded pads with element.Max and strips exactly
+// the pad count of sentinel-valued elements from the tail, so inputs
+// that themselves contain the maximal value must come back intact —
+// the strip must never eat a genuine key. Lengths are chosen to force
+// real padding on every processor count tried.
+func TestPaddedMaxValueRoundTrip(t *testing.T) {
+	t.Run("u32", func(t *testing.T) { testPaddedMax[uint32](t) })
+	t.Run("u64", func(t *testing.T) { testPaddedMax[uint64](t) })
+	t.Run("f32", func(t *testing.T) { testPaddedMax[float32](t) })
+	t.Run("f64", func(t *testing.T) { testPaddedMax[float64](t) })
+	t.Run("kv64", func(t *testing.T) { testPaddedMax[element.KV64](t) })
+}
+
+func testPaddedMax[E element.Elem](t *testing.T) {
+	mx := element.Max[E]()
+	// workload.Elems yields values valid for E (floats need bit
+	// patterns inside the non-NaN order window, so elements cannot be
+	// minted from raw small integers here).
+	base := workload.Elems[E](workload.Uniform31, 11, 1996)
+	for _, p := range []int{1, 4, 8} {
+		for _, tc := range []struct {
+			name string
+			in   []E
+		}{
+			{"max-interleaved", []E{mx, base[0], mx, base[1], mx}},
+			{"all-max", []E{mx, mx, mx, mx, mx, mx, mx}},
+			{"max-at-head", append([]E{mx}, base...)},
+		} {
+			in := append([]E(nil), tc.in...)
+			want := append([]E(nil), in...)
+			sort.SliceStable(want, func(i, j int) bool { return element.Less(want[i], want[j]) })
+			if parbitonic.PaddedSize(len(in), p) == len(in) {
+				t.Fatalf("p=%d %s: length %d needs no padding, test is vacuous", p, tc.name, len(in))
+			}
+			if _, err := parbitonic.SortPadded(in, parbitonic.Config{Processors: p}); err != nil {
+				t.Fatalf("p=%d %s: SortPadded: %v", p, tc.name, err)
+			}
+			if len(in) != len(want) {
+				t.Fatalf("p=%d %s: length changed: got %d want %d", p, tc.name, len(in), len(want))
+			}
+			for i := range want {
+				if element.Bits(in[i]) != element.Bits(want[i]) || element.Aux(in[i]) != element.Aux(want[i]) {
+					t.Fatalf("p=%d %s: wrong element at %d: got %v want %v", p, tc.name, i, in[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPaddedMaxKeyRecordsKeepPayloads is the record-mode sharp edge of
+// the strip: KV64 records whose key equals the padding sentinel's key
+// but whose payloads differ are NOT padding and must all survive with
+// their payloads intact.
+func TestPaddedMaxKeyRecordsKeepPayloads(t *testing.T) {
+	maxK := ^uint64(0)
+	recs := []parbitonic.KV64{
+		{K: maxK, V: 1}, {K: 5, V: 10}, {K: maxK, V: 2}, {K: 0, V: 11}, {K: maxK, V: 3},
+	}
+	if _, err := parbitonic.SortPadded(recs, parbitonic.Config{Processors: 4}); err != nil {
+		t.Fatalf("SortPadded: %v", err)
+	}
+	if recs[0] != (parbitonic.KV64{K: 0, V: 11}) || recs[1] != (parbitonic.KV64{K: 5, V: 10}) {
+		t.Fatalf("non-max records misplaced: %v", recs)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range recs[2:] {
+		if r.K != maxK {
+			t.Fatalf("expected max-key record, got %v", r)
+		}
+		if r.V != 1 && r.V != 2 && r.V != 3 {
+			t.Fatalf("max-key record carries foreign payload: %v", r)
+		}
+		if seen[r.V] {
+			t.Fatalf("payload %d duplicated: %v", r.V, recs)
+		}
+		seen[r.V] = true
+	}
+}

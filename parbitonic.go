@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math"
 
+	"parbitonic/element"
 	"parbitonic/internal/bitseq"
 	"parbitonic/internal/logp"
 	"parbitonic/internal/machine"
@@ -197,6 +198,12 @@ type Config struct {
 // internal/obs.
 type Sink = obs.Sink
 
+// KV64 is the key+payload record element (64-bit key, 64-bit payload),
+// re-exported from parbitonic/element. Sorting []KV64 orders records
+// by K and carries V along; see the element package for the full list
+// of sortable element types (uint32, uint64, float32, float64, KV64).
+type KV64 = element.KV64
+
 // VerifyError reports a failed Config.Verify check: the sort returned,
 // but its output violates a result invariant (Invariant is
 // "local-sorted", "boundary-order" or "multiset"). Match with
@@ -287,7 +294,7 @@ func (r Result) CommTime() float64 { return r.PackTime + r.TransferTime + r.Unpa
 // power-of-two per-processor share (the bitonic network sorts
 // power-of-two sizes; the paper assumes the same). It is SortContext
 // with a background context.
-func Sort(keys []uint32, cfg Config) (Result, error) {
+func Sort[E element.Elem](keys []E, cfg Config) (Result, error) {
 	return SortContext(context.Background(), keys, cfg)
 }
 
@@ -301,8 +308,8 @@ func Sort(keys []uint32, cfg Config) (Result, error) {
 // Each call constructs a fresh execution engine; callers that sort
 // repeatedly should build one with NewEngine (or pool them, see
 // internal/serve) to amortize the setup.
-func SortContext(ctx context.Context, keys []uint32, cfg Config) (Result, error) {
-	e, err := NewEngine(cfg)
+func SortContext[E element.Elem](ctx context.Context, keys []E, cfg Config) (Result, error) {
+	e, err := NewEngineOf[E](cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -367,8 +374,8 @@ func machineConfig(cfg Config) machine.Config {
 // maximal keys up to the next length divisible into power-of-two
 // per-processor shares (PaddedSize), sorted with Sort, and the padding
 // stripped. Result statistics refer to the padded run.
-func SortPadded(keys []uint32, cfg Config) (Result, error) {
-	e, err := NewEngine(cfg)
+func SortPadded[E element.Elem](keys []E, cfg Config) (Result, error) {
+	e, err := NewEngineOf[E](cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -378,15 +385,15 @@ func SortPadded(keys []uint32, cfg Config) (Result, error) {
 // ---- re-exported bitonic-sequence utilities (Chapter 4 primitives) ----
 
 // IsBitonic reports whether s is a bitonic sequence (Definition 1).
-func IsBitonic(s []uint32) bool { return bitseq.IsBitonic(s) }
+func IsBitonic[E element.Elem](s []E) bool { return bitseq.IsBitonic(s) }
 
 // MinIndexBitonic returns the index of a minimum of the bitonic
 // sequence s, in O(log n) time for duplicate-free input (Algorithm 2).
-func MinIndexBitonic(s []uint32) int { return bitseq.MinIndex(s) }
+func MinIndexBitonic[E element.Elem](s []E) int { return bitseq.MinIndex(s) }
 
 // SortBitonicSequence sorts the bitonic sequence src into dst in O(n)
 // time (Lemma 9). dst and src must have equal length and not overlap.
-func SortBitonicSequence(dst, src []uint32, ascending bool) {
+func SortBitonicSequence[E element.Elem](dst, src []E, ascending bool) {
 	bitseq.SortBitonic(dst, src, ascending)
 }
 

@@ -56,7 +56,7 @@ func TestSortValidation(t *testing.T) {
 			t.Errorf("case %d should fail: %+v", i, cfg)
 		}
 	}
-	if _, err := Sort(nil, Config{Processors: 1}); err == nil {
+	if _, err := Sort[uint32](nil, Config{Processors: 1}); err == nil {
 		t.Error("empty input should fail")
 	}
 	if _, err := Sort(make([]uint32, 48), Config{Processors: 4}); err == nil {
@@ -230,7 +230,7 @@ func TestSortPadded(t *testing.T) {
 	if keys[0] != 5 || keys[1] != ^uint32(0) || keys[2] != ^uint32(0) {
 		t.Fatalf("maximal keys lost: %v", keys)
 	}
-	if _, err := SortPadded(nil, Config{Processors: 2}); err == nil {
+	if _, err := SortPadded[uint32](nil, Config{Processors: 2}); err == nil {
 		t.Error("empty input should error")
 	}
 	if _, err := SortPadded(make([]uint32, 4), Config{Processors: 3}); err == nil {

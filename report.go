@@ -108,8 +108,11 @@ func (r SortReport) String() string {
 // buildReport evaluates the §3.4 closed forms for the configuration
 // that just ran and pairs them with the measured result. total is the
 // run's key count (already validated: total = n·P with n and P powers
-// of two).
-func buildReport(cfg Config, total int, res Result) SortReport {
+// of two); words is the element width in 4-byte words — volume and
+// message predictions stay in elements (the §3.4 counters), while the
+// comm-time closed form scales its volume term by the element width,
+// matching what the simulator charges per transferred word.
+func buildReport(cfg Config, total, words int, res Result) SortReport {
 	rep := SortReport{
 		Algorithm:  cfg.Algorithm,
 		Backend:    cfg.Backend,
@@ -165,9 +168,11 @@ func buildReport(cfg Config, total int, res Result) SortReport {
 	)
 	if cfg.Backend == Simulated {
 		params := machineConfig(cfg).Model
-		pred := m.LongTime(params)
+		tm := m
+		tm.V *= words
+		pred := tm.LongTime(params)
 		if cfg.ShortMessages {
-			pred = m.ShortTime(params)
+			pred = tm.ShortTime(params)
 		}
 		rep.Quantities = append(rep.Quantities, DriftQuantity{
 			Name: "comm-time", Measured: res.TransferTime, Predicted: pred,
