@@ -8,6 +8,7 @@
 //	sort-server [-addr :8357] [-p procs] [-alg name] [-backend name]
 //	            [-verify] [-max-batch N] [-max-batch-keys N]
 //	            [-max-delay dur] [-queue N] [-parallel N]
+//	            [-retries N] [-breaker] [-degraded]
 //	            [-chaos-every N] [-chaos-seed S]
 //
 // Endpoints: POST /sort (JSON {"keys":[...]} or
@@ -54,6 +55,9 @@ func main() {
 	maxDelay := flag.Duration("max-delay", 200*time.Microsecond, "batching window: how long to hold a batch open for companions")
 	queue := flag.Int("queue", 256, "admission queue depth; a full queue rejects with 429")
 	parallel := flag.Int("parallel", 0, "concurrent engine runs (0 = GOMAXPROCS/p)")
+	retries := flag.Int("retries", 2, "retry budget per request for transient engine failures (0 disables)")
+	breaker := flag.Bool("breaker", true, "per-element-type circuit breaker: fail fast while the backend is persistently failing")
+	degraded := flag.Bool("degraded", true, "degraded-mode fallback: serve via a sequential sort when the breaker is open or retries are exhausted")
 	chaosEvery := flag.Int("chaos-every", 0, "inject a fault on every Nth engine run (0 disables chaos)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "chaos plan seed (replayable)")
 	flag.Parse()
@@ -93,13 +97,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sort-server: CHAOS ON — a fault every %d runs, seed %d\n", *chaosEvery, *chaosSeed)
 	}
 
+	cfgRetries := *retries
+	if cfgRetries <= 0 {
+		cfgRetries = -1 // flag 0 means "no retries"; Config 0 means "default"
+	}
 	gw, err := serve.NewGateway(serve.Config{
-		Engine:       engine,
-		MaxBatch:     *maxBatch,
-		MaxBatchKeys: *maxBatchKeys,
-		MaxDelay:     *maxDelay,
-		QueueDepth:   *queue,
-		Parallel:     *parallel,
+		Engine:         engine,
+		MaxBatch:       *maxBatch,
+		MaxBatchKeys:   *maxBatchKeys,
+		MaxDelay:       *maxDelay,
+		QueueDepth:     *queue,
+		Parallel:       *parallel,
+		Retries:        cfgRetries,
+		DisableBreaker: !*breaker,
+		Degraded:       *degraded,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -121,8 +132,8 @@ func main() {
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "sort-server: listening on %s (P=%d, %s, %s backend, batch<=%d/%v, queue %d)\n",
-		*addr, *p, *algName, *backendName, *maxBatch, *maxDelay, *queue)
+	fmt.Fprintf(os.Stderr, "sort-server: listening on %s (P=%d, %s, %s backend, batch<=%d/%v, queue %d, retries %d, breaker %v, degraded %v)\n",
+		*addr, *p, *algName, *backendName, *maxBatch, *maxDelay, *queue, *retries, *breaker, *degraded)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

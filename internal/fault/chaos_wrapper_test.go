@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"sync"
 	"testing"
 
 	"parbitonic/internal/machine"
@@ -91,5 +92,55 @@ func TestChaosWrapperPerEngine(t *testing.T) {
 	}
 	if got := injected(); got != 6 {
 		t.Fatalf("injected() = %d across two engines × 3 armed runs, want 6", got)
+	}
+}
+
+// TestChaosWrapperRace is the rearm race audit: it hammers the
+// pool-facing wrapper the way a serving pool does — engines
+// constructed through Wrap and run concurrently, each Chaos rearming
+// at its run boundaries, while another goroutine polls the injected()
+// sum the whole time (a metrics scrape). Any unsynchronized access to
+// the starts/injected counters or the armed-injector pointer shows up
+// under -race.
+func TestChaosWrapperRace(t *testing.T) {
+	wrap, injected := ChaosWrapper(ChaosConfig{P: 2, Every: 2, Seed: 11, Rounds: 4})
+	stop := make(chan struct{})
+	var scrape sync.WaitGroup
+	scrape.Add(1)
+	go func() {
+		defer scrape.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = injected()
+			}
+		}
+	}()
+	var engines sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		engines.Add(1)
+		go func() {
+			defer engines.Done()
+			cfg := machine.DefaultConfig(2)
+			cfg.WrapCharger = wrap
+			m, err := machine.New(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 8; i++ {
+				_, _ = m.Run(wrapData(), wrapBody)
+			}
+		}()
+	}
+	engines.Wait()
+	close(stop)
+	scrape.Wait()
+	// 4 engines × 8 runs with Every=2 arm 4 runs each; every derived
+	// plan targets a reachable round on a processor with data.
+	if got := injected(); got != 16 {
+		t.Errorf("injected() = %d, want 16", got)
 	}
 }

@@ -90,6 +90,10 @@ const (
 	EventPanic         = "panic"          // a processor body panicked
 	EventAbort         = "abort"          // generic abort (cause in Detail)
 	EventOverload      = "overload"       // a request was shed at admission (internal/serve)
+	EventRetry         = "retry"          // a failed run was retried (internal/serve)
+	EventQuarantine    = "quarantine"     // an engine was destroyed instead of recycled
+	EventBreaker       = "breaker"        // a circuit breaker changed state (Detail: from>to)
+	EventDegraded      = "degraded"       // a request was served by the sequential fallback
 )
 
 // Event is a discrete runtime occurrence worth counting and alerting

@@ -1,0 +1,260 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position: Closed (traffic
+// flows), Open (traffic fails fast), HalfOpen (a bounded number of
+// probes test whether the backend recovered).
+type BreakerState int32
+
+// The breaker states, in the order the breaker_state gauge exports
+// them (0 closed, 1 open, 2 half-open).
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+// String returns the lowercase state name used in metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// transition is one staged state change, delivered to OnTransition
+// after the breaker's lock is released.
+type transition struct {
+	from, to BreakerState
+}
+
+// BreakerConfig tunes a Breaker. The zero value of every field is
+// usable: defaults are applied by NewBreaker.
+type BreakerConfig struct {
+	// Window is the number of recent run outcomes the failure rate is
+	// computed over. 0 means 32.
+	Window int
+	// MinSamples is the fewest outcomes the window must hold before the
+	// rate is acted on — a single early failure must not trip the
+	// breaker. 0 means 8.
+	MinSamples int
+	// FailureRate opens the breaker when the windowed failure fraction
+	// reaches it. 0 means 0.5.
+	FailureRate float64
+	// Cooldown is how long an open breaker waits before letting
+	// half-open probes through. 0 means 1s.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many requests may probe a half-open breaker
+	// before an outcome arrives. 0 means 1.
+	HalfOpenProbes int
+	// Now overrides the clock, for tests. nil means time.Now.
+	Now func() time.Time
+	// OnTransition, when non-nil, is called (outside the breaker's
+	// lock) after every state change — the observability hook.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.FailureRate <= 0 {
+		c.FailureRate = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a failure-rate-windowed circuit breaker over engine-run
+// outcomes: Closed until the windowed failure rate reaches FailureRate
+// (with at least MinSamples outcomes), then Open — every Allow fails
+// fast — for Cooldown, then HalfOpen: up to HalfOpenProbes requests
+// pass, and the first recorded outcome decides (success closes the
+// circuit and resets the window, failure re-opens it for another
+// cooldown). Safe for concurrent use.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	state    BreakerState
+	ring     []bool // recent outcomes, true = failure
+	pos      int    // next ring slot
+	filled   int    // outcomes currently in the ring
+	failures int    // failures currently in the ring
+
+	openedAt    time.Time    // when the breaker last opened
+	probes      int          // probes granted while half-open
+	transitions uint64       // state changes, for metrics
+	staged      []transition // OnTransition deliveries pending unlock
+}
+
+// NewBreaker builds a breaker from cfg (zero fields defaulted).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// State returns the breaker's current position. An open breaker whose
+// cooldown has lapsed reports HalfOpen — the state the next request
+// will actually see.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Transitions returns how many state changes the breaker has made.
+func (b *Breaker) Transitions() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transitions
+}
+
+// RetryAfter returns how long until an open breaker admits probes —
+// the honest Retry-After hint for a failed-fast request. Zero when not
+// open.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return 0
+	}
+	if left := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt); left > 0 {
+		return left
+	}
+	return 0
+}
+
+// Allow reports whether a request may proceed. Closed always admits;
+// Open fails fast until the cooldown lapses; the lapse moves the
+// breaker to HalfOpen, where up to HalfOpenProbes requests are
+// admitted as probes and the rest fail fast until an outcome arrives.
+func (b *Breaker) Allow() (admitted bool) {
+	b.mu.Lock()
+	defer b.deliver()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.setState(HalfOpen)
+		b.probes = 0
+		fallthrough
+	default: // HalfOpen
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// Record feeds one engine-run outcome (failure = true) into the
+// breaker. In Closed it slides the window and opens the circuit when
+// the failure rate crosses the threshold; in HalfOpen the outcome
+// decides the probe — success closes the circuit, failure re-opens it.
+// In Open the outcome is ignored: a late result from a run admitted
+// before the trip carries no admission-worthy information, and state
+// only ever advances out of Open through Allow's cooldown gate.
+func (b *Breaker) Record(failure bool) {
+	b.mu.Lock()
+	defer b.deliver()
+	switch b.state {
+	case Closed:
+		b.push(failure)
+		if b.filled >= b.cfg.MinSamples &&
+			float64(b.failures) >= b.cfg.FailureRate*float64(b.filled) {
+			b.trip()
+		}
+	case HalfOpen:
+		if failure {
+			b.trip()
+		} else {
+			b.setState(Closed)
+			b.reset()
+		}
+	}
+}
+
+// push slides one outcome into the ring window.
+func (b *Breaker) push(failure bool) {
+	if b.filled == len(b.ring) {
+		if b.ring[b.pos] {
+			b.failures--
+		}
+	} else {
+		b.filled++
+	}
+	b.ring[b.pos] = failure
+	if failure {
+		b.failures++
+	}
+	b.pos = (b.pos + 1) % len(b.ring)
+}
+
+// trip opens the circuit and starts the cooldown clock. Callers hold mu.
+func (b *Breaker) trip() {
+	b.setState(Open)
+	b.openedAt = b.cfg.Now()
+	b.reset()
+}
+
+// reset clears the outcome window and probe count (a new state starts
+// with fresh evidence). Callers hold mu.
+func (b *Breaker) reset() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.pos, b.filled, b.failures, b.probes = 0, 0, 0, 0
+}
+
+// setState moves the breaker and stages the OnTransition delivery;
+// callers hold mu.
+func (b *Breaker) setState(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.staged = append(b.staged, transition{from: b.state, to: to})
+	b.state = to
+	b.transitions++
+}
+
+// deliver releases mu and then fires any staged OnTransition callbacks
+// — outside the lock, so the hook may call back into the breaker.
+func (b *Breaker) deliver() {
+	staged := b.staged
+	b.staged = nil
+	hook := b.cfg.OnTransition
+	b.mu.Unlock()
+	if hook == nil {
+		return
+	}
+	for _, tr := range staged {
+		hook(tr.from, tr.to)
+	}
+}

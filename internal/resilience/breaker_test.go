@@ -1,0 +1,201 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Window:      8,
+		MinSamples:  4,
+		FailureRate: 0.5,
+		Cooldown:    time.Second,
+		Now:         clk.Now,
+	})
+}
+
+func TestBreakerStaysClosedBelowThreshold(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	// 1 failure in 4 samples: 25% < 50%, stays closed.
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	b.Record(false)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must admit")
+	}
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(i%2 == 0) // 2 failures in 4 = exactly the 50% threshold
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state after 50%% failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must fail fast")
+	}
+	if ra := b.RetryAfter(); ra <= 0 || ra > time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 1s]", ra)
+	}
+}
+
+// TestBreakerHalfOpenProbeSucceeds is the satellite edge case: after
+// the cooldown, exactly one probe is admitted; its success closes the
+// circuit and traffic flows again.
+func TestBreakerHalfOpenProbeSucceeds(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	if b.State() != Open {
+		t.Fatal("breaker did not open")
+	}
+	clk.Advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker must admit the first probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker must hold back the second request (1 probe)")
+	}
+	b.Record(false) // the probe succeeded
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must admit freely again")
+	}
+}
+
+// TestBreakerHalfOpenProbeFails is the other half of the satellite
+// edge case: a failing probe re-opens the circuit for a fresh cooldown.
+func TestBreakerHalfOpenProbeFails(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker must admit the probe")
+	}
+	b.Record(true) // the probe failed
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker must fail fast")
+	}
+	// A second cooldown admits another probe.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown must admit another probe")
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := newTestBreaker(clk)
+	// Fill the window (8) with successes, then 3 failures: the window
+	// holds 3/8 < 50% — stays closed even though the last 3 runs failed.
+	for i := 0; i < 8; i++ {
+		b.Record(false)
+	}
+	for i := 0; i < 3; i++ {
+		b.Record(true)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v, want closed (3/8 under threshold)", got)
+	}
+	// One more failure: 4/8 = 50% — trips.
+	b.Record(true)
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want open (4/8 at threshold)", got)
+	}
+}
+
+func TestBreakerTransitionHook(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	var mu sync.Mutex
+	var seen []string
+	b := NewBreaker(BreakerConfig{
+		Window: 4, MinSamples: 2, FailureRate: 0.5, Cooldown: time.Second,
+		Now: clk.Now,
+		OnTransition: func(from, to BreakerState) {
+			mu.Lock()
+			seen = append(seen, from.String()+">"+to.String())
+			mu.Unlock()
+		},
+	})
+	b.Record(true)
+	b.Record(true) // closed > open
+	clk.Advance(time.Second)
+	b.Allow()       // open > half-open (+ probe)
+	b.Record(false) // half-open > closed
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", seen, want)
+		}
+	}
+	if got := b.Transitions(); got != 3 {
+		t.Errorf("Transitions() = %d, want 3", got)
+	}
+}
+
+// TestBreakerConcurrency hammers all methods under the race detector.
+func TestBreakerConcurrency(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Cooldown: time.Microsecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					b.Record((g+i)%3 == 0)
+				}
+				_ = b.State()
+				_ = b.RetryAfter()
+				_ = b.Transitions()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,158 @@
+// Package resilience is the recovery layer of the sort service: the
+// policies that turn the fail-safe runtime's *detected* faults into
+// *healed* requests. The runtime (internal/spmd, internal/verify)
+// classifies every failure into a typed error; this package decides
+// what to do about each class:
+//
+//   - Retryable failures — a contained processor panic
+//     (*spmd.PanicError) or a post-sort verification failure
+//     (*verify.Error), both of which injected chaos faults surface as —
+//     are transient: the same request on a fresh (or recovered) engine
+//     usually succeeds. Policy schedules bounded retries with jittered
+//     exponential backoff, never sleeping past the caller's context
+//     deadline (deadline-budget accounting).
+//
+//   - Non-retryable failures — spmd.ErrCanceled / spmd.ErrDeadline
+//     (the caller gave up; retrying sorts for nobody), admission
+//     rejections, and validation errors (bad shape, NaN keys) — fail
+//     immediately.
+//
+//   - Engine health — EngineHealthy tells an engine pool whether the
+//     engine that produced an error may be recycled. Panics and
+//     verification failures quarantine the engine (its internal state
+//     is suspect even though the runtime nominally recovers it);
+//     cancellation and deadline aborts do not (the engine is documented
+//     reusable after them and the failure says nothing about its
+//     health).
+//
+// Breaker (breaker.go) adds the third layer: when failures persist
+// across requests, a circuit breaker stops offering traffic to the
+// failing backend entirely until a probe succeeds.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"parbitonic/internal/spmd"
+	"parbitonic/internal/verify"
+)
+
+// Retryable reports whether err is a transient engine-run failure a
+// retry may heal: a contained processor panic (*spmd.PanicError) or a
+// result-verification failure (*verify.Error) — the two shapes every
+// injected chaos fault surfaces as. Cancellation, deadline expiry,
+// admission rejections and validation errors are never retryable: the
+// first two mean the caller has given up (errors.Is against
+// spmd.ErrCanceled/ErrDeadline and the context sentinels), the rest
+// are deterministic.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, spmd.ErrCanceled) || errors.Is(err, spmd.ErrDeadline) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *spmd.PanicError
+	var ve *verify.Error
+	return errors.As(err, &pe) || errors.As(err, &ve)
+}
+
+// EngineHealthy reports whether an engine whose run returned err may be
+// recycled by a pool. A panicked engine (*spmd.PanicError) or one that
+// produced verification-failing output (*verify.Error) is quarantined —
+// the runtime recovers its goroutines, but an engine that just proved
+// it can corrupt data has forfeited the benefit of the doubt. A nil
+// error and the caller-driven aborts (cancel, deadline) leave the
+// engine healthy: those runs say nothing about the engine itself.
+func EngineHealthy(err error) bool {
+	if err == nil {
+		return true
+	}
+	var pe *spmd.PanicError
+	var ve *verify.Error
+	return !errors.As(err, &pe) && !errors.As(err, &ve)
+}
+
+// Policy bounds a retry loop: up to MaxRetries re-attempts after the
+// first try, sleeping a jittered exponential backoff between attempts,
+// and never retrying when the remaining context budget cannot absorb
+// the backoff sleep. The zero value retries nothing; Default returns
+// the serving defaults.
+type Policy struct {
+	// MaxRetries is the number of re-attempts after the first failed
+	// try; 0 disables retrying.
+	MaxRetries int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. 0 means 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff. 0 means 50ms.
+	MaxDelay time.Duration
+}
+
+// Default is the serving retry policy: 2 retries, 1ms base backoff
+// capped at 50ms — tuned for sub-millisecond engine runs where a
+// transient fault clears as soon as a fresh engine picks the work up.
+func Default() Policy {
+	return Policy{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	return p
+}
+
+// Delay returns the backoff before retry `attempt` (0-based): BaseDelay
+// doubled per attempt, capped at MaxDelay, with ±50% uniform jitter so
+// a burst of simultaneous failures does not retry in lockstep.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.BaseDelay
+	for i := 0; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Jitter to [d/2, 3d/2); the bound stays positive because d >= 1ns.
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// ShouldRetry decides whether a failed attempt (0-based) may be
+// re-tried under ctx, and with what backoff: err must be Retryable,
+// the attempt budget must not be exhausted, ctx must be live, and —
+// the deadline-budget accounting — the remaining time to ctx's
+// deadline must exceed the backoff sleep, so a retry never spends the
+// caller's whole budget asleep just to be aborted at the deadline.
+func (p Policy) ShouldRetry(ctx context.Context, attempt int, err error) (time.Duration, bool) {
+	if attempt >= p.MaxRetries || !Retryable(err) || ctx.Err() != nil {
+		return 0, false
+	}
+	d := p.Delay(attempt)
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= d {
+		return 0, false
+	}
+	return d, true
+}
+
+// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+// latter case — the backoff sleep of a retry loop must not outlive the
+// request it serves.
+func Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,136 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"parbitonic/internal/spmd"
+	"parbitonic/internal/verify"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"panic", &spmd.PanicError{Proc: 1, Value: "boom"}, true},
+		{"wrapped panic", fmt.Errorf("run: %w", &spmd.PanicError{Proc: 0, Value: "x"}), true},
+		{"verify", &verify.Error{Invariant: "multiset", Proc: -1}, true},
+		{"canceled", fmt.Errorf("%w: gone", spmd.ErrCanceled), false},
+		{"deadline", fmt.Errorf("%w: late", spmd.ErrDeadline), false},
+		{"ctx canceled", context.Canceled, false},
+		{"ctx deadline", context.DeadlineExceeded, false},
+		{"validation", errors.New("parbitonic: keys[0] is NaN"), false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestEngineHealthyClassification: only panics and verification
+// failures quarantine an engine; caller-driven aborts do NOT — the
+// satellite's "quarantine must not fire on ErrCanceled".
+func TestEngineHealthyClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, true},
+		{"canceled", fmt.Errorf("%w: gone", spmd.ErrCanceled), true},
+		{"deadline", fmt.Errorf("%w: late", spmd.ErrDeadline), true},
+		{"validation", errors.New("bad shape"), true},
+		{"panic", &spmd.PanicError{Proc: 2, Value: "boom"}, false},
+		{"verify", &verify.Error{Invariant: "local-sorted", Proc: 0}, false},
+	}
+	for _, c := range cases {
+		if got := EngineHealthy(c.err); got != c.want {
+			t.Errorf("EngineHealthy(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPolicyDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{MaxRetries: 10, BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond}
+	for attempt, wantCenter := range []time.Duration{
+		2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond,
+		10 * time.Millisecond, 10 * time.Millisecond, // capped
+	} {
+		for i := 0; i < 20; i++ {
+			d := p.Delay(attempt)
+			if d < wantCenter/2 || d >= wantCenter+wantCenter/2 {
+				t.Fatalf("Delay(%d) = %v outside jitter band around %v", attempt, d, wantCenter)
+			}
+		}
+	}
+}
+
+func TestShouldRetryBudget(t *testing.T) {
+	p := Policy{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	retryable := &spmd.PanicError{Proc: 0, Value: "x"}
+
+	if _, ok := p.ShouldRetry(context.Background(), 0, retryable); !ok {
+		t.Error("attempt 0 of 2 retries must be allowed")
+	}
+	if _, ok := p.ShouldRetry(context.Background(), 2, retryable); ok {
+		t.Error("attempt 2 with MaxRetries=2 must be refused (budget spent)")
+	}
+	if _, ok := p.ShouldRetry(context.Background(), 0, errors.New("permanent")); ok {
+		t.Error("non-retryable error must be refused")
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := p.ShouldRetry(canceled, 0, retryable); ok {
+		t.Error("a dead context must refuse retries")
+	}
+}
+
+// TestShouldRetryDeadlineExhausted is the satellite edge case: the
+// retry budget runs out exactly at the deadline — when the remaining
+// context budget cannot absorb even the backoff sleep, the retry is
+// refused rather than slept into the deadline.
+func TestShouldRetryDeadlineExhausted(t *testing.T) {
+	p := Policy{MaxRetries: 5, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	retryable := &verify.Error{Invariant: "multiset", Proc: -1}
+
+	// Deadline far beyond the max jittered backoff (75ms): retry allowed.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, ok := p.ShouldRetry(ctx, 0, retryable); !ok {
+		t.Error("ample deadline budget must allow the retry")
+	}
+
+	// Deadline below the minimum jittered backoff (25ms): always refused.
+	tight, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	if d, ok := p.ShouldRetry(tight, 0, retryable); ok {
+		t.Errorf("deadline-exhausted retry must be refused (got delay %v)", d)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Sleep(ctx, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep under canceled ctx = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep did not wake on cancellation")
+	}
+	if err := Sleep(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("plain Sleep = %v", err)
+	}
+}

@@ -8,6 +8,8 @@ import (
 
 	"parbitonic"
 	"parbitonic/element"
+	"parbitonic/internal/obs"
+	"parbitonic/internal/resilience"
 )
 
 // runBatch executes one batch on a pooled engine and delivers every
@@ -41,11 +43,10 @@ func (s *ServerOf[E]) runBatch(batch []*request[E], slab *[]E) {
 	buf := (*slab)[:padded]
 	packBatch(buf, batch, shift, total)
 
-	eng, err := s.pool.Get(s.cfg.Engine, padded)
-	if err == nil {
-		_, err = eng.SortContext(ctx, buf)
-		s.pool.Put(eng, padded)
-	}
+	err := s.runPooled(ctx, padded, func(eng *parbitonic.EngineOf[E]) error {
+		_, err := eng.SortContext(ctx, buf)
+		return err
+	}, func() { packBatch(buf, batch, shift, total) })
 	if err != nil {
 		for _, r := range batch {
 			r.finish(s.m, nil, err)
@@ -59,16 +60,69 @@ func (s *ServerOf[E]) runBatch(batch []*request[E], slab *[]E) {
 func (s *ServerOf[E]) runSolo(r *request[E]) {
 	out := append([]E(nil), r.keys...)
 	padded := parbitonic.PaddedSize(len(out), s.cfg.Engine.Processors)
-	eng, err := s.pool.Get(s.cfg.Engine, padded)
-	if err == nil {
-		_, err = eng.SortPaddedContext(r.ctx, out)
-		s.pool.Put(eng, padded)
-	}
+	err := s.runPooled(r.ctx, padded, func(eng *parbitonic.EngineOf[E]) error {
+		_, err := eng.SortPaddedContext(r.ctx, out)
+		return err
+	}, func() { copy(out, r.keys) })
 	if err != nil {
 		r.finish(s.m, nil, err)
 		return
 	}
 	r.finish(s.m, out, nil)
+}
+
+// runPooled is the retrying engine-run loop every batch and solo run
+// goes through. Each attempt checks an engine out of the pool,
+// executes run, and hands the engine back with its health verdict —
+// a panicked or verify-failing engine is quarantined (destroyed),
+// never recycled — then feeds the outcome to the circuit breaker. A
+// transient failure is re-attempted under the server's retry policy:
+// a jittered exponential backoff that never sleeps past ctx's
+// deadline budget, with repack restoring the input buffer first (a
+// failed run leaves its contents unspecified).
+func (s *ServerOf[E]) runPooled(ctx context.Context, padded int, run func(*parbitonic.EngineOf[E]) error, repack func()) error {
+	for attempt := 0; ; attempt++ {
+		eng, err := s.pool.Get(s.cfg.Engine, padded)
+		if err != nil {
+			return err
+		}
+		err = run(eng)
+		healthy := resilience.EngineHealthy(err)
+		s.pool.Put(eng, padded, healthy)
+		if !healthy {
+			s.emit(obs.EventQuarantine, err.Error())
+		}
+		s.recordBreaker(err, healthy)
+		if err == nil {
+			return nil
+		}
+		d, ok := s.policy.ShouldRetry(ctx, attempt, err)
+		if !ok {
+			return err
+		}
+		s.m.retry()
+		s.emit(obs.EventRetry, err.Error())
+		if resilience.Sleep(ctx, d) != nil {
+			return err
+		}
+		repack()
+	}
+}
+
+// recordBreaker feeds one engine-run outcome to the circuit breaker.
+// Only outcomes that say something about backend health count: success
+// and engine-quarantining failures. Caller-driven aborts (cancel,
+// deadline) are silent — a client hanging up must never open the
+// breaker.
+func (s *ServerOf[E]) recordBreaker(err error, healthy bool) {
+	if s.breaker == nil {
+		return
+	}
+	if err == nil {
+		s.breaker.Record(false)
+	} else if !healthy {
+		s.breaker.Record(true)
+	}
 }
 
 // jointContext derives the context a multi-request batch runs under:

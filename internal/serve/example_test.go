@@ -64,7 +64,7 @@ func ExamplePool() {
 		if _, err := eng.Sort(keys); err != nil {
 			log.Fatal(err)
 		}
-		pool.Put(eng, 8)
+		pool.Put(eng, 8, true)
 		if i == 0 {
 			fmt.Println(keys)
 		}

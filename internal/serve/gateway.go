@@ -86,20 +86,22 @@ func frameHeader(t element.Type) []byte {
 // elemServer is the type-erased face of a ServerOf: the Gateway routes
 // each versioned frame to the server of its element type through it.
 type elemServer interface {
-	sortPayload(ctx context.Context, payload []byte) ([]byte, error)
+	sortPayload(ctx context.Context, payload []byte) (out []byte, degraded bool, err error)
+	retryAfterSeconds(err error) int
 	Metrics() *Metrics
 	poolStats() PoolStats
 	Close() error
 }
 
 // sortPayload decodes a frame payload into elements, sorts them
-// through the service, and re-encodes. A payload whose length is not a
-// multiple of the element width is rejected with a width-mismatch
-// FrameError before touching the queue.
-func (s *ServerOf[E]) sortPayload(ctx context.Context, payload []byte) ([]byte, error) {
+// through the service, and re-encodes, reporting whether the
+// degraded-mode fallback served the request. A payload whose length is
+// not a multiple of the element width is rejected with a
+// width-mismatch FrameError before touching the queue.
+func (s *ServerOf[E]) sortPayload(ctx context.Context, payload []byte) ([]byte, bool, error) {
 	w := element.Width[E]()
 	if len(payload)%w != 0 {
-		return nil, &FrameError{
+		return nil, false, &FrameError{
 			Code:   "width-mismatch",
 			Detail: fmt.Sprintf("payload length %d is not a multiple of the %d-byte %s element", len(payload), w, element.TypeOf[E]()),
 		}
@@ -108,15 +110,15 @@ func (s *ServerOf[E]) sortPayload(ctx context.Context, payload []byte) ([]byte, 
 	for i := range keys {
 		keys[i] = element.Get[E](payload[i*w:])
 	}
-	sorted, err := s.Sort(ctx, keys)
+	sorted, degraded, err := s.SortDegradable(ctx, keys)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	out := make([]byte, len(sorted)*w)
 	for i, e := range sorted {
 		element.Put(out[i*w:], e)
 	}
-	return out, nil
+	return out, degraded, nil
 }
 
 // poolStats exposes the pool counters through the type-erased face.

@@ -28,7 +28,15 @@ type sortRequest struct {
 
 type sortResponse struct {
 	Keys []uint32 `json:"keys"`
+	// Degraded is true when the sequential fallback served the request
+	// (breaker open or retries exhausted); the result is correct, the
+	// latency is not representative. Mirrored by the X-Sort-Degraded
+	// response header so binary clients see it too.
+	Degraded bool `json:"degraded,omitempty"`
 }
+
+// degradedHeader marks responses served by the sequential fallback.
+const degradedHeader = "X-Sort-Degraded"
 
 // errorResponse is the JSON error shape of every non-2xx response.
 // Code is set for frame-level rejections (FrameError) so binary
@@ -142,14 +150,17 @@ func statsFor(m *Metrics, ps PoolStats) map[string]any {
 	batches, batched := m.BatchCount()
 	return map[string]any{
 		"requests": map[string]float64{
-			"ok":         m.RequestCount("ok"),
-			"overloaded": m.RequestCount("overloaded"),
-			"canceled":   m.RequestCount("canceled"),
-			"deadline":   m.RequestCount("deadline"),
-			"error":      m.RequestCount("error"),
+			"ok":           m.RequestCount("ok"),
+			"overloaded":   m.RequestCount("overloaded"),
+			"canceled":     m.RequestCount("canceled"),
+			"deadline":     m.RequestCount("deadline"),
+			"breaker-open": m.RequestCount("breaker-open"),
+			"error":        m.RequestCount("error"),
 		},
 		"batches":          batches,
 		"batched_requests": batched,
+		"retries":          m.RetryCount(),
+		"degraded":         m.DegradedCount(),
 		"pool":             ps,
 	}
 }
@@ -186,13 +197,16 @@ func handleSort(f *front, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "malformed request: "+err.Error())
 		return
 	}
-	sorted, err := f.u32.Sort(ctx, req.Keys)
+	sorted, degraded, err := f.u32.SortDegradable(ctx, req.Keys)
 	if err != nil {
-		sortError(w, err)
+		sortError(w, err, f.u32.retryAfterSeconds(err))
 		return
 	}
+	if degraded {
+		w.Header().Set(degradedHeader, "1")
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	json.NewEncoder(w).Encode(sortResponse{Keys: sorted})
+	json.NewEncoder(w).Encode(sortResponse{Keys: sorted, Degraded: degraded})
 }
 
 // handleBinarySort serves an octet-stream body: a versioned frame is
@@ -209,7 +223,7 @@ func handleBinarySort(f *front, ctx context.Context, w http.ResponseWriter, body
 	}
 	t, payload, versioned, err := decodeFrame(raw)
 	if err != nil {
-		sortError(w, err)
+		sortError(w, err, 0)
 		return
 	}
 	if !versioned {
@@ -218,10 +232,13 @@ func handleBinarySort(f *front, ctx context.Context, w http.ResponseWriter, body
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		sorted, err := f.u32.Sort(ctx, keys)
+		sorted, degraded, err := f.u32.SortDegradable(ctx, keys)
 		if err != nil {
-			sortError(w, err)
+			sortError(w, err, f.u32.retryAfterSeconds(err))
 			return
+		}
+		if degraded {
+			w.Header().Set(degradedHeader, "1")
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		writeBinaryKeys(w, sorted)
@@ -232,10 +249,13 @@ func handleBinarySort(f *front, ctx context.Context, w http.ResponseWriter, body
 		httpError(w, http.StatusNotImplemented, fmt.Sprintf("element type %s is not enabled on this server", t))
 		return
 	}
-	out, err := s.sortPayload(ctx, payload)
+	out, degraded, err := s.sortPayload(ctx, payload)
 	if err != nil {
-		sortError(w, err)
+		sortError(w, err, s.retryAfterSeconds(err))
 		return
+	}
+	if degraded {
+		w.Header().Set(degradedHeader, "1")
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(frameHeader(t))
@@ -253,8 +273,11 @@ func bodyTooLarge(w http.ResponseWriter, err error) bool {
 }
 
 // sortError answers a failed sort, mapping the error to its status and
-// (for frame rejections) machine-readable code.
-func sortError(w http.ResponseWriter, err error) {
+// (for frame rejections) machine-readable code. retryAfter, when
+// positive, is the server-derived backoff hint (seconds) attached to
+// the refusals worth retrying: overload (429) and an open breaker
+// (503) — not shutdown, whose 503 means "gone", not "later".
+func sortError(w http.ResponseWriter, err error, retryAfter int) {
 	var ferr *FrameError
 	if errors.As(err, &ferr) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -263,21 +286,23 @@ func sortError(w http.ResponseWriter, err error) {
 		return
 	}
 	status, msg := sortStatus(err)
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+	if retryAfter > 0 && (errors.Is(err, ErrOverloaded) || errors.Is(err, ErrBreakerOpen)) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	httpError(w, status, msg)
 }
 
-// sortStatus maps a Sort error onto an HTTP status: overload and
-// shutdown are the service saying "not now" (429/503), deadline and
-// cancellation are the request's own context (504/499), anything else
-// — contained panics, verification failures, NaN rejections — is a
-// 500.
+// sortStatus maps a Sort error onto an HTTP status: overload, an open
+// breaker and shutdown are the service saying "not now" (429/503),
+// deadline and cancellation are the request's own context (504/499),
+// anything else — contained panics, verification failures, NaN
+// rejections — is a 500.
 func sortStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests, err.Error()
+	case errors.Is(err, ErrBreakerOpen):
+		return http.StatusServiceUnavailable, err.Error()
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable, err.Error()
 	case errors.Is(err, spmd.ErrDeadline), errors.Is(err, context.DeadlineExceeded):

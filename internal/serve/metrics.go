@@ -63,11 +63,14 @@ type Metrics struct {
 	requests map[string]float64 // outcome -> count
 	batches  float64
 	batched  float64 // requests that shared a run with >= 1 companion
+	retries  float64 // engine runs retried after a transient failure
+	degraded float64 // requests served by the sequential fallback
 	latency  *hist   // seconds, admission to response
 	size     *hist   // requests per batch
 
-	queueDepth func() int // sampled at scrape time
-	pool       poolStatser
+	queueDepth   func() int // sampled at scrape time
+	breakerState func() int // sampled at scrape time; nil = no breaker
+	pool         poolStatser
 }
 
 func newMetrics(elem string, queueDepth func() int, pool poolStatser) *Metrics {
@@ -75,7 +78,7 @@ func newMetrics(elem string, queueDepth func() int, pool poolStatser) *Metrics {
 		elem: elem,
 		requests: map[string]float64{
 			"ok": 0, "overloaded": 0, "canceled": 0, "deadline": 0,
-			"verify-failure": 0, "error": 0,
+			"verify-failure": 0, "breaker-open": 0, "error": 0,
 		},
 		latency:    newHist(latencyBuckets[:]),
 		size:       newHist(sizeBuckets[:]),
@@ -94,6 +97,8 @@ func outcome(err error) string {
 		return "ok"
 	case errors.Is(err, ErrOverloaded):
 		return "overloaded"
+	case errors.Is(err, ErrBreakerOpen):
+		return "breaker-open"
 	case errors.Is(err, spmd.ErrCanceled), errors.Is(err, context.Canceled):
 		return "canceled"
 	case errors.Is(err, spmd.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
@@ -115,6 +120,27 @@ func (m *Metrics) observeRequest(d time.Duration, err error) {
 func (m *Metrics) reject() {
 	m.mu.Lock()
 	m.requests["overloaded"]++
+	m.mu.Unlock()
+}
+
+// failFast counts a request refused by an open circuit breaker.
+func (m *Metrics) failFast() {
+	m.mu.Lock()
+	m.requests["breaker-open"]++
+	m.mu.Unlock()
+}
+
+// retry counts one engine-run retry of a transient failure.
+func (m *Metrics) retry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+// degrade counts one request served by the sequential fallback.
+func (m *Metrics) degrade() {
+	m.mu.Lock()
+	m.degraded++
 	m.mu.Unlock()
 }
 
@@ -142,6 +168,21 @@ func (m *Metrics) BatchCount() (batches, batchedRequests float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.batches, m.batched
+}
+
+// RetryCount returns how many engine runs were retried.
+func (m *Metrics) RetryCount() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retries
+}
+
+// DegradedCount returns how many requests the sequential fallback
+// served.
+func (m *Metrics) DegradedCount() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded
 }
 
 // WriteProm writes the serve metrics in the Prometheus text exposition
@@ -196,6 +237,20 @@ func (m *Metrics) writeProm(w io.Writer, headers bool) error {
 	p("# TYPE parbitonic_serve_batched_requests_total counter\n")
 	p("parbitonic_serve_batched_requests_total{elem=%q} %v\n", m.elem, m.batched)
 
+	p("# HELP parbitonic_serve_retries_total Engine runs retried after a transient failure.\n")
+	p("# TYPE parbitonic_serve_retries_total counter\n")
+	p("parbitonic_serve_retries_total{elem=%q} %v\n", m.elem, m.retries)
+
+	p("# HELP parbitonic_serve_degraded_total Requests served by the sequential degraded-mode fallback.\n")
+	p("# TYPE parbitonic_serve_degraded_total counter\n")
+	p("parbitonic_serve_degraded_total{elem=%q} %v\n", m.elem, m.degraded)
+
+	if m.breakerState != nil {
+		p("# HELP parbitonic_serve_breaker_state Circuit breaker position (0 closed, 1 open, 2 half-open).\n")
+		p("# TYPE parbitonic_serve_breaker_state gauge\n")
+		p("parbitonic_serve_breaker_state{elem=%q} %d\n", m.elem, m.breakerState())
+	}
+
 	p("# HELP parbitonic_serve_batch_requests Requests coalesced per engine run.\n")
 	p("# TYPE parbitonic_serve_batch_requests histogram\n")
 	m.writeServeHist(p, "parbitonic_serve_batch_requests", m.size)
@@ -214,6 +269,12 @@ func (m *Metrics) writeProm(w io.Writer, headers bool) error {
 	p("# HELP parbitonic_serve_pool_idle_engines Engines currently parked in the pool.\n")
 	p("# TYPE parbitonic_serve_pool_idle_engines gauge\n")
 	p("parbitonic_serve_pool_idle_engines{elem=%q} %d\n", m.elem, ps.Idle)
+	p("# HELP parbitonic_serve_quarantined_engines_total Engines destroyed instead of recycled after an unhealthy run.\n")
+	p("# TYPE parbitonic_serve_quarantined_engines_total counter\n")
+	p("parbitonic_serve_quarantined_engines_total{elem=%q} %d\n", m.elem, ps.Quarantined)
+	p("# HELP parbitonic_serve_evicted_engines_total Idle engines evicted by a per-shape failure streak.\n")
+	p("# TYPE parbitonic_serve_evicted_engines_total counter\n")
+	p("parbitonic_serve_evicted_engines_total{elem=%q} %d\n", m.elem, ps.Evicted)
 
 	return err
 }

@@ -30,19 +30,31 @@ func keyFor(cfg parbitonic.Config, totalKeys int) poolKey {
 	}
 }
 
+// evictAfter is how many consecutive unhealthy Puts a shape tolerates
+// before its whole idle set is evicted: if three engines of one shape
+// fail in a row, the fault is probably shape-wide (bad buffer sizing,
+// poisoned staging state) rather than one sick engine, so the
+// remaining idle engines of that shape are suspect too.
+const evictAfter = 3
+
 // PoolOf recycles parbitonic engines of one element type, keyed by
 // shape. Get hands out an idle engine of the right shape or builds
-// one; Put returns it. Each engine is used by one goroutine at a time
-// (engines are not concurrency-safe); the pool itself is safe for
-// concurrent use. Idle engines per shape are capped — extras are
-// dropped to the GC, so a traffic spike does not pin its high-water
-// memory forever.
+// one; Put returns it with a health verdict — unhealthy engines are
+// quarantined (destroyed, never recycled), and a run of consecutive
+// unhealthy Puts for one shape evicts that shape's whole idle set.
+// Each engine is used by one goroutine at a time (engines are not
+// concurrency-safe); the pool itself is safe for concurrent use. Idle
+// engines per shape are capped — extras are dropped to the GC, so a
+// traffic spike does not pin its high-water memory forever.
 type PoolOf[E element.Elem] struct {
-	mu     sync.Mutex
-	idle   map[poolKey][]*parbitonic.EngineOf[E]
-	perKey int
-	gets   uint64
-	hits   uint64
+	mu          sync.Mutex
+	idle        map[poolKey][]*parbitonic.EngineOf[E]
+	failStreak  map[poolKey]int // consecutive unhealthy Puts per shape
+	perKey      int
+	gets        uint64
+	hits        uint64
+	quarantined uint64
+	evicted     uint64
 }
 
 // Pool is the uint32 engine pool, the shape existing callers use.
@@ -58,13 +70,18 @@ func NewPoolOf[E element.Elem](perKey int) *PoolOf[E] {
 	if perKey < 1 {
 		perKey = 4
 	}
-	return &PoolOf[E]{idle: make(map[poolKey][]*parbitonic.EngineOf[E]), perKey: perKey}
+	return &PoolOf[E]{
+		idle:       make(map[poolKey][]*parbitonic.EngineOf[E]),
+		failStreak: make(map[poolKey]int),
+		perKey:     perKey,
+	}
 }
 
 // Get returns an engine built from cfg and sized for totalKeys keys,
 // reusing an idle one when the shape matches. The caller must hand it
 // back with Put (with the same totalKeys) when the run completes —
-// including after a failed run; engines survive failures.
+// including after a failed run — along with a health verdict for the
+// run (see resilience.EngineHealthy).
 func (pl *PoolOf[E]) Get(cfg parbitonic.Config, totalKeys int) (*parbitonic.EngineOf[E], error) {
 	k := keyFor(cfg, totalKeys)
 	pl.mu.Lock()
@@ -81,24 +98,44 @@ func (pl *PoolOf[E]) Get(cfg parbitonic.Config, totalKeys int) (*parbitonic.Engi
 }
 
 // Put returns an engine to the pool under the shape it was fetched
-// for. Beyond the per-shape cap the engine is simply dropped.
-func (pl *PoolOf[E]) Put(e *parbitonic.EngineOf[E], totalKeys int) {
+// for. A healthy engine is recycled (beyond the per-shape cap it is
+// simply dropped) and clears its shape's failure streak. An unhealthy
+// engine — one whose run panicked or failed verification — is
+// quarantined: destroyed instead of recycled, because an engine that
+// just proved it can corrupt data has forfeited the benefit of the
+// doubt. evictAfter consecutive unhealthy Puts for one shape evict
+// that shape's entire idle set.
+func (pl *PoolOf[E]) Put(e *parbitonic.EngineOf[E], totalKeys int, healthy bool) {
 	if e == nil {
 		return
 	}
 	k := keyFor(e.Config(), totalKeys)
 	pl.mu.Lock()
-	if len(pl.idle[k]) < pl.perKey {
-		pl.idle[k] = append(pl.idle[k], e)
+	if healthy {
+		pl.failStreak[k] = 0
+		if len(pl.idle[k]) < pl.perKey {
+			pl.idle[k] = append(pl.idle[k], e)
+		}
+		pl.mu.Unlock()
+		return
+	}
+	pl.quarantined++
+	pl.failStreak[k]++
+	if pl.failStreak[k] >= evictAfter {
+		pl.failStreak[k] = 0
+		pl.evicted += uint64(len(pl.idle[k]))
+		delete(pl.idle, k)
 	}
 	pl.mu.Unlock()
 }
 
 // PoolStats is a snapshot of pool effectiveness counters.
 type PoolStats struct {
-	Gets uint64 // total Get calls
-	Hits uint64 // Gets served by an idle engine (no construction)
-	Idle int    // engines currently parked, all shapes
+	Gets        uint64 // total Get calls
+	Hits        uint64 // Gets served by an idle engine (no construction)
+	Idle        int    // engines currently parked, all shapes
+	Quarantined uint64 // engines destroyed on an unhealthy Put
+	Evicted     uint64 // idle engines evicted by a shape failure streak
 }
 
 // Stats returns a snapshot of the pool's counters.
@@ -109,5 +146,8 @@ func (pl *PoolOf[E]) Stats() PoolStats {
 	for _, free := range pl.idle {
 		idle += len(free)
 	}
-	return PoolStats{Gets: pl.gets, Hits: pl.hits, Idle: idle}
+	return PoolStats{
+		Gets: pl.gets, Hits: pl.hits, Idle: idle,
+		Quarantined: pl.quarantined, Evicted: pl.evicted,
+	}
 }

@@ -14,7 +14,7 @@ func TestPoolReusesByShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl.Put(e1, 1024)
+	pl.Put(e1, 1024, true)
 	e2, err := pl.Get(cfg, 1024)
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +27,7 @@ func TestPoolReusesByShape(t *testing.T) {
 	}
 
 	// A different padded share is a different shape: no reuse.
-	pl.Put(e2, 1024)
+	pl.Put(e2, 1024, true)
 	e3, err := pl.Get(cfg, 4096)
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +36,7 @@ func TestPoolReusesByShape(t *testing.T) {
 		t.Error("different share must not reuse the idle engine")
 	}
 	// Sizes that pad to the same share do share engines.
-	pl.Put(e3, 4096)
+	pl.Put(e3, 4096, true)
 	e4, err := pl.Get(cfg, 3000) // PaddedSize(3000,2) == PaddedSize(4096,2)
 	if err != nil {
 		t.Fatal(err)
@@ -51,14 +51,59 @@ func TestPoolCapsIdle(t *testing.T) {
 	cfg := parbitonic.Config{Processors: 2, Backend: parbitonic.Native}
 	e1, _ := pl.Get(cfg, 64)
 	e2, _ := pl.Get(cfg, 64)
-	pl.Put(e1, 64)
-	pl.Put(e2, 64) // over the cap: dropped
+	pl.Put(e1, 64, true)
+	pl.Put(e2, 64, true) // over the cap: dropped
 	if st := pl.Stats(); st.Idle != 1 {
 		t.Errorf("idle = %d, want 1 (per-shape cap)", st.Idle)
 	}
-	pl.Put(nil, 64) // must be a no-op
+	pl.Put(nil, 64, true) // must be a no-op
 	if st := pl.Stats(); st.Idle != 1 {
 		t.Errorf("idle after Put(nil) = %d, want 1", st.Idle)
+	}
+}
+
+// TestPoolQuarantineAndEviction: an unhealthy Put destroys the engine
+// instead of recycling it; evictAfter consecutive unhealthy Puts for
+// one shape flush that shape's whole idle set; a healthy Put resets
+// the streak.
+func TestPoolQuarantineAndEviction(t *testing.T) {
+	pl := NewPool(8)
+	cfg := parbitonic.Config{Processors: 2, Backend: parbitonic.Native}
+
+	e1, _ := pl.Get(cfg, 64)
+	pl.Put(e1, 64, false)
+	st := pl.Stats()
+	if st.Idle != 0 || st.Quarantined != 1 {
+		t.Fatalf("unhealthy Put must quarantine, got %+v", st)
+	}
+	e2, _ := pl.Get(cfg, 64)
+	if e2 == e1 {
+		t.Fatal("a quarantined engine must never be reused")
+	}
+
+	// Park two healthy engines, then fail the shape evictAfter times in
+	// a row: the parked engines must be evicted too.
+	h1, _ := pl.Get(cfg, 64)
+	h2, _ := pl.Get(cfg, 64)
+	pl.Put(h1, 64, true)
+	pl.Put(h2, 64, true)
+	// The healthy Puts reset the streak; now fail evictAfter times.
+	for i := 0; i < evictAfter; i++ {
+		f, _ := pl.Get(cfg, 4096) // different shape: streak is per shape
+		pl.Put(f, 4096, false)
+	}
+	if st := pl.Stats(); st.Idle != 2 {
+		t.Fatalf("another shape's streak must not evict this one: %+v", st)
+	}
+	for i := 0; i < evictAfter-1; i++ {
+		pl.Put(e2, 64, false) // same engine pointer; only the verdict matters
+	}
+	if st := pl.Stats(); st.Idle != 2 || st.Evicted != 0 {
+		t.Fatalf("below the streak threshold nothing evicts: %+v", st)
+	}
+	pl.Put(e2, 64, false) // streak reaches evictAfter
+	if st := pl.Stats(); st.Idle != 0 || st.Evicted != 2 {
+		t.Fatalf("streak must evict the shape's idle set: %+v", st)
 	}
 }
 

@@ -55,7 +55,9 @@ import (
 
 	"parbitonic"
 	"parbitonic/element"
+	"parbitonic/internal/localsort"
 	"parbitonic/internal/obs"
+	"parbitonic/internal/resilience"
 )
 
 // ErrOverloaded is returned (and mapped to HTTP 429) when the
@@ -68,6 +70,13 @@ var ErrOverloaded = errors.New("serve: overloaded, admission queue full")
 // ErrClosed is returned for requests submitted after Close; in-flight
 // and already-queued requests still complete (graceful drain).
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrBreakerOpen is returned (and mapped to HTTP 503 with an honest
+// Retry-After) when the server's circuit breaker is open: the backend
+// has been failing persistently and requests fail fast instead of
+// burning queue slots — unless degraded-mode fallback is enabled, in
+// which case the request is served sequentially instead.
+var ErrBreakerOpen = errors.New("serve: circuit breaker open, backend failing")
 
 // Config configures a server. The zero value of every field except
 // Engine.Processors is usable: defaults are applied by New.
@@ -103,6 +112,32 @@ type Config struct {
 	// PoolPerKey caps idle engines kept per (P, backend, algorithm,
 	// share) shape. 0 means Parallel.
 	PoolPerKey int
+
+	// Retries is the per-request retry budget for transient engine
+	// failures — contained panics and verification failures. 0 means the
+	// default 2; negative disables retrying. Cancellation, deadline
+	// expiry and overload are never retried.
+	Retries int
+
+	// RetryBackoff is the base backoff before the first retry; it
+	// doubles per attempt with ±50% jitter, capped at 50×. 0 means 1ms.
+	RetryBackoff time.Duration
+
+	// DisableBreaker turns off the per-server circuit breaker. By
+	// default every server carries one: persistent engine failures open
+	// it and requests fail fast (ErrBreakerOpen) until a probe succeeds.
+	DisableBreaker bool
+
+	// Breaker tunes the circuit breaker; zero fields take the
+	// resilience defaults (32-run window, 8 min samples, 50% failure
+	// rate, 1s cooldown, 1 probe).
+	Breaker resilience.BreakerConfig
+
+	// Degraded enables degraded-mode fallback: when the breaker is open
+	// or retries are exhausted, the request is served by a sequential
+	// local sort on the caller's goroutine — correct but slow — instead
+	// of failing. SortDegradable reports fallback use per request.
+	Degraded bool
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +165,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PoolPerKey == 0 {
 		c.PoolPerKey = c.Parallel
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	} else if c.Retries < 0 {
+		c.Retries = 0
 	}
 	return c
 }
@@ -161,11 +201,13 @@ func (r *request[E]) finish(m *Metrics, sorted []E, err error) {
 // workers drawing pooled engines. Create with NewOf, submit with Sort,
 // shut down with Close.
 type ServerOf[E element.Elem] struct {
-	cfg   Config
-	pool  *PoolOf[E]
-	m     *Metrics
-	queue chan *request[E]
-	exec  chan []*request[E]
+	cfg     Config
+	pool    *PoolOf[E]
+	m       *Metrics
+	policy  resilience.Policy
+	breaker *resilience.Breaker // nil when Config.DisableBreaker
+	queue   chan *request[E]
+	exec    chan []*request[E]
 
 	ctx    context.Context // canceled on Close: aborts in-flight runs' joint contexts
 	cancel context.CancelFunc
@@ -200,12 +242,28 @@ func NewOf[E element.Elem](cfg Config) (*ServerOf[E], error) {
 	s := &ServerOf[E]{
 		cfg:    cfg,
 		pool:   NewPoolOf[E](cfg.PoolPerKey),
+		policy: resilience.Policy{MaxRetries: cfg.Retries, BaseDelay: cfg.RetryBackoff},
 		queue:  make(chan *request[E], cfg.QueueDepth),
 		exec:   make(chan []*request[E]),
 		ctx:    ctx,
 		cancel: cancel,
 	}
+	if !cfg.DisableBreaker {
+		bc := cfg.Breaker
+		elem := element.TypeOf[E]().String()
+		user := bc.OnTransition
+		bc.OnTransition = func(from, to resilience.BreakerState) {
+			s.emit(obs.EventBreaker, elem+": "+from.String()+">"+to.String())
+			if user != nil {
+				user(from, to)
+			}
+		}
+		s.breaker = resilience.NewBreaker(bc)
+	}
 	s.m = newMetrics(element.TypeOf[E]().String(), func() int { return len(s.queue) }, s.pool)
+	if s.breaker != nil {
+		s.m.breakerState = func() int { return int(s.breaker.State()) }
+	}
 	s.wg.Add(1 + cfg.Parallel)
 	go s.dispatch()
 	for i := 0; i < cfg.Parallel; i++ {
@@ -224,18 +282,114 @@ func (s *ServerOf[E]) Pool() *PoolOf[E] { return s.pool }
 // Sort sorts keys through the service and returns a freshly allocated
 // sorted slice; keys itself is only read, never mutated. The call
 // blocks until the result is ready, ctx is done, or admission is
-// refused: a full queue returns ErrOverloaded immediately and a closed
-// server returns ErrClosed. ctx cancellation and deadlines follow the
-// request into the runtime — an in-flight solo run is aborted through
-// the fail-safe paths, and a batched run is aborted once every member
-// has given up. Float NaN keys are rejected by the engine (they are
-// unordered); record elements sort by key with payloads carried along.
+// refused: a full queue returns ErrOverloaded immediately, a closed
+// server returns ErrClosed, and an open circuit breaker returns
+// ErrBreakerOpen (unless Config.Degraded routes the request to the
+// sequential fallback — Sort hides which path served it; use
+// SortDegradable to see). Transient engine failures are retried
+// transparently under Config.Retries. ctx cancellation and deadlines
+// follow the request into the runtime — an in-flight solo run is
+// aborted through the fail-safe paths, and a batched run is aborted
+// once every member has given up. Float NaN keys are rejected by the
+// engine (they are unordered); record elements sort by key with
+// payloads carried along.
 func (s *ServerOf[E]) Sort(ctx context.Context, keys []E) ([]E, error) {
+	sorted, _, err := s.SortDegradable(ctx, keys)
+	return sorted, err
+}
+
+// SortDegradable is Sort plus the degraded flag: it reports whether
+// the result came from the sequential fallback (breaker open or
+// retries exhausted, with Config.Degraded set) rather than the
+// parallel engine path. The HTTP layer surfaces the flag as the
+// Degraded response field and the X-Sort-Degraded header.
+func (s *ServerOf[E]) SortDegradable(ctx context.Context, keys []E) ([]E, bool, error) {
+	sorted, err := s.sortEngine(ctx, keys)
+	if err == nil || !s.cfg.Degraded || !degradable(err) {
+		return sorted, false, err
+	}
+	out, derr := s.sortSequential(ctx, keys)
+	if derr != nil {
+		return nil, false, err // the engine path's error is the honest one
+	}
+	s.m.degrade()
+	s.emit(obs.EventDegraded, err.Error())
+	return out, true, nil
+}
+
+// degradable reports whether a failed engine-path request may be
+// served by the sequential fallback: the breaker failing fast, or a
+// transient failure that survived the retry budget. Caller aborts
+// (cancel, deadline), overload and validation errors are not — the
+// first ones have nobody left to serve, overload must stay honest
+// backpressure, and validation fails identically on any path.
+func degradable(err error) bool {
+	return errors.Is(err, ErrBreakerOpen) || resilience.Retryable(err)
+}
+
+// sortSequential is the degraded-mode path: a sequential O(n) local
+// sort on the caller's goroutine — no queue slot, no engine, no
+// batching. It mirrors the engine path's semantics: NaN keys are
+// rejected (the fallback must not quietly accept what the engine
+// refuses) and the result is freshly allocated.
+func (s *ServerOf[E]) sortSequential(ctx context.Context, keys []E) ([]E, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		if element.IsNaN(k) {
+			return nil, fmt.Errorf("serve: keys[%d] is NaN; NaN keys are not sortable", i)
+		}
+	}
+	out := append([]E(nil), keys...)
+	localsort.RadixSort(out)
+	return out, nil
+}
+
+// emit sends a serve-level event to the configured telemetry sink.
+func (s *ServerOf[E]) emit(kind, detail string) {
+	if sink := s.cfg.Engine.Obs; sink != nil {
+		sink.Emit(obs.Event{Kind: kind, Proc: -1, Detail: detail, Wall: time.Now().UnixNano()})
+	}
+}
+
+// retryAfterSeconds derives the honest Retry-After hint for a refused
+// request: an open breaker's remaining cooldown, or — for overload —
+// the time the batcher needs to drain the current queue (one MaxDelay
+// window per MaxBatch requests). Zero means no hint; the floor is 1s,
+// the header's resolution.
+func (s *ServerOf[E]) retryAfterSeconds(err error) int {
+	var d time.Duration
+	switch {
+	case errors.Is(err, ErrBreakerOpen):
+		if s.breaker != nil {
+			d = s.breaker.RetryAfter()
+		}
+	case errors.Is(err, ErrOverloaded):
+		batches := len(s.queue)/s.cfg.MaxBatch + 1
+		d = time.Duration(batches) * s.cfg.MaxDelay
+	default:
+		return 0
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// sortEngine is the parallel path: breaker admission, the bounded
+// queue, and the batching/executor pipeline.
+func (s *ServerOf[E]) sortEngine(ctx context.Context, keys []E) ([]E, error) {
 	if len(keys) == 0 {
 		return []E{}, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if s.breaker != nil && !s.breaker.Allow() {
+		s.m.failFast()
+		return nil, ErrBreakerOpen
 	}
 	var mx uint64
 	for _, k := range keys {

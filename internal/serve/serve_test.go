@@ -266,13 +266,14 @@ func TestPerRequestDeadline(t *testing.T) {
 }
 
 // TestChaosUnderLoad injects a crash fault through the WrapCharger
-// seam: the poisoned request fails with a contained *spmd.PanicError
-// carrying the injected fault, and the SAME pooled engine serves the
-// next request correctly — fail-safety survives pooling.
+// seam with retries disabled: the poisoned request fails with a
+// contained *spmd.PanicError carrying the injected fault, the
+// panicked engine is quarantined (destroyed, not recycled), and a
+// fresh engine serves the next request correctly.
 func TestChaosUnderLoad(t *testing.T) {
 	// Round 1 matters: a crash AFTER the first remap leaves mid-exchange
 	// scratch state behind, which engine recovery must fully clear
-	// before the pool reuses the engine (see spmd.TestNoStaleOutsAfterAbort).
+	// (see spmd.TestNoStaleOutsAfterAbort).
 	inj := fault.NewInjector(fault.Plan{Kind: fault.Crash, Proc: 1, Round: 1})
 	s, err := New(Config{
 		Engine: parbitonic.Config{
@@ -281,6 +282,7 @@ func TestChaosUnderLoad(t *testing.T) {
 			WrapCharger: inj.Wrap,
 		},
 		MaxBatch: 1,
+		Retries:  -1, // surface the raw containment path
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -299,6 +301,9 @@ func TestChaosUnderLoad(t *testing.T) {
 	if !inj.Fired() {
 		t.Fatal("injector did not fire")
 	}
+	if ps := s.Pool().Stats(); ps.Quarantined != 1 || ps.Idle != 0 {
+		t.Errorf("panicked engine not quarantined: %+v", ps)
+	}
 
 	want := sortedRef(keys)
 	got, err := s.Sort(context.Background(), keys)
@@ -310,8 +315,46 @@ func TestChaosUnderLoad(t *testing.T) {
 			t.Fatalf("post-crash result wrong at %d", i)
 		}
 	}
-	if ps := s.Pool().Stats(); ps.Hits < 1 {
-		t.Errorf("second request did not reuse the pooled engine (hits=%d)", ps.Hits)
+}
+
+// TestRetryHealsTransientFault is the tentpole's core promise: a
+// one-shot injected crash is retried transparently — the caller sees
+// a correct result and no error, the retry is counted, and the
+// panicked engine was quarantined rather than recycled.
+func TestRetryHealsTransientFault(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Kind: fault.Crash, Proc: 1, Round: 1})
+	s, err := New(Config{
+		Engine: parbitonic.Config{
+			Processors:  4,
+			Backend:     parbitonic.Native,
+			WrapCharger: inj.Wrap,
+		},
+		MaxBatch: 1, // default Retries: 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	keys := randKeys(rand.New(rand.NewSource(7)), 512, 1<<30)
+	want := sortedRef(keys)
+	got, err := s.Sort(context.Background(), keys)
+	if err != nil {
+		t.Fatalf("retry did not heal the injected crash: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("healed result wrong at %d", i)
+		}
+	}
+	if !inj.Fired() {
+		t.Fatal("injector did not fire")
+	}
+	if got := s.Metrics().RetryCount(); got != 1 {
+		t.Errorf("retries = %v, want 1", got)
+	}
+	if ps := s.Pool().Stats(); ps.Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", ps.Quarantined)
 	}
 }
 
