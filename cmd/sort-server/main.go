@@ -9,21 +9,27 @@
 //	            [-verify] [-max-batch N] [-max-batch-keys N]
 //	            [-max-delay dur] [-queue N] [-parallel N]
 //	            [-retries N] [-breaker] [-degraded]
+//	            [-slo-ms N] [-slo-target F] [-slog]
 //	            [-chaos-every N] [-chaos-seed S]
 //
 // Endpoints: POST /sort (JSON {"keys":[...]} or
 // application/octet-stream — a legacy little-endian uint32 stream or
 // a versioned binary frame whose header names the element type: u32,
-// u64, f32, f64 or kv64; optional ?timeout_ms=N), GET /healthz,
-// GET /stats, GET /metrics (Prometheus), GET /debug/vars (expvar).
-// Every element type is served; each gets its own engine pool and
-// batcher behind one gateway. See README.md for the frame layout and
-// OPERATIONS.md for the runbook.
+// u64, f32, f64 or kv64; optional ?timeout_ms=N), GET /healthz
+// (503-unready under sustained SLO burn), GET /stats, GET /metrics
+// (Prometheus, including per-stage latency histograms, tail quantile
+// estimates and runtime health), GET /debug/sortz (live ops page;
+// ?format=json), GET /debug/vars (expvar). Every element type is
+// served; each gets its own engine pool and batcher behind one
+// gateway. Every response echoes X-Request-ID (client-supplied,
+// traceparent-derived, or minted). See README.md for the frame layout
+// and OPERATIONS.md for the runbook.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -58,6 +64,9 @@ func main() {
 	retries := flag.Int("retries", 2, "retry budget per request for transient engine failures (0 disables)")
 	breaker := flag.Bool("breaker", true, "per-element-type circuit breaker: fail fast while the backend is persistently failing")
 	degraded := flag.Bool("degraded", true, "degraded-mode fallback: serve via a sequential sort when the breaker is open or retries are exhausted")
+	sloMS := flag.Float64("slo-ms", 0, "latency SLO threshold in milliseconds (0 disables SLO tracking)")
+	sloTarget := flag.Float64("slo-target", 0.99, "fraction of requests that must finish under -slo-ms")
+	slogFlag := flag.Bool("slog", false, "structured run/event logs (log/slog JSON on stderr, request IDs included)")
 	chaosEvery := flag.Int("chaos-every", 0, "inject a fault on every Nth engine run (0 disables chaos)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "chaos plan seed (replayable)")
 	flag.Parse()
@@ -79,12 +88,16 @@ func main() {
 	}
 
 	runMetrics := obs.NewMetrics()
+	var sink obs.Sink = runMetrics
+	if *slogFlag {
+		sink = obs.Multi(runMetrics, obs.NewSlogSink(slog.New(slog.NewJSONHandler(os.Stderr, nil))))
+	}
 	engine := parbitonic.Config{
 		Processors: *p,
 		Algorithm:  alg,
 		Backend:    backend,
 		Verify:     *verifyFlag,
-		Obs:        runMetrics,
+		Obs:        sink,
 	}
 	var injected func() uint64
 	if *chaosEvery > 0 {
@@ -111,6 +124,10 @@ func main() {
 		Retries:        cfgRetries,
 		DisableBreaker: !*breaker,
 		Degraded:       *degraded,
+		SLO: obs.SLOConfig{
+			Threshold: time.Duration(*sloMS * float64(time.Millisecond)),
+			Target:    *sloTarget,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -132,8 +149,12 @@ func main() {
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "sort-server: listening on %s (P=%d, %s, %s backend, batch<=%d/%v, queue %d, retries %d, breaker %v, degraded %v)\n",
-		*addr, *p, *algName, *backendName, *maxBatch, *maxDelay, *queue, *retries, *breaker, *degraded)
+	sloNote := "off"
+	if *sloMS > 0 {
+		sloNote = fmt.Sprintf("%gms@%g", *sloMS, *sloTarget)
+	}
+	fmt.Fprintf(os.Stderr, "sort-server: listening on %s (P=%d, %s, %s backend, batch<=%d/%v, queue %d, retries %d, breaker %v, degraded %v, slo %s)\n",
+		*addr, *p, *algName, *backendName, *maxBatch, *maxDelay, *queue, *retries, *breaker, *degraded, sloNote)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

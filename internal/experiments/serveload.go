@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parbitonic"
@@ -111,7 +112,9 @@ func ServeLoad(c Config) *Table {
 
 // LoadHTTP drives a live sort-server over HTTP (binary content type)
 // through the same concurrency sweep as ServeLoad. url is the server
-// base, e.g. http://localhost:8357.
+// base, e.g. http://localhost:8357. Every request carries a unique
+// X-Request-ID; a response that fails to echo it back counts as an
+// error, so CI's zero-errors gate also gates trace propagation.
 func LoadHTTP(url string, reqsPerClient int, seed uint64) *Table {
 	t := &Table{
 		ID:      "HTTP load",
@@ -120,9 +123,11 @@ func LoadHTTP(url string, reqsPerClient int, seed uint64) *Table {
 		Notes: []string{
 			"wire format: application/octet-stream, little-endian uint32 keys.",
 			"latency includes HTTP round-trip; compare shapes, not absolutes, with the in-process Serve load table.",
+			"every request sends X-Request-ID; a missing or wrong echo on the response counts as an error.",
 		},
 	}
 	client := &http.Client{Timeout: 60 * time.Second}
+	var reqSeq atomic.Uint64
 	for _, clients := range loadConcurrency {
 		var errs int64
 		var errMu sync.Mutex
@@ -131,12 +136,21 @@ func LoadHTTP(url string, reqsPerClient int, seed uint64) *Table {
 			for i, k := range keys {
 				binary.LittleEndian.PutUint32(body[4*i:], k)
 			}
-			resp, err := client.Post(url+"/sort", "application/octet-stream", bytes.NewReader(body))
+			id := fmt.Sprintf("load-%d-%d", clients, reqSeq.Add(1))
+			req, err := http.NewRequest(http.MethodPost, url+"/sort", bytes.NewReader(body))
 			if err == nil {
-				_, err = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					err = fmt.Errorf("status %d", resp.StatusCode)
+				req.Header.Set("Content-Type", "application/octet-stream")
+				req.Header.Set("X-Request-ID", id)
+				var resp *http.Response
+				resp, err = client.Do(req)
+				if err == nil {
+					_, err = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %d", resp.StatusCode)
+					} else if got := resp.Header.Get("X-Request-ID"); got != id {
+						err = fmt.Errorf("request ID not echoed: sent %q, got %q", id, got)
+					}
 				}
 			}
 			if err != nil {

@@ -85,7 +85,9 @@ func (c *ChromeTrace) Events() []Event {
 }
 
 // chromeEvent is one entry of the traceEvents array; field names are
-// fixed by the trace-event format.
+// fixed by the trace-event format. ID and BP serve the flow events
+// ("s"/"f") that tie coalesced request IDs to the engine run that
+// served them.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -95,8 +97,18 @@ type chromeEvent struct {
 	Ts   float64        `json:"ts"`
 	Dur  *float64       `json:"dur,omitempty"`
 	S    string         `json:"s,omitempty"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
+
+// Virtual tracks of the rendered trace: engine processors occupy tids
+// 0..P-1; service-level spans (degraded fallbacks) and the per-request
+// flow anchors get their own named tracks below them.
+const (
+	serviceTid  = -1
+	requestsTid = -2
+)
 
 // WriteJSON writes the collected trace as a Chrome trace-event JSON
 // object. Timestamps are the spans' backend-clock microseconds (the
@@ -137,12 +149,69 @@ func (c *ChromeTrace) WriteJSON(w io.Writer) error {
 			Args: map[string]any{"name": fmt.Sprintf("proc %d", p)},
 		})
 	}
+
+	// Run span bounds, for the per-request flow anchors.
+	var runStart, runEnd float64
+	service := false
+	for i, s := range spans {
+		if i == 0 || s.Start < runStart {
+			runStart = s.Start
+		}
+		if s.End > runEnd {
+			runEnd = s.End
+		}
+		if s.Proc < 0 {
+			service = true
+		}
+	}
+	if service {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: serviceTid,
+			Args: map[string]any{"name": "service"},
+		})
+	}
+
+	// Flow events: one track row per owning request, with an s→f flow
+	// arrow from the request's anchor into processor 0's timeline, so a
+	// coalesced batch renders as N request rows all feeding the single
+	// engine run that served them.
+	if hasRun && len(meta.Requests) > 0 {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: requestsTid,
+			Args: map[string]any{"name": "requests"},
+		})
+		span := runEnd - runStart
+		for i, id := range meta.Requests {
+			args := map[string]any{"request_id": id}
+			out = append(out, chromeEvent{
+				Name: "req " + id, Cat: "request", Ph: "X",
+				Pid: 0, Tid: requestsTid, Ts: runStart, Dur: &span, Args: args,
+			})
+			out = append(out, chromeEvent{
+				Name: "request", Cat: "request", Ph: "s", ID: i + 1,
+				Pid: 0, Tid: requestsTid, Ts: runStart, Args: args,
+			})
+			out = append(out, chromeEvent{
+				Name: "request", Cat: "request", Ph: "f", BP: "e", ID: i + 1,
+				Pid: 0, Tid: 0, Ts: runStart + span/2, Args: args,
+			})
+		}
+	}
+
 	for _, s := range spans {
 		dur := s.Duration()
+		tid := s.Proc
+		if tid < 0 {
+			tid = serviceTid
+		}
+		args := map[string]any{"round": s.Round}
+		if s.Req != "" {
+			args["request_id"] = s.Req
+		}
 		out = append(out, chromeEvent{
 			Name: s.Phase.String(), Cat: "phase", Ph: "X",
-			Pid: 0, Tid: s.Proc, Ts: s.Start, Dur: &dur,
-			Args: map[string]any{"round": s.Round},
+			Pid: 0, Tid: tid, Ts: s.Start, Dur: &dur,
+			Args: args,
 		})
 	}
 	for _, e := range events {
@@ -150,10 +219,14 @@ func (c *ChromeTrace) WriteJSON(w io.Writer) error {
 		if tid < 0 {
 			tid = 0
 		}
+		args := map[string]any{"detail": e.Detail, "round": e.Round}
+		if e.Req != "" {
+			args["request_id"] = e.Req
+		}
 		out = append(out, chromeEvent{
 			Name: e.Kind, Cat: "event", Ph: "i",
 			Pid: 0, Tid: tid, Ts: e.Clock, S: "g",
-			Args: map[string]any{"detail": e.Detail, "round": e.Round},
+			Args: args,
 		})
 	}
 

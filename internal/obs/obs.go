@@ -39,6 +39,10 @@ const (
 	PhaseUnpack
 	PhaseWait
 	PhaseAbort
+	// PhaseDegraded is service time on the sequential degraded-mode
+	// fallback (internal/serve): no processor ran it, but the work is
+	// real and belongs on the request's timeline.
+	PhaseDegraded
 	NumPhases // count of phase values, for dense per-phase tables
 )
 
@@ -58,6 +62,8 @@ func (p Phase) String() string {
 		return "wait"
 	case PhaseAbort:
 		return "abort"
+	case PhaseDegraded:
+		return "degraded"
 	}
 	return "unknown"
 }
@@ -69,12 +75,13 @@ func (p Phase) String() string {
 // is the wall-clock instant (unix nanoseconds) the span was recorded,
 // which under the simulator is the only real-time anchor.
 type Span struct {
-	Proc  int     // processor that executed the phase
+	Proc  int     // processor that executed the phase; -1 for service-level spans
 	Round int     // remap rounds completed by the processor when the span ended
 	Phase Phase   // what the processor was doing
 	Start float64 // backend clock, µs
 	End   float64 // backend clock, µs
 	Wall  int64   // wall clock at record time, unix nanoseconds
+	Req   string  // owning request ID, when the span is request-scoped (service-level spans like degraded fallbacks); "" for engine phase spans, whose run-level linkage lives in RunMeta.Requests
 }
 
 // Duration returns the span length in backend-clock microseconds.
@@ -105,15 +112,17 @@ type Event struct {
 	Clock  float64 // backend clock at emission, µs; 0 when unknown
 	Detail string  // human-readable cause, e.g. the error string
 	Wall   int64   // unix nanoseconds
+	Req    string  // owning request ID(s), comma-joined for a batch; "" when not request-scoped
 }
 
 // RunMeta opens a run: machine size, total keys, and the static labels
 // (algorithm, backend, ...) the caller attached.
 type RunMeta struct {
-	P      int               // processor count
-	Keys   int               // total key count
-	Labels map[string]string // read-only; shared across calls
-	Start  time.Time         // wall-clock start of the run
+	P        int               // processor count
+	Keys     int               // total key count
+	Labels   map[string]string // read-only; shared across calls
+	Start    time.Time         // wall-clock start of the run
+	Requests []string          // owning request IDs from the run context (RequestIDsFrom): one for a solo request, N for a coalesced batch, nil outside the serve layer
 }
 
 // RunSummary closes a run with the aggregate counters of the

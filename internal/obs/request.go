@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Request identity. A request ID is the join key of the whole
+// observability story: the HTTP layer mints one (or adopts the
+// caller's X-Request-ID / W3C traceparent trace-id), the serve layer
+// threads it through queue admission, batching, engine runs, retries
+// and the degraded fallback via context, and every exporter — span
+// stream, event stream, structured logs, the /debug/sortz page —
+// carries it, so "where did this request's 40ms go?" is answerable
+// from any of them.
+
+// MaxRequestIDLen caps an adopted request ID; longer client-supplied
+// values are truncated so a hostile header cannot bloat logs and
+// traces.
+const MaxRequestIDLen = 128
+
+// reqKey is the context key request IDs travel under. A context
+// carries a []string: one ID for a solo request, the coalesced set for
+// a batched engine run.
+type reqKey struct{}
+
+// reqSeq disambiguates minted IDs if the system randomness source ever
+// fails (it practically cannot); the counter suffix keeps IDs unique.
+var reqSeq atomic.Uint64
+
+// NewRequestID mints a fresh 16-hex-digit request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns ctx carrying id as the request's identity,
+// replacing any IDs already present. Empty ids are not stored.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqKey{}, []string{id})
+}
+
+// WithRequestIDs returns ctx carrying the full ID set of a coalesced
+// batch, replacing any IDs already present.
+func WithRequestIDs(ctx context.Context, ids []string) context.Context {
+	if len(ids) == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, reqKey{}, ids)
+}
+
+// RequestIDFrom returns the (first) request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	if ids, _ := ctx.Value(reqKey{}).([]string); len(ids) > 0 {
+		return ids[0]
+	}
+	return ""
+}
+
+// RequestIDsFrom returns all request IDs carried by ctx (nil when
+// none): one for a solo request, N for a batched engine run. The
+// returned slice is shared — callers must not mutate it.
+func RequestIDsFrom(ctx context.Context) []string {
+	ids, _ := ctx.Value(reqKey{}).([]string)
+	return ids
+}
+
+// CleanRequestID sanitizes a client-supplied request ID for adoption:
+// it is truncated to MaxRequestIDLen and control characters (which
+// would corrupt log lines and the Prometheus exposition) are rejected
+// wholesale — a client that sends garbage gets a minted ID instead.
+func CleanRequestID(id string) string {
+	if len(id) > MaxRequestIDLen {
+		id = id[:MaxRequestIDLen]
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x20 || id[i] == 0x7f {
+			return ""
+		}
+	}
+	return id
+}
+
+// ParseTraceparent extracts the trace-id of a W3C traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>") so a
+// request arriving from an instrumented mesh joins our telemetry on
+// the ID its distributed trace already carries. Returns "" when the
+// header is not a valid traceparent or its trace-id is all zero.
+func ParseTraceparent(h string) string {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return ""
+	}
+	if !isHex(parts[0]) || !isHex(parts[1]) || !isHex(parts[2]) {
+		return ""
+	}
+	if parts[1] == strings.Repeat("0", 32) {
+		return ""
+	}
+	return parts[1]
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("minted IDs must be 16 hex digits, got %q, %q", a, b)
+	}
+	if !isHex(a) || !isHex(b) {
+		t.Fatalf("minted IDs must be hex, got %q, %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("two minted IDs collided: %q", a)
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if id := RequestIDFrom(ctx); id != "" {
+		t.Fatalf("empty context carries ID %q", id)
+	}
+	if got := WithRequestID(ctx, ""); got != ctx {
+		t.Fatal("empty ID must not be stored")
+	}
+	ctx = WithRequestID(ctx, "abc")
+	if id := RequestIDFrom(ctx); id != "abc" {
+		t.Fatalf("RequestIDFrom = %q, want abc", id)
+	}
+	// A batch's ID set replaces the solo ID; the first is the head.
+	ctx = WithRequestIDs(ctx, []string{"x", "y", "z"})
+	if id := RequestIDFrom(ctx); id != "x" {
+		t.Fatalf("RequestIDFrom after batch = %q, want x", id)
+	}
+	ids := RequestIDsFrom(ctx)
+	if len(ids) != 3 || ids[2] != "z" {
+		t.Fatalf("RequestIDsFrom = %v", ids)
+	}
+}
+
+func TestCleanRequestID(t *testing.T) {
+	if got := CleanRequestID("abc-123"); got != "abc-123" {
+		t.Errorf("clean ID mangled: %q", got)
+	}
+	long := strings.Repeat("a", MaxRequestIDLen+40)
+	if got := CleanRequestID(long); len(got) != MaxRequestIDLen {
+		t.Errorf("oversize ID truncated to %d, want %d", len(got), MaxRequestIDLen)
+	}
+	for _, bad := range []string{"a\nb", "a\x00b", "a\x7fb", "evil\r\nSet-Cookie: x"} {
+		if got := CleanRequestID(bad); got != "" {
+			t.Errorf("control characters must reject the whole ID, got %q from %q", got, bad)
+		}
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	traceID := "4bf92f3577b34da6a3ce929d0e0e4736"
+	if got := ParseTraceparent("00-" + traceID + "-00f067aa0ba902b7-01"); got != traceID {
+		t.Errorf("valid traceparent: got %q", got)
+	}
+	for _, bad := range []string{
+		"",
+		"garbage",
+		"00-" + strings.Repeat("0", 32) + "-00f067aa0ba902b7-01", // all-zero trace-id
+		"00-shorttraceid-00f067aa0ba902b7-01",
+		"00-" + traceID + "-shortparent-01",
+		"zz-" + traceID + "-00f067aa0ba902b7-01",
+	} {
+		if got := ParseTraceparent(bad); got != "" {
+			t.Errorf("ParseTraceparent(%q) = %q, want \"\"", bad, got)
+		}
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	p := NewP2Quantile(0.5)
+	if p.Value() != 0 {
+		t.Fatal("empty estimator must report 0")
+	}
+	for _, v := range []float64{9, 1, 5} {
+		p.Observe(v)
+	}
+	// Under five samples the estimate is read off the sorted set.
+	if got := p.Value(); got != 5 {
+		t.Fatalf("median of {1,5,9} = %v, want 5", got)
+	}
+	if p.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", p.Count())
+	}
+}
+
+func TestP2QuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+	samples := make([]float64, n)
+	p50 := NewP2Quantile(0.5)
+	p99 := NewP2Quantile(0.99)
+	for i := range samples {
+		v := rng.Float64()
+		samples[i] = v
+		p50.Observe(v)
+		p99.Observe(v)
+	}
+	sort.Float64s(samples)
+	exact50 := samples[n/2]
+	exact99 := samples[n*99/100]
+	if got := p50.Value(); got < exact50-0.02 || got > exact50+0.02 {
+		t.Errorf("p50 estimate %v vs exact %v", got, exact50)
+	}
+	if got := p99.Value(); got < exact99-0.02 || got > exact99+0.02 {
+		t.Errorf("p99 estimate %v vs exact %v", got, exact99)
+	}
+}
+
+func TestSLOTrackerDisabled(t *testing.T) {
+	if tr := NewSLOTracker(SLOConfig{}); tr != nil {
+		t.Fatal("zero config must yield a nil tracker")
+	}
+	if tr := NewSLOTracker(SLOConfig{Threshold: time.Second}); tr != nil {
+		t.Fatal("config without a target must yield a nil tracker")
+	}
+	if (SLOConfig{Threshold: time.Second, Target: 0.99}).Enabled() != true {
+		t.Fatal("threshold+target must enable")
+	}
+}
+
+func TestSLOTrackerBurnAndReady(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{
+		Threshold: 10 * time.Millisecond, Target: 0.9,
+		UnreadyBurn: 2.0, MinSamples: 5,
+	})
+	// Deterministic clock, advanced by hand.
+	clock := time.Unix(1_000_000, 0)
+	tr.now = func() time.Time { return clock }
+
+	for i := 0; i < 10; i++ {
+		tr.Observe(5 * time.Millisecond) // within objective
+	}
+	if ready, burn := tr.Ready(); !ready || burn != 0 {
+		t.Fatalf("all-ok window: ready=%v burn=%v, want ready at 0", ready, burn)
+	}
+
+	for i := 0; i < 10; i++ {
+		tr.Observe(50 * time.Millisecond) // breach
+	}
+	// 10/20 breached against a 10% budget: burn 5.0, past UnreadyBurn.
+	if ready, burn := tr.Ready(); ready || burn < 4.9 || burn > 5.1 {
+		t.Fatalf("burning window: ready=%v burn=%v, want unready near 5.0", ready, burn)
+	}
+	if total, breach := tr.WindowCounts(); total != 20 || breach != 10 {
+		t.Fatalf("window counts = %v/%v, want 20/10", breach, total)
+	}
+	if total, breach := tr.Totals(); total != 20 || breach != 10 {
+		t.Fatalf("lifetime counts = %v/%v, want 20/10", breach, total)
+	}
+
+	// Sliding past the window forgets the burn: ready again.
+	clock = clock.Add(2 * sloWindowSecs * time.Second)
+	if ready, burn := tr.Ready(); !ready || burn != 0 {
+		t.Fatalf("after the window slid: ready=%v burn=%v, want ready at 0", ready, burn)
+	}
+	if total, breach := tr.Totals(); total != 20 || breach != 10 {
+		t.Fatalf("lifetime counts must survive rotation, got %v/%v", breach, total)
+	}
+}
+
+func TestSLOTrackerMinSamples(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{
+		Threshold: time.Nanosecond, Target: 0.5, MinSamples: 10,
+	})
+	clock := time.Unix(2_000_000, 0)
+	tr.now = func() time.Time { return clock }
+	// Every request breaches, but a thin window must not declare
+	// unreadiness — one slow request on an idle server is not an
+	// incident.
+	for i := 0; i < 9; i++ {
+		tr.Observe(time.Second)
+	}
+	if ready, _ := tr.Ready(); !ready {
+		t.Fatal("under MinSamples the tracker must stay ready")
+	}
+	tr.Observe(time.Second)
+	if ready, burn := tr.Ready(); ready || burn < 2 {
+		t.Fatalf("at MinSamples with full burn: ready=%v burn=%v", ready, burn)
+	}
+}
+
+func TestStagesObserveGatesTails(t *testing.T) {
+	s := NewStages("u32", SLOConfig{})
+	var b StageBreakdown
+	b[StageQueue] = time.Millisecond
+
+	// A refusal (ok=false) feeds the stage histograms but must not
+	// drag the tail estimators: a fast 429 cannot lower p50.
+	s.Observe(b, time.Hour, 0, false)
+	if p50, _, _ := s.Quantiles(); p50 != 0 {
+		t.Fatalf("refusals fed the tails: p50=%v", p50)
+	}
+	if _, count := s.StageSeconds(StageQueue); count != 1 {
+		t.Fatalf("stage histogram must see all outcomes, count=%d", count)
+	}
+
+	s.Observe(b, 2*time.Second, 0, true)
+	if p50, _, _ := s.Quantiles(); p50 != 2 {
+		t.Fatalf("served request must feed the tails: p50=%v, want 2", p50)
+	}
+
+	if s.Negatives() != 0 {
+		t.Fatal("no clamps yet")
+	}
+	s.Observe(b, time.Second, 3, true)
+	if s.Negatives() != 3 {
+		t.Fatalf("Negatives = %d, want 3", s.Negatives())
+	}
+}
+
+// TestStagesPromPreRegistered: every request-scoped series is present
+// at zero on a fresh server — dashboards and alerts never face
+// absent-vs-zero ambiguity (satellite: pre-register all new series).
+func TestStagesPromPreRegistered(t *testing.T) {
+	s := NewStages("kv64", SLOConfig{Threshold: 50 * time.Millisecond, Target: 0.99})
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`parbitonic_serve_stage_seconds_bucket{elem="kv64",stage="queue",le="+Inf"} 0`,
+		`parbitonic_serve_stage_seconds_bucket{elem="kv64",stage="batch",le="+Inf"} 0`,
+		`parbitonic_serve_stage_seconds_bucket{elem="kv64",stage="engine",le="+Inf"} 0`,
+		`parbitonic_serve_stage_seconds_bucket{elem="kv64",stage="retry",le="+Inf"} 0`,
+		`parbitonic_serve_stage_seconds_bucket{elem="kv64",stage="copyout",le="+Inf"} 0`,
+		`parbitonic_serve_stage_negative_total{elem="kv64"} 0`,
+		`parbitonic_serve_latency_quantile_seconds{elem="kv64",q="0.5"} 0`,
+		`parbitonic_serve_latency_quantile_seconds{elem="kv64",q="0.99"} 0`,
+		`parbitonic_serve_slo_burn_rate{elem="kv64"} 0`,
+		`parbitonic_serve_slo_requests_total{elem="kv64",verdict="ok"} 0`,
+		`parbitonic_serve_slo_requests_total{elem="kv64",verdict="breach"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fresh exposition missing %q", want)
+		}
+	}
+	// A non-head exposition (Gateway merge) drops the HELP/TYPE lines.
+	buf.Reset()
+	if err := s.WriteProm(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "# HELP") {
+		t.Error("headerless exposition still carries HELP lines")
+	}
+}
+
+func TestRuntimeHealth(t *testing.T) {
+	rh := NewRuntimeHealth()
+	var buf bytes.Buffer
+	if err := rh.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"parbitonic_runtime_heap_bytes",
+		"parbitonic_runtime_goroutines",
+		"parbitonic_runtime_gc_cycles_total",
+		`parbitonic_runtime_gc_pause_seconds{q="0.99"}`,
+		`parbitonic_runtime_sched_latency_seconds{q="0.99"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("runtime health exposition missing %q", want)
+		}
+	}
+	snap := rh.Snapshot()
+	for _, key := range []string{"heap_bytes", "goroutines", "gc_cycles", "gc_pause_p99_s", "sched_latency_p99_s"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("Snapshot missing %q", key)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import "time"
+
+// SLO machinery: a latency objective ("target fraction of requests
+// complete under threshold") tracked as an error-budget burn rate over
+// a sliding window, the way SRE-style alerting consumes it. A burn
+// rate of 1.0 means breaches arrive exactly as fast as the budget
+// allows; sustained burn well above 1 means the objective will be
+// missed and the service should stop advertising itself as ready.
+
+// SLOConfig is a latency objective. The zero value disables tracking.
+type SLOConfig struct {
+	// Threshold is the latency bound a request must finish under to
+	// count as within-objective.
+	Threshold time.Duration
+	// Target is the fraction of requests that must meet Threshold,
+	// e.g. 0.99. Must be in (0, 1) for tracking to engage.
+	Target float64
+	// UnreadyBurn is the burn rate at which Ready degrades to false
+	// (sustained over the window). 0 means the default 2.0.
+	UnreadyBurn float64
+	// MinSamples is how many requests the window must hold before the
+	// tracker will declare unreadiness — a single slow request on an
+	// idle server is not an incident. 0 means the default 10.
+	MinSamples int
+}
+
+// Enabled reports whether the config describes a live objective.
+func (c SLOConfig) Enabled() bool {
+	return c.Threshold > 0 && c.Target > 0 && c.Target < 1
+}
+
+// sloWindowSecs is the sliding-window length of the burn-rate
+// computation: 60 one-second buckets.
+const sloWindowSecs = 60
+
+// SLOTracker counts within/over-threshold requests in a ring of
+// one-second buckets and derives the burn rate over the last minute.
+// Not safe for concurrent use; callers lock (serve.Metrics does).
+type SLOTracker struct {
+	cfg      SLOConfig
+	total    [sloWindowSecs]float64 // requests per second-bucket
+	breach   [sloWindowSecs]float64 // over-threshold requests per bucket
+	bucketAt int64                  // unix second the current bucket maps to
+	cumTotal float64                // lifetime request count
+	cumBre   float64                // lifetime breach count
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// NewSLOTracker builds a tracker for cfg; returns nil when cfg is
+// disabled (callers treat a nil tracker as "no objective").
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.UnreadyBurn <= 0 {
+		cfg.UnreadyBurn = 2.0
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 10
+	}
+	return &SLOTracker{cfg: cfg, now: time.Now}
+}
+
+// Config returns the objective being tracked.
+func (t *SLOTracker) Config() SLOConfig { return t.cfg }
+
+// rotate advances the ring to the wall second `sec`, zeroing buckets
+// the window slid past.
+func (t *SLOTracker) rotate(sec int64) {
+	if t.bucketAt == 0 {
+		t.bucketAt = sec
+		return
+	}
+	gap := sec - t.bucketAt
+	if gap <= 0 {
+		return
+	}
+	if gap > sloWindowSecs {
+		gap = sloWindowSecs
+	}
+	for i := int64(1); i <= gap; i++ {
+		idx := (t.bucketAt + i) % sloWindowSecs
+		t.total[idx] = 0
+		t.breach[idx] = 0
+	}
+	t.bucketAt = sec
+}
+
+// Observe records one completed request's end-to-end latency.
+func (t *SLOTracker) Observe(d time.Duration) {
+	sec := t.now().Unix()
+	t.rotate(sec)
+	idx := sec % sloWindowSecs
+	t.total[idx]++
+	t.cumTotal++
+	if d > t.cfg.Threshold {
+		t.breach[idx]++
+		t.cumBre++
+	}
+}
+
+// BurnRate returns the error-budget burn rate over the sliding window:
+// (observed breach fraction) / (allowed breach fraction). 0 when the
+// window is empty; 1.0 means the budget is being spent exactly at the
+// sustainable rate.
+func (t *SLOTracker) BurnRate() float64 {
+	t.rotate(t.now().Unix())
+	var total, breach float64
+	for i := range t.total {
+		total += t.total[i]
+		breach += t.breach[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return (breach / total) / (1 - t.cfg.Target)
+}
+
+// WindowCounts returns the sliding window's totals (requests,
+// breaches).
+func (t *SLOTracker) WindowCounts() (total, breach float64) {
+	t.rotate(t.now().Unix())
+	for i := range t.total {
+		total += t.total[i]
+		breach += t.breach[i]
+	}
+	return total, breach
+}
+
+// Totals returns the lifetime counters (requests observed, breaches).
+func (t *SLOTracker) Totals() (total, breach float64) {
+	return t.cumTotal, t.cumBre
+}
+
+// Ready reports whether the service should advertise readiness under
+// this objective, with the current burn rate: false once the window
+// holds at least MinSamples requests and the burn rate has reached
+// UnreadyBurn — sustained burn, not a single slow request.
+func (t *SLOTracker) Ready() (bool, float64) {
+	burn := t.BurnRate()
+	total, _ := t.WindowCounts()
+	if total >= float64(t.cfg.MinSamples) && burn >= t.cfg.UnreadyBurn {
+		return false, burn
+	}
+	return true, burn
+}

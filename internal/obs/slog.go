@@ -3,6 +3,7 @@ package obs
 import (
 	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -32,6 +33,9 @@ func (s *SlogSink) RunStart(m RunMeta) {
 	s.metas = append(s.metas, m)
 	s.mu.Unlock()
 	args := []any{slog.Int("procs", m.P), slog.Int("keys", m.Keys)}
+	if len(m.Requests) > 0 {
+		args = append(args, slog.String("requests", strings.Join(m.Requests, ",")))
+	}
 	args = append(args, labelAttrs(m.Labels)...)
 	s.log.Info("sort run started", args...)
 }
@@ -40,14 +44,20 @@ func (s *SlogSink) RunStart(m RunMeta) {
 // far too chatty for a log stream.
 func (s *SlogSink) FlushSpans(int, []Span) {}
 
-// Emit implements Sink: one Warn line per runtime event.
+// Emit implements Sink: one Warn line per runtime event, carrying the
+// owning request ID(s) when the event is request-scoped so logs join
+// traces and metrics on one key.
 func (s *SlogSink) Emit(e Event) {
-	s.log.Warn("runtime event",
+	args := []any{
 		slog.String("kind", e.Kind),
 		slog.Int("proc", e.Proc),
 		slog.Int("round", e.Round),
 		slog.String("detail", e.Detail),
-	)
+	}
+	if e.Req != "" {
+		args = append(args, slog.String("requests", e.Req))
+	}
+	s.log.Warn("runtime event", args...)
 }
 
 // RunEnd implements Sink: one Info (or Error) line per completed run.
@@ -71,6 +81,9 @@ func (s *SlogSink) RunEnd(sum RunSummary) {
 		slog.Float64("pack_us", sum.PackTime),
 		slog.Float64("transfer_us", sum.TransferTime),
 		slog.Float64("unpack_us", sum.UnpackTime),
+	}
+	if len(meta.Requests) > 0 {
+		args = append(args, slog.String("requests", strings.Join(meta.Requests, ",")))
 	}
 	args = append(args, labelAttrs(meta.Labels)...)
 	if sum.Err != "" {

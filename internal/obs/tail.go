@@ -1,0 +1,122 @@
+package obs
+
+import "sort"
+
+// P2Quantile is a streaming quantile estimator using the P² algorithm
+// (Jain & Chlamtac, CACM 1985): five markers track the running
+// quantile in O(1) space and O(1) time per observation, no sample
+// buffer. It is how the serve layer keeps live p50/p95/p99 tail
+// estimates per element type without retaining request latencies.
+//
+// Accuracy is that of the published algorithm — a few percent of the
+// true quantile on smooth distributions, exact until the fifth
+// observation (the markers are seeded from the first five sorted
+// samples). Not safe for concurrent use; callers lock.
+type P2Quantile struct {
+	q    float64    // target quantile in (0, 1)
+	n    int        // observations seen
+	pos  [5]float64 // marker positions (1-based ranks)
+	want [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increments per observation
+	h    [5]float64 // marker heights (the value estimates)
+}
+
+// NewP2Quantile returns an estimator for quantile q in (0, 1).
+func NewP2Quantile(q float64) *P2Quantile {
+	p := &P2Quantile{q: q}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Observe feeds one sample.
+func (p *P2Quantile) Observe(v float64) {
+	if p.n < 5 {
+		p.h[p.n] = v
+		p.n++
+		if p.n == 5 {
+			sort.Float64s(p.h[:])
+			for i := 0; i < 5; i++ {
+				p.pos[i] = float64(i + 1)
+				p.want[i] = 1 + 4*p.inc[i]
+			}
+		}
+		return
+	}
+
+	// Find the cell v falls into and bump the end markers.
+	var k int
+	switch {
+	case v < p.h[0]:
+		p.h[0] = v
+		k = 0
+	case v >= p.h[4]:
+		p.h[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < p.h[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	p.n++
+	for i := 0; i < 5; i++ {
+		p.want[i] += p.inc[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions,
+	// parabolic interpolation first, linear as the fallback.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			hp := p.parabolic(i, s)
+			if p.h[i-1] < hp && hp < p.h[i+1] {
+				p.h[i] = hp
+			} else {
+				p.h[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height update for marker i
+// moving by s (±1).
+func (p *P2Quantile) parabolic(i int, s float64) float64 {
+	return p.h[i] + s/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+s)*(p.h[i+1]-p.h[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-s)*(p.h[i]-p.h[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height update when the parabola overshoots a
+// neighboring marker.
+func (p *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return p.h[i] + s*(p.h[j]-p.h[i])/(p.pos[j]-p.pos[i])
+}
+
+// Count returns the number of observations seen.
+func (p *P2Quantile) Count() int { return p.n }
+
+// Value returns the current quantile estimate; 0 before any
+// observation. Until five samples have arrived the estimate is read
+// off the sorted sample set directly.
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		s := append([]float64(nil), p.h[:p.n]...)
+		sort.Float64s(s)
+		i := int(p.q * float64(p.n-1))
+		return s[i]
+	}
+	return p.h[2]
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"math/bits"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -32,9 +33,19 @@ func (s *ServerOf[E]) runBatch(batch []*request[E], slab *[]E) {
 	defer stop()
 
 	total := 0
-	for _, r := range batch {
+	ids := make([]string, len(batch))
+	for i, r := range batch {
 		total += len(r.keys)
+		ids[i] = r.id
 	}
+	// The joint context derives from the SERVER's context, not the
+	// members' — so the member request IDs must be re-attached for the
+	// engine run's telemetry to carry its owners.
+	ctx = obs.WithRequestIDs(ctx, ids)
+	reqs := strings.Join(ids, ",")
+	bid := s.m.batchStart(ids, total)
+	defer s.m.batchEnd(bid)
+
 	shift := tagShift[E](len(batch))
 	padded := parbitonic.PaddedSize(total, s.cfg.Engine.Processors)
 	if cap(*slab) < padded {
@@ -42,11 +53,25 @@ func (s *ServerOf[E]) runBatch(batch []*request[E], slab *[]E) {
 	}
 	buf := (*slab)[:padded]
 	packBatch(buf, batch, shift, total)
+	for _, r := range batch {
+		r.tr.advance(obs.StageBatch)
+	}
 
 	err := s.runPooled(ctx, padded, func(eng *parbitonic.EngineOf[E]) error {
 		_, err := eng.SortContext(ctx, buf)
 		return err
-	}, func() { packBatch(buf, batch, shift, total) })
+	}, func() { packBatch(buf, batch, shift, total) },
+		func(st obs.Stage, d time.Duration) {
+			for _, r := range batch {
+				r.tr.add(st, d)
+			}
+		}, reqs)
+	// Engine and retry time were folded in via the note callback; move
+	// every member's hop mark past the run so the next advance charges
+	// only the copy-out.
+	for _, r := range batch {
+		r.tr.reset()
+	}
 	if err != nil {
 		for _, r := range batch {
 			r.finish(s.m, nil, err)
@@ -58,16 +83,22 @@ func (s *ServerOf[E]) runBatch(batch []*request[E], slab *[]E) {
 
 // runSolo sorts one request on a pooled engine under its own context.
 func (s *ServerOf[E]) runSolo(r *request[E]) {
+	bid := s.m.batchStart([]string{r.id}, len(r.keys))
+	defer s.m.batchEnd(bid)
 	out := append([]E(nil), r.keys...)
 	padded := parbitonic.PaddedSize(len(out), s.cfg.Engine.Processors)
+	r.tr.advance(obs.StageBatch)
 	err := s.runPooled(r.ctx, padded, func(eng *parbitonic.EngineOf[E]) error {
 		_, err := eng.SortPaddedContext(r.ctx, out)
 		return err
-	}, func() { copy(out, r.keys) })
+	}, func() { copy(out, r.keys) },
+		func(st obs.Stage, d time.Duration) { r.tr.add(st, d) }, r.id)
+	r.tr.reset()
 	if err != nil {
 		r.finish(s.m, nil, err)
 		return
 	}
+	r.tr.advance(obs.StageCopyOut)
 	r.finish(s.m, out, nil)
 }
 
@@ -80,17 +111,23 @@ func (s *ServerOf[E]) runSolo(r *request[E]) {
 // a jittered exponential backoff that never sleeps past ctx's
 // deadline budget, with repack restoring the input buffer first (a
 // failed run leaves its contents unspecified).
-func (s *ServerOf[E]) runPooled(ctx context.Context, padded int, run func(*parbitonic.EngineOf[E]) error, repack func()) error {
+// note reports measured intervals back to the batch's stage trackers —
+// engine attempt wall time, retry backoff sleeps, and repack time
+// (charged to the batch stage) — and reqs carries the owning request
+// ID(s) for the retry/quarantine events.
+func (s *ServerOf[E]) runPooled(ctx context.Context, padded int, run func(*parbitonic.EngineOf[E]) error, repack func(), note func(obs.Stage, time.Duration), reqs string) error {
 	for attempt := 0; ; attempt++ {
 		eng, err := s.pool.Get(s.cfg.Engine, padded)
 		if err != nil {
 			return err
 		}
+		t0 := time.Now()
 		err = run(eng)
+		note(obs.StageEngine, time.Since(t0))
 		healthy := resilience.EngineHealthy(err)
 		s.pool.Put(eng, padded, healthy)
 		if !healthy {
-			s.emit(obs.EventQuarantine, err.Error())
+			s.emit(obs.EventQuarantine, err.Error(), reqs)
 		}
 		s.recordBreaker(err, healthy)
 		if err == nil {
@@ -101,11 +138,16 @@ func (s *ServerOf[E]) runPooled(ctx context.Context, padded int, run func(*parbi
 			return err
 		}
 		s.m.retry()
-		s.emit(obs.EventRetry, err.Error())
-		if resilience.Sleep(ctx, d) != nil {
+		s.emit(obs.EventRetry, err.Error(), reqs)
+		t1 := time.Now()
+		serr := resilience.Sleep(ctx, d)
+		note(obs.StageRetry, time.Since(t1))
+		if serr != nil {
 			return err
 		}
+		t2 := time.Now()
 		repack()
+		note(obs.StageBatch, time.Since(t2))
 	}
 }
 
@@ -245,6 +287,7 @@ func splitBatch[E element.Elem](buf []E, batch []*request[E], shift uint, m *Met
 				o[i] = in[pos+i] & mask
 			}
 			pos += len(r.keys)
+			r.tr.advance(obs.StageCopyOut)
 			r.finish(m, out, nil)
 		}
 	case element.TU64:
@@ -258,6 +301,7 @@ func splitBatch[E element.Elem](buf []E, batch []*request[E], shift uint, m *Met
 				o[i] = in[pos+i] & mask
 			}
 			pos += len(r.keys)
+			r.tr.advance(obs.StageCopyOut)
 			r.finish(m, out, nil)
 		}
 	case element.TKV64:
@@ -271,6 +315,7 @@ func splitBatch[E element.Elem](buf []E, batch []*request[E], shift uint, m *Met
 				o[i] = element.KV64{K: in[pos+i].K & mask, V: in[pos+i].V}
 			}
 			pos += len(r.keys)
+			r.tr.advance(obs.StageCopyOut)
 			r.finish(m, out, nil)
 		}
 	default:

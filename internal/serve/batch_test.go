@@ -6,6 +6,8 @@ import (
 	"sort"
 	"testing"
 	"time"
+
+	"parbitonic/internal/obs"
 )
 
 func mkReq(keys []uint32) *request[uint32] {
@@ -15,11 +17,14 @@ func mkReq(keys []uint32) *request[uint32] {
 			mx = k
 		}
 	}
+	tr := newReqTrack("test", len(keys))
 	return &request[uint32]{
 		keys:   keys,
 		maxKey: uint64(mx),
 		ctx:    context.Background(),
 		enq:    time.Now(),
+		id:     tr.id,
+		tr:     tr,
 		res:    make(chan response[uint32], 1),
 	}
 }
@@ -90,7 +95,7 @@ func TestPackSplitRoundTrip(t *testing.T) {
 	packBatch(buf, batch, shift, total)
 	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
 
-	m := newMetrics("u32", func() int { return 0 }, NewPool(1))
+	m := newMetrics("u32", func() int { return 0 }, NewPool(1), obs.SLOConfig{})
 	splitBatch(buf, batch, shift, m)
 	for j, r := range batch {
 		got := (<-r.res).sorted
@@ -119,7 +124,7 @@ func TestBatchNoRetention(t *testing.T) {
 	buf := make([]uint32, 8)
 	packBatch(buf, batch, shift, 6)
 	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
-	m := newMetrics("u32", func() int { return 0 }, NewPool(1))
+	m := newMetrics("u32", func() int { return 0 }, NewPool(1), obs.SLOConfig{})
 	splitBatch(buf, batch, shift, m)
 
 	outs := [][]uint32{(<-batch[0].res).sorted, (<-batch[1].res).sorted}

@@ -33,10 +33,18 @@ type sortResponse struct {
 	// latency is not representative. Mirrored by the X-Sort-Degraded
 	// response header so binary clients see it too.
 	Degraded bool `json:"degraded,omitempty"`
+	// RequestID echoes the request's ID (adopted from X-Request-ID /
+	// traceparent, or minted); also on the X-Request-ID response header.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // degradedHeader marks responses served by the sequential fallback.
 const degradedHeader = "X-Sort-Degraded"
+
+// requestIDHeader carries the request ID in and out: a client-supplied
+// value is adopted (sanitized), otherwise one is minted, and EVERY
+// response — success, 4xx, 5xx, frame error — echoes it back.
+const requestIDHeader = "X-Request-ID"
 
 // errorResponse is the JSON error shape of every non-2xx response.
 // Code is set for frame-level rejections (FrameError) so binary
@@ -44,6 +52,20 @@ const degradedHeader = "X-Sort-Degraded"
 type errorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
+	// RequestID echoes the failing request's ID for log correlation.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// requestID derives the request's ID: a sane X-Request-ID header wins,
+// then the W3C traceparent's trace-id, then a freshly minted ID.
+func requestID(r *http.Request) string {
+	if id := obs.CleanRequestID(r.Header.Get(requestIDHeader)); id != "" {
+		return id
+	}
+	if id := obs.ParseTraceparent(r.Header.Get("traceparent")); id != "" {
+		return id
+	}
+	return obs.NewRequestID()
 }
 
 // front is what the /sort handler routes through: a u32 server for
@@ -67,12 +89,21 @@ type front struct {
 //	                  gateway.go; only element type u32 is enabled
 //	                  here, others get 501); optional ?timeout_ms=N
 //	                  per-request deadline
-//	GET  /healthz     liveness: 200 "ok"
+//	GET  /healthz     readiness: 200 "ok", or 503 with JSON reasons
+//	                  under sustained SLO error-budget burn
 //	GET  /stats       JSON snapshot of server + pool counters
-//	GET  /metrics     Prometheus text: serve metrics plus, when
-//	                  runMetrics is non-nil, the engine-run metrics
+//	GET  /metrics     Prometheus text: serve metrics (including stage
+//	                  histograms, tail quantiles, SLO burn) plus
+//	                  runtime health and, when runMetrics is non-nil,
+//	                  the engine-run metrics
+//	GET  /debug/sortz live ops page: recent slow requests with stage
+//	                  breakdowns, breaker/pool state, active batches;
+//	                  HTML by default, ?format=json for machines
 //	GET  /debug/vars  expvar JSON (engine-run metrics; requires
 //	                  runMetrics)
+//
+// Every /sort response carries X-Request-ID: the client's own (or its
+// traceparent trace-id), else a minted one.
 //
 // Status mapping for /sort: 200 ok, 400 malformed input (typed code
 // for bad frames), 413 oversize body, 429 ErrOverloaded (with
@@ -116,9 +147,26 @@ func NewGatewayHandler(g *Gateway, runMetrics *obs.Metrics) http.Handler {
 }
 
 func newMux(f *front, runMetrics *obs.Metrics) http.Handler {
+	rh := obs.NewRuntimeHealth()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sort", func(w http.ResponseWriter, r *http.Request) { handleSort(f, w, r) })
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Readiness degrades under sustained SLO error-budget burn: a
+		// server that will miss its objective should stop advertising
+		// itself before clients notice the tail.
+		var unready []string
+		for _, t := range f.order {
+			m := f.servers[t].Metrics()
+			if ok, burn := m.Stages().SLOReady(); !ok {
+				unready = append(unready, fmt.Sprintf("%s: slo burn rate %.2f", m.Elem(), burn))
+			}
+		}
+		if len(unready) > 0 {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"status": "unready", "reasons": unready})
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
@@ -134,7 +182,9 @@ func newMux(f *front, runMetrics *obs.Metrics) http.Handler {
 		if runMetrics != nil {
 			_ = runMetrics.WriteProm(w)
 		}
+		_ = rh.WriteProm(w)
 	})
+	mux.HandleFunc("/debug/sortz", func(w http.ResponseWriter, r *http.Request) { handleSortz(f, rh, w, r) })
 	if runMetrics != nil {
 		vars := runMetrics.ExpvarFunc()
 		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
@@ -166,13 +216,17 @@ func statsFor(m *Metrics, ps PoolStats) map[string]any {
 }
 
 func handleSort(f *front, w http.ResponseWriter, r *http.Request) {
+	// Establish the request's identity first, so every response path —
+	// including refusals — echoes the ID.
+	id := requestID(r)
+	w.Header().Set(requestIDHeader, id)
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 
-	ctx := r.Context()
+	ctx := obs.WithRequestID(r.Context(), id)
 	if tm := r.URL.Query().Get("timeout_ms"); tm != "" {
 		ms, perr := strconv.Atoi(tm)
 		if perr != nil || ms <= 0 {
@@ -206,7 +260,7 @@ func handleSort(f *front, w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(degradedHeader, "1")
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	json.NewEncoder(w).Encode(sortResponse{Keys: sorted, Degraded: degraded})
+	json.NewEncoder(w).Encode(sortResponse{Keys: sorted, Degraded: degraded, RequestID: id})
 }
 
 // handleBinarySort serves an octet-stream body: a versioned frame is
@@ -282,7 +336,7 @@ func sortError(w http.ResponseWriter, err error, retryAfter int) {
 	if errors.As(err, &ferr) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.WriteHeader(http.StatusBadRequest)
-		json.NewEncoder(w).Encode(errorResponse{Error: ferr.Error(), Code: ferr.Code})
+		json.NewEncoder(w).Encode(errorResponse{Error: ferr.Error(), Code: ferr.Code, RequestID: w.Header().Get(requestIDHeader)})
 		return
 	}
 	status, msg := sortStatus(err)
@@ -320,7 +374,7 @@ func sortStatus(err error) (int, string) {
 func httpError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+	json.NewEncoder(w).Encode(errorResponse{Error: msg, RequestID: w.Header().Get(requestIDHeader)})
 }
 
 // decodeLegacyKeys decodes an unversioned little-endian uint32 stream.

@@ -9,9 +9,52 @@ import (
 	"sync"
 	"time"
 
+	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
 	"parbitonic/internal/verify"
 )
+
+// recentKeep and slowestKeep size the sortz request rings: the last N
+// completed requests and the N slowest seen since start.
+const (
+	recentKeep  = 64
+	slowestKeep = 16
+)
+
+// RequestRecord is one completed request as the ops surface shows it:
+// identity, size, outcome, and the per-stage latency breakdown.
+// Durations encode to JSON as nanoseconds.
+type RequestRecord struct {
+	// ID is the request's ID (client-supplied or minted).
+	ID string `json:"id"`
+	// Keys is the request's key count.
+	Keys int `json:"keys"`
+	// Outcome is the request's outcome label ("ok", "overloaded", ...).
+	Outcome string `json:"outcome"`
+	// Degraded marks requests served by the sequential fallback.
+	Degraded bool `json:"degraded"`
+	// Retried marks requests whose engine run was retried.
+	Retried bool `json:"retried"`
+	// Start is the wall-clock admission instant.
+	Start time.Time `json:"start"`
+	// Total is the end-to-end latency, admission to record.
+	Total time.Duration `json:"total"`
+	// Stages is the per-stage breakdown; it sums to ~Total.
+	Stages obs.StageBreakdown `json:"stages"`
+}
+
+// ActiveBatch is one engine run currently in flight: which request IDs
+// it coalesced and how many keys it carries.
+type ActiveBatch struct {
+	// Seq is the run's sequence number (monotonic per server).
+	Seq uint64 `json:"seq"`
+	// Requests lists the coalesced member request IDs.
+	Requests []string `json:"requests"`
+	// Keys is the batch's summed key count, pre-padding.
+	Keys int `json:"keys"`
+	// Started is when the run entered flight.
+	Started time.Time `json:"started"`
+}
 
 // latencyBuckets are the request-latency histogram upper bounds in
 // seconds: log-spaced from 100µs (a pooled in-memory hit) to 10s.
@@ -71,9 +114,19 @@ type Metrics struct {
 	queueDepth   func() int // sampled at scrape time
 	breakerState func() int // sampled at scrape time; nil = no breaker
 	pool         poolStatser
+
+	stages *obs.Stages // request-scoped stage/tail/SLO telemetry; own locking
+
+	recent    [recentKeep]RequestRecord // ring of the last completed requests
+	recentPos int
+	recentN   int
+	slowest   []RequestRecord // the slowest requests seen, descending by Total
+
+	active   map[uint64]ActiveBatch // engine runs in flight, by sequence
+	batchSeq uint64
 }
 
-func newMetrics(elem string, queueDepth func() int, pool poolStatser) *Metrics {
+func newMetrics(elem string, queueDepth func() int, pool poolStatser, slo obs.SLOConfig) *Metrics {
 	return &Metrics{
 		elem: elem,
 		requests: map[string]float64{
@@ -84,6 +137,8 @@ func newMetrics(elem string, queueDepth func() int, pool poolStatser) *Metrics {
 		size:       newHist(sizeBuckets[:]),
 		queueDepth: queueDepth,
 		pool:       pool,
+		stages:     obs.NewStages(elem, slo),
+		active:     make(map[uint64]ActiveBatch),
 	}
 }
 
@@ -142,6 +197,101 @@ func (m *Metrics) degrade() {
 	m.mu.Lock()
 	m.degraded++
 	m.mu.Unlock()
+}
+
+// recordRequest folds one completed request's stage track into the
+// request-scoped telemetry: stage histograms, tail estimators, the SLO
+// window, and the sortz recent/slowest rings. Called by the submitting
+// goroutine at SortDegradable exit (never for abandoned requests, whose
+// tracks the pipeline still owns).
+func (m *Metrics) recordRequest(tr *reqTrack, err error, degraded bool) {
+	total := tr.total()
+	m.stages.Observe(tr.dur, total, tr.neg, err == nil)
+	rec := RequestRecord{
+		ID:       tr.id,
+		Keys:     tr.keys,
+		Outcome:  outcome(err),
+		Degraded: degraded,
+		Retried:  tr.dur[obs.StageRetry] > 0,
+		Start:    tr.wallStart,
+		Total:    total,
+		Stages:   tr.dur,
+	}
+	m.mu.Lock()
+	m.recent[m.recentPos] = rec
+	m.recentPos = (m.recentPos + 1) % recentKeep
+	if m.recentN < recentKeep {
+		m.recentN++
+	}
+	i := sort.Search(len(m.slowest), func(i int) bool { return m.slowest[i].Total < rec.Total })
+	if i < slowestKeep {
+		m.slowest = append(m.slowest, RequestRecord{})
+		copy(m.slowest[i+1:], m.slowest[i:])
+		m.slowest[i] = rec
+		if len(m.slowest) > slowestKeep {
+			m.slowest = m.slowest[:slowestKeep]
+		}
+	}
+	m.mu.Unlock()
+}
+
+// batchStart registers an engine run entering flight and returns its
+// sequence number for batchEnd.
+func (m *Metrics) batchStart(ids []string, keys int) uint64 {
+	m.mu.Lock()
+	m.batchSeq++
+	seq := m.batchSeq
+	m.active[seq] = ActiveBatch{
+		Seq: seq, Requests: append([]string(nil), ids...),
+		Keys: keys, Started: time.Now(),
+	}
+	m.mu.Unlock()
+	return seq
+}
+
+// batchEnd removes a completed engine run from the active set.
+func (m *Metrics) batchEnd(seq uint64) {
+	m.mu.Lock()
+	delete(m.active, seq)
+	m.mu.Unlock()
+}
+
+// Stages returns the request-scoped stage/tail/SLO telemetry.
+func (m *Metrics) Stages() *obs.Stages { return m.stages }
+
+// Elem returns the element-type label the server's series carry.
+func (m *Metrics) Elem() string { return m.elem }
+
+// RecentRequests returns the last completed requests, newest first.
+func (m *Metrics) RecentRequests() []RequestRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RequestRecord, 0, m.recentN)
+	for i := 0; i < m.recentN; i++ {
+		out = append(out, m.recent[(m.recentPos-1-i+2*recentKeep)%recentKeep])
+	}
+	return out
+}
+
+// SlowestRequests returns the slowest completed requests since start,
+// slowest first.
+func (m *Metrics) SlowestRequests() []RequestRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]RequestRecord(nil), m.slowest...)
+}
+
+// ActiveBatches returns the engine runs currently in flight, oldest
+// first.
+func (m *Metrics) ActiveBatches() []ActiveBatch {
+	m.mu.Lock()
+	out := make([]ActiveBatch, 0, len(m.active))
+	for _, b := range m.active {
+		out = append(out, b)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }
 
 func (m *Metrics) observeBatch(size int) {
@@ -276,6 +426,9 @@ func (m *Metrics) writeProm(w io.Writer, headers bool) error {
 	p("# TYPE parbitonic_serve_evicted_engines_total counter\n")
 	p("parbitonic_serve_evicted_engines_total{elem=%q} %d\n", m.elem, ps.Evicted)
 
+	if err == nil {
+		err = m.stages.WriteProm(w, headers)
+	}
 	return err
 }
 

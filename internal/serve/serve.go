@@ -138,6 +138,14 @@ type Config struct {
 	// local sort on the caller's goroutine — correct but slow — instead
 	// of failing. SortDegradable reports fallback use per request.
 	Degraded bool
+
+	// SLO is the per-server tail-latency objective: Threshold is the
+	// latency bound, Target the fraction of successful requests that
+	// must meet it (e.g. 50ms / 0.99). When enabled, the server tracks
+	// error-budget burn rate over a sliding minute and reports
+	// unreadiness (healthz 503) under sustained burn. The zero value
+	// disables SLO tracking; tail quantiles are estimated regardless.
+	SLO obs.SLOConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +188,8 @@ type request[E element.Elem] struct {
 	maxKey uint64 // largest key order image, for the tag headroom check
 	ctx    context.Context
 	enq    time.Time
+	id     string           // owning request ID (also in ctx; cached for hot paths)
+	tr     *reqTrack        // stage-latency accumulator, owned by whoever owns the request
 	res    chan response[E] // buffered 1: delivery never blocks a worker
 }
 
@@ -253,14 +263,14 @@ func NewOf[E element.Elem](cfg Config) (*ServerOf[E], error) {
 		elem := element.TypeOf[E]().String()
 		user := bc.OnTransition
 		bc.OnTransition = func(from, to resilience.BreakerState) {
-			s.emit(obs.EventBreaker, elem+": "+from.String()+">"+to.String())
+			s.emit(obs.EventBreaker, elem+": "+from.String()+">"+to.String(), "")
 			if user != nil {
 				user(from, to)
 			}
 		}
 		s.breaker = resilience.NewBreaker(bc)
 	}
-	s.m = newMetrics(element.TypeOf[E]().String(), func() int { return len(s.queue) }, s.pool)
+	s.m = newMetrics(element.TypeOf[E]().String(), func() int { return len(s.queue) }, s.pool, cfg.SLO)
 	if s.breaker != nil {
 		s.m.breakerState = func() int { return int(s.breaker.State()) }
 	}
@@ -304,17 +314,30 @@ func (s *ServerOf[E]) Sort(ctx context.Context, keys []E) ([]E, error) {
 // parallel engine path. The HTTP layer surfaces the flag as the
 // Degraded response field and the X-Sort-Degraded header.
 func (s *ServerOf[E]) SortDegradable(ctx context.Context, keys []E) ([]E, bool, error) {
-	sorted, err := s.sortEngine(ctx, keys)
-	if err == nil || !s.cfg.Degraded || !degradable(err) {
-		return sorted, false, err
+	// Adopt the caller's request ID or mint one, so every request —
+	// HTTP or programmatic — is traceable end to end.
+	id := obs.RequestIDFrom(ctx)
+	if id == "" {
+		id = obs.NewRequestID()
+		ctx = obs.WithRequestID(ctx, id)
 	}
-	out, derr := s.sortSequential(ctx, keys)
-	if derr != nil {
-		return nil, false, err // the engine path's error is the honest one
+	tr := newReqTrack(id, len(keys))
+
+	sorted, err := s.sortEngine(ctx, keys, tr)
+	degraded := false
+	if err != nil && s.cfg.Degraded && degradable(err) {
+		out, derr := s.sortDegraded(ctx, keys, tr)
+		if derr == nil {
+			s.m.degrade()
+			s.emit(obs.EventDegraded, err.Error(), id)
+			sorted, err, degraded = out, nil, true
+		}
+		// On derr the engine path's error stays — it is the honest one.
 	}
-	s.m.degrade()
-	s.emit(obs.EventDegraded, err.Error())
-	return out, true, nil
+	if !tr.abandoned {
+		s.m.recordRequest(tr, err, degraded)
+	}
+	return sorted, degraded, err
 }
 
 // degradable reports whether a failed engine-path request may be
@@ -325,6 +348,33 @@ func (s *ServerOf[E]) SortDegradable(ctx context.Context, keys []E) ([]E, bool, 
 // backpressure, and validation fails identically on any path.
 func degradable(err error) bool {
 	return errors.Is(err, ErrBreakerOpen) || resilience.Retryable(err)
+}
+
+// sortDegraded wraps sortSequential with observability: the fallback's
+// wall time is charged to the engine stage (it IS the service time of
+// this request), and a successful fallback flushes a service-level
+// degraded span carrying the request ID, so the request's timeline
+// shows who served it even when no processor did.
+func (s *ServerOf[E]) sortDegraded(ctx context.Context, keys []E, tr *reqTrack) ([]E, error) {
+	tr.reset()
+	start := time.Now()
+	out, err := s.sortSequential(ctx, keys)
+	d := time.Since(start)
+	tr.add(obs.StageEngine, d)
+	tr.reset()
+	if err == nil {
+		if sink := s.cfg.Engine.Obs; sink != nil {
+			sink.FlushSpans(-1, []obs.Span{{
+				Proc:  -1,
+				Phase: obs.PhaseDegraded,
+				Start: 0,
+				End:   float64(d) / float64(time.Microsecond),
+				Wall:  time.Now().UnixNano(),
+				Req:   tr.id,
+			}})
+		}
+	}
+	return out, err
 }
 
 // sortSequential is the degraded-mode path: a sequential O(n) local
@@ -347,9 +397,11 @@ func (s *ServerOf[E]) sortSequential(ctx context.Context, keys []E) ([]E, error)
 }
 
 // emit sends a serve-level event to the configured telemetry sink.
-func (s *ServerOf[E]) emit(kind, detail string) {
+// req carries the owning request ID(s) — comma-joined for a batch,
+// "" for events that are not request-scoped (breaker transitions).
+func (s *ServerOf[E]) emit(kind, detail, req string) {
 	if sink := s.cfg.Engine.Obs; sink != nil {
-		sink.Emit(obs.Event{Kind: kind, Proc: -1, Detail: detail, Wall: time.Now().UnixNano()})
+		sink.Emit(obs.Event{Kind: kind, Proc: -1, Detail: detail, Wall: time.Now().UnixNano(), Req: req})
 	}
 }
 
@@ -379,8 +431,9 @@ func (s *ServerOf[E]) retryAfterSeconds(err error) int {
 }
 
 // sortEngine is the parallel path: breaker admission, the bounded
-// queue, and the batching/executor pipeline.
-func (s *ServerOf[E]) sortEngine(ctx context.Context, keys []E) ([]E, error) {
+// queue, and the batching/executor pipeline. tr travels with the
+// request and accrues its stage breakdown hop by hop.
+func (s *ServerOf[E]) sortEngine(ctx context.Context, keys []E, tr *reqTrack) ([]E, error) {
 	if len(keys) == 0 {
 		return []E{}, nil
 	}
@@ -402,6 +455,8 @@ func (s *ServerOf[E]) sortEngine(ctx context.Context, keys []E) ([]E, error) {
 		maxKey: mx,
 		ctx:    ctx,
 		enq:    time.Now(),
+		id:     tr.id,
+		tr:     tr,
 		res:    make(chan response[E], 1),
 	}
 
@@ -416,9 +471,7 @@ func (s *ServerOf[E]) sortEngine(ctx context.Context, keys []E) ([]E, error) {
 	default:
 		s.mu.RUnlock()
 		s.m.reject()
-		if sink := s.cfg.Engine.Obs; sink != nil {
-			sink.Emit(obs.Event{Kind: obs.EventOverload, Proc: -1, Detail: "admission queue full", Wall: time.Now().UnixNano()})
-		}
+		s.emit(obs.EventOverload, "admission queue full", tr.id)
 		return nil, ErrOverloaded
 	}
 
@@ -428,6 +481,9 @@ func (s *ServerOf[E]) sortEngine(ctx context.Context, keys []E) ([]E, error) {
 	case <-ctx.Done():
 		// The request stays in the pipeline; the worker's send into the
 		// buffered res channel cannot block, and its result is dropped.
+		// The pipeline still owns the track — mark it abandoned so its
+		// durations are never read concurrently.
+		tr.abandoned = true
 		return nil, ctx.Err()
 	}
 }
@@ -468,6 +524,9 @@ func (s *ServerOf[E]) dispatch() {
 			if !ok {
 				return
 			}
+			// One monotonic hop reading per pull closes the queue stage;
+			// time until the engine starts accrues to the batch stage.
+			r.tr.advance(obs.StageQueue)
 			first = r
 		}
 		if first.ctx.Err() != nil {
@@ -488,6 +547,7 @@ func (s *ServerOf[E]) dispatch() {
 						drained = true
 						break collect
 					}
+					r.tr.advance(obs.StageQueue)
 					if r.ctx.Err() != nil {
 						r.finish(s.m, nil, r.ctx.Err())
 						continue

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"time"
+
+	"parbitonic/internal/obs"
+)
+
+// reqTrack is one request's stage-latency accumulator, created at
+// admission and carried with the request through the pipeline. Time is
+// attributed hop-by-hop: each advance takes ONE monotonic clock
+// reading and charges the interval since the previous hop to a stage —
+// never by re-deriving deltas from stored wall timestamps, which can
+// go negative when a request re-enters a stage across retry re-queues.
+// Externally measured intervals (engine attempts, retry backoff) are
+// folded in with add, which accumulates — a retried request simply
+// charges the engine stage more than once.
+//
+// Ownership moves with the request: admission (caller goroutine) →
+// dispatcher → executor worker → back to the caller with the response.
+// Each owner touches it exclusively, with the response channel
+// providing the synchronization; the one unsynchronized path — the
+// caller abandoning a request whose worker still holds the track —
+// sets abandoned (a caller-only field) and never reads the durations.
+type reqTrack struct {
+	id        string
+	keys      int
+	wallStart time.Time // wall-clock admission instant, for display
+	enq       time.Time // monotonic anchor; total latency = Since(enq)
+	mark      time.Time // previous hop's monotonic reading
+	dur       obs.StageBreakdown
+	neg       int // readings clamped from negative (monotonic clock: always 0)
+
+	// abandoned is set by the caller when it gives up on a request the
+	// pipeline still owns (context done while queued or running); the
+	// track's durations are then never read again.
+	abandoned bool
+}
+
+// newReqTrack anchors a track at the admission instant.
+func newReqTrack(id string, keys int) *reqTrack {
+	now := time.Now()
+	return &reqTrack{id: id, keys: keys, wallStart: now, enq: now, mark: now}
+}
+
+// advance charges the interval since the previous hop to stage s,
+// using a single monotonic reading, and moves the hop mark.
+func (t *reqTrack) advance(s obs.Stage) {
+	now := time.Now()
+	d := now.Sub(t.mark)
+	if d < 0 {
+		d = 0
+		t.neg++
+	}
+	t.dur[s] += d
+	t.mark = now
+}
+
+// add folds an externally measured interval into stage s (engine
+// attempt wall time, retry backoff sleep). Negative inputs are clamped
+// and counted like a bad hop reading.
+func (t *reqTrack) add(s obs.Stage, d time.Duration) {
+	if d < 0 {
+		t.neg++
+		return
+	}
+	t.dur[s] += d
+}
+
+// reset moves the hop mark to now without charging the elapsed
+// interval — used after a window whose time was already folded in via
+// add, so it is not double-counted by the next advance.
+func (t *reqTrack) reset() { t.mark = time.Now() }
+
+// total returns the request's end-to-end latency so far.
+func (t *reqTrack) total() time.Duration { return time.Since(t.enq) }

@@ -218,7 +218,13 @@ func (e *EngineOf[E]) RunContext(ctx context.Context, data [][]E, body func(p *P
 		for _, d := range data {
 			keys += len(d)
 		}
-		e.sink.RunStart(obs.RunMeta{P: e.p, Keys: keys, Labels: e.labels, Start: runStart})
+		// The owning request IDs ride the context from the serve layer;
+		// carrying them on RunMeta is what lets a trace or log line of
+		// this run join the per-request telemetry upstream.
+		e.sink.RunStart(obs.RunMeta{
+			P: e.p, Keys: keys, Labels: e.labels, Start: runStart,
+			Requests: obs.RequestIDsFrom(ctx),
+		})
 	}
 
 	// The watcher turns a context cancellation into an engine abort; it
