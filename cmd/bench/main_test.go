@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snap builds a one-group native snapshot plus one simulated entry,
+// the minimal shape the gates operate on.
+func snap(entries ...Entry) *Snapshot {
+	return &Snapshot{Schema: BenchSchema, Version: BenchVersion, CPUs: 1, Entries: entries}
+}
+
+func native(config string, minUS float64) Entry {
+	return Entry{Backend: "native", Config: config, Elem: "u32", Size: 1024, US: minUS, MinUS: minUS}
+}
+
+func autoEntry(planConfig string, minUS float64) Entry {
+	e := native("auto", minUS)
+	e.Plan = "smart-bitonic P=1 native predicted=34µs (fallback profile)"
+	e.PlanConfig = planConfig
+	e.PredictedUS = 34
+	return e
+}
+
+func TestGateAutoChosenShapeWins(t *testing.T) {
+	// The planner chose the best fixed shape; its own noisy auto-run
+	// time (worse than best+10%) must not fail the gate.
+	s := snap(native("smart/p1", 100), native("smart/p4", 500), autoEntry("smart/p1", 130))
+	if f := gateAuto(s, 0.10); len(f) != 0 {
+		t.Fatalf("gate failed for a best-shape plan: %v", f)
+	}
+}
+
+func TestGateAutoBadChoiceFails(t *testing.T) {
+	// The planner chose the worst shape: both clauses fire.
+	s := snap(native("smart/p1", 100), native("smart/p4", 500), autoEntry("smart/p4", 490))
+	f := gateAuto(s, 0.10)
+	if len(f) != 1 {
+		t.Fatalf("failures = %v, want exactly the within-tolerance clause", f)
+	}
+	if !strings.Contains(f[0], "not within 10%") {
+		t.Fatalf("failure = %q, want the tolerance clause", f[0])
+	}
+
+	// Slower than every fixed shape (an unswept plan measured
+	// directly): the worst-shape clause fires too.
+	s = snap(native("smart/p1", 100), native("smart/p4", 500), autoEntry("radix/p1", 600))
+	f = gateAuto(s, 0.10)
+	if len(f) != 2 {
+		t.Fatalf("failures = %v, want both clauses", f)
+	}
+}
+
+func TestGateAutoUnsweptPlanUsesAutoTime(t *testing.T) {
+	// A plan outside the fixed sweep is judged by the auto run itself.
+	s := snap(native("smart/p1", 100), native("smart/p4", 500), autoEntry("sample/p2", 105))
+	if f := gateAuto(s, 0.10); len(f) != 0 {
+		t.Fatalf("gate failed for a competitive unswept plan: %v", f)
+	}
+}
+
+func TestCompareSimulatedStrict(t *testing.T) {
+	sim := func(us float64) Entry {
+		return Entry{Backend: "simulated", Config: "smart/p4", Elem: "u32", Size: 1024, US: us, MinUS: us}
+	}
+	base := snap(sim(1000))
+	host := snap(sim(1000.5))
+	if f, _ := compare(host, base, 0.001, 3.0); len(f) != 0 {
+		t.Fatalf("0.05%% deviation failed the 0.1%% gate: %v", f)
+	}
+	host = snap(sim(1010))
+	f, _ := compare(host, base, 0.001, 3.0)
+	if len(f) != 1 || !strings.Contains(f[0], "cost model changed") {
+		t.Fatalf("1%% deviation: failures = %v, want the simulated clause", f)
+	}
+}
+
+func TestCompareNativeNormalizedRatios(t *testing.T) {
+	// Baseline host: p4 is 2x the p1 anchor. This host: p4 is 8x the
+	// anchor — beyond the 3x ratio tolerance, so a warning (never a
+	// hard failure; the caller escalates under -strict-native).
+	base := snap(native("smart/p1", 100), native("smart/p4", 200))
+	host := snap(native("smart/p1", 50), native("smart/p4", 400))
+	f, w := compare(host, base, 0.001, 3.0)
+	if len(f) != 0 {
+		t.Fatalf("native deviation reported as failure: %v", f)
+	}
+	if len(w) != 1 || !strings.Contains(w[0], "normalized ratio") {
+		t.Fatalf("warnings = %v, want one ratio warning", w)
+	}
+
+	// Within tolerance: 2x vs 3x is inside a 3x factor.
+	host = snap(native("smart/p1", 50), native("smart/p4", 150))
+	if _, w := compare(host, base, 0.001, 3.0); len(w) != 0 {
+		t.Fatalf("in-tolerance ratios warned: %v", w)
+	}
+}
+
+func TestCompareSkipsMissingEntries(t *testing.T) {
+	// The quick sweep is a subset of the full grid: baseline entries
+	// with no host counterpart are skipped, not failed.
+	base := snap(
+		Entry{Backend: "simulated", Config: "smart/p4", Elem: "u64", Size: 1 << 16, US: 5, MinUS: 5},
+	)
+	host := snap()
+	if f, w := compare(host, base, 0.001, 3.0); len(f) != 0 || len(w) != 0 {
+		t.Fatalf("missing host entries gated: failures %v warnings %v", f, w)
+	}
+}
+
+func TestLoadSnapshotValidates(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := loadSnapshot(write("ok.json", `{"schema":"parbitonic-bench","version":1}`)); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	if _, err := loadSnapshot(write("schema.json", `{"schema":"other","version":1}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := loadSnapshot(write("version.json", `{"schema":"parbitonic-bench","version":99}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := loadSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRelDev(t *testing.T) {
+	for _, tc := range []struct{ a, b, want float64 }{
+		{100, 100, 0}, {110, 100, 0.1}, {90, 100, 0.1}, {0, 0, 0}, {5, 0, 1},
+	} {
+		if got := relDev(tc.a, tc.b); got < tc.want-1e-9 || got > tc.want+1e-9 {
+			t.Errorf("relDev(%g, %g) = %g, want %g", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -25,6 +25,17 @@
 //	                       remaps/volume/messages/comm-time vs the §3.4
 //	                       closed forms
 //	-slog                  structured run logs (log/slog) on stderr
+//
+// Autotuning (see internal/tune and TUNING.md):
+//
+//	-calibrate             microbenchmark this host's kernel and
+//	                       exchange costs and write the machine profile,
+//	                       then exit (-quick for a faster, coarser pass)
+//	-auto                  let the cost model pick algorithm, strategy
+//	                       and processor count for the workload size;
+//	                       -p becomes the P cap and -alg is ignored
+//	-profile FILE          machine profile location for -calibrate and
+//	                       -auto (default: the user cache dir)
 package main
 
 import (
@@ -37,11 +48,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"parbitonic"
 	"parbitonic/element"
 	"parbitonic/internal/obs"
 	"parbitonic/internal/spmd"
+	"parbitonic/internal/tune"
 	"parbitonic/internal/workload"
 )
 
@@ -83,7 +96,19 @@ func main() {
 	metricsSnapshot := flag.String("metrics-snapshot", "", "after the sort, scrape the metrics endpoint into this file (\"-\" = stdout; requires -metrics-addr)")
 	drift := flag.Bool("drift", false, "print the model-drift report (measured vs §3.4 closed-form predictions)")
 	logRuns := flag.Bool("slog", false, "emit structured run logs (log/slog) on stderr")
+	auto := flag.Bool("auto", false, "autotune: the cost model picks algorithm, strategy and P (-p caps P, -alg is ignored)")
+	calibrate := flag.Bool("calibrate", false, "calibrate this host's machine profile and exit")
+	quick := flag.Bool("quick", false, "with -calibrate: a faster, coarser calibration pass")
+	profilePath := flag.String("profile", "", "machine profile path for -calibrate/-auto (default: the user cache dir)")
 	flag.Parse()
+
+	if *calibrate {
+		if err := runCalibrate(*profilePath, *quick, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	alg, ok := algorithms[*algName]
 	if !ok {
@@ -160,7 +185,7 @@ func main() {
 	}
 	var observe func(parbitonic.SortReport)
 	var report parbitonic.SortReport
-	if *drift {
+	if *drift || *auto {
 		observe = func(r parbitonic.SortReport) { report = r }
 	}
 
@@ -181,6 +206,8 @@ func main() {
 		Verify:         *doVerify,
 		Obs:            sink,
 		Observe:        observe,
+		Auto:           *auto,
+		ProfilePath:    *profilePath,
 	}
 	headTail := 0
 	if *verbose {
@@ -218,7 +245,12 @@ func main() {
 	} else {
 		fmt.Printf("algorithm        %s (%s %s keys, %s messages)\n", res.Algorithm, *distName, keytype, msgMode(*short))
 	}
-	fmt.Printf("keys             %d total = %d procs x %d\n", res.Keys, *p, *n)
+	procs := *p
+	if *auto && report.Plan != nil {
+		fmt.Printf("plan             %v\n", *report.Plan)
+		procs = report.Plan.Processors
+	}
+	fmt.Printf("keys             %d total = %d procs x %d\n", res.Keys, procs, res.Keys/procs)
 	if backend == parbitonic.Native {
 		fmt.Printf("wall time        %.1f us  (%.4f us/key)\n", res.Time, res.TimePerKey())
 	} else {
@@ -298,6 +330,45 @@ func runSort[E element.Elem](ctx context.Context, dist workload.Dist, p, n int, 
 		out.tail = fmt.Sprintf("%v", keys[len(keys)-k:])
 	}
 	return out, nil
+}
+
+// runCalibrate microbenchmarks the host's per-element kernel costs and
+// exchange-path LogGP analogues and writes the machine profile the
+// planner reads (see internal/tune and TUNING.md).
+func runCalibrate(path string, quick bool, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if path == "" {
+		var err error
+		path, err = tune.DefaultPath()
+		if err != nil {
+			return err
+		}
+	}
+	prof, err := tune.Calibrate(ctx, tune.Options{Quick: quick})
+	if err != nil {
+		return err
+	}
+	if err := prof.Save(path); err != nil {
+		return err
+	}
+	fmt.Printf("calibrated       %s/%s, %d CPUs (quick=%v)\n", prof.GoOS, prof.GoArch, prof.CPUs, prof.Quick)
+	for _, t := range element.Types() {
+		k, ok := prof.Kernels[t.String()]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-8s         radix=%.2f  merge=%.2f  compare=%.2f  copy=%.2f (ns/elem)\n",
+			t, k.RadixPassNS, k.MergeNS, k.CompareNS, k.CopyNS)
+	}
+	fmt.Printf("comm             remap=%.0f ns  word=%.2f ns  msg=%.0f ns\n",
+		prof.Comm.RemapNS, prof.Comm.WordNS, prof.Comm.MsgNS)
+	fmt.Printf("profile          %s\n", path)
+	return nil
 }
 
 func msgMode(short bool) string {

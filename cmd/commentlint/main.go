@@ -26,12 +26,13 @@ import (
 )
 
 // defaultDirs is the lint scope when no arguments are given: the
-// packages the ISSUE-4 godoc audit covers, plus the serve layer it
-// introduced.
+// packages the ISSUE-4 godoc audit covers, plus the serve layer and
+// the autotuner it introduced.
 var defaultDirs = []string{
 	"./internal/spmd", "./internal/machine", "./internal/native",
 	"./internal/obs", "./internal/fault", "./internal/verify",
 	"./internal/core", "./internal/addr", "./internal/serve",
+	"./internal/tune",
 }
 
 // violation is one undocumented (or mis-documented) exported

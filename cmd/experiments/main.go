@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	experiments [-scale N] [-seed S] [-only id-substring]
+//	experiments [-scale N] [-seed S] [-only id-substring] [-auto]
 //	experiments -load-url http://host:8357 [-load-reqs N]
 //
 // -scale divides the paper's key counts by 2^N (default 6; 0 runs the
 // paper's full sizes, up to 32M keys, which takes a few minutes).
+// -auto appends the autotuned-vs-fixed sweep: the cost-model planner
+// (internal/tune, TUNING.md) raced against every fixed shape on the
+// native backend.
 //
 // With -load-url the command becomes an HTTP load generator instead:
 // it sweeps client concurrency against a running sort-server (see
@@ -52,6 +55,7 @@ func main() {
 	svgDir := flag.String("svg", "", "also write each figure as an SVG file into this directory")
 	loadURL := flag.String("load-url", "", "load-generator mode: drive a running sort-server at this base URL instead of the reproduction suite")
 	loadReqs := flag.Int("load-reqs", 64, "load-generator mode: requests per client")
+	auto := flag.Bool("auto", false, "also run the autotuned-vs-fixed native sweep (measures wall clock; see TUNING.md)")
 	flag.Parse()
 
 	if *loadURL != "" {
@@ -81,6 +85,9 @@ func main() {
 		experiments.AnalysisRVM, experiments.AblationShift, experiments.AblationCompute,
 		experiments.FutureWorkOverlap, experiments.NativeThroughput,
 		experiments.ElemWidth, experiments.ServeLoad,
+	}
+	if *auto {
+		runners = append(runners, experiments.AutotunedVsFixed)
 	}
 	ran := 0
 	for _, run := range runners {

@@ -11,6 +11,14 @@
 //	            [-retries N] [-breaker] [-degraded]
 //	            [-slo-ms N] [-slo-target F] [-slog]
 //	            [-chaos-every N] [-chaos-seed S]
+//	            [-auto] [-profile FILE]
+//
+// With -auto, each server consults the cost-model planner per request
+// size instead of the fixed -p/-alg shape: engines pool under the
+// plan-chosen shapes, choices surface as plan_chosen/plan-drift
+// metrics and plan events, and -p caps the candidate P (see
+// internal/tune and TUNING.md; run bitonic-sort -calibrate to write
+// the machine profile).
 //
 // Endpoints: POST /sort (JSON {"keys":[...]} or
 // application/octet-stream — a legacy little-endian uint32 stream or
@@ -69,6 +77,8 @@ func main() {
 	slogFlag := flag.Bool("slog", false, "structured run/event logs (log/slog JSON on stderr, request IDs included)")
 	chaosEvery := flag.Int("chaos-every", 0, "inject a fault on every Nth engine run (0 disables chaos)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "chaos plan seed (replayable)")
+	auto := flag.Bool("auto", false, "autotune: the cost model picks each run's shape per request size (-p caps P, -alg is ignored; see TUNING.md)")
+	profilePath := flag.String("profile", "", "machine profile path for -auto (default: the user cache dir)")
 	flag.Parse()
 
 	alg, ok := algorithms[*algName]
@@ -93,11 +103,13 @@ func main() {
 		sink = obs.Multi(runMetrics, obs.NewSlogSink(slog.New(slog.NewJSONHandler(os.Stderr, nil))))
 	}
 	engine := parbitonic.Config{
-		Processors: *p,
-		Algorithm:  alg,
-		Backend:    backend,
-		Verify:     *verifyFlag,
-		Obs:        sink,
+		Processors:  *p,
+		Algorithm:   alg,
+		Backend:     backend,
+		Verify:      *verifyFlag,
+		Obs:         sink,
+		Auto:        *auto,
+		ProfilePath: *profilePath,
 	}
 	var injected func() uint64
 	if *chaosEvery > 0 {

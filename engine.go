@@ -59,6 +59,9 @@ type Engine = EngineOf[uint32]
 // processor count, algorithm, backend, model overrides, telemetry
 // sinks.
 func NewEngineOf[E element.Elem](cfg Config) (*EngineOf[E], error) {
+	if cfg.Auto {
+		return nil, fmt.Errorf("parbitonic: Config.Auto is resolved per sort size and cannot build a fixed-shape engine; use the package-level Sort/SortPadded, or PlanFor + Plan.Apply")
+	}
 	p := cfg.Processors
 	if p < 1 || p&(p-1) != 0 {
 		return nil, fmt.Errorf("parbitonic: Processors must be a positive power of two, got %d", p)

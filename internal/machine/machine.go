@@ -41,7 +41,9 @@ type Stats = spmd.Stats
 // Result is what a completed SPMD run reports.
 type Result = spmd.Result
 
-// DefaultCosts returns the calibrated cost model (see spmd.DefaultCosts).
+// DefaultCosts returns the shipped fallback cost model for the
+// simulated CS-2 (see spmd.DefaultCosts; host calibration is
+// internal/tune's job).
 func DefaultCosts() CostModel { return spmd.DefaultCosts() }
 
 // Config configures a simulated machine.

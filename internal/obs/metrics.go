@@ -39,7 +39,7 @@ func (h *histogram) observe(v float64) {
 // absent series and a zero series very differently for alerting.
 var knownEventKinds = []string{
 	EventFault, EventVerifyFailure, EventCancel, EventDeadline, EventPanic, EventAbort,
-	EventOverload, EventRetry, EventQuarantine, EventBreaker, EventDegraded,
+	EventOverload, EventRetry, EventQuarantine, EventBreaker, EventDegraded, EventPlan,
 }
 
 // Metrics is a Sink that aggregates the telemetry stream into

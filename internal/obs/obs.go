@@ -101,6 +101,7 @@ const (
 	EventQuarantine    = "quarantine"     // an engine was destroyed instead of recycled
 	EventBreaker       = "breaker"        // a circuit breaker changed state (Detail: from>to)
 	EventDegraded      = "degraded"       // a request was served by the sequential fallback
+	EventPlan          = "plan"           // the autotuner chose an execution plan (Detail: the plan)
 )
 
 // Event is a discrete runtime occurrence worth counting and alerting

@@ -47,7 +47,13 @@ func (s *ServerOf[E]) runBatch(batch []*request[E], slab *[]E) {
 	defer s.m.batchEnd(bid)
 
 	shift := tagShift[E](len(batch))
-	padded := parbitonic.PaddedSize(total, s.cfg.Engine.Processors)
+	ecfg, padded, plan, perr := s.planFor(total)
+	if perr != nil {
+		for _, r := range batch {
+			r.finish(s.m, nil, perr)
+		}
+		return
+	}
 	if cap(*slab) < padded {
 		*slab = make([]E, padded)
 	}
@@ -57,7 +63,7 @@ func (s *ServerOf[E]) runBatch(batch []*request[E], slab *[]E) {
 		r.tr.advance(obs.StageBatch)
 	}
 
-	err := s.runPooled(ctx, padded, func(eng *parbitonic.EngineOf[E]) error {
+	err := s.runPooled(ctx, ecfg, padded, plan, func(eng *parbitonic.EngineOf[E]) error {
 		_, err := eng.SortContext(ctx, buf)
 		return err
 	}, func() { packBatch(buf, batch, shift, total) },
@@ -86,9 +92,13 @@ func (s *ServerOf[E]) runSolo(r *request[E]) {
 	bid := s.m.batchStart([]string{r.id}, len(r.keys))
 	defer s.m.batchEnd(bid)
 	out := append([]E(nil), r.keys...)
-	padded := parbitonic.PaddedSize(len(out), s.cfg.Engine.Processors)
+	ecfg, padded, plan, perr := s.planFor(len(out))
+	if perr != nil {
+		r.finish(s.m, nil, perr)
+		return
+	}
 	r.tr.advance(obs.StageBatch)
-	err := s.runPooled(r.ctx, padded, func(eng *parbitonic.EngineOf[E]) error {
+	err := s.runPooled(r.ctx, ecfg, padded, plan, func(eng *parbitonic.EngineOf[E]) error {
 		_, err := eng.SortPaddedContext(r.ctx, out)
 		return err
 	}, func() { copy(out, r.keys) },
@@ -115,15 +125,26 @@ func (s *ServerOf[E]) runSolo(r *request[E]) {
 // engine attempt wall time, retry backoff sleeps, and repack time
 // (charged to the batch stage) — and reqs carries the owning request
 // ID(s) for the retry/quarantine events.
-func (s *ServerOf[E]) runPooled(ctx context.Context, padded int, run func(*parbitonic.EngineOf[E]) error, repack func(), note func(obs.Stage, time.Duration), reqs string) error {
+//
+// ecfg is the engine configuration this run pools under — the fixed
+// Config.Engine, or the plan-resolved shape under Engine.Auto, in
+// which case plan carries the autotuner decision: a successful native
+// run feeds measured/predicted into the plan-drift histogram, so
+// mispredictions are visible per server. Quarantine, eviction and the
+// circuit breaker act on the outcome exactly as for a fixed shape —
+// an unhealthy plan-chosen engine is destroyed, its shape's idle set
+// evicted on a streak, and persistent failures open the breaker
+// regardless of which plan picked the shape.
+func (s *ServerOf[E]) runPooled(ctx context.Context, ecfg parbitonic.Config, padded int, plan *parbitonic.Plan, run func(*parbitonic.EngineOf[E]) error, repack func(), note func(obs.Stage, time.Duration), reqs string) error {
 	for attempt := 0; ; attempt++ {
-		eng, err := s.pool.Get(s.cfg.Engine, padded)
+		eng, err := s.pool.Get(ecfg, padded)
 		if err != nil {
 			return err
 		}
 		t0 := time.Now()
 		err = run(eng)
-		note(obs.StageEngine, time.Since(t0))
+		elapsed := time.Since(t0)
+		note(obs.StageEngine, elapsed)
 		healthy := resilience.EngineHealthy(err)
 		s.pool.Put(eng, padded, healthy)
 		if !healthy {
@@ -131,6 +152,11 @@ func (s *ServerOf[E]) runPooled(ctx context.Context, padded int, run func(*parbi
 		}
 		s.recordBreaker(err, healthy)
 		if err == nil {
+			if plan != nil && ecfg.Backend == parbitonic.Native && plan.PredictedUS > 0 {
+				// Simulated plans predict model time, not wall time —
+				// only native runs have a comparable measurement.
+				s.m.planObserve(float64(elapsed) / float64(time.Microsecond) / plan.PredictedUS)
+			}
 			return nil
 		}
 		d, ok := s.policy.ShouldRetry(ctx, attempt, err)

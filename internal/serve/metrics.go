@@ -63,6 +63,19 @@ var latencyBuckets = [...]float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1
 // sizeBuckets are the batch-size histogram upper bounds in requests.
 var sizeBuckets = [...]float64{1, 2, 4, 8, 16, 32, 64}
 
+// driftBuckets are the plan-drift histogram upper bounds: the
+// measured/predicted engine-time ratio of Auto runs, bracketed around
+// 1.0 (an exact prediction). Mass above 2 means the planner's machine
+// profile no longer describes the host — re-calibrate (TUNING.md).
+var driftBuckets = [...]float64{0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2, 4}
+
+// planShape identifies one autotuner-chosen execution shape for the
+// plan_chosen counter labels.
+type planShape struct {
+	alg string
+	p   int
+}
+
 // hist is a fixed-bucket cumulative histogram (Prometheus semantics):
 // counts[i] counts observations ≤ bounds[i], overflow lands only in
 // the implicit +Inf bucket.
@@ -111,6 +124,9 @@ type Metrics struct {
 	latency  *hist   // seconds, admission to response
 	size     *hist   // requests per batch
 
+	planKinds map[planShape]float64 // Auto runs by plan-chosen shape
+	planDrift *hist                 // measured/predicted engine time, native Auto runs
+
 	queueDepth   func() int // sampled at scrape time
 	breakerState func() int // sampled at scrape time; nil = no breaker
 	pool         poolStatser
@@ -135,6 +151,8 @@ func newMetrics(elem string, queueDepth func() int, pool poolStatser, slo obs.SL
 		},
 		latency:    newHist(latencyBuckets[:]),
 		size:       newHist(sizeBuckets[:]),
+		planKinds:  make(map[planShape]float64),
+		planDrift:  newHist(driftBuckets[:]),
 		queueDepth: queueDepth,
 		pool:       pool,
 		stages:     obs.NewStages(elem, slo),
@@ -197,6 +215,41 @@ func (m *Metrics) degrade() {
 	m.mu.Lock()
 	m.degraded++
 	m.mu.Unlock()
+}
+
+// planChoose counts one engine run executed under an autotuner-chosen
+// plan shape (Config.Engine.Auto).
+func (m *Metrics) planChoose(alg string, p int) {
+	m.mu.Lock()
+	m.planKinds[planShape{alg: alg, p: p}]++
+	m.mu.Unlock()
+}
+
+// planObserve records the measured/predicted engine-time ratio of one
+// successful native Auto run: 1.0 means the planner's cost model was
+// exact, above 1 the run was slower than predicted.
+func (m *Metrics) planObserve(ratio float64) {
+	m.mu.Lock()
+	m.planDrift.observe(ratio)
+	m.mu.Unlock()
+}
+
+// PlanChosenCount returns how many engine runs executed under the
+// given autotuner-chosen shape (algorithm name as parbitonic renders
+// it, processor count). Always zero without Engine.Auto.
+func (m *Metrics) PlanChosenCount(alg string, p int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.planKinds[planShape{alg: alg, p: p}]
+}
+
+// PlanDrift returns the count and sum of the plan-drift ratio
+// observations (successful native Auto runs); sum/count is the mean
+// measured/predicted ratio.
+func (m *Metrics) PlanDrift() (count uint64, sum float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.planDrift.count, m.planDrift.sum
 }
 
 // recordRequest folds one completed request's stage track into the
@@ -394,6 +447,27 @@ func (m *Metrics) writeProm(w io.Writer, headers bool) error {
 	p("# HELP parbitonic_serve_degraded_total Requests served by the sequential degraded-mode fallback.\n")
 	p("# TYPE parbitonic_serve_degraded_total counter\n")
 	p("parbitonic_serve_degraded_total{elem=%q} %v\n", m.elem, m.degraded)
+
+	if len(m.planKinds) > 0 {
+		p("# HELP parbitonic_serve_plan_chosen_total Engine runs by autotuner-chosen plan shape (Config.Engine.Auto).\n")
+		p("# TYPE parbitonic_serve_plan_chosen_total counter\n")
+		shapes := make([]planShape, 0, len(m.planKinds))
+		for k := range m.planKinds {
+			shapes = append(shapes, k)
+		}
+		sort.Slice(shapes, func(i, j int) bool {
+			if shapes[i].alg != shapes[j].alg {
+				return shapes[i].alg < shapes[j].alg
+			}
+			return shapes[i].p < shapes[j].p
+		})
+		for _, k := range shapes {
+			p("parbitonic_serve_plan_chosen_total{elem=%q,alg=%q,p=\"%d\"} %v\n", m.elem, k.alg, k.p, m.planKinds[k])
+		}
+		p("# HELP parbitonic_serve_plan_drift_ratio Measured/predicted engine time of successful Auto runs (native backend).\n")
+		p("# TYPE parbitonic_serve_plan_drift_ratio histogram\n")
+		m.writeServeHist(p, "parbitonic_serve_plan_drift_ratio", m.planDrift)
+	}
 
 	if m.breakerState != nil {
 		p("# HELP parbitonic_serve_breaker_state Circuit breaker position (0 closed, 1 open, 2 half-open).\n")

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"parbitonic"
+	"parbitonic/internal/obs"
+)
+
+// planFor resolves the engine configuration, padded buffer size and
+// (under Engine.Auto) the autotuner plan for a run of total keys.
+//
+// Without Auto this is the boot-time fixed shape. With Auto the
+// planner is consulted per request size: totals that pad to the same
+// power of two share a plan — the planner scores candidates on padded
+// per-processor shares, so its decision depends only on the bucket —
+// and resolved plans are cached on the server, so the machine profile
+// is read and the candidate set scored once per bucket, not once per
+// request. Every run counts toward the plan_chosen metric under its
+// plan's shape; the first resolution of a bucket also emits an obs
+// plan event (Detail: the plan, including its predicted cost).
+//
+// Engines then pool under the plan-chosen shape: pool keys derive
+// from the resolved config, so a u32/4k-keys plan and a u32/1M-keys
+// plan recycle separate engine sets, exactly as two fixed servers
+// would.
+func (s *ServerOf[E]) planFor(total int) (parbitonic.Config, int, *parbitonic.Plan, error) {
+	if !s.cfg.Engine.Auto {
+		return s.cfg.Engine, parbitonic.PaddedSize(total, s.cfg.Engine.Processors), nil, nil
+	}
+	bucket := parbitonic.PaddedSize(total, 1)
+	s.planMu.Lock()
+	plan, cached := s.plans[bucket]
+	if !cached {
+		var err error
+		plan, err = parbitonic.PlanFor[E](bucket, s.cfg.Engine)
+		if err != nil {
+			s.planMu.Unlock()
+			return parbitonic.Config{}, 0, nil, err
+		}
+		s.plans[bucket] = plan
+	}
+	s.planMu.Unlock()
+	if !cached {
+		s.emit(obs.EventPlan, plan.String(), "")
+	}
+	s.m.planChoose(plan.Algorithm.String(), plan.Processors)
+	return plan.Apply(s.cfg.Engine), parbitonic.PaddedSize(total, plan.Processors), &plan, nil
+}

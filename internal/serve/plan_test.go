@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"parbitonic"
+	"parbitonic/internal/obs"
+	"parbitonic/internal/resilience"
+	"parbitonic/internal/spmd"
+)
+
+// tuneProfile is the committed machine profile the autotuner tests
+// plan against (the same one TUNING.md's worked example uses).
+var tuneProfile = filepath.Join("..", "tune", "testdata", "profile_example.json")
+
+// autoEngine returns an Auto engine template capped at P=1, which
+// pins the planner's choice (P=1 runs sequentially as smart bitonic)
+// so the assertions are host-independent.
+func autoEngine(sink obs.Sink) parbitonic.Config {
+	return parbitonic.Config{
+		Auto:        true,
+		Processors:  1,
+		Backend:     parbitonic.Native,
+		ProfilePath: tuneProfile,
+		Obs:         sink,
+	}
+}
+
+// TestAutoPlanSelection: an Auto server consults the planner per
+// request size — one plan event per padded-size bucket, a plan_chosen
+// count per engine run, drift observations for successful native
+// runs, and engines pooled under the plan-chosen shape.
+func TestAutoPlanSelection(t *testing.T) {
+	metrics := obs.NewMetrics()
+	s, err := New(Config{Engine: autoEngine(metrics), MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Three requests in two padded-size buckets (100 and 120 both pad
+	// to 128; 3000 pads to 4096).
+	for _, n := range []int{100, 120, 3000} {
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = uint32((n - i) * 2654435761)
+		}
+		out, err := s.Sort(context.Background(), keys)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+			t.Fatalf("n=%d: result unsorted", n)
+		}
+	}
+
+	if got := metrics.EventCount(obs.EventPlan); got != 2 {
+		t.Errorf("plan events = %v, want 2 (one per size bucket)", got)
+	}
+	alg := parbitonic.SmartBitonic.String()
+	if got := s.Metrics().PlanChosenCount(alg, 1); got != 3 {
+		t.Errorf("plan_chosen{%s,1} = %v, want 3 (one per run)", alg, got)
+	}
+	if count, sum := s.Metrics().PlanDrift(); count != 3 || sum <= 0 {
+		t.Errorf("plan drift count=%d sum=%v, want 3 observations with positive sum", count, sum)
+	}
+	if ps := s.Pool().Stats(); ps.Hits < 1 {
+		t.Errorf("pool hits = %d, want >= 1 (same-bucket requests share plan-shaped engines)", ps.Hits)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Metrics().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`parbitonic_serve_plan_chosen_total{elem="u32",alg="smart-bitonic",p="1"} 3`,
+		"parbitonic_serve_plan_drift_ratio_count",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// autoCrashCharger panics on every processor at the start of every
+// run: a persistently failing backend that fails regardless of which
+// shape the planner picked.
+type autoCrashCharger struct {
+	spmd.Charger
+}
+
+func (c *autoCrashCharger) Start(p *spmd.PC) {
+	panic("persistent backend fault")
+}
+
+// TestAutoPlanQuarantineBreaker: plan-chosen engines ride the same
+// health machinery as fixed shapes — unhealthy runs quarantine the
+// engine, persistent failures open the breaker, and a breaker-refused
+// request never consults the planner.
+func TestAutoPlanQuarantineBreaker(t *testing.T) {
+	eng := autoEngine(nil)
+	eng.WrapCharger = func(inner spmd.Charger) spmd.Charger {
+		return &autoCrashCharger{Charger: inner}
+	}
+	s, err := New(Config{
+		Engine:   eng,
+		MaxBatch: 1,
+		Retries:  -1,
+		Breaker: resilience.BreakerConfig{
+			Window: 4, MinSamples: 2, FailureRate: 0.5, Cooldown: time.Hour,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	keys := []uint32{3, 1, 2, 4}
+	var pe *spmd.PanicError
+	for i := 0; i < 2; i++ {
+		if _, err := s.Sort(context.Background(), keys); !errors.As(err, &pe) {
+			t.Fatalf("request %d: want a contained panic, got %v", i, err)
+		}
+	}
+	if _, err := s.Sort(context.Background(), keys); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("after 2 failures the breaker must fail fast, got %v", err)
+	}
+
+	if ps := s.Pool().Stats(); ps.Quarantined != 2 {
+		t.Errorf("quarantined = %d, want 2 (plan-chosen engines are destroyed on unhealthy runs)", ps.Quarantined)
+	}
+	alg := parbitonic.SmartBitonic.String()
+	if got := s.Metrics().PlanChosenCount(alg, 1); got != 2 {
+		t.Errorf("plan_chosen{%s,1} = %v, want 2 (the breaker-refused request never reached the planner)", alg, got)
+	}
+	if count, _ := s.Metrics().PlanDrift(); count != 0 {
+		t.Errorf("plan drift count = %d, want 0 (only successful runs are compared to their prediction)", count)
+	}
+}
+
+// TestAutoRejectsBadProcessorsCap: under Auto, Processors is the plan
+// cap and must be 0 or a power of two.
+func TestAutoRejectsBadProcessorsCap(t *testing.T) {
+	_, err := New(Config{Engine: parbitonic.Config{Auto: true, Processors: 3}})
+	if err == nil {
+		t.Fatal("want an error for Auto with Processors=3")
+	}
+}

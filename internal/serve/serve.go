@@ -85,6 +85,14 @@ type Config struct {
 	// Processors (required), Algorithm, Backend, Verify (per-batch
 	// result verification), Obs (telemetry sink for every run),
 	// WrapCharger (fault-injection seam), and the model overrides.
+	//
+	// With Engine.Auto set the shape fields become autotuner inputs
+	// instead: the planner (internal/tune, TUNING.md) picks Algorithm,
+	// Strategy and Processors per request size, Processors caps the
+	// candidate P (0 means GOMAXPROCS), and engines pool under the
+	// plan-chosen shapes. Resolved plans are cached per padded-size
+	// bucket; choices surface as the plan_chosen counter, the
+	// plan-drift histogram and obs plan events.
 	Engine parbitonic.Config
 
 	// MaxBatch is the most requests coalesced into one sort run.
@@ -222,6 +230,9 @@ type ServerOf[E element.Elem] struct {
 	ctx    context.Context // canceled on Close: aborts in-flight runs' joint contexts
 	cancel context.CancelFunc
 
+	planMu sync.Mutex              // guards plans
+	plans  map[int]parbitonic.Plan // Auto only: resolved plan per padded-size bucket
+
 	mu     sync.RWMutex // guards closed vs queue sends
 	closed bool
 	wg     sync.WaitGroup // dispatcher + workers
@@ -240,12 +251,26 @@ func New(cfg Config) (*Server, error) { return NewOf[uint32](cfg) }
 func NewOf[E element.Elem](cfg Config) (*ServerOf[E], error) {
 	cfg = cfg.withDefaults()
 	p := cfg.Engine.Processors
-	if p < 1 || p&(p-1) != 0 {
+	if cfg.Engine.Auto {
+		if p != 0 && (p < 1 || p&(p-1) != 0) {
+			return nil, fmt.Errorf("serve: under Engine.Auto, Processors is the plan's P cap and must be 0 or a positive power of two, got %d", p)
+		}
+	} else if p < 1 || p&(p-1) != 0 {
 		return nil, fmt.Errorf("serve: Engine.Processors must be a positive power of two, got %d", p)
 	}
-	// Fail configuration errors (bad model overrides, unknown backend)
-	// at startup, not on the first request.
-	if _, err := parbitonic.NewEngineOf[E](cfg.Engine); err != nil {
+	// Fail configuration errors (bad model overrides, unknown backend,
+	// an unreadable machine profile) at startup, not on the first
+	// request. Under Auto, engines are built per plan, so the probe
+	// resolves a representative plan first.
+	probe := cfg.Engine
+	if cfg.Engine.Auto {
+		plan, err := parbitonic.PlanFor[E](cfg.MaxBatchKeys, cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+		probe = plan.Apply(cfg.Engine)
+	}
+	if _, err := parbitonic.NewEngineOf[E](probe); err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -257,6 +282,9 @@ func NewOf[E element.Elem](cfg Config) (*ServerOf[E], error) {
 		exec:   make(chan []*request[E]),
 		ctx:    ctx,
 		cancel: cancel,
+	}
+	if cfg.Engine.Auto {
+		s.plans = make(map[int]parbitonic.Plan)
 	}
 	if !cfg.DisableBreaker {
 		bc := cfg.Breaker

@@ -67,13 +67,17 @@ type CostModel struct {
 	LgCacheKeys int     // lg of the local key count that still fits in cache
 }
 
-// DefaultCosts returns the calibrated cost model. The per-key values
-// are model microseconds per local element, back-solved from the
-// paper's per-key tables: pack/unpack reproduce Table 5.4's 0.35/0.13
-// µs per key at P=16 over 5 remaps; radix/merge/compare-exchange place
-// the three algorithms of Table 5.1 in the measured ratios; the cache
-// term reproduces the per-key growth with n. LgCacheKeys = 18 is the
-// CS-2 node's 1 MB external cache in 4-byte keys.
+// DefaultCosts returns the shipped fallback cost model for the
+// simulated Meiko CS-2 — fixed constants, not measurements of this
+// host (host measurement lives in internal/tune; run
+// bitonic-sort -calibrate to produce a machine profile). The per-key
+// values are model microseconds per local element, back-solved from
+// the paper's per-key tables: pack/unpack reproduce Table 5.4's
+// 0.35/0.13 µs per key at P=16 over 5 remaps; radix/merge/
+// compare-exchange place the three algorithms of Table 5.1 in the
+// measured ratios; the cache term reproduces the per-key growth with
+// n. LgCacheKeys = 18 is the CS-2 node's 1 MB external cache in
+// 4-byte keys.
 func DefaultCosts() CostModel {
 	return CostModel{
 		RadixPass:       0.50,

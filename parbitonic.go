@@ -112,10 +112,25 @@ func (a Algorithm) String() string {
 type Config struct {
 	// Processors is the machine size P (power of two, >= 1): simulated
 	// processors under the Simulated backend, worker goroutines under
-	// Native.
+	// Native. Under Auto it is instead the cap on the processor counts
+	// the planner may choose (0 = GOMAXPROCS).
 	Processors int
 
 	Algorithm Algorithm
+
+	// Auto lets the cost-model planner choose Algorithm, Processors
+	// and Strategy per sort, from the data size, the element type and
+	// the machine profile (internal/tune; see TUNING.md). Backend is
+	// respected, not chosen: plans are scored in the backend's own
+	// time unit. Auto applies to the package-level Sort/SortPadded
+	// functions — engines are fixed-shape, so NewEngineOf rejects it;
+	// resolve explicitly with PlanFor + Plan.Apply to pool engines.
+	Auto bool
+
+	// ProfilePath overrides where Auto reads the machine profile;
+	// empty means the default user-cache location (tune.DefaultPath),
+	// falling back to shipped defaults when no profile exists.
+	ProfilePath string
 
 	// Backend selects where the sort runs: the virtual-time simulator
 	// (default) or the native wall-clock runtime. Model-shaping options
@@ -309,6 +324,13 @@ func Sort[E element.Elem](keys []E, cfg Config) (Result, error) {
 // repeatedly should build one with NewEngine (or pool them, see
 // internal/serve) to amortize the setup.
 func SortContext[E element.Elem](ctx context.Context, keys []E, cfg Config) (Result, error) {
+	if cfg.Auto {
+		resolved, err := resolveAuto[E](cfg, len(keys), true)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg = resolved
+	}
 	e, err := NewEngineOf[E](cfg)
 	if err != nil {
 		return Result{}, err
@@ -375,6 +397,13 @@ func machineConfig(cfg Config) machine.Config {
 // per-processor shares (PaddedSize), sorted with Sort, and the padding
 // stripped. Result statistics refer to the padded run.
 func SortPadded[E element.Elem](keys []E, cfg Config) (Result, error) {
+	if cfg.Auto {
+		resolved, err := resolveAuto[E](cfg, len(keys), false)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg = resolved
+	}
 	e, err := NewEngineOf[E](cfg)
 	if err != nil {
 		return Result{}, err

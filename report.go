@@ -60,6 +60,13 @@ type SortReport struct {
 	Result     Result
 	Quantities []DriftQuantity
 	Note       string // why Quantities is empty, when it is
+
+	// Plan is the autotuner decision that shaped this run, when the
+	// sort was configured with Config.Auto (nil otherwise). Auto runs
+	// carry one extra drift quantity, "plan-time": measured run time
+	// against the plan's predicted cost, so mispredictions are visible
+	// in the same report as model drift.
+	Plan *Plan
 }
 
 // MaxDrift returns the largest relative deviation |measured -
