@@ -1,0 +1,68 @@
+// The race runtime instruments with allocations of its own, so the
+// allocator-accounting assertions only mean something unraced.
+//go:build !race
+
+package parbitonic_test
+
+import (
+	"testing"
+
+	"parbitonic"
+	"parbitonic/element"
+	"parbitonic/internal/localsort"
+	"parbitonic/internal/workload"
+	"parbitonic/internal/workpool"
+)
+
+// TestNativeSortZeroAllocs pins the end-to-end zero-allocation promise
+// of the shared-memory fast path: a reused native engine sorts in
+// steady state without a single heap allocation — no goroutine spawns
+// (the engine keeps persistent workers), no message-buffer churn (the
+// per-processor free lists circulate every array), no table rebuilds
+// (the compiled body, routing scratch and emission closures persist).
+// Covered at P=1 (the in-place local path) and P=4 (staging, FullSort
+// merges and the exchange board). The kernel pool is pinned to one
+// lane so the assertion means the same thing on any host; the
+// parallel tile paths draw per-tile scratch by design and are covered
+// in the localsort package tests.
+func TestNativeSortZeroAllocs(t *testing.T) {
+	seq := workpool.New(1)
+	defer seq.Close()
+	localsort.SetPool(seq)
+	defer localsort.SetPool(nil)
+
+	run := func(t *testing.T, p int, f func() error) {
+		t.Helper()
+		for i := 0; i < 2; i++ { // warm the free lists and spawn workers
+			if err := f(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if avg := testing.AllocsPerRun(10, func() { f() }); avg != 0 {
+			t.Errorf("P=%d: %.1f allocs/op in steady state, want 0", p, avg)
+		}
+	}
+
+	for _, p := range []int{1, 4} {
+		e, err := parbitonic.NewEngineOf[uint32](parbitonic.Config{
+			Processors: p, Backend: parbitonic.Native,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		keys := workload.Elems[uint32](workload.FullRange, 1<<14, 5)
+		run(t, p, func() error { _, err := e.Sort(keys); return err })
+	}
+
+	// The record path moves twice the bytes through the same machinery.
+	ekv, err := parbitonic.NewEngineOf[element.KV64](parbitonic.Config{
+		Processors: 4, Backend: parbitonic.Native,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ekv.Close()
+	recs := workload.Elems[element.KV64](workload.FullRange, 1<<14, 9)
+	run(t, 4, func() error { _, err := ekv.Sort(recs); return err })
+}

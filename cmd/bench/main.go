@@ -41,9 +41,12 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"parbitonic"
 	"parbitonic/element"
+	"parbitonic/internal/bitseq"
+	"parbitonic/internal/localsort"
 	"parbitonic/internal/workload"
 )
 
@@ -52,7 +55,7 @@ import (
 // future file.
 const (
 	BenchSchema  = "parbitonic-bench"
-	BenchVersion = 1
+	BenchVersion = 2 // v2: kernel microbench entries (backend "kernel")
 )
 
 // Entry is one measured configuration. US is the trimmed-mean time in
@@ -218,7 +221,99 @@ func runSweep(quick bool, reps int, profilePath string) (*Snapshot, error) {
 			}
 		}
 	}
+	snap.Entries = append(snap.Entries, kernelSweep(quick, reps)...)
 	return snap, nil
+}
+
+// kernelSweep measures the localsort kernel layer directly — the
+// microbench section of the snapshot (backend "kernel"), one size per
+// sweep so the end-to-end trajectory can be split into kernel-level
+// and orchestration-level movement. Kernel times are wall µs and
+// host-dependent; the gates leave them alone, they are recorded for
+// trend tracking.
+func kernelSweep(quick bool, reps int) []Entry {
+	size := 1 << 20
+	if quick {
+		size = 1 << 16
+	}
+	var out []Entry
+	for _, et := range sweepElems(quick) {
+		switch et {
+		case element.TU32:
+			out = append(out, kernelGroupOf[uint32](size, reps)...)
+		case element.TU64:
+			out = append(out, kernelGroupOf[uint64](size, reps)...)
+		case element.TF32:
+			out = append(out, kernelGroupOf[float32](size, reps)...)
+		case element.TF64:
+			out = append(out, kernelGroupOf[float64](size, reps)...)
+		case element.TKV64:
+			out = append(out, kernelGroupOf[element.KV64](size, reps)...)
+		}
+	}
+	return out
+}
+
+// kernelGroupOf measures one element type's kernels: the hybrid radix
+// sort, the full local sort (radix + direction fix-up), the bitonic
+// merge of a bitonic sequence, and the two-way merge — the per-phase
+// primitives every parallel run is built from.
+func kernelGroupOf[E element.Elem](size, reps int) []Entry {
+	keys := workload.Elems[E](workload.Uniform31, size, 1996)
+	work := make([]E, size)
+	scratch := make([]E, size)
+
+	// A bitonic input for the merge kernel: ascending then descending.
+	bitonic := append([]E(nil), keys...)
+	localsort.SortScratch(bitonic[:size/2], true, scratch)
+	localsort.SortScratch(bitonic[size/2:], false, scratch)
+	a := append([]E(nil), keys[:size/2]...)
+	b := append([]E(nil), keys[size/2:]...)
+	localsort.SortScratch(a, true, scratch)
+	localsort.SortScratch(b, true, scratch)
+
+	var out []Entry
+	for _, k := range []struct {
+		name string
+		f    func()
+	}{
+		{"radix", func() { copy(work, keys); localsort.RadixSortScratch(work, scratch) }},
+		{"localsort", func() { copy(work, keys); localsort.SortScratch(work, true, scratch) }},
+		{"bitonic-merge", func() { bitseq.SortBitonic(work, bitonic, true) }},
+		{"merge-two", func() { localsort.MergeTwo(work, a, b, true) }},
+	} {
+		mean, min := measureKernel(reps, k.f)
+		out = append(out, Entry{
+			Backend: "kernel", Config: k.name,
+			Elem: element.TypeOf[E]().String(), Size: size,
+			US: mean, MinUS: min,
+		})
+	}
+	return out
+}
+
+// measureKernel is measureSort's methodology for an in-process kernel:
+// one warmup, reps wall-clock measurements, trimmed mean + minimum.
+func measureKernel(reps int, f func()) (mean, min float64) {
+	times := make([]float64, 0, reps)
+	for i := 0; i <= reps; i++ {
+		start := time.Now()
+		f()
+		if i == 0 {
+			continue // warmup
+		}
+		times = append(times, float64(time.Since(start).Nanoseconds())/1e3)
+	}
+	sort.Float64s(times)
+	lo, hi := 0, len(times)
+	if len(times) >= 5 {
+		lo, hi = 1, len(times)-1
+	}
+	sum := 0.0
+	for _, t := range times[lo:hi] {
+		sum += t
+	}
+	return sum / float64(hi-lo), times[0]
 }
 
 // benchGroup measures one (elem, size, backend) group: every fixed

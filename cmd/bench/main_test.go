@@ -120,10 +120,10 @@ func TestLoadSnapshotValidates(t *testing.T) {
 		}
 		return p
 	}
-	if _, err := loadSnapshot(write("ok.json", `{"schema":"parbitonic-bench","version":1}`)); err != nil {
+	if _, err := loadSnapshot(write("ok.json", `{"schema":"parbitonic-bench","version":2}`)); err != nil {
 		t.Fatalf("valid snapshot rejected: %v", err)
 	}
-	if _, err := loadSnapshot(write("schema.json", `{"schema":"other","version":1}`)); err == nil {
+	if _, err := loadSnapshot(write("schema.json", `{"schema":"other","version":2}`)); err == nil {
 		t.Fatal("foreign schema accepted")
 	}
 	if _, err := loadSnapshot(write("version.json", `{"schema":"parbitonic-bench","version":99}`)); err == nil {

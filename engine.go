@@ -47,6 +47,17 @@ type EngineOf[E element.Elem] struct {
 	// always copied out of it before returning, so no caller ever holds
 	// a reference into it across reuse (see TestSortPaddedNoRetention).
 	padBuf []E
+
+	// compiled is the core-algorithm body compiled for compiledN keys
+	// per processor (core.Compile): schedules, remap plans and gather
+	// tables are built once and amortized over every sort of the same
+	// size, and a steady-state Sort allocates nothing for them.
+	compiled  func(*spmd.ProcOf[E])
+	compiledN int
+
+	// single is the recycled one-slice data header of the in-place
+	// single-processor path.
+	single [][]E
 }
 
 // Engine is the uint32 engine, the element type of the paper's
@@ -110,6 +121,18 @@ func (e *EngineOf[E]) P() int { return e.cfg.Processors }
 // Config returns a copy of the configuration the engine was built with.
 func (e *EngineOf[E]) Config() Config { return e.cfg }
 
+// Close releases the engine's backend resources — in particular the
+// native backend's parked worker goroutines — deterministically.
+// Idempotent; must not be called while a sort is in flight, and the
+// engine is unusable afterwards. Engines that are simply dropped are
+// still reclaimed (a finalizer stops the workers once the engine is
+// collected); Close just makes the release prompt.
+func (e *EngineOf[E]) Close() {
+	if c, ok := e.m.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
 // Sort sorts keys in place (ascending by key) and returns the run
 // statistics; see the package-level Sort for the shape requirements.
 // It is SortContext with a background context.
@@ -157,37 +180,41 @@ func (e *EngineOf[E]) SortContext(ctx context.Context, keys []E) (Result, error)
 		sum = verify.Sum(keys)
 	}
 
-	data := e.stage(keys, p, n)
+	// Single-processor bitonic runs sort the caller's slice in place:
+	// with lg P = 0 all three bitonic algorithms reduce to one local
+	// radix sort that never swaps or pools its Data array, so the
+	// staging copy-in and copy-out are pure overhead. The caller's
+	// slice must then never be retained as staging (see below) — the
+	// engine would otherwise scribble over it on the next run.
+	inPlace := p == 1 && (cfg.Algorithm == SmartBitonic ||
+		cfg.Algorithm == CyclicBlockedBitonic || cfg.Algorithm == BlockedMergeBitonic)
+	var data [][]E
+	if inPlace {
+		if e.single == nil {
+			e.single = make([][]E, 1)
+		}
+		e.single[0] = keys
+		data = e.single
+	} else {
+		data = e.stage(keys, p, n)
+	}
 
 	var res spmd.Result
 	var err error
 	switch cfg.Algorithm {
 	case SmartBitonic, CyclicBlockedBitonic, BlockedMergeBitonic:
-		opts := core.Options{Fused: cfg.FusePackUnpack}
-		switch cfg.Algorithm {
-		case CyclicBlockedBitonic:
-			opts.Algorithm = core.CyclicBlocked
-		case BlockedMergeBitonic:
-			opts.Algorithm = core.BlockedMerge
-		default:
-			opts.Algorithm = core.Smart
-		}
-		opts.Strategy = cfg.Strategy.schedule()
-		if cfg.SimulateSteps || opts.Strategy != schedule.Head {
-			opts.Compute = core.Simulated
-		}
-		if cfg.Backend == Native && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
-			// Natively the fused path is simply the fast one — there is
-			// no model-ablation reason to keep pack/unpack separate.
-			opts.Fused = true
-		}
-		if opts.Fused && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
-			lgn, lgP := intbits.Log2(n), intbits.Log2(p)
-			if p == 1 || lgP*(lgP+1)/2 <= lgn {
-				opts.Compute = core.FullSort
+		// The compiled body depends only on the engine's fixed config
+		// and the per-processor share n, so repeated sorts of one size
+		// reuse it — schedule, remap plans and gather tables included.
+		if e.compiled == nil || e.compiledN != n {
+			e.compiled, err = core.Compile[E](p, n, coreOptions(cfg, p, n))
+			if err != nil {
+				e.compiledN = 0
+				break
 			}
+			e.compiledN = n
 		}
-		res, err = core.SortContext(ctx, e.m, data, opts)
+		res, err = e.m.RunContext(ctx, data, e.compiled)
 	case SampleSort:
 		var sres psort.SampleSortResult
 		sres, err = psort.SampleSortContext(ctx, e.m, data)
@@ -200,8 +227,11 @@ func (e *EngineOf[E]) SortContext(ctx context.Context, keys []E) (Result, error)
 	if err != nil {
 		// After an abort the processors' slices are unspecified — they
 		// may alias buffers the backend has already reclaimed — so they
-		// must not seed the next run's staging.
-		e.staging = nil
+		// must not seed the next run's staging. (An in-place run never
+		// consumed the staging, which stays valid for the next run.)
+		if !inPlace {
+			e.staging = nil
+		}
 		return Result{}, err
 	}
 
@@ -216,17 +246,26 @@ func (e *EngineOf[E]) SortContext(ctx context.Context, keys []E) (Result, error)
 					Wall:   time.Now().UnixNano(),
 				})
 			}
-			e.staging = final // the run completed; the slices are owned
+			if !inPlace {
+				e.staging = final // the run completed; the slices are owned
+			}
 			return Result{}, verr
 		}
 	}
 
 	pos := 0
 	for _, d := range final {
+		if len(d) > 0 && pos < len(keys) && &d[0] == &keys[pos] {
+			pos += len(d) // in-place run: the result is already here
+			continue
+		}
 		pos += copy(keys[pos:], d)
 	}
-	// The completed run's output slices become the next run's staging.
-	e.staging = final
+	// The completed run's output slices become the next run's staging —
+	// except after an in-place run, whose only slice is the caller's.
+	if !inPlace {
+		e.staging = final
+	}
 	if pos != len(keys) {
 		return Result{}, fmt.Errorf("parbitonic: internal error, %d of %d keys returned", pos, len(keys))
 	}
@@ -247,6 +286,36 @@ func (e *EngineOf[E]) SortContext(ctx context.Context, keys []E) (Result, error)
 		cfg.Observe(buildReport(cfg, len(keys), element.Words[E](), result))
 	}
 	return result, nil
+}
+
+// coreOptions maps the public Config to core.Options for the three
+// bitonic algorithms at machine shape (p, n).
+func coreOptions(cfg Config, p, n int) core.Options {
+	opts := core.Options{Fused: cfg.FusePackUnpack}
+	switch cfg.Algorithm {
+	case CyclicBlockedBitonic:
+		opts.Algorithm = core.CyclicBlocked
+	case BlockedMergeBitonic:
+		opts.Algorithm = core.BlockedMerge
+	default:
+		opts.Algorithm = core.Smart
+	}
+	opts.Strategy = cfg.Strategy.schedule()
+	if cfg.SimulateSteps || opts.Strategy != schedule.Head {
+		opts.Compute = core.Simulated
+	}
+	if cfg.Backend == Native && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
+		// Natively the fused path is simply the fast one — there is
+		// no model-ablation reason to keep pack/unpack separate.
+		opts.Fused = true
+	}
+	if opts.Fused && opts.Algorithm == core.Smart && !cfg.SimulateSteps {
+		lgn, lgP := intbits.Log2(n), intbits.Log2(p)
+		if p == 1 || lgP*(lgP+1)/2 <= lgn {
+			opts.Compute = core.FullSort
+		}
+	}
+	return opts
 }
 
 // stage copies keys into p per-processor slices of n keys each,

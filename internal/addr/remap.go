@@ -49,6 +49,15 @@ type RemapPlan struct {
 	offLut  []int32 // [n] pack offset of l
 	nlLut   []int32 // [MsgLen] new-local bits contributed by m
 	hasLuts bool
+
+	// Lazily built inverse (gather) tables for the shared-memory
+	// zero-copy remap: for each NEW local address they name the source
+	// the element comes from. Processor-independent like the forward
+	// LUTs; see GatherLuts.
+	gatherOnce sync.Once
+	groupLut   []int32 // [n] sender-group index of new local address i
+	srcLut     []int32 // [n] old-local bits of i contributed by the message offset
+	hasGather  bool
 }
 
 // lutMaxEntries bounds LUT memory: plans over more local keys than this
@@ -113,6 +122,79 @@ func (p *RemapPlan) UnpackTable(srcProc int, nl []int32) {
 	for m := range nl {
 		nl[m] = fixed | int32(gather(m, p.nlFromM))
 	}
+}
+
+// GatherLuts returns the processor-independent inverse routing tables
+// of the plan, for remaps that pull data instead of pushing it (the
+// shared-memory zero-copy path): for the element at NEW local address
+// i on any receiving processor q,
+//
+//	source processor = q's Senders()[group[i]]
+//	source local address = q's GatherLBase() | local[i]
+//
+// The tables invert the pack/unpack masks exactly, so a gather remap
+// produces bit-identical placement to pack → exchange → unpack. Plans
+// over more than lutMaxEntries local keys report ok=false; callers
+// fall back to the message path.
+func (p *RemapPlan) GatherLuts() (group, local []int32, ok bool) {
+	p.gatherOnce.Do(func() {
+		n := p.Old.LocalN()
+		if n > lutMaxEntries {
+			return
+		}
+		p.groupLut = make([]int32, n)
+		p.srcLut = make([]int32, n)
+		for i := 0; i < n; i++ {
+			g, l := int32(0), int32(0)
+			// New local bits sourced from the sender's processor number
+			// select the sender within the communication group; the group
+			// index enumerates nlFromP in move order, matching Senders.
+			for j, mv := range p.nlFromP {
+				g |= int32(i>>uint(mv.to)&1) << uint(j)
+			}
+			// New local bits sourced from the message offset invert
+			// through the pack mask: nlFromM maps offset bit j to new
+			// local bit, offFromL maps old local bit to offset bit j —
+			// the two tables share the offset-bit enumeration order.
+			for j, mv := range p.nlFromM {
+				l |= int32(i>>uint(mv.to)&1) << uint(p.offFromL[j].from)
+			}
+			p.groupLut[i] = g
+			p.srcLut[i] = l
+		}
+		p.hasGather = true
+	})
+	return p.groupLut, p.srcLut, p.hasGather
+}
+
+// Senders returns the processors that send data to proc under the
+// plan (including proc itself when it keeps data), indexed by the
+// sender-group value of GatherLuts.
+func (p *RemapPlan) Senders(proc int) []int {
+	base := 0
+	for _, mv := range p.destFromP {
+		base |= (proc >> uint(mv.to) & 1) << uint(mv.from)
+	}
+	out := make([]int, p.GroupSize())
+	for g := range out {
+		s := base
+		for j, mv := range p.nlFromP {
+			s |= (g >> uint(j) & 1) << uint(mv.from)
+		}
+		out[g] = s
+	}
+	return out
+}
+
+// GatherLBase returns the old-local address bits that the receiving
+// processor's own number determines: the bits that routed the element
+// to proc in the first place (the inverse of the destination mask).
+func (p *RemapPlan) GatherLBase(proc int) int {
+	base := 0
+	for _, mv := range p.destFromL {
+		base |= (proc >> uint(mv.to) & 1) << uint(mv.from)
+	}
+	return base
 }
 
 // NewRemapPlan builds the plan for remapping from old to new. The two
@@ -197,28 +279,56 @@ func (p *RemapPlan) GroupSize() int { return 1 << uint(p.Changed) }
 // including proc itself if it keeps data, in ascending offset order of
 // the varying destination bits.
 func (p *RemapPlan) Dests(proc int) []int {
+	return p.AppendDests(make([]int, 0, p.GroupSize()), proc)
+}
+
+// AppendDests appends proc's destination group to dst and returns it,
+// for callers that route every round and keep their own scratch.
+func (p *RemapPlan) AppendDests(dst []int, proc int) []int {
 	fixed := gather(proc, p.destFromP)
-	out := make([]int, 0, p.GroupSize())
 	for g := 0; g < p.GroupSize(); g++ {
 		d := fixed
 		for i, m := range p.destFromL {
 			d |= (g >> uint(i) & 1) << uint(m.to)
 		}
-		out = append(out, d)
+		dst = append(dst, d)
 	}
-	return out
+	return dst
 }
 
 // KeepCount returns how many of its n elements a processor keeps across
 // the remap: n / 2^Changed (Lemma 4). Note a processor keeps exactly
-// MsgLen elements only if it is a member of its own destination group,
-// which holds for every remap used by the algorithms in this module.
+// MsgLen elements only if it is a member of its own destination group;
+// a processor outside its group keeps nothing (see SendCounts for the
+// exact per-processor accounting).
 func (p *RemapPlan) KeepCount() int { return p.MsgLen }
 
 // SendVolume returns the number of elements a processor sends to other
-// processors during the remap: n - n / 2^Changed.
+// processors during the remap, assuming it is a member of its own
+// destination group: n - n / 2^Changed.
 func (p *RemapPlan) SendVolume() int {
 	return p.Old.LocalN() - p.MsgLen
+}
+
+// SendCounts returns the exact packed-path communication counters for
+// proc: how many elements it ships to other processors and in how many
+// messages. These equal SendVolume and GroupSize-1 only when proc is a
+// member of its own destination group; a processor outside its group
+// keeps nothing and sends all LocalN elements in GroupSize messages.
+// Some remaps of the smart schedule in the tall-P regime produce such
+// processors, so zero-copy paths that want counter parity with the
+// packed exchange must use this, not SendVolume.
+func (p *RemapPlan) SendCounts(proc int) (vol, msgs int) {
+	vary := 0
+	for _, m := range p.destFromL {
+		vary |= 1 << uint(m.to)
+	}
+	vol, msgs = p.Old.LocalN(), p.GroupSize()
+	if proc&^vary == gather(proc, p.destFromP) {
+		vol -= p.MsgLen
+		msgs--
+	}
+	return vol, msgs
 }
 
 // ChangedBits computes N_BitsChanged of Lemma 3 for a remap from old to

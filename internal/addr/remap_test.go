@@ -309,3 +309,57 @@ func TestRoutePanicsOnShortBuffers(t *testing.T) {
 	}()
 	plan.Route(0, make([]int32, 3), make([]int32, 3))
 }
+
+// TestGatherLutsInvertPlan proves the inverse (pull) routing tables
+// reproduce exactly the placement of the forward (push) path: for every
+// receiving processor q and new local address i, the element gathered
+// from Senders(q)[group[i]] at old local GatherLBase(q)|local[i] is the
+// element the pack → exchange → unpack pipeline would have delivered
+// there — validated against the layouts themselves and against Apply.
+func TestGatherLutsInvertPlan(t *testing.T) {
+	for _, d := range [][2]int{{8, 2}, {8, 4}, {10, 3}, {6, 3}} {
+		for _, pair := range layoutPairs(d[0], d[1]) {
+			old, new := pair[0], pair[1]
+			plan := NewRemapPlan(old, new)
+			group, local, ok := plan.GatherLuts()
+			if !ok {
+				t.Fatalf("%s->%s: GatherLuts unavailable at n=%d", old.Name, new.Name, old.LocalN())
+			}
+			n := old.LocalN()
+			P := old.P()
+
+			data := make([][]uint32, P)
+			rng := rand.New(rand.NewSource(7))
+			for p := range data {
+				data[p] = make([]uint32, n)
+				for l := range data[p] {
+					data[p][l] = rng.Uint32()
+				}
+			}
+			want := Apply(old, new, data)
+
+			for q := 0; q < P; q++ {
+				senders := plan.Senders(q)
+				if len(senders) != plan.GroupSize() {
+					t.Fatalf("%s->%s: Senders(%d) has %d entries, want %d",
+						old.Name, new.Name, q, len(senders), plan.GroupSize())
+				}
+				base := plan.GatherLBase(q)
+				for i := 0; i < n; i++ {
+					abs := new.Abs(q, i)
+					wantSrc, wantSL := old.Rel(abs)
+					src := senders[group[i]]
+					sl := base | int(local[i])
+					if src != wantSrc || sl != wantSL {
+						t.Fatalf("%s->%s: gather(%d,%d) = proc %d local %d, want proc %d local %d",
+							old.Name, new.Name, q, i, src, sl, wantSrc, wantSL)
+					}
+					if got := data[src][sl]; got != want[q][i] {
+						t.Fatalf("%s->%s: gathered value %d != Apply value %d at (%d,%d)",
+							old.Name, new.Name, got, want[q][i], q, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -92,15 +92,34 @@ func Split[E element.Elem](s []E) {
 	}
 	switch any(*new(E)).(type) {
 	case uint32:
-		ordSplit(element.Cast[uint32](s))
+		uintSplit(element.Cast[uint32](s))
 	case uint64:
-		ordSplit(element.Cast[uint64](s))
+		uintSplit(element.Cast[uint64](s))
 	case float32:
 		ordSplit(element.Cast[float32](s))
 	case float64:
 		ordSplit(element.Cast[float64](s))
 	default:
 		kvSplit(element.Cast[element.KV64](s))
+	}
+}
+
+// uintKey are the unsigned key widths with a branchless compare-
+// exchange: integer min/max compile to conditional moves, so the split
+// sweep has no data-dependent branch for the predictor to miss on
+// random keys. Floats stay on the compare-swap form — min/max would
+// rewrite the bit image of -0/+0 and NaN ties, and a compare-exchange
+// must move elements, never rewrite them.
+type uintKey interface {
+	uint32 | uint64
+}
+
+func uintSplit[T uintKey](s []T) {
+	h := len(s) / 2
+	a, b := s[:h], s[h:h+h]
+	for i := range a {
+		x, y := a[i], b[i]
+		a[i], b[i] = min(x, y), max(x, y)
 	}
 }
 
@@ -130,15 +149,24 @@ func SplitDesc[E element.Elem](s []E) {
 	}
 	switch any(*new(E)).(type) {
 	case uint32:
-		ordSplitDesc(element.Cast[uint32](s))
+		uintSplitDesc(element.Cast[uint32](s))
 	case uint64:
-		ordSplitDesc(element.Cast[uint64](s))
+		uintSplitDesc(element.Cast[uint64](s))
 	case float32:
 		ordSplitDesc(element.Cast[float32](s))
 	case float64:
 		ordSplitDesc(element.Cast[float64](s))
 	default:
 		kvSplitDesc(element.Cast[element.KV64](s))
+	}
+}
+
+func uintSplitDesc[T uintKey](s []T) {
+	h := len(s) / 2
+	a, b := s[:h], s[h:h+h]
+	for i := range a {
+		x, y := a[i], b[i]
+		a[i], b[i] = max(x, y), min(x, y)
 	}
 }
 
@@ -160,25 +188,64 @@ func kvSplitDesc(s []element.KV64) {
 	}
 }
 
+// mergeTileBytes bounds the segment size the cache-blocked Merge
+// finishes depth-first: once a segment fits the budget (half of a
+// typical 32 KiB L1d, leaving room for the write-back halves), all its
+// remaining split levels run while it is cache-resident.
+const mergeTileBytes = 16 << 10
+
 // Merge sorts the bitonic sequence s in place in the direction given by
 // asc using recursive bitonic splits (the bitonic merge of §2.1.2). The
 // length of s must be a power of two. Cost is O(n log n) comparisons;
 // SortBitonic is the O(n) alternative used by the optimized local
 // computation.
+//
+// The split levels are walked depth-first below an L1-sized tile: the
+// breadth-first network would stream the whole array once per level
+// (log n full-cache-miss passes), while finishing each tile before
+// moving on touches every cache line O(1) times beyond the first
+// levels. The network itself is unchanged — splits at width w within a
+// segment still precede the w/2 splits inside it, and disjoint
+// segments are independent — so the output is element-for-element
+// identical to the breadth-first order.
 func Merge[E element.Elem](s []E, asc bool) {
 	n := len(s)
 	if n&(n-1) != 0 {
 		panic("bitseq: Merge requires power-of-two length")
 	}
-	for width := n; width > 1; width /= 2 {
-		for base := 0; base < n; base += width {
-			if asc {
-				Split(s[base : base+width])
-			} else {
-				SplitDesc(s[base : base+width])
+	tile := mergeTileBytes / int(element.TypeOf[E]().Width())
+	if tile < 2 {
+		tile = 2
+	}
+	mergeRec(s, asc, tile)
+}
+
+func mergeRec[E element.Elem](s []E, asc bool, tile int) {
+	n := len(s)
+	if n <= 1 {
+		return
+	}
+	if n <= tile {
+		// The whole segment is cache-resident: the remaining levels run
+		// breadth-first with no further call overhead.
+		for width := n; width > 1; width /= 2 {
+			for base := 0; base < n; base += width {
+				if asc {
+					Split(s[base : base+width])
+				} else {
+					SplitDesc(s[base : base+width])
+				}
 			}
 		}
+		return
 	}
+	if asc {
+		Split(s)
+	} else {
+		SplitDesc(s)
+	}
+	mergeRec(s[:n/2], asc, tile)
+	mergeRec(s[n/2:], asc, tile)
 }
 
 // Rotate returns a copy of s cyclically shifted left by k positions
@@ -430,21 +497,49 @@ func ordSortBitonic[T element.Ord](dst, src []T, asc bool) {
 	// the maximum and then falls back. The unconsumed elements always
 	// form a contiguous circular arc [fi..bj]; that arc is bitonic with
 	// its maximum inside, so its minimum sits at one of the two ends.
-	fi := m               // forward cursor (clockwise)
-	bj := (m - 1 + n) % n // backward cursor (counterclockwise)
-	for emitted := 0; emitted < n; emitted++ {
-		var v T
-		if src[fi] <= src[bj] {
-			v = src[fi]
-			fi = (fi + 1) % n
-		} else {
-			v = src[bj]
-			bj = (bj - 1 + n) % n
+	//
+	// The cursors wrap at most once each, so the hot loop carries a
+	// predictable wrap test instead of a modulo — the divide dominated
+	// this kernel's run time. The ascending and descending emissions are
+	// separate loops for the same reason: the direction is loop-
+	// invariant. Comparisons and tie-breaks are exactly the modulo
+	// form's, so the emitted order is element-for-element identical.
+	fi := m // forward cursor (clockwise)
+	bj := m - 1
+	if bj < 0 {
+		bj = n - 1 // backward cursor (counterclockwise)
+	}
+	if asc {
+		for emitted := 0; emitted < n; emitted++ {
+			if src[fi] <= src[bj] {
+				dst[emitted] = src[fi]
+				fi++
+				if fi == n {
+					fi = 0
+				}
+			} else {
+				dst[emitted] = src[bj]
+				bj--
+				if bj < 0 {
+					bj = n - 1
+				}
+			}
 		}
-		if asc {
-			dst[emitted] = v
+		return
+	}
+	for emitted := n - 1; emitted >= 0; emitted-- {
+		if src[fi] <= src[bj] {
+			dst[emitted] = src[fi]
+			fi++
+			if fi == n {
+				fi = 0
+			}
 		} else {
-			dst[n-1-emitted] = v
+			dst[emitted] = src[bj]
+			bj--
+			if bj < 0 {
+				bj = n - 1
+			}
 		}
 	}
 }
@@ -456,20 +551,41 @@ func kvSortBitonic(dst, src []element.KV64, asc bool) {
 	}
 	m := kvMinIndex(src, false)
 	fi := m
-	bj := (m - 1 + n) % n
-	for emitted := 0; emitted < n; emitted++ {
-		var v element.KV64
-		if src[fi].K <= src[bj].K {
-			v = src[fi]
-			fi = (fi + 1) % n
-		} else {
-			v = src[bj]
-			bj = (bj - 1 + n) % n
+	bj := m - 1
+	if bj < 0 {
+		bj = n - 1
+	}
+	if asc {
+		for emitted := 0; emitted < n; emitted++ {
+			if src[fi].K <= src[bj].K {
+				dst[emitted] = src[fi]
+				fi++
+				if fi == n {
+					fi = 0
+				}
+			} else {
+				dst[emitted] = src[bj]
+				bj--
+				if bj < 0 {
+					bj = n - 1
+				}
+			}
 		}
-		if asc {
-			dst[emitted] = v
+		return
+	}
+	for emitted := n - 1; emitted >= 0; emitted-- {
+		if src[fi].K <= src[bj].K {
+			dst[emitted] = src[fi]
+			fi++
+			if fi == n {
+				fi = 0
+			}
 		} else {
-			dst[n-1-emitted] = v
+			dst[emitted] = src[bj]
+			bj--
+			if bj < 0 {
+				bj = n - 1
+			}
 		}
 	}
 }

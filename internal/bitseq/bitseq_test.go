@@ -479,10 +479,3 @@ func TestSortBitonicEmptyAndMismatch(t *testing.T) {
 	}()
 	SortBitonic(make([]uint32, 2), make([]uint32, 3), true)
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -18,9 +18,11 @@ func cyclicBlockedSort[E element.Elem](pr *spmd.ProcOf[E], toCyclic, toBlocked *
 	lgn, lgP := intbits.Log2(n), intbits.Log2(pr.P())
 	lgN := lgn + lgP
 
-	localsort.Sort(pr.Data, pr.ID%2 == 0)
+	sortScratch := pr.GetBuf(n)
+	localsort.SortScratch(pr.Data, pr.ID%2 == 0, sortScratch)
 	pr.ChargeRadixSort(n)
 	if lgP == 0 {
+		pr.PutBuf(sortScratch)
 		return
 	}
 
@@ -30,7 +32,9 @@ func cyclicBlockedSort[E element.Elem](pr *spmd.ProcOf[E], toCyclic, toBlocked *
 	scratch := make([]E, 2*(1<<uint(lgP)))
 	for k := 1; k <= lgP; k++ {
 		stage := lgn + k
-		pr.RemapExchange(toCyclic, false)
+		if !pr.DirectRemap(toCyclic) {
+			pr.RemapExchange(toCyclic, false)
+		}
 		// First k steps of the stage execute locally under cyclic. They
 		// form, for every group of 2^k keys whose absolute addresses
 		// differ only in bits lgn..lgn+k-1, a complete butterfly: the
@@ -57,12 +61,14 @@ func cyclicBlockedSort[E element.Elem](pr *spmd.ProcOf[E], toCyclic, toBlocked *
 				simulateStep(pr, cyclic, schedule.Step{Bit: stage - 1 - j, Stage: stage})
 			}
 		}
-		pr.RemapExchange(toBlocked, false)
+		if !pr.DirectRemap(toBlocked) {
+			pr.RemapExchange(toBlocked, false)
+		}
 		// Remaining lg n steps under blocked: each processor holds one
 		// bitonic sequence (Lemma 7 at column lg n); [CDMS94] finishes
 		// with a local radix sort in the stage's direction.
 		if opts.Compute == Optimized {
-			localsort.Sort(pr.Data, ascFor(blocked, pr.ID, stage))
+			localsort.SortScratch(pr.Data, ascFor(blocked, pr.ID, stage), sortScratch)
 			pr.ChargeRadixSort(n)
 		} else {
 			for j := lgn; j >= 1; j-- {
@@ -70,6 +76,7 @@ func cyclicBlockedSort[E element.Elem](pr *spmd.ProcOf[E], toCyclic, toBlocked *
 			}
 		}
 	}
+	pr.PutBuf(sortScratch)
 }
 
 // compareSplit fills out with the element-wise minima (keepMin) or
@@ -139,13 +146,22 @@ func blockedMergeSort[E element.Elem](pr *spmd.ProcOf[E]) {
 	lgn, lgP := intbits.Log2(n), intbits.Log2(pr.P())
 	lgN := lgn + lgP
 
-	localsort.Sort(pr.Data, pr.ID%2 == 0)
+	sortScratch := pr.GetBuf(n)
+	localsort.SortScratch(pr.Data, pr.ID%2 == 0, sortScratch)
 	pr.ChargeRadixSort(n)
 	if lgP == 0 {
+		pr.PutBuf(sortScratch)
 		return
 	}
 	blocked := addr.Blocked(lgN, lgP)
 
+	// spare holds the local array a compare-split just replaced. The
+	// partner is still reading it (its compare-split of the same step
+	// runs concurrently with ours), so it can only go back to the pool
+	// once a barrier separates us — the next PairExchange provides one.
+	// The very last spare is simply dropped: no barrier follows it
+	// inside this function.
+	var spare []E
 	for k := 1; k <= lgP; k++ {
 		stage := lgn + k
 		asc := ascFor(blocked, pr.ID, stage)
@@ -154,20 +170,25 @@ func blockedMergeSort[E element.Elem](pr *spmd.ProcOf[E]) {
 			procBit := bit - lgn
 			partner := pr.ID ^ 1<<uint(procBit)
 			theirs := pr.PairExchange(partner, pr.Data)
+			if spare != nil {
+				pr.PutBuf(spare) // previous round's array: barrier passed
+			}
 			// My rows have absolute bit `bit` equal to my processor bit;
 			// the row with the bit clear receives the minimum iff the
 			// merge is ascending (Definition 3).
 			iAmLow := pr.ID>>uint(procBit)&1 == 0
 			keepMin := iAmLow == asc
-			out := make([]E, n)
+			out := pr.GetBuf(n)
 			compareSplit(out, pr.Data, theirs, keepMin)
+			spare = pr.Data
 			pr.Data = out
 			// The [BLM+91] step "simulates a merge step" over both the
 			// local and the received keys: 2n elements of linear work.
 			pr.ChargeMerge(2 * n)
 		}
 		// Remaining lg n steps are local; [BLM+91] uses a radix sort.
-		localsort.Sort(pr.Data, asc)
+		localsort.SortScratch(pr.Data, asc, sortScratch)
 		pr.ChargeRadixSort(n)
 	}
+	pr.PutBuf(sortScratch)
 }

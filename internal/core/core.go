@@ -150,10 +150,24 @@ func SortContext[E element.Elem](ctx context.Context, m spmd.BackendOf[E], data 
 			return spmd.Result{}, fmt.Errorf("core: processor %d holds %d keys, want %d", i, len(d), n)
 		}
 	}
-	if err := opts.Validate(p, n); err != nil {
+	body, err := Compile[E](p, n, opts)
+	if err != nil {
 		return spmd.Result{}, err
 	}
-	var body func(*spmd.ProcOf[E])
+	return m.RunContext(ctx, data, body)
+}
+
+// Compile validates opts against the machine shape (p processors of n
+// keys each) and builds the per-processor SPMD body, performing every
+// shape-dependent construction — remap schedules, plans, gather
+// tables — up front. The returned body is shared read-only by all
+// processors and stays valid for any machine of the same shape, so an
+// engine that sorts repeatedly can compile once and amortize both the
+// construction and the closure allocation across runs.
+func Compile[E element.Elem](p, n int, opts Options) (func(*spmd.ProcOf[E]), error) {
+	if err := opts.Validate(p, n); err != nil {
+		return nil, err
+	}
 	switch opts.Algorithm {
 	case Smart:
 		// Build the schedule (layouts + remap plans) once; it is shared
@@ -162,7 +176,7 @@ func SortContext[E element.Elem](ctx context.Context, m spmd.BackendOf[E], data 
 		if p > 1 {
 			sched = schedule.New(intbits.Log2(n)+intbits.Log2(p), intbits.Log2(p), opts.Strategy)
 		}
-		body = func(pr *spmd.ProcOf[E]) { smartSort(pr, sched, opts) }
+		return func(pr *spmd.ProcOf[E]) { smartSort(pr, sched, opts) }, nil
 	case CyclicBlocked:
 		var toCyclic, toBlocked *addr.RemapPlan
 		if p > 1 {
@@ -170,13 +184,12 @@ func SortContext[E element.Elem](ctx context.Context, m spmd.BackendOf[E], data 
 			toCyclic = addr.NewRemapPlan(addr.Blocked(lgN, lgP), addr.Cyclic(lgN, lgP))
 			toBlocked = addr.NewRemapPlan(addr.Cyclic(lgN, lgP), addr.Blocked(lgN, lgP))
 		}
-		body = func(pr *spmd.ProcOf[E]) { cyclicBlockedSort(pr, toCyclic, toBlocked, opts) }
+		return func(pr *spmd.ProcOf[E]) { cyclicBlockedSort(pr, toCyclic, toBlocked, opts) }, nil
 	case BlockedMerge:
-		body = func(pr *spmd.ProcOf[E]) { blockedMergeSort(pr) }
+		return func(pr *spmd.ProcOf[E]) { blockedMergeSort(pr) }, nil
 	default:
-		return spmd.Result{}, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
+		return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
 	}
-	return m.RunContext(ctx, data, body)
 }
 
 // ascFor returns the merge direction of stage `stage` for every element

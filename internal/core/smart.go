@@ -25,26 +25,88 @@ func smartSort[E element.Elem](pr *spmd.ProcOf[E], sched []schedule.Remap, opts 
 
 	// Stages 1..lg n: entirely local under the blocked layout. Their net
 	// effect is one sorted run per processor, alternating direction
-	// (Lemma 6 at the input of stage lg n + 1).
-	localsort.Sort(pr.Data, pr.ID%2 == 0)
+	// (Lemma 6 at the input of stage lg n + 1). One pooled n-element
+	// scratch serves the radix sort and every later local phase, so the
+	// whole run allocates nothing in steady state.
+	scratch := pr.GetBuf(n)
+	localsort.SortScratch(pr.Data, pr.ID%2 == 0, scratch)
 	pr.ChargeRadixSort(n)
 	if lgP == 0 {
+		pr.PutBuf(scratch)
 		return
 	}
 
 	if opts.Compute == FullSort {
+		pr.PutBuf(scratch)
 		fullSortRun(pr, sched, lgn, lgP)
 		return
 	}
 	for _, r := range sched {
-		pr.RemapExchange(r.Plan, opts.Fused)
+		if !pr.DirectRemap(r.Plan) {
+			pr.RemapExchange(r.Plan, opts.Fused)
+		}
 		if opts.Compute == Simulated {
 			for _, st := range schedule.StepsFrom(lgN, lgP, r.K, r.S, r.StepsAfter) {
 				simulateStep(pr, r.Layout, st)
 			}
 			continue
 		}
-		smartPhase(pr, r, lgn, lgP)
+		scratch = smartPhase(pr, r, lgn, lgP, scratch)
+	}
+	pr.PutBuf(scratch)
+}
+
+// fullScratch is a processor's persistent FullSort working state,
+// parked on pr.Scratch between runs: the run table, the round's
+// routing views, and the two emission closures. The closures are
+// built once — a fresh func literal per round would heap-allocate its
+// capture — and read the routing views through the struct, which the
+// loop repoints every round.
+type fullScratch[E element.Elem] struct {
+	runs      []localsort.RunOf[E]
+	out       [][]E
+	dest, off []int32
+	n         int
+	emitAsc   func(int, E)
+	emitDesc  func(int, E)
+}
+
+func newFullScratch[E element.Elem](p int) *fullScratch[E] {
+	s := &fullScratch[E]{runs: make([]localsort.RunOf[E], 0, p)}
+	// Merge-with-pack emission: the element of ascending rank e sits at
+	// local index e (ascending region) or n-1-e (descending region),
+	// and goes to the next plan's destination slot for that index.
+	s.emitAsc = func(rank int, v E) { s.out[s.dest[rank]][s.off[rank]] = v }
+	s.emitDesc = func(rank int, v E) {
+		l := s.n - 1 - rank
+		s.out[s.dest[l]][s.off[l]] = v
+	}
+	return s
+}
+
+// dirAfterRemap gives the direction processor q's keys are sorted in
+// once remap i's local phase completed: the merge direction of the
+// stage the phase ends in, which is processor-determined.
+func dirAfterRemap(sched []schedule.Remap, lgn, i, q int) bool {
+	r := sched[i]
+	switch r.Kind {
+	case schedule.Inside:
+		return ascFor(r.Layout, q, lgn+r.K)
+	case schedule.Crossing:
+		return ascFor(r.Layout, q, lgn+r.K+1)
+	default: // last: the final stage is ascending everywhere
+		return true
+	}
+}
+
+// recycleRuns hands a round's consumed message buffers back to the
+// processor's free list; the next round's pack reuses them, so
+// steady-state FullSort allocates nothing per remap.
+func recycleRuns[E element.Elem](pr *spmd.ProcOf[E], in [][]E) {
+	for _, msg := range in {
+		if len(msg) > 0 {
+			pr.PutBuf(msg)
+		}
 	}
 }
 
@@ -60,42 +122,24 @@ func smartSort[E element.Elem](pr *spmd.ProcOf[E], sched []schedule.Remap, opts 
 //     the canonical per-processor multiset fully sorted, which is what
 //     the next remap needs (§4.1, Figures 4.3-4.5);
 //   - packing for the next remap is the merge's emission pass, so no
-//     separate pack or unpack pass is charged (§4.3, Figure 4.8).
+//     separate pack or unpack pass exists (§4.3, Figure 4.8).
 func fullSortRun[E element.Elem](pr *spmd.ProcOf[E], sched []schedule.Remap, lgn, lgP int) {
-	// dirAfter gives the direction processor q's keys are sorted in
-	// once remap i's local phase completed: the merge direction of the
-	// stage the phase ends in, which is processor-determined.
-	dirAfter := func(i, q int) bool {
-		r := sched[i]
-		switch r.Kind {
-		case schedule.Inside:
-			return ascFor(r.Layout, q, lgn+r.K)
-		case schedule.Crossing:
-			return ascFor(r.Layout, q, lgn+r.K+1)
-		default: // last: the final stage is ascending everywhere
-			return true
-		}
-	}
 	// The first exchange packs the initial radix-sorted keys; afterwards
 	// every phase is ONE pass: a p-way merge of the received runs whose
 	// emission writes straight into the next remap's message buffers
 	// (merge = unpack + sort + pack in a single local computation step,
 	// the thesis's first Chapter 7 refinement). Only the final phase
-	// materializes a local array.
+	// materializes a local array. Routing tables come from the
+	// processor's own pack scratch (safe here: prepacked exchanges never
+	// run the pack routing) and the run table, routing views and
+	// emission closures persist on the processor across rounds AND runs.
 	n := len(pr.Data)
-	dest := make([]int32, n)
-	off := make([]int32, n)
-	in := pr.RemapExchangeRuns(sched[0].Plan, true)
-	// recycle hands the round's consumed message buffers back to the
-	// engine pool; the next round's pack reuses them, so steady-state
-	// FullSort allocates nothing per remap.
-	recycle := func() {
-		for _, msg := range in {
-			if len(msg) > 0 {
-				pr.PutBuf(msg)
-			}
-		}
+	s, _ := pr.Scratch.(*fullScratch[E])
+	if s == nil {
+		s = newFullScratch[E](pr.P())
+		pr.Scratch = s
 	}
+	in := pr.RemapExchangeRuns(sched[0].Plan, true)
 	for i, r := range sched {
 		// The usual-regime shape Validate guaranteed: an inside remap,
 		// then crossings, then the last remap.
@@ -105,7 +149,7 @@ func fullSortRun[E element.Elem](pr *spmd.ProcOf[E], sched []schedule.Remap, lgn
 			i == len(sched)-1 && i > 0 && r.Kind != schedule.Last:
 			panic("core: unexpected schedule shape for FullSort")
 		}
-		runs := make([]localsort.RunOf[E], 0, len(in))
+		runs := s.runs[:0]
 		total := 0
 		for src, msg := range in {
 			if len(msg) == 0 {
@@ -113,11 +157,12 @@ func fullSortRun[E element.Elem](pr *spmd.ProcOf[E], sched []schedule.Remap, lgn
 			}
 			srcAsc := src%2 == 0 // after the initial local sorts
 			if i > 0 {
-				srcAsc = dirAfter(i-1, src)
+				srcAsc = dirAfterRemap(sched, lgn, i-1, src)
 			}
 			runs = append(runs, localsort.RunOf[E]{Keys: msg, Desc: !srcAsc})
 			total += len(msg)
 		}
+		s.runs = runs
 		if total != n {
 			panic("core: FullSort lost keys across a remap")
 		}
@@ -125,50 +170,48 @@ func fullSortRun[E element.Elem](pr *spmd.ProcOf[E], sched []schedule.Remap, lgn
 		if i == len(sched)-1 {
 			// Final phase: the last remap's steps sort ascending; the
 			// merge materializes the finished local array.
-			merged := make([]E, total)
+			merged := pr.GetBuf(total)
 			localsort.MergeRuns(merged, runs)
 			pr.Data = merged
 			pr.ChargeMerge(total)
-			recycle()
+			recycleRuns(pr, in)
 			return
 		}
 
-		// Merge-with-pack: element of ascending rank e sits at local
-		// index e (ascending region) or n-1-e (descending region), and
-		// goes to the next plan's destination slot for that index.
 		next := sched[i+1].Plan
-		out := pr.PackBuffers(next)
-		next.Route(pr.ID, dest, off)
-		if dirAfter(i, pr.ID) {
-			localsort.MergeRunsEmit(runs, total, func(rank int, v E) {
-				out[dest[rank]][off[rank]] = v
-			})
+		s.out = pr.PackBuffers(next)
+		s.dest, s.off = pr.RouteTables(n)
+		s.n = n
+		next.Route(pr.ID, s.dest, s.off)
+		if dirAfterRemap(sched, lgn, i, pr.ID) {
+			localsort.MergeRunsEmit(runs, total, s.emitAsc)
 		} else {
-			localsort.MergeRunsEmit(runs, total, func(rank int, v E) {
-				l := n - 1 - rank
-				out[dest[l]][off[l]] = v
-			})
+			localsort.MergeRunsEmit(runs, total, s.emitDesc)
 		}
 		pr.ChargeMerge(total)
-		recycle()
-		in = pr.RemapExchangePrepacked(next, out)
+		recycleRuns(pr, in)
+		in = pr.RemapExchangePrepacked(next, s.out)
 		pr.ClearPackBuffers()
 	}
 }
 
 // smartPhase runs the optimized local computation for the lg n (or, for
 // the last remap, S) steps following remap r, per Theorems 2 and 3.
-func smartPhase[E element.Elem](pr *spmd.ProcOf[E], r schedule.Remap, lgn, lgP int) {
+// scratch is an n-element pooled buffer owned by the caller; the
+// returned slice replaces it (the inside phase ping-pongs it with the
+// local array).
+func smartPhase[E element.Elem](pr *spmd.ProcOf[E], r schedule.Remap, lgn, lgP int, scratch []E) []E {
 	n := len(pr.Data)
 	switch r.Kind {
 	case schedule.Inside:
 		// Theorem 2: the local keys form one bitonic sequence; the lg n
 		// steps sort it in the direction of stage lgn+K, which is
-		// processor-determined for an inside remap.
+		// processor-determined for an inside remap. The sort emits into
+		// the scratch buffer, which then becomes the local array and the
+		// old array the scratch — a ping-pong, no allocation.
 		asc := ascFor(r.Layout, pr.ID, lgn+r.K)
-		out := make([]E, n)
-		bitseq.SortBitonic(out, pr.Data, asc)
-		pr.Data = out
+		bitseq.SortBitonic(scratch[:n], pr.Data, asc)
+		pr.Data, scratch = scratch[:n], pr.Data
 		pr.ChargeMerge(n)
 
 	case schedule.Crossing:
@@ -178,7 +221,6 @@ func smartPhase[E element.Elem](pr *spmd.ProcOf[E], r schedule.Remap, lgn, lgP i
 		// the top bit of the block index.
 		blockLen := 1 << uint(r.A)
 		topMask := 1 << uint(r.B-1)
-		scratch := make([]E, 2*max(blockLen, 1<<uint(r.B)))
 		localsort.SortBitonicBlocks(pr.Data, blockLen, func(blk int) bool {
 			return blk&topMask == 0
 		}, scratch)
@@ -188,11 +230,10 @@ func smartPhase[E element.Elem](pr *spmd.ProcOf[E], r schedule.Remap, lgn, lgP i
 		// its low A and high B bit fields interchanged, 2^A interleaved
 		// sequences of 2^B keys, each bitonic, sorted by the B steps
 		// that open stage lgn+K+1. That stage's direction bit is the
-		// lowest bit of the A field — processor-determined.
+		// lowest bit of the A field — processor-determined. The batch
+		// kernel sweeps the columns in cache-sized groups.
 		asc := ascFor(r.Layout, pr.ID, lgn+r.K+1)
-		for d := 0; d < blockLen; d++ {
-			localsort.SortBitonicStrided(pr.Data, d, blockLen, 1<<uint(r.B), asc, scratch)
-		}
+		localsort.SortBitonicStridedBatch(pr.Data, blockLen, 1<<uint(r.B), asc, scratch)
 		pr.ChargeMerge(n)
 
 	case schedule.Last:
@@ -202,9 +243,10 @@ func smartPhase[E element.Elem](pr *spmd.ProcOf[E], r schedule.Remap, lgn, lgP i
 		if r.StepsAfter != r.S {
 			panic(fmt.Sprintf("core: last remap executes %d steps, expected %d", r.StepsAfter, r.S))
 		}
-		localsort.SortBitonicBlocks(pr.Data, 1<<uint(r.S), func(int) bool { return true }, nil)
+		localsort.SortBitonicBlocks(pr.Data, 1<<uint(r.S), func(int) bool { return true }, scratch)
 		pr.ChargeMerge(n)
 	}
+	return scratch
 }
 
 func max(a, b int) int {

@@ -81,6 +81,7 @@ func NewOf[E element.Elem](cfg Config) (*EngineOf[E], error) {
 		P:      cfg.P,
 		Costs:  cfg.Costs,
 		Long:   true, // long-message code paths; pack cost is real copying here
+		Shared: true, // one address space: remaps may gather directly
 		Charge: charge,
 		Trace:  cfg.Trace,
 		Sink:   cfg.Sink,

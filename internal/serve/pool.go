@@ -44,7 +44,7 @@ const evictAfter = 3
 // unhealthy Puts for one shape evicts that shape's whole idle set.
 // Each engine is used by one goroutine at a time (engines are not
 // concurrency-safe); the pool itself is safe for concurrent use. Idle
-// engines per shape are capped — extras are dropped to the GC, so a
+// engines per shape are capped — extras are closed and released, so a
 // traffic spike does not pin its high-water memory forever.
 type PoolOf[E element.Elem] struct {
 	mu          sync.Mutex
@@ -115,18 +115,43 @@ func (pl *PoolOf[E]) Put(e *parbitonic.EngineOf[E], totalKeys int, healthy bool)
 		pl.failStreak[k] = 0
 		if len(pl.idle[k]) < pl.perKey {
 			pl.idle[k] = append(pl.idle[k], e)
+			pl.mu.Unlock()
+			return
 		}
 		pl.mu.Unlock()
+		e.Close() // over the cap: released, not recycled
 		return
 	}
 	pl.quarantined++
 	pl.failStreak[k]++
+	var evicted []*parbitonic.EngineOf[E]
 	if pl.failStreak[k] >= evictAfter {
 		pl.failStreak[k] = 0
-		pl.evicted += uint64(len(pl.idle[k]))
+		evicted = pl.idle[k]
+		pl.evicted += uint64(len(evicted))
 		delete(pl.idle, k)
 	}
 	pl.mu.Unlock()
+	e.Close()
+	for _, v := range evicted {
+		v.Close()
+	}
+}
+
+// Close releases every idle engine and empties the pool. Engines
+// currently checked out are untouched — their Put after Close recycles
+// or releases them as usual. The pool stays usable (a fresh Get just
+// builds), so Close is a drain, not a terminal state.
+func (pl *PoolOf[E]) Close() {
+	pl.mu.Lock()
+	idle := pl.idle
+	pl.idle = make(map[poolKey][]*parbitonic.EngineOf[E])
+	pl.mu.Unlock()
+	for _, free := range idle {
+		for _, e := range free {
+			e.Close()
+		}
+	}
 }
 
 // PoolStats is a snapshot of pool effectiveness counters.

@@ -114,7 +114,11 @@ type Config struct {
 	QueueDepth int
 
 	// Parallel is the number of batch executors — concurrent engine
-	// runs. 0 means max(1, GOMAXPROCS / Engine.Processors).
+	// runs. 0 means max(1, GOMAXPROCS / Engine.Processors), and larger
+	// settings are clamped to that ceiling: each executor spins up
+	// Engine.Processors goroutines, and beyond the core count extra
+	// executors only thrash the scheduler (the engines' local-phase
+	// compute shares one GOMAXPROCS-capped work-stealing pool already).
 	Parallel int
 
 	// PoolPerKey caps idle engines kept per (P, backend, algorithm,
@@ -169,14 +173,24 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 256
 	}
-	if c.Parallel == 0 {
+	// Each executor drives an engine of P virtual processors — P
+	// goroutines apiece — so more than GOMAXPROCS/P executors cannot
+	// add compute, only scheduler thrash: the engines' heavy tile work
+	// already shares the process-wide work-stealing pool
+	// (internal/workpool), whose helper lanes are capped at GOMAXPROCS
+	// across all engines in flight. Explicit settings clamp to the same
+	// ceiling the default uses.
+	{
 		p := c.Engine.Processors
 		if p < 1 {
 			p = 1
 		}
-		c.Parallel = runtime.GOMAXPROCS(0) / p
-		if c.Parallel < 1 {
-			c.Parallel = 1
+		maxPar := runtime.GOMAXPROCS(0) / p
+		if maxPar < 1 {
+			maxPar = 1
+		}
+		if c.Parallel == 0 || c.Parallel > maxPar {
+			c.Parallel = maxPar
 		}
 	}
 	if c.PoolPerKey == 0 {
@@ -530,6 +544,7 @@ func (s *ServerOf[E]) Close() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.cancel()
+	s.pool.Close()
 	return nil
 }
 

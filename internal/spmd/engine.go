@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -20,6 +22,15 @@ type EngineConfig struct {
 	Costs  CostModel // consulted by the model charge helpers
 	Long   bool      // long messages (pack/unpack phases exist)
 	Charge Charger   // time-accounting policy (simulated or wall-clock)
+
+	// Shared declares that the backend's processors share one address
+	// space whose memory-access cost IS the machine being measured —
+	// the native backend. It unlocks the zero-copy gather remap
+	// (DirectRemap): processors read each other's memories directly
+	// instead of packing message buffers. The simulator leaves it
+	// false; its processors model distributed memories and must keep
+	// charging the §3.4 pack/transfer/unpack pipeline unchanged.
+	Shared bool
 
 	// Trace, when non-nil, receives barrier-wait spans from the engine;
 	// chargers add the busy-phase spans. Adds some overhead.
@@ -49,13 +60,45 @@ type EngineOf[E element.Elem] struct {
 	board [][]delivery[E] // board[src][dst], rewritten every exchange round
 	procs []*ProcOf[E]
 
-	// bufs recycles long-message buffers between remap rounds: a
-	// receiver returns a message's backing array once it has unpacked
-	// (or merged from) it, and any sender may pick it up for its next
-	// pack. Buffers are always fully overwritten before being sent, so
-	// stale contents are harmless.
-	bufs sync.Pool
+	// dataOut and statsOut are the recycled Data() and Result.PerProc
+	// backing arrays, so a steady-state run allocates neither; both are
+	// valid until the engine's next run.
+	dataOut  [][]E
+	statsOut []Stats
+
+	// The persistent worker set: spawned once on the first run and fed
+	// one runReq per processor per run, so steady-state runs spawn no
+	// goroutines (a per-run `go` statement heap-allocates its argument
+	// frame). Workers hold only the channels and the exited group —
+	// never the engine — so an abandoned engine is collectable and
+	// life's finalizer releases its workers; Close does so
+	// deterministically. runWG joins the run's bodies; watchWG joins
+	// the context watcher.
+	work    chan runReq[E]
+	life    *engineLife
+	exited  *sync.WaitGroup
+	runWG   sync.WaitGroup
+	watchWG sync.WaitGroup
 }
+
+// runReq is one processor's share of a run, handed to a parked worker.
+type runReq[E element.Elem] struct {
+	p    *ProcOf[E]
+	body func(*ProcOf[E])
+}
+
+// engineLife owns the workers' stop channel. It is referenced by the
+// engine only — never by the workers — so when the engine becomes
+// unreachable the finalizer on engineLife runs (the engine's internal
+// proc↔engine cycle carries no finalizer and collects normally) and
+// the parked workers exit. Forgetting Close therefore leaks nothing
+// permanently.
+type engineLife struct {
+	stop chan struct{}
+	once sync.Once
+}
+
+func (l *engineLife) shutdown() { l.once.Do(func() { close(l.stop) }) }
 
 // Engine is the uint32 engine, the element type of the paper's
 // experiments.
@@ -72,9 +115,33 @@ type ProcOf[E element.Elem] struct {
 	PC
 	Data []E // local elements; algorithms read and replace freely
 
+	// Scratch is per-processor working state owned by the algorithm
+	// body. The engine never touches it, and it survives across runs,
+	// so bodies that run repeatedly on one engine can park reusable
+	// tables and closures here instead of rebuilding them every run.
+	Scratch any
+
 	e    *EngineOf[E]
 	outs [][]E // pack-destination scratch, reused across remap rounds
+	srcs [][]E // gather-source scratch, reused across direct remap rounds
+	in   [][]E // received-message table, rewritten by every Exchange
+
+	// free recycles long-message buffers between remap rounds,
+	// bucketed by power-of-two capacity class (bucket i holds buffers
+	// with cap in [2^i, 2^(i+1))), so a small buffer is never burned
+	// on a large request. A receiver returns a message's backing array
+	// to its OWN free list once it has unpacked (or merged from) it;
+	// inventories stay balanced because every processor sends and
+	// receives the same message shape each round. Buffers are always
+	// fully overwritten before being sent, so stale contents are
+	// harmless. Per-processor lists mean no locks and no sync.Pool
+	// boxing — steady-state recycling allocates nothing.
+	free [maxBufClass][][]E
 }
+
+// maxBufClass bounds the buffer capacity classes: class i covers caps
+// in [2^i, 2^(i+1)), so 48 classes cover any slice Go can allocate.
+const maxBufClass = 48
 
 // Proc is the uint32 processor, the element type of the paper's
 // experiments.
@@ -95,6 +162,7 @@ func NewEngineOf[E element.Elem](cfg EngineConfig) (*EngineOf[E], error) {
 	st := &state{
 		p:        cfg.P,
 		long:     cfg.Long,
+		shared:   cfg.Shared,
 		costs:    cfg.Costs,
 		charge:   cfg.Charge,
 		rec:      cfg.Trace,
@@ -229,22 +297,17 @@ func (e *EngineOf[E]) RunContext(ctx context.Context, data [][]E, body func(p *P
 
 	// The watcher turns a context cancellation into an engine abort; it
 	// is torn down before RunContext returns so no goroutine outlives
-	// the call.
-	var watcher sync.WaitGroup
-	watchDone := make(chan struct{})
+	// the call. Contexts that cannot be canceled need no watcher (and
+	// no channel: an uncancellable steady-state run allocates nothing
+	// here).
+	var watchDone chan struct{}
 	if ctx.Done() != nil {
-		watcher.Add(1)
-		go func() {
-			defer watcher.Done()
-			select {
-			case <-ctx.Done():
-				e.state.abort(ctxError(ctx.Err()))
-			case <-watchDone:
-			}
-		}()
+		watchDone = make(chan struct{})
+		e.watchWG.Add(1)
+		go e.watchCtx(ctx, watchDone)
 	}
 
-	var wg sync.WaitGroup
+	e.ensureWorkers()
 	for i := range e.procs {
 		p := e.procs[i]
 		p.Clock = 0
@@ -254,27 +317,18 @@ func (e *EngineOf[E]) RunContext(ctx context.Context, data [][]E, body func(p *P
 		} else {
 			p.Data = nil
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if _, unwinding := r.(poisonPanic); unwinding {
-						p.abortSpan()
-						return // abort propagation; the cause is already recorded
-					}
-					p.abortSpan()
-					e.state.abort(&PanicError{Proc: p.ID, Value: r, Stack: debug.Stack()})
-				}
-			}()
-			p.initObs()
-			e.charge.Start(&p.PC)
-			body(p)
-		}()
+		e.runWG.Add(1)
+		// The channel is buffered to e.p, so the sends never block and
+		// each of the e.p parked workers takes exactly one request (a
+		// worker busy with one request blocks on the run's barriers
+		// until every peer request is taken).
+		e.work <- runReq[E]{p: p, body: body}
 	}
-	wg.Wait()
-	close(watchDone)
-	watcher.Wait()
+	e.runWG.Wait()
+	if watchDone != nil {
+		close(watchDone)
+		e.watchWG.Wait()
+	}
 
 	// All goroutines are joined: abortErr is stable without the mutex,
 	// but take it anyway to keep the race detector's model exact.
@@ -300,7 +354,10 @@ func (e *EngineOf[E]) RunContext(ctx context.Context, data [][]E, body func(p *P
 	}
 
 	var res Result
-	res.PerProc = make([]Stats, e.p)
+	if cap(e.statsOut) < e.p {
+		e.statsOut = make([]Stats, e.p)
+	}
+	res.PerProc = e.statsOut[:e.p]
 	for i, p := range e.procs {
 		res.PerProc[i] = p.Stats
 		res.Sum.add(p.Stats)
@@ -338,9 +395,93 @@ func (e *EngineOf[E]) RunContext(ctx context.Context, data [][]E, body func(p *P
 	return res, nil
 }
 
+// watchCtx aborts the run when ctx is canceled; done tears it down.
+func (e *EngineOf[E]) watchCtx(ctx context.Context, done chan struct{}) {
+	defer e.watchWG.Done()
+	select {
+	case <-ctx.Done():
+		e.state.abort(ctxError(ctx.Err()))
+	case <-done:
+	}
+}
+
+// ensureWorkers lazily spawns the engine's persistent processor
+// workers on the first run.
+func (e *EngineOf[E]) ensureWorkers() {
+	if e.work != nil {
+		return
+	}
+	e.work = make(chan runReq[E], e.p)
+	e.life = &engineLife{stop: make(chan struct{})}
+	e.exited = new(sync.WaitGroup)
+	e.exited.Add(e.p)
+	for i := 0; i < e.p; i++ {
+		go procWorker(e.work, e.life.stop, e.exited)
+	}
+	runtime.SetFinalizer(e.life, (*engineLife).shutdown)
+}
+
+// Close releases the engine's persistent worker goroutines and waits
+// for them to exit. It is idempotent, must not overlap a run in
+// flight, and the engine must not be used afterwards. Engines that are
+// simply dropped release their workers via finalizer once collected;
+// Close exists for callers that need the release to be deterministic
+// (pools, goroutine-leak accounting).
+func (e *EngineOf[E]) Close() {
+	if e.life == nil {
+		return // workers were never started
+	}
+	runtime.SetFinalizer(e.life, nil)
+	e.life.shutdown()
+	e.exited.Wait()
+}
+
+// procWorker is one parked processor worker. It deliberately receives
+// only the channels and the exit group — taking the engine (or
+// anything that references it) would keep an abandoned engine
+// reachable from this goroutine's stack forever and defeat the
+// finalizer-based release.
+func procWorker[E element.Elem](work <-chan runReq[E], stop <-chan struct{}, exited *sync.WaitGroup) {
+	defer exited.Done()
+	for {
+		select {
+		case req := <-work:
+			req.p.e.execProc(req.p, req.body)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// execProc is one processor's turn of a run: observability setup, the
+// charger's clock start, then the algorithm body, with panics contained
+// into an engine abort.
+func (e *EngineOf[E]) execProc(p *ProcOf[E], body func(*ProcOf[E])) {
+	defer e.runWG.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, unwinding := r.(poisonPanic); unwinding {
+				p.abortSpan()
+				return // abort propagation; the cause is already recorded
+			}
+			p.abortSpan()
+			e.state.abort(&PanicError{Proc: p.ID, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	p.initObs()
+	e.charge.Start(&p.PC)
+	body(p)
+}
+
 // Data returns the final local data of every processor after a Run.
+// The returned header array is recycled: it is valid until the
+// engine's next Run (the element slices themselves are the
+// processors' own and follow their ownership rules).
 func (e *EngineOf[E]) Data() [][]E {
-	out := make([][]E, e.p)
+	if cap(e.dataOut) < e.p {
+		e.dataOut = make([][]E, e.p)
+	}
+	out := e.dataOut[:e.p]
 	for i, p := range e.procs {
 		out[i] = p.Data
 	}
@@ -362,26 +503,33 @@ func (p *ProcOf[E]) CorruptKey(i int) {
 	p.Data[i] = element.FromBits[E](bits, element.Aux(v))
 }
 
-// GetBuf returns an n-element buffer, recycled from the engine's
-// message pool when one of sufficient capacity is available. Contents
-// are undefined; callers must overwrite every slot.
+// GetBuf returns an n-element buffer, recycled from the processor's
+// free list when its capacity class has one, allocated otherwise.
+// Contents are undefined; callers must overwrite every slot.
 func (p *ProcOf[E]) GetBuf(n int) []E {
-	if v := p.e.bufs.Get(); v != nil {
-		if b := v.([]E); cap(b) >= n {
-			return b[:n]
-		}
+	if n == 0 {
+		return nil
+	}
+	// Class ceil(lg n): every buffer parked there has cap >= 2^class >= n.
+	c := bits.Len(uint(n - 1))
+	if l := p.free[c]; len(l) > 0 {
+		b := l[len(l)-1]
+		l[len(l)-1] = nil
+		p.free[c] = l[:len(l)-1]
+		return b[:n]
 	}
 	return make([]E, n)
 }
 
-// PutBuf returns a buffer to the message pool. Only hand back buffers
-// no other processor can still read — typically messages this
-// processor received and has fully consumed.
+// PutBuf parks a buffer on the processor's free list for a later
+// GetBuf. Only hand back buffers no other processor can still read —
+// typically messages this processor received and has fully consumed.
 func (p *ProcOf[E]) PutBuf(b []E) {
-	if cap(b) == 0 {
+	c := cap(b)
+	if c == 0 {
 		return
 	}
-	p.e.bufs.Put(b[:cap(b)])
+	p.free[bits.Len(uint(c))-1] = append(p.free[bits.Len(uint(c))-1], b[:c])
 }
 
 // outScratch returns the per-processor destination-slice table (all

@@ -13,7 +13,9 @@ import (
 // position p.ID). Only slice headers cross the board — the handoff is
 // zero-copy; receivers read the sender's backing array directly.
 // Transfer time is charged per the backend's policy and all clocks
-// synchronize afterwards.
+// synchronize afterwards. The returned table is the processor's own
+// scratch: it is rewritten by this processor's next Exchange, so
+// consume it (or copy the headers out) before the next round.
 func (p *ProcOf[E]) Exchange(out [][]E) [][]E {
 	p.checkAbort()
 	p.tag(int(obs.PhaseTransfer))
@@ -32,7 +34,10 @@ func (p *ProcOf[E]) Exchange(out [][]E) [][]E {
 	p.Stats.VolumeSent += vol
 	p.Stats.MessagesSent += msgs
 	e.bar.maxClock(&p.PC) // publish sends
-	in := make([][]E, e.p)
+	if p.in == nil {
+		p.in = make([][]E, e.p)
+	}
+	in := p.in
 	for src := 0; src < e.p; src++ {
 		in[src] = e.board[src][p.ID].data
 	}
@@ -64,13 +69,20 @@ func (p *ProcOf[E]) PairExchange(partner int, out []E) []E {
 	return in
 }
 
+// planDests returns this processor's destination group under the
+// plan, in per-processor scratch rewritten by the next call.
+func (p *ProcOf[E]) planDests(plan *addr.RemapPlan) []int {
+	p.grp = plan.AppendDests(p.grp[:0], p.ID)
+	return p.grp
+}
+
 // pack routes p.Data into pooled per-destination message buffers per
 // the plan. The returned slice is the per-processor out table; the
 // caller must run it through Exchange before touching p.Data again and
 // clear it afterwards.
 func (p *ProcOf[E]) pack(plan *addr.RemapPlan, n int) [][]E {
 	out := p.outScratch()
-	for _, q := range plan.Dests(p.ID) {
+	for _, q := range p.planDests(plan) {
 		out[q] = p.GetBuf(plan.MsgLen)
 	}
 	dest, off := p.routeScratch(n)
@@ -108,9 +120,13 @@ func (p *ProcOf[E]) RemapExchange(plan *addr.RemapPlan, fused bool) {
 	}
 	in := p.Exchange(out)
 	p.clearOuts()
-	// Unpack into the new local order.
+	// Unpack into the new local order. The new array comes from the
+	// engine pool and the old one goes back to it: the exchange already
+	// copied every key out of p.Data during pack, so the backing array
+	// is free the moment the messages are in flight, and steady-state
+	// remapping allocates nothing.
 	p.tag(int(obs.PhaseUnpack))
-	next := make([]E, n)
+	next := p.GetBuf(n)
 	nl := p.nlScratch(plan.MsgLen)
 	for src, msg := range in {
 		if len(msg) == 0 {
@@ -122,6 +138,7 @@ func (p *ProcOf[E]) RemapExchange(plan *addr.RemapPlan, fused bool) {
 		}
 		p.PutBuf(msg)
 	}
+	p.PutBuf(p.Data)
 	p.Data = next
 	if e.long && !fused {
 		e.charge.Unpack(&p.PC, n)
@@ -134,10 +151,11 @@ func (p *ProcOf[E]) RemapExchange(plan *addr.RemapPlan, fused bool) {
 // packs p.Data per the plan, exchanges, and returns the received long
 // messages indexed by source processor so the caller can fuse the
 // unpacking into its local computation (§4.3's p-way merge). p.Data is
-// set to nil; the caller must install the merged result. No unpack
-// time is charged, and pack time only when fusedPack is false. The
-// returned messages are pooled buffers — hand them back with PutBuf
-// once consumed.
+// set to nil (the spent input array is recycled into the free list —
+// the pack already copied every key out of it); the caller must
+// install the merged result. No unpack time is charged, and pack time
+// only when fusedPack is false. The returned messages are pooled
+// buffers — hand them back with PutBuf once consumed.
 func (p *ProcOf[E]) RemapExchangeRuns(plan *addr.RemapPlan, fusedPack bool) [][]E {
 	e := p.e
 	n := plan.Old.LocalN()
@@ -151,6 +169,7 @@ func (p *ProcOf[E]) RemapExchangeRuns(plan *addr.RemapPlan, fusedPack bool) [][]
 	}
 	in := p.Exchange(out)
 	p.clearOuts()
+	p.PutBuf(p.Data)
 	p.Data = nil
 	p.Stats.Remaps++
 	return in
@@ -167,7 +186,7 @@ func (p *ProcOf[E]) RemapExchangePrepacked(plan *addr.RemapPlan, out [][]E) [][]
 	if len(out) != e.p {
 		panic(fmt.Sprintf("spmd: prepacked exchange wants %d slices, got %d", e.p, len(out)))
 	}
-	for _, q := range plan.Dests(p.ID) {
+	for _, q := range p.planDests(plan) {
 		if len(out[q]) != plan.MsgLen {
 			panic(fmt.Sprintf("spmd: prepacked message to %d has %d keys, plan wants %d", q, len(out[q]), plan.MsgLen))
 		}
@@ -184,7 +203,7 @@ func (p *ProcOf[E]) RemapExchangePrepacked(plan *addr.RemapPlan, out [][]E) [][]
 // after the exchange.
 func (p *ProcOf[E]) PackBuffers(plan *addr.RemapPlan) [][]E {
 	out := p.outScratch()
-	for _, q := range plan.Dests(p.ID) {
+	for _, q := range p.planDests(plan) {
 		out[q] = p.GetBuf(plan.MsgLen)
 	}
 	return out

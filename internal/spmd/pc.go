@@ -37,6 +37,7 @@ type PC struct {
 	// Per-processor routing scratch, reused across remap rounds.
 	dest, off []int32
 	nl        []int32
+	grp       []int // destination-group scratch, rewritten per round
 
 	// Observability state, touched only by the owning goroutine: spans
 	// buffer between barrier flushes, and the precomputed pprof label
@@ -65,6 +66,7 @@ type procOps interface {
 type state struct {
 	p      int
 	long   bool
+	shared bool
 	costs  CostModel
 	charge Charger
 	rec    *trace.Recorder
@@ -97,6 +99,12 @@ func (p *PC) Costs() CostModel { return p.st.costs }
 
 // Long reports whether the runtime uses long messages.
 func (p *PC) Long() bool { return p.st.long }
+
+// SharedMem reports whether the processors share one address space
+// (EngineConfig.Shared): the capability gate for the zero-copy gather
+// remap. False on the simulator, whose distributed-memory cost model
+// must keep seeing the packed pipeline.
+func (p *PC) SharedMem() bool { return p.st.shared }
 
 // Words returns the engine's element width in 32-bit words (1 for
 // uint32): the factor chargers scale memory-bound costs by.
@@ -172,6 +180,12 @@ func (p *PC) ChargeCompareExchange(n int) {
 	w := n * p.st.words
 	p.st.charge.Compute(p, c.CompareExchange*float64(w)*c.CacheFactor(w))
 }
+
+// RouteTables returns the processor's reusable dest/off routing tables
+// sized for n local keys — the same scratch the pack phase uses — so
+// fused execution paths can route plans without allocating per round.
+// The contents are overwritten by the next pack or RouteTables call.
+func (p *PC) RouteTables(n int) (dest, off []int32) { return p.routeScratch(n) }
 
 // routeScratch returns the per-processor dest/off routing tables sized
 // for n local keys.

@@ -44,7 +44,12 @@ const ProfileSchema = "parbitonic-profile"
 // semantics may have changed, so a stale profile must be re-calibrated
 // rather than silently misread. Unknown JSON fields are ignored, so
 // adding fields does not require a version bump.
-const ProfileVersion = 1
+//
+// Version 2: the localsort kernel overhaul (cache-blocked hybrid
+// radix, branchless splits, mod-free bitonic merges) changed every
+// measured kernel constant, so version-1 profiles describe kernels
+// that no longer exist and must be re-calibrated.
+const ProfileVersion = 2
 
 // KernelCosts are the measured local-computation costs for one element
 // type, in nanoseconds per element.

@@ -1,0 +1,172 @@
+// Package workpool provides the process-wide work-stealing pool behind
+// the native backend's local phases. The SPMD runtime gives every
+// virtual processor its own goroutine, so a run at P > GOMAXPROCS (or
+// several pooled engines running at once — the serve layer's batching
+// case) can put far more runnable goroutines on the scheduler than
+// there are cores. The pool inverts that: heavy tile-granular work
+// (local sorts, bitonic merges) is offered to a fixed set of helper
+// workers — GOMAXPROCS-1 for the shared pool — and the submitting
+// goroutine always participates, so idle cores steal tiles from busy
+// virtual processors while the aggregate executing-worker count stays
+// capped at GOMAXPROCS no matter how many engines are in flight.
+//
+// ParallelFor is work-conserving: the caller claims tiles itself, so a
+// job completes even if every helper is busy elsewhere, and a pool of
+// size 1 degenerates to a plain loop with no synchronization at all.
+// Correctness therefore never depends on helper availability — helpers
+// only add throughput — which is what makes one shared pool safe to
+// use from arbitrarily many concurrent engines.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool executes tile-granular work with a bounded helper count.
+type Pool struct {
+	spares    int
+	jobs      chan *job
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// job is one ParallelFor invocation: a [0,n) index space claimed in
+// grain-sized tiles via an atomic cursor. Whoever holds a tile —
+// caller or helper — runs f on it; the claim is the steal.
+type job struct {
+	next  atomic.Int64
+	n     int64
+	grain int64
+	f     func(lo, hi int)
+	wg    sync.WaitGroup
+	fail  atomic.Pointer[panicValue]
+}
+
+type panicValue struct{ v any }
+
+// New creates a pool with size execution lanes: the caller of
+// ParallelFor is always one lane, so size-1 persistent helper
+// goroutines are started. size < 1 is treated as 1 (no helpers).
+func New(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{
+		spares: size - 1,
+		jobs:   make(chan *job, 4*size),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < p.spares; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+var sharedOnce sync.Once
+var sharedPool *Pool
+
+// Shared returns the process-wide pool, sized to GOMAXPROCS at first
+// use. Every native engine routes its local phases through it, which
+// is what caps the aggregate worker count across concurrently running
+// engines at the core count.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = New(runtime.GOMAXPROCS(0)) })
+	return sharedPool
+}
+
+// Size returns the pool's lane count (helpers + the caller).
+func (p *Pool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.spares + 1
+}
+
+// Close stops the helper goroutines. For tests of non-shared pools
+// only; no ParallelFor may be in flight or issued afterwards.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.closed) })
+}
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case j := <-p.jobs:
+			j.run()
+			j.wg.Done()
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+// run claims and executes tiles until the index space is exhausted. A
+// panic out of f is captured once (first wins) and re-raised by the
+// submitting caller; the panicking worker stops claiming, the others
+// finish their tiles normally.
+func (j *job) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			j.fail.CompareAndSwap(nil, &panicValue{r})
+		}
+	}()
+	for {
+		start := j.next.Add(j.grain) - j.grain
+		if start >= j.n {
+			return
+		}
+		end := start + j.grain
+		if end > j.n {
+			end = j.n
+		}
+		j.f(int(start), int(end))
+	}
+}
+
+// ParallelFor runs f over [0,n) in grain-sized tiles, on the caller
+// plus however many pool helpers are free — at most enough to give
+// every tile its own lane. It returns when every tile has completed.
+// Tiles execute in claim order but concurrently; f must be safe for
+// concurrent invocation on disjoint ranges. If any invocation panics,
+// ParallelFor re-panics with the first captured value after all lanes
+// have stopped.
+//
+// The fast path — nil pool, single-lane pool, or n <= grain — calls f
+// inline with zero synchronization, so callers can use ParallelFor
+// unconditionally and pay nothing when parallelism is unavailable.
+func (p *Pool) ParallelFor(n, grain int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p == nil || p.spares == 0 || n <= grain {
+		f(0, n)
+		return
+	}
+	j := &job{n: int64(n), grain: int64(grain), f: f}
+	// One lane per tile beyond the caller's; posting is best-effort —
+	// a full queue means every helper is saturated, and the caller
+	// completes the job alone.
+	posts := (n+grain-1)/grain - 1
+	if posts > p.spares {
+		posts = p.spares
+	}
+	for i := 0; i < posts; i++ {
+		j.wg.Add(1)
+		select {
+		case p.jobs <- j:
+		default:
+			j.wg.Done()
+			posts = i
+		}
+	}
+	j.run()
+	j.wg.Wait()
+	if pv := j.fail.Load(); pv != nil {
+		panic(pv.v)
+	}
+}

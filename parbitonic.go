@@ -335,6 +335,7 @@ func SortContext[E element.Elem](ctx context.Context, keys []E, cfg Config) (Res
 	if err != nil {
 		return Result{}, err
 	}
+	defer e.Close()
 	return e.SortContext(ctx, keys)
 }
 
@@ -408,6 +409,7 @@ func SortPadded[E element.Elem](keys []E, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer e.Close()
 	return e.SortPaddedContext(context.Background(), keys)
 }
 
